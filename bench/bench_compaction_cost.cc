@@ -1,0 +1,100 @@
+// Compaction cost analysis (Eqs. 7-10): the slow-tier write traffic of a
+// traditional multi-level LSM versus TimeUnion's single slow level —
+// analytic model plus a measured comparison of the two implementations.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cloud/cost_model.h"
+#include "cloud/tiered_env.h"
+#include "compress/chunk.h"
+#include "lsm/key_format.h"
+#include "lsm/leveled_lsm.h"
+#include "lsm/time_lsm.h"
+#include "util/random.h"
+
+using namespace tu;
+using namespace tu::bench;
+
+int main() {
+  PrintHeader("Eqs. 7-10", "analytic slow-tier write traffic");
+  // Paper example: Sb=64MB, M=10, fast=1GB, data=100GB => >=64GB saved.
+  cloud::CompactionCostParams c;
+  c.s_b = 64e6;
+  c.m = 10;
+  c.s_fast = 1e9;
+  c.s_d = 100e9;
+  PrintRow("levels L (Eq.7)", cloud::NumLevels(c.s_d, c.s_b, c.m), "levels");
+  PrintRow("fast levels L_fast", cloud::NumLevels(c.s_fast, c.s_b, c.m),
+           "levels");
+  PrintRow("multi-level cost (Eq.8)",
+           cloud::SlowWriteCostMultiLevel(c) / 1e9, "GB");
+  PrintRow("one-level cost (Eq.9)", cloud::SlowWriteCostOneLevel(c) / 1e9,
+           "GB");
+  PrintRow("saving (Eq.10)", cloud::SlowWriteCostSaving(c) / 1e9, "GB");
+
+  // Measured: identical chunk workload through both trees; compare bytes
+  // written to (and read from) the slow tier.
+  PrintHeader("measured", "slow-tier traffic, TimePartitioned vs Leveled");
+  const int64_t kMin = 60 * 1000;
+  const int64_t kHour = 60 * kMin;
+  auto workload = [&](lsm::ChunkStore* store) -> Status {
+    uint64_t seq = 0;
+    Random rng(5);
+    for (int64_t ts = 0; ts < 24 * kHour; ts += kMin) {
+      for (uint64_t id = 0; id < 20; ++id) {
+        std::string payload;
+        compress::EncodeSeriesChunk(
+            ++seq, {compress::Sample{ts, rng.NextDouble()}}, &payload);
+        TU_RETURN_IF_ERROR(store->Put(
+            lsm::MakeChunkKey(id, ts),
+            lsm::MakeChunkValue(lsm::ChunkType::kSeries, payload)));
+      }
+    }
+    return store->FlushAll();
+  };
+
+  uint64_t tp_written = 0, tp_read_ops = 0;
+  {
+    const std::string ws = FreshWorkspace("ccost_tp");
+    cloud::TieredEnv env(ws, cloud::TieredEnvOptions::Instant());
+    lsm::BlockCache cache(8 << 20);
+    lsm::TimeLsmOptions opts;
+    opts.memtable_bytes = 64 << 10;
+    lsm::TimePartitionedLsm tree(&env, "db", opts, &cache);
+    if (!tree.Open().ok() || !workload(&tree).ok()) return 1;
+    tp_written = env.slow().counters().bytes_written.load();
+    tp_read_ops = env.slow().counters().get_ops.load();
+  }
+  uint64_t lv_written = 0, lv_read_ops = 0;
+  {
+    const std::string ws = FreshWorkspace("ccost_lv");
+    cloud::TieredEnv env(ws, cloud::TieredEnvOptions::Instant());
+    lsm::BlockCache cache(8 << 20);
+    lsm::LeveledLsmOptions opts;
+    opts.memtable_bytes = 64 << 10;
+    opts.base_level_bytes = 128 << 10;
+    opts.max_output_table_bytes = 64 << 10;
+    opts.level_multiplier = 4;
+    opts.num_fast_levels = 2;
+    lsm::LeveledLsm tree(&env, "db", opts, &cache);
+    if (!tree.Open().ok() || !workload(&tree).ok()) return 1;
+    lv_written = env.slow().counters().bytes_written.load();
+    lv_read_ops = env.slow().counters().get_ops.load();
+  }
+  PrintRow("time-partitioned: S3 bytes written", tp_written / 1048576.0,
+           "MB");
+  PrintRow("time-partitioned: S3 Get requests", tp_read_ops, "ops");
+  PrintRow("leveled: S3 bytes written", lv_written / 1048576.0, "MB");
+  PrintRow("leveled: S3 Get requests", lv_read_ops, "ops");
+  PrintRow("write traffic saving",
+           lv_written > 0
+               ? 100.0 * (1.0 - static_cast<double>(tp_written) / lv_written)
+               : 0,
+           "%");
+  std::printf(
+      "\n  shape checks: the one-slow-level design writes each byte to S3\n"
+      "  once and performs zero S3 Gets on an in-order workload; the\n"
+      "  leveled design rewrites deep levels repeatedly and reads\n"
+      "  overlapping tables back from S3 during compactions.\n");
+  return 0;
+}

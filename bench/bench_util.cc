@@ -1,0 +1,32 @@
+#include "bench_util.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "util/mmap_file.h"
+
+namespace tu::bench {
+
+std::string FreshWorkspace(const std::string& name) {
+  const std::string path = "/tmp/timeunion_bench/" + name;
+  RemoveDirRecursive(path);
+  EnsureDir(path);
+  return path;
+}
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void PrintRow(const std::string& label, double value, const std::string& unit) {
+  std::printf("  %-42s %14.3f %s\n", label.c_str(), value, unit.c_str());
+}
+
+void PrintHeader(const std::string& experiment, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n", experiment.c_str(), title.c_str());
+}
+
+}  // namespace tu::bench

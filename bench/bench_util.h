@@ -1,0 +1,22 @@
+// Shared helpers for the benchmark harness binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tu::bench {
+
+/// Creates a fresh scratch workspace under /tmp for one bench run and
+/// returns its path; removed and recreated if it already exists.
+std::string FreshWorkspace(const std::string& name);
+
+/// Monotonic wall-clock in microseconds.
+uint64_t NowUs();
+
+/// Prints a row of a paper-style table: "label: value unit".
+void PrintRow(const std::string& label, double value, const std::string& unit);
+
+/// Prints a section header matching a paper figure/table id.
+void PrintHeader(const std::string& experiment, const std::string& title);
+
+}  // namespace tu::bench

@@ -1,0 +1,98 @@
+// EngineHarness: drives the five §4.1 comparison systems over the TSBS
+// DevOps workload with a uniform interface, so every figure bench reports
+// the same rows the paper does.
+//
+//   tsdb      — TsdbEngine, blocks on S3
+//   tsdb-LDB  — TsdbEngine with chunk payloads in a leveled LSM on S3
+//   TU        — TimeUnionDB, per-series fast-path insertion
+//   TU-Group  — TimeUnionDB, per-host group rows
+//   TU-LDB    — TimeUnionDB over the classic leveled LSM backend
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/tsdb_engine.h"
+#include "core/timeunion_db.h"
+#include "tsbs/devops.h"
+
+namespace tu::bench {
+
+enum class EngineKind { kTsdb, kTsdbLdb, kTU, kTUGroup, kTULdb };
+
+const char* EngineName(EngineKind kind);
+
+struct HarnessOptions {
+  std::string workspace;
+  cloud::TieredEnvOptions env;
+  /// Fig. 17 mode: everything on the fast tier.
+  bool ebs_only = false;
+  /// TimeUnion EBS budget (0 = off; §4.1 fixes the level-2 partition
+  /// length to 2 h when comparing against tsdb).
+  uint64_t fast_limit_bytes = 0;
+  /// Number of host tags per series (Fig. 3: 20; Fig. 4: 5; default 10).
+  int num_host_tags = 10;
+  /// Scaled-down component sizes so laptop rounds finish in seconds.
+  size_t memtable_bytes = 2 << 20;
+  size_t block_cache_bytes = 32 << 20;
+};
+
+struct InsertReport {
+  uint64_t samples = 0;
+  double wall_seconds = 0;
+  double throughput = 0;  // samples/s
+  int64_t memory_total = 0;
+  int64_t memory_index = 0;
+  int64_t memory_samples = 0;
+  int64_t memory_block_meta = 0;
+};
+
+struct QueryReport {
+  std::string pattern;
+  double latency_us = 0;
+  uint64_t series_returned = 0;
+  uint64_t samples_returned = 0;
+};
+
+class EngineHarness {
+ public:
+  EngineHarness(EngineKind kind, HarnessOptions options);
+  ~EngineHarness();
+
+  Status Open();
+
+  /// Runs the full DevOps insertion (time-ordered, fast path) and reports.
+  Status RunInsert(const tsbs::DevOpsGenerator& gen, InsertReport* report);
+
+  /// Flushes pending data (measurement boundary, like the paper waiting
+  /// for compactions before queries).
+  Status Flush();
+
+  /// Runs one query pattern (average over `repeats` selector seeds).
+  Status RunQuery(const tsbs::DevOpsGenerator& gen,
+                  const tsbs::QueryPattern& pattern, int repeats,
+                  QueryReport* report);
+
+  /// On-disk/persisted sizes (Table 3).
+  uint64_t PersistedIndexBytes() const;
+  uint64_t PersistedDataBytes() const;
+
+  cloud::TieredEnv* env();
+  core::TimeUnionDB* tu() { return tu_.get(); }
+  baseline::TsdbEngine* tsdb() { return tsdb_.get(); }
+  EngineKind kind() const { return kind_; }
+
+ private:
+  EngineKind kind_;
+  HarnessOptions options_;
+  std::unique_ptr<core::TimeUnionDB> tu_;
+  std::unique_ptr<baseline::TsdbEngine> tsdb_;
+
+  // Fast-path handles.
+  std::vector<uint64_t> series_refs_;          // tsdb / TU / TU-LDB
+  std::vector<uint64_t> group_refs_;           // TU-Group, per host
+  std::vector<std::vector<uint32_t>> group_slots_;
+};
+
+}  // namespace tu::bench

@@ -1,0 +1,75 @@
+// Cost planner: uses the paper's analytic models (Fig. 1a pricing,
+// Eqs. 1-2 grouping index space, Eqs. 7-10 compaction traffic) to answer
+// deployment questions before any data is ingested — how much a workload
+// costs per month across tiers, whether grouping pays off for a schema,
+// and what a fast-storage budget saves in slow-tier traffic.
+//
+//   ./cost_planner <num_series> <avg_tags> <group_size> <group_tags>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cloud/cost_model.h"
+
+using namespace tu::cloud;
+
+int main(int argc, char** argv) {
+  const uint64_t num_series = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                       : 1'000'000;
+  const double avg_tags = argc > 2 ? std::atof(argv[2]) : 12;
+  const double group_size = argc > 3 ? std::atof(argv[3]) : 101;
+  const double group_tags = argc > 4 ? std::atof(argv[4]) : 1;
+
+  std::printf("== TimeUnion cost planner ==\n");
+  std::printf("workload: %llu series, %.0f tags each, groups of %.0f\n\n",
+              static_cast<unsigned long long>(num_series), avg_tags,
+              group_size);
+
+  // --- Index space: individual vs grouping (Eqs. 1-2).
+  GroupingParams g;
+  g.n = num_series;
+  g.t = avg_tags;
+  g.s_g = group_size;
+  g.t_g = group_tags;
+  g.t_u = avg_tags * 10;  // unique tag pairs per group, DevOps-like
+  const double s1 = IndexCostNoGrouping(g);
+  const double s2 = IndexCostGrouping(g);
+  std::printf("index space, individual model: %8.1f MB\n", s1 / 1048576);
+  std::printf("index space, grouping model:   %8.1f MB\n", s2 / 1048576);
+  std::printf("grouping %s (Sg threshold test: %s)\n\n",
+              s2 < s1 ? "saves index space" : "costs extra index space",
+              GroupingSavesIndexSpace(g) ? "pass" : "fail");
+
+  // --- Storage bill (Fig. 1a) for 90 days of data at 30s interval.
+  const double samples_per_day = 2880;
+  const double raw_gb =
+      num_series * samples_per_day * 90 * 16 / 1e9;  // 16B/sample raw
+  const double compressed_gb = raw_gb / 10;           // ~10x Gorilla
+  StoragePricing pricing;
+  const double hot_gb = compressed_gb / 45;  // ~2h of 90d on the fast tier
+  std::printf("data: %.1f GB raw -> %.1f GB compressed\n", raw_gb,
+              compressed_gb);
+  std::printf("monthly bill, all-EBS:    $%9.2f\n",
+              pricing.MonthlyCost(0, compressed_gb, 0));
+  std::printf("monthly bill, hybrid:     $%9.2f  (%.1f GB EBS + %.1f GB "
+              "S3)\n",
+              pricing.MonthlyCost(0, hot_gb, compressed_gb - hot_gb), hot_gb,
+              compressed_gb - hot_gb);
+  std::printf("monthly bill, all-in-RAM: $%9.2f  (why nobody does this)\n\n",
+              pricing.MonthlyCost(compressed_gb, 0, 0));
+
+  // --- Compaction traffic saved by the single slow level (Eqs. 7-10).
+  CompactionCostParams c;
+  c.s_b = 64e6;
+  c.m = 10;
+  c.s_fast = 1e9;
+  c.s_d = compressed_gb * 1e9;
+  std::printf("slow-tier write traffic for %.0f GB of data:\n",
+              compressed_gb);
+  std::printf("  traditional multi-level LSM: %8.1f GB (Eq. 8)\n",
+              SlowWriteCostMultiLevel(c) / 1e9);
+  std::printf("  TimeUnion single slow level: %8.1f GB (Eq. 9)\n",
+              SlowWriteCostOneLevel(c) / 1e9);
+  std::printf("  traffic saved:               %8.1f GB (Eq. 10)\n",
+              SlowWriteCostSaving(c) / 1e9);
+  return 0;
+}

@@ -1,0 +1,239 @@
+#include "cloud/block_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "util/mmap_file.h"
+
+namespace tu::cloud {
+
+namespace {
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(BlockStore* store, std::string fname, int fd)
+      : store_(store), fname_(std::move(fname)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const Slice& data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("write " + fname_ + ": " + strerror(errno));
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    size_ += data.size();
+    store_->ChargeWrite(data.size());
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError("fdatasync " + fname_ + ": " + strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ >= 0 && ::close(fd_) != 0) {
+      fd_ = -1;
+      return Status::IOError("close " + fname_ + ": " + strerror(errno));
+    }
+    fd_ = -1;
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  BlockStore* store_;
+  std::string fname_;
+  int fd_;
+  uint64_t size_ = 0;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(BlockStore* store, std::string fname, int fd,
+                        uint64_t size)
+      : store_(store), fname_(std::move(fname)), fd_(fd), size_(size) {}
+
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              std::string* scratch) const override {
+    scratch->resize(n);
+    ssize_t got = ::pread(fd_, scratch->data(), n, static_cast<off_t>(offset));
+    if (got < 0) {
+      return Status::IOError("pread " + fname_ + ": " + strerror(errno));
+    }
+    *result = Slice(scratch->data(), static_cast<size_t>(got));
+    store_->ChargeRead(fname_, static_cast<uint64_t>(got));
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  BlockStore* store_;
+  std::string fname_;
+  int fd_;
+  uint64_t size_;
+};
+
+}  // namespace
+
+BlockStore::BlockStore(std::string root_dir, TierSimOptions sim)
+    : root_(std::move(root_dir)), sim_(sim) {
+  EnsureDir(root_);
+}
+
+Status BlockStore::NewWritableFile(const std::string& fname,
+                                   std::unique_ptr<WritableFile>* out) {
+  const std::string path = FullPath(fname);
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  out->reset(new PosixWritableFile(this, fname, fd));
+  return Status::OK();
+}
+
+Status BlockStore::NewRandomAccessFile(const std::string& fname,
+                                       std::unique_ptr<RandomAccessFile>* out) {
+  const std::string path = FullPath(fname);
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(fname);
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat " + path + ": " + strerror(errno));
+  }
+  out->reset(new PosixRandomAccessFile(this, fname, fd,
+                                       static_cast<uint64_t>(st.st_size)));
+  return Status::OK();
+}
+
+Status BlockStore::ReadFileToString(const std::string& fname,
+                                    std::string* out) {
+  std::unique_ptr<RandomAccessFile> file;
+  TU_RETURN_IF_ERROR(NewRandomAccessFile(fname, &file));
+  Slice result;
+  TU_RETURN_IF_ERROR(file->Read(0, file->Size(), &result, out));
+  out->resize(result.size());
+  return Status::OK();
+}
+
+Status BlockStore::WriteStringToFile(const std::string& fname,
+                                     const Slice& data) {
+  const std::string tmp = fname + ".tmp";
+  std::unique_ptr<WritableFile> file;
+  TU_RETURN_IF_ERROR(NewWritableFile(tmp, &file));
+  TU_RETURN_IF_ERROR(file->Append(data));
+  TU_RETURN_IF_ERROR(file->Sync());
+  TU_RETURN_IF_ERROR(file->Close());
+  return RenameFile(tmp, fname);
+}
+
+Status BlockStore::DeleteFile(const std::string& fname) {
+  counters_.delete_ops.fetch_add(1, std::memory_order_relaxed);
+  if (::unlink(FullPath(fname).c_str()) != 0) {
+    if (errno == ENOENT) return Status::NotFound(fname);
+    return Status::IOError("unlink " + fname + ": " + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status BlockStore::RenameFile(const std::string& src, const std::string& dst) {
+  if (::rename(FullPath(src).c_str(), FullPath(dst).c_str()) != 0) {
+    return Status::IOError("rename " + src + " -> " + dst + ": " +
+                           strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status BlockStore::FileExists(const std::string& fname) const {
+  struct stat st;
+  if (::stat(FullPath(fname).c_str(), &st) != 0) {
+    return Status::NotFound(fname);
+  }
+  return Status::OK();
+}
+
+Status BlockStore::GetFileSize(const std::string& fname,
+                               uint64_t* size) const {
+  struct stat st;
+  if (::stat(FullPath(fname).c_str(), &st) != 0) {
+    return Status::NotFound(fname);
+  }
+  *size = static_cast<uint64_t>(st.st_size);
+  return Status::OK();
+}
+
+Status BlockStore::ListDir(const std::string& dir,
+                           std::vector<std::string>* names) const {
+  names->clear();
+  std::error_code ec;
+  const std::string path = dir.empty() ? root_ : FullPath(dir);
+  for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+    names->push_back(entry.path().filename().string());
+  }
+  if (ec) return Status::IOError("listdir " + dir + ": " + ec.message());
+  return Status::OK();
+}
+
+Status BlockStore::CreateDir(const std::string& dir) {
+  return EnsureDir(FullPath(dir));
+}
+
+uint64_t BlockStore::TotalBytesUsed() const {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root_, ec)) {
+    if (entry.is_regular_file(ec)) {
+      total += entry.file_size(ec);
+    }
+  }
+  return total;
+}
+
+void BlockStore::ChargeRead(const std::string& fname, uint64_t bytes) {
+  counters_.get_ops.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  const bool first = MarkRead(fname);
+  ChargeLatency(sim_, &counters_, sim_.ChargeUs(bytes, first));
+}
+
+void BlockStore::ChargeWrite(uint64_t bytes) {
+  counters_.put_ops.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  ChargeLatency(sim_, &counters_, sim_.ChargeUs(bytes, false));
+}
+
+bool BlockStore::MarkRead(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_before_.insert(fname).second;
+}
+
+}  // namespace tu::cloud

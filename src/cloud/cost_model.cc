@@ -1,0 +1,75 @@
+#include "cloud/cost_model.h"
+
+#include <cmath>
+
+namespace tu::cloud {
+
+double IndexCostNoGrouping(const GroupingParams& p) {
+  return static_cast<double>(p.n) * p.t * (p.s_p + p.s_t);
+}
+
+double IndexCostGrouping(const GroupingParams& p) {
+  const double n = static_cast<double>(p.n);
+  const double groups = n / p.s_g;
+  const double postings = groups * p.t_u * p.s_p + (p.t - p.t_g) * n * p.s_p;
+  const double tags = groups * p.t_g * p.s_t + (p.t - p.t_g) * n * p.s_t;
+  return postings + tags;
+}
+
+bool GroupingSavesIndexSpace(const GroupingParams& p) {
+  return p.s_g > (p.t_u / p.t_g * p.s_p + p.s_t) / (p.s_p + p.s_t);
+}
+
+double QueryCostNoGroupingEbs(const QueryCostParams& q) {
+  return static_cast<double>(q.l) * static_cast<double>(q.p) *
+         (q.s_data / q.r1) * q.cost_ebs_us_per_byte;
+}
+
+double QueryCostNoGroupingS3(const QueryCostParams& q) {
+  return static_cast<double>(q.l) * static_cast<double>(q.p) *
+         std::ceil(q.s_data / (q.s_block * q.r1)) * q.cost_s3_us_per_get;
+}
+
+double QueryCostGroupingEbs(const QueryCostParams& q) {
+  return static_cast<double>(q.g) * static_cast<double>(q.p) *
+         (q.s_data * q.s_g / q.r2) * q.cost_ebs_us_per_byte;
+}
+
+double QueryCostGroupingS3(const QueryCostParams& q) {
+  return static_cast<double>(q.g) * static_cast<double>(q.p) *
+         std::ceil(q.s_data * q.s_g / (q.s_block * q.r2)) *
+         q.cost_s3_us_per_get;
+}
+
+double NumLevels(double size, double s_b, double m) {
+  // Eq. 7: L = log(size*(M-1)/Sb + 1) / log(M).
+  return std::log(size * (m - 1.0) / s_b + 1.0) / std::log(m);
+}
+
+double SlowWriteCostMultiLevel(const CompactionCostParams& c) {
+  const int l = static_cast<int>(std::floor(NumLevels(c.s_d, c.s_b, c.m)));
+  const int l_fast =
+      static_cast<int>(std::floor(NumLevels(c.s_fast, c.s_b, c.m)));
+  double cost = 0;
+  for (int i = 1; i <= l - l_fast; ++i) {
+    cost += c.s_b * std::pow(c.m, l_fast + i - 1) * i;
+  }
+  return cost;
+}
+
+double SlowWriteCostOneLevel(const CompactionCostParams& c) {
+  const int l = static_cast<int>(std::floor(NumLevels(c.s_d, c.s_b, c.m)));
+  const int l_fast =
+      static_cast<int>(std::floor(NumLevels(c.s_fast, c.s_b, c.m)));
+  double cost = 0;
+  for (int i = 1; i <= l - l_fast; ++i) {
+    cost += c.s_b * std::pow(c.m, l_fast + i - 1);
+  }
+  return cost;
+}
+
+double SlowWriteCostSaving(const CompactionCostParams& c) {
+  return SlowWriteCostMultiLevel(c) - SlowWriteCostOneLevel(c);
+}
+
+}  // namespace tu::cloud

@@ -1,0 +1,92 @@
+// CostModel: the paper's analytic models —
+//   Fig. 1a  storage pricing (EBS ≈ 4x S3; RAM two orders of magnitude more),
+//   Eqs. 1-2 grouping index-space cost,
+//   Eqs. 3-6 query latency cost on EBS vs S3 with/without grouping,
+//   Eqs. 7-10 compaction traffic cost of multi-level vs one-level-on-slow.
+// Pure functions: the analysis benches compare these predictions against
+// measured counters.
+#pragma once
+
+#include <cstdint>
+
+namespace tu::cloud {
+
+/// Fig. 1a: monthly storage price per GB (USD, region ap-northeast-1 as
+/// reported in the paper).
+struct StoragePricing {
+  double s3_per_gb_month = 0.025;
+  double ebs_gp2_per_gb_month = 0.096;  // ~4x S3
+  double ram_per_gb_month = 10.0;       // >= two orders of magnitude over EBS
+
+  /// Monthly cost of a placement holding `fast_gb` on EBS, `slow_gb` on S3
+  /// and `ram_gb` resident.
+  double MonthlyCost(double ram_gb, double fast_gb, double slow_gb) const {
+    return ram_gb * ram_per_gb_month + fast_gb * ebs_gp2_per_gb_month +
+           slow_gb * s3_per_gb_month;
+  }
+};
+
+/// Table 1 notation for the grouping analysis.
+struct GroupingParams {
+  uint64_t n = 0;         // N: number of timeseries
+  double t = 0;           // T: avg tags per timeseries
+  double s_p = 8;         // Sp: bytes per posting-list entry
+  double s_t = 15;        // St: bytes per tag
+  double s_g = 1;         // Sg: avg timeseries per group
+  double t_g = 0;         // Tg: avg group tags per group
+  double t_u = 0;         // Tu: avg unique tags per group
+};
+
+/// Eq. 1: index space without grouping: N * T * (Sp + St).
+double IndexCostNoGrouping(const GroupingParams& p);
+
+/// Eq. 2: index space with grouping.
+double IndexCostGrouping(const GroupingParams& p);
+
+/// Grouping saves index space iff Sg > (Tu/Tg*Sp + St) / (Sp + St).
+bool GroupingSavesIndexSpace(const GroupingParams& p);
+
+/// Parameters of the query-cost model (Eqs. 3-6).
+struct QueryCostParams {
+  double cost_ebs_us_per_byte = 1.0 / 250.0;  // 1/bandwidth (us per byte)
+  double cost_s3_us_per_get = 2000.0;         // per Get request
+  uint64_t p = 1;        // P: time partitions covered
+  double s_data = 0;     // raw bytes per series per partition
+  double s_block = 4096; // SSTable data block size
+  uint64_t l = 1;        // L: located timeseries
+  uint64_t g = 1;        // G: located groups
+  double s_g = 1;        // group size
+  double r1 = 10;        // compression ratio, individual model
+  double r2 = 35;        // compression ratio, grouping model
+};
+
+/// Eq. 3: individual model, data on EBS.
+double QueryCostNoGroupingEbs(const QueryCostParams& q);
+/// Eq. 4: individual model, data on S3.
+double QueryCostNoGroupingS3(const QueryCostParams& q);
+/// Eq. 5: grouping model, data on EBS.
+double QueryCostGroupingEbs(const QueryCostParams& q);
+/// Eq. 6: grouping model, data on S3.
+double QueryCostGroupingS3(const QueryCostParams& q);
+
+/// Parameters of the compaction cost analysis (Eqs. 7-10).
+struct CompactionCostParams {
+  double s_d = 0;      // total data size (bytes)
+  double s_b = 64e6;   // topmost level size
+  double m = 10;       // level size multiplier
+  double s_fast = 0;   // fast storage size
+};
+
+/// Eq. 7: number of levels needed to hold `size` bytes.
+double NumLevels(double size, double s_b, double m);
+
+/// Eq. 8: slow-tier write traffic of a traditional multi-level LSM.
+double SlowWriteCostMultiLevel(const CompactionCostParams& c);
+
+/// Eq. 9: slow-tier write traffic with a single slow level (TimeUnion).
+double SlowWriteCostOneLevel(const CompactionCostParams& c);
+
+/// Eq. 10: traffic saved by the one-level design.
+double SlowWriteCostSaving(const CompactionCostParams& c);
+
+}  // namespace tu::cloud

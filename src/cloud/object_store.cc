@@ -1,0 +1,175 @@
+#include "cloud/object_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "util/mmap_file.h"
+
+namespace tu::cloud {
+
+namespace {
+
+// Object keys may contain '/'; encode them to flat filenames so a key is
+// one file (no implicit directories, matching object-store semantics).
+std::string EncodeKey(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    if (c == '/') {
+      out += "%2F";
+    } else if (c == '%') {
+      out += "%25";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string DecodeKey(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (name[i] == '%' && i + 2 < name.size()) {
+      if (name.compare(i, 3, "%2F") == 0) {
+        out += '/';
+        i += 2;
+        continue;
+      }
+      if (name.compare(i, 3, "%25") == 0) {
+        out += '%';
+        i += 2;
+        continue;
+      }
+    }
+    out += name[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+ObjectStore::ObjectStore(std::string root_dir, TierSimOptions sim)
+    : root_(std::move(root_dir)), sim_(sim) {
+  EnsureDir(root_);
+}
+
+std::string ObjectStore::KeyPath(const std::string& key) const {
+  return root_ + "/" + EncodeKey(key);
+}
+
+Status ObjectStore::PutObject(const std::string& key, const Slice& data) {
+  const std::string path = KeyPath(key);
+  const std::string tmp = path + ".upload";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + tmp + ": " + strerror(errno));
+  }
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError("write " + tmp + ": " + strerror(errno));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename " + tmp + ": " + strerror(errno));
+  }
+  counters_.put_ops.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+  ChargeLatency(sim_, &counters_, sim_.ChargeUs(data.size(), false));
+  return Status::OK();
+}
+
+Status ObjectStore::GetObject(const std::string& key, std::string* out) {
+  uint64_t size = 0;
+  TU_RETURN_IF_ERROR(ObjectSize(key, &size));
+  return GetRange(key, 0, size, out);
+}
+
+Status ObjectStore::GetRange(const std::string& key, uint64_t offset, size_t n,
+                             std::string* out) {
+  const std::string path = KeyPath(key);
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(key);
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  out->resize(n);
+  ssize_t got = ::pread(fd, out->data(), n, static_cast<off_t>(offset));
+  ::close(fd);
+  if (got < 0) {
+    return Status::IOError("pread " + path + ": " + strerror(errno));
+  }
+  out->resize(static_cast<size_t>(got));
+  counters_.get_ops.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_read.fetch_add(static_cast<uint64_t>(got),
+                                 std::memory_order_relaxed);
+  const bool first = MarkRead(key);
+  ChargeLatency(sim_, &counters_,
+                sim_.ChargeUs(static_cast<uint64_t>(got), first));
+  return Status::OK();
+}
+
+Status ObjectStore::DeleteObject(const std::string& key) {
+  counters_.delete_ops.fetch_add(1, std::memory_order_relaxed);
+  if (::unlink(KeyPath(key).c_str()) != 0) {
+    if (errno == ENOENT) return Status::NotFound(key);
+    return Status::IOError("delete " + key + ": " + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::ObjectExists(const std::string& key) const {
+  struct stat st;
+  if (::stat(KeyPath(key).c_str(), &st) != 0) return Status::NotFound(key);
+  return Status::OK();
+}
+
+Status ObjectStore::ObjectSize(const std::string& key, uint64_t* size) const {
+  struct stat st;
+  if (::stat(KeyPath(key).c_str(), &st) != 0) return Status::NotFound(key);
+  *size = static_cast<uint64_t>(st.st_size);
+  return Status::OK();
+}
+
+Status ObjectStore::ListObjects(const std::string& prefix,
+                                std::vector<std::string>* keys) const {
+  keys->clear();
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    const std::string key = DecodeKey(entry.path().filename().string());
+    if (key.starts_with(prefix)) keys->push_back(key);
+  }
+  if (ec) return Status::IOError("list: " + ec.message());
+  std::sort(keys->begin(), keys->end());
+  return Status::OK();
+}
+
+uint64_t ObjectStore::TotalBytesUsed() const {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    if (entry.is_regular_file(ec)) total += entry.file_size(ec);
+  }
+  return total;
+}
+
+bool ObjectStore::MarkRead(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_before_.insert(key).second;
+}
+
+}  // namespace tu::cloud

@@ -1,0 +1,60 @@
+// ObjectStore: the slow cloud tier (AWS S3 substitute). Object-granular API
+// — whole-object Put, ranged Get (each call is one billable Get request),
+// Delete, List — backed by a local directory, with the S3 latency model.
+// API shape is MinIO/S3-compatible so a real client could be dropped in.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cloud/storage_sim.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tu::cloud {
+
+class ObjectStore {
+ public:
+  ObjectStore(std::string root_dir, TierSimOptions sim);
+
+  /// Uploads a complete object (objects are immutable; re-Put overwrites).
+  Status PutObject(const std::string& key, const Slice& data);
+
+  /// Downloads a whole object. One Get request.
+  Status GetObject(const std::string& key, std::string* out);
+
+  /// Ranged read [offset, offset+n). One Get request regardless of n —
+  /// this is the per-request cost structure behind Eqs. 4/6.
+  Status GetRange(const std::string& key, uint64_t offset, size_t n,
+                  std::string* out);
+
+  Status DeleteObject(const std::string& key);
+  Status ObjectExists(const std::string& key) const;
+  Status ObjectSize(const std::string& key, uint64_t* size) const;
+
+  /// Lists keys with the given prefix (lexicographic order).
+  Status ListObjects(const std::string& prefix,
+                     std::vector<std::string>* keys) const;
+
+  /// Total bytes stored (the S3 usage reports).
+  uint64_t TotalBytesUsed() const;
+
+  const TierCounters& counters() const { return counters_; }
+  TierCounters& counters() { return counters_; }
+  const TierSimOptions& sim() const { return sim_; }
+
+ private:
+  std::string KeyPath(const std::string& key) const;
+  bool MarkRead(const std::string& key);
+
+  std::string root_;
+  TierSimOptions sim_;
+  TierCounters counters_;
+
+  mutable std::mutex mu_;
+  std::unordered_set<std::string> read_before_;
+};
+
+}  // namespace tu::cloud

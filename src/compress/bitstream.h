@@ -1,0 +1,104 @@
+// Bit-granular reader/writer over byte buffers: the substrate of the
+// Gorilla codecs. The writer targets a caller-provided fixed-capacity
+// buffer so compressed open chunks can live directly inside mmap slots
+// (Fig. 9); callers must check Remaining() before multi-bit appends.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+namespace tu::compress {
+
+/// Appends bits MSB-first into a fixed-capacity byte buffer.
+class BitWriter {
+ public:
+  BitWriter(char* buf, size_t capacity_bytes)
+      : buf_(reinterpret_cast<uint8_t*>(buf)),
+        capacity_bits_(capacity_bytes * 8) {}
+
+  /// Bits still available.
+  size_t RemainingBits() const { return capacity_bits_ - bit_pos_; }
+  size_t BitsWritten() const { return bit_pos_; }
+  size_t BytesUsed() const { return (bit_pos_ + 7) / 8; }
+
+  /// Restores a previously saved position (for resuming an open chunk).
+  void SetBitPos(size_t bit_pos) {
+    assert(bit_pos <= capacity_bits_);
+    bit_pos_ = bit_pos;
+  }
+
+  void WriteBit(bool bit) {
+    assert(bit_pos_ < capacity_bits_);
+    const size_t byte = bit_pos_ >> 3;
+    const unsigned shift = 7 - (bit_pos_ & 7);
+    if ((bit_pos_ & 7) == 0) buf_[byte] = 0;  // fresh byte: clear stale bits
+    if (bit) buf_[byte] |= static_cast<uint8_t>(1u << shift);
+    ++bit_pos_;
+  }
+
+  /// Writes the low `nbits` bits of `value`, MSB-first. Byte-granular:
+  /// up to 8 bits land per store (this is the per-sample hot path).
+  void WriteBits(uint64_t value, unsigned nbits) {
+    assert(nbits <= 64);
+    assert(bit_pos_ + nbits <= capacity_bits_);
+    while (nbits > 0) {
+      const size_t byte = bit_pos_ >> 3;
+      const unsigned bit_in_byte = bit_pos_ & 7;
+      if (bit_in_byte == 0) buf_[byte] = 0;
+      const unsigned space = 8 - bit_in_byte;
+      const unsigned n = space < nbits ? space : nbits;
+      const uint64_t chunk =
+          (value >> (nbits - n)) & ((1ull << n) - 1);
+      buf_[byte] |= static_cast<uint8_t>(chunk << (space - n));
+      bit_pos_ += n;
+      nbits -= n;
+    }
+  }
+
+ private:
+  uint8_t* buf_;
+  size_t capacity_bits_;
+  size_t bit_pos_ = 0;
+};
+
+/// Reads bits MSB-first from a byte buffer.
+class BitReader {
+ public:
+  BitReader(const char* buf, size_t size_bytes)
+      : buf_(reinterpret_cast<const uint8_t*>(buf)), size_bits_(size_bytes * 8) {}
+
+  size_t RemainingBits() const { return size_bits_ - bit_pos_; }
+
+  bool ReadBit() {
+    assert(bit_pos_ < size_bits_);
+    const size_t byte = bit_pos_ >> 3;
+    const unsigned shift = 7 - (bit_pos_ & 7);
+    ++bit_pos_;
+    return (buf_[byte] >> shift) & 1;
+  }
+
+  uint64_t ReadBits(unsigned nbits) {
+    assert(nbits <= 64);
+    uint64_t v = 0;
+    while (nbits > 0) {
+      const size_t byte = bit_pos_ >> 3;
+      const unsigned bit_in_byte = bit_pos_ & 7;
+      const unsigned space = 8 - bit_in_byte;
+      const unsigned n = space < nbits ? space : nbits;
+      const uint64_t chunk =
+          (buf_[byte] >> (space - n)) & ((1ull << n) - 1);
+      v = (v << n) | chunk;
+      bit_pos_ += n;
+      nbits -= n;
+    }
+    return v;
+  }
+
+ private:
+  const uint8_t* buf_;
+  size_t size_bits_;
+  size_t bit_pos_ = 0;
+};
+
+}  // namespace tu::compress

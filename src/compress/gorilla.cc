@@ -1,0 +1,151 @@
+#include "compress/gorilla.h"
+
+#include <bit>
+#include <cstring>
+
+namespace tu::compress {
+
+namespace {
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+void TimestampEncoder::Append(BitWriter* w, int64_t ts) {
+  if (count_ == 0) {
+    w->WriteBits(static_cast<uint64_t>(ts), 64);
+    prev_ts_ = ts;
+  } else if (count_ == 1) {
+    const int64_t delta = ts - prev_ts_;
+    w->WriteBits(static_cast<uint64_t>(delta), 64);
+    prev_delta_ = delta;
+    prev_ts_ = ts;
+  } else {
+    const int64_t delta = ts - prev_ts_;
+    const int64_t dod = delta - prev_delta_;
+    if (dod == 0) {
+      w->WriteBit(false);
+    } else if (dod >= -63 && dod <= 64) {
+      w->WriteBits(0b10, 2);
+      w->WriteBits(static_cast<uint64_t>(dod + 63), 7);
+    } else if (dod >= -255 && dod <= 256) {
+      w->WriteBits(0b110, 3);
+      w->WriteBits(static_cast<uint64_t>(dod + 255), 9);
+    } else if (dod >= -2047 && dod <= 2048) {
+      w->WriteBits(0b1110, 4);
+      w->WriteBits(static_cast<uint64_t>(dod + 2047), 12);
+    } else {
+      w->WriteBits(0b1111, 4);
+      w->WriteBits(static_cast<uint64_t>(dod), 64);
+    }
+    prev_delta_ = delta;
+    prev_ts_ = ts;
+  }
+  ++count_;
+}
+
+int64_t TimestampDecoder::Next(BitReader* r) {
+  if (count_ == 0) {
+    prev_ts_ = static_cast<int64_t>(r->ReadBits(64));
+  } else if (count_ == 1) {
+    prev_delta_ = static_cast<int64_t>(r->ReadBits(64));
+    prev_ts_ += prev_delta_;
+  } else {
+    int64_t dod;
+    if (!r->ReadBit()) {
+      dod = 0;
+    } else if (!r->ReadBit()) {
+      dod = static_cast<int64_t>(r->ReadBits(7)) - 63;
+    } else if (!r->ReadBit()) {
+      dod = static_cast<int64_t>(r->ReadBits(9)) - 255;
+    } else if (!r->ReadBit()) {
+      dod = static_cast<int64_t>(r->ReadBits(12)) - 2047;
+    } else {
+      dod = static_cast<int64_t>(r->ReadBits(64));
+    }
+    prev_delta_ += dod;
+    prev_ts_ += prev_delta_;
+  }
+  ++count_;
+  return prev_ts_;
+}
+
+void ValueEncoder::Append(BitWriter* w, double value) {
+  const uint64_t bits = DoubleToBits(value);
+  if (count_ == 0) {
+    w->WriteBits(bits, 64);
+    prev_bits_ = bits;
+    ++count_;
+    return;
+  }
+  const uint64_t x = bits ^ prev_bits_;
+  prev_bits_ = bits;
+  ++count_;
+  if (x == 0) {
+    w->WriteBit(false);
+    return;
+  }
+  unsigned leading = static_cast<unsigned>(std::countl_zero(x));
+  unsigned trailing = static_cast<unsigned>(std::countr_zero(x));
+  // Gorilla caps leading zeros at 31 so they fit in 5 bits.
+  if (leading > 31) leading = 31;
+
+  if (prev_leading_ != 64 && leading >= prev_leading_ &&
+      trailing >= prev_trailing_) {
+    // Fits inside the previous meaningful-bit window: '10' + bits.
+    w->WriteBits(0b10, 2);
+    const unsigned sigbits = 64 - prev_leading_ - prev_trailing_;
+    w->WriteBits(x >> prev_trailing_, sigbits);
+  } else {
+    // New window: '11' + 5-bit leading + 6-bit length + bits.
+    w->WriteBits(0b11, 2);
+    w->WriteBits(leading, 5);
+    const unsigned sigbits = 64 - leading - trailing;
+    w->WriteBits(sigbits, 6);
+    w->WriteBits(x >> trailing, sigbits);
+    prev_leading_ = leading;
+    prev_trailing_ = trailing;
+  }
+}
+
+double ValueDecoder::Next(BitReader* r) {
+  if (count_ == 0) {
+    prev_bits_ = r->ReadBits(64);
+    prev_leading_ = 64;  // no window yet (mirrors encoder)
+    prev_trailing_ = 0;
+    ++count_;
+    return BitsToDouble(prev_bits_);
+  }
+  ++count_;
+  if (!r->ReadBit()) {
+    return BitsToDouble(prev_bits_);  // identical value
+  }
+  if (!r->ReadBit()) {
+    // Previous window.
+    const unsigned sigbits = 64 - prev_leading_ - prev_trailing_;
+    const uint64_t meaningful = r->ReadBits(sigbits);
+    prev_bits_ ^= meaningful << prev_trailing_;
+  } else {
+    const unsigned leading = static_cast<unsigned>(r->ReadBits(5));
+    unsigned sigbits = static_cast<unsigned>(r->ReadBits(6));
+    if (sigbits == 0) sigbits = 64;  // 6-bit field wraps for full width
+    const unsigned trailing = 64 - leading - sigbits;
+    const uint64_t meaningful = r->ReadBits(sigbits);
+    prev_bits_ ^= meaningful << trailing;
+    prev_leading_ = leading;
+    prev_trailing_ = trailing;
+  }
+  return BitsToDouble(prev_bits_);
+}
+
+}  // namespace tu::compress

@@ -1,0 +1,110 @@
+// Gorilla timeseries codecs (Pelkonen et al., VLDB 2015), as used by
+// Prometheus/InfluxDB and extended by TimeUnion:
+//  - TimestampEncoder: delta-of-delta with variable-width buckets.
+//  - ValueEncoder: XOR'd doubles with leading/trailing-zero windows.
+//  - NullableValueEncoder: TimeUnion's §3.1 extension — one control bit per
+//    slot so a group member can record NULL for rounds it missed.
+//
+// Encoders are streaming: small POD state plus an external BitWriter, so
+// the compressed bytes can live in an mmap slot while the state lives in
+// the series/group head object. Callers must ensure Remaining() >=
+// kMaxBits* before each append (there is no partial-write rollback).
+#pragma once
+
+#include <cstdint>
+
+#include "compress/bitstream.h"
+
+namespace tu::compress {
+
+/// Worst-case bits for one timestamp append ('1111' + 64 raw bits).
+constexpr size_t kMaxBitsPerTimestamp = 4 + 64;
+/// Worst-case bits for one value append (control '11' + 5 + 6 + 64).
+constexpr size_t kMaxBitsPerValue = 2 + 5 + 6 + 64;
+/// Worst-case bits for one nullable value append (null bit + value).
+constexpr size_t kMaxBitsPerNullableValue = 1 + kMaxBitsPerValue;
+
+/// Delta-of-delta timestamp compression. First timestamp is stored raw
+/// (64 bits), second as a 64-bit delta, then each delta-of-delta in
+/// Gorilla's bucket scheme: 0 | 10+7b | 110+9b | 1110+12b | 1111+64b.
+class TimestampEncoder {
+ public:
+  void Append(BitWriter* w, int64_t ts);
+
+  uint32_t count() const { return count_; }
+  int64_t last_ts() const { return prev_ts_; }
+
+ private:
+  uint32_t count_ = 0;
+  int64_t prev_ts_ = 0;
+  int64_t prev_delta_ = 0;
+};
+
+class TimestampDecoder {
+ public:
+  /// Decodes the next timestamp. Caller must not read past the encoded
+  /// count.
+  int64_t Next(BitReader* r);
+
+ private:
+  uint32_t count_ = 0;
+  int64_t prev_ts_ = 0;
+  int64_t prev_delta_ = 0;
+};
+
+/// XOR'd double compression. First value raw; then '0' if identical,
+/// '10' + meaningful bits if the XOR fits the previous leading/trailing
+/// window, '11' + 5-bit leading + 6-bit length + bits otherwise.
+class ValueEncoder {
+ public:
+  void Append(BitWriter* w, double value);
+
+ private:
+  uint32_t count_ = 0;
+  uint64_t prev_bits_ = 0;
+  unsigned prev_leading_ = 64;  // 64 = "no window yet"
+  unsigned prev_trailing_ = 0;
+};
+
+class ValueDecoder {
+ public:
+  double Next(BitReader* r);
+
+ private:
+  uint32_t count_ = 0;
+  uint64_t prev_bits_ = 0;
+  unsigned prev_leading_ = 0;
+  unsigned prev_trailing_ = 0;
+};
+
+/// TimeUnion's NULL-extended XOR codec for group value columns: each slot
+/// starts with a control bit — 1 = NULL (member missing this round),
+/// 0 = present, followed by the standard XOR encoding relative to the
+/// previous *present* value.
+class NullableValueEncoder {
+ public:
+  void AppendValue(BitWriter* w, double value) {
+    w->WriteBit(false);
+    inner_.Append(w, value);
+  }
+
+  void AppendNull(BitWriter* w) { w->WriteBit(true); }
+
+ private:
+  ValueEncoder inner_;
+};
+
+class NullableValueDecoder {
+ public:
+  /// Returns false if the slot is NULL; otherwise stores the value.
+  bool Next(BitReader* r, double* value) {
+    if (r->ReadBit()) return false;
+    *value = inner_.Next(r);
+    return true;
+  }
+
+ private:
+  ValueDecoder inner_;
+};
+
+}  // namespace tu::compress

@@ -1,0 +1,122 @@
+#include "compress/snappy_lite.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/coding.h"
+
+namespace tu::compress {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxLiteralRun = 240;  // tags 0x00..0xEF
+constexpr uint8_t kCopyTag = 0xF0;
+constexpr size_t kHashBits = 14;
+constexpr size_t kHashSize = 1u << kHashBits;
+
+uint32_t Hash4(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, sizeof(v));
+  return (v * 0x1e35a7bdu) >> (32 - kHashBits);
+}
+
+void EmitLiterals(const char* base, size_t start, size_t end,
+                  std::string* out) {
+  while (start < end) {
+    const size_t run = std::min(end - start, kMaxLiteralRun);
+    out->push_back(static_cast<char>(run - 1));
+    out->append(base + start, run);
+    start += run;
+  }
+}
+
+void EmitCopy(size_t offset, size_t length, std::string* out) {
+  out->push_back(static_cast<char>(kCopyTag));
+  PutVarint32(out, static_cast<uint32_t>(offset));
+  PutVarint32(out, static_cast<uint32_t>(length));
+}
+
+}  // namespace
+
+size_t SnappyLiteMaxCompressedSize(size_t n) {
+  // Worst case: all literals — one tag byte per 240 input bytes + header.
+  return n + n / kMaxLiteralRun + 16;
+}
+
+void SnappyLiteCompress(const Slice& input, std::string* out) {
+  out->clear();
+  PutVarint32(out, static_cast<uint32_t>(input.size()));
+  const char* data = input.data();
+  const size_t n = input.size();
+  if (n < kMinMatch + 4) {
+    EmitLiterals(data, 0, n, out);
+    return;
+  }
+
+  std::vector<uint32_t> table(kHashSize, 0xffffffffu);
+  size_t literal_start = 0;
+  size_t pos = 0;
+  const size_t limit = n - kMinMatch;  // last position where Hash4 is safe
+
+  while (pos <= limit) {
+    const uint32_t h = Hash4(data + pos);
+    const uint32_t candidate = table[h];
+    table[h] = static_cast<uint32_t>(pos);
+    if (candidate != 0xffffffffu &&
+        memcmp(data + candidate, data + pos, kMinMatch) == 0) {
+      // Extend the match forward.
+      size_t match_len = kMinMatch;
+      while (pos + match_len < n &&
+             data[candidate + match_len] == data[pos + match_len]) {
+        ++match_len;
+      }
+      EmitLiterals(data, literal_start, pos, out);
+      EmitCopy(pos - candidate, match_len, out);
+      pos += match_len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  EmitLiterals(data, literal_start, n, out);
+}
+
+Status SnappyLiteUncompress(const Slice& input, std::string* out) {
+  out->clear();
+  Slice in = input;
+  uint32_t expected = 0;
+  if (!GetVarint32(&in, &expected)) {
+    return Status::Corruption("snappy-lite: bad length header");
+  }
+  out->reserve(expected);
+  while (!in.empty()) {
+    const uint8_t tag = static_cast<uint8_t>(in[0]);
+    in.remove_prefix(1);
+    if (tag < kCopyTag) {
+      const size_t run = static_cast<size_t>(tag) + 1;
+      if (in.size() < run) return Status::Corruption("snappy-lite: short literal");
+      out->append(in.data(), run);
+      in.remove_prefix(run);
+    } else {
+      uint32_t offset = 0, length = 0;
+      if (!GetVarint32(&in, &offset) || !GetVarint32(&in, &length)) {
+        return Status::Corruption("snappy-lite: bad copy");
+      }
+      if (offset == 0 || offset > out->size() || length == 0) {
+        return Status::Corruption("snappy-lite: invalid copy");
+      }
+      // Byte-by-byte copy: supports overlapping copies (RLE-style).
+      size_t src = out->size() - offset;
+      for (uint32_t i = 0; i < length; ++i) {
+        out->push_back((*out)[src + i]);
+      }
+    }
+  }
+  if (out->size() != expected) {
+    return Status::Corruption("snappy-lite: length mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace tu::compress

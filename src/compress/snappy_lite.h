@@ -1,0 +1,34 @@
+// SnappyLite: a from-scratch byte-oriented LZ77 compressor with the Snappy
+// format philosophy (literal runs + back-references found via a small hash
+// table, no entropy coding). Used to compress SSTable data blocks — the
+// paper credits Snappy block compression for tsdb's 1.35x larger data size
+// versus TimeUnion (Table 3).
+//
+// Format: varint32 uncompressed length, then a sequence of elements:
+//   tag byte low 2 bits:
+//     00 literal  — length = (tag >> 2) + 1 (1..60); 61..63 reserved unused
+//     01 copy     — 4-bit length-4 in tag bits 2-5, 12-bit offset:
+//                   high 4 bits in tag bits 6-7? (simplified: see .cc)
+// We use a simplified two-element scheme:
+//   0x00..0xEF: literal run of (tag + 1) bytes (1..240)
+//   0xF0..0xFF: copy; low 4 bits are extra length bits, followed by
+//               varint32 offset and varint32 length.
+#pragma once
+
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tu::compress {
+
+/// Compresses `input` into `*out` (appended to cleared string).
+void SnappyLiteCompress(const Slice& input, std::string* out);
+
+/// Decompresses a SnappyLiteCompress output. Fails on malformed input.
+Status SnappyLiteUncompress(const Slice& input, std::string* out);
+
+/// Upper bound on the compressed size of `n` input bytes.
+size_t SnappyLiteMaxCompressedSize(size_t n);
+
+}  // namespace tu::compress

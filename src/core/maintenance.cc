@@ -1,0 +1,65 @@
+#include "core/maintenance.h"
+
+#include <chrono>
+
+namespace tu::core {
+
+namespace {
+
+int64_t WallClockMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+MaintenanceWorker::MaintenanceWorker(
+    MaintenanceOptions options, std::function<void(int64_t watermark)> tick)
+    : options_(std::move(options)), tick_(std::move(tick)) {
+  if (!options_.now) options_.now = WallClockMs;
+}
+
+MaintenanceWorker::~MaintenanceWorker() { Stop(); }
+
+void MaintenanceWorker::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MaintenanceWorker::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+void MaintenanceWorker::TickNow() {
+  const int64_t watermark = options_.retention_ms > 0
+                                ? options_.now() - options_.retention_ms
+                                : INT64_MIN;
+  tick_(watermark);
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MaintenanceWorker::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stop_; });
+    if (stop_) return;
+    lock.unlock();
+    TickNow();
+    lock.lock();
+  }
+}
+
+}  // namespace tu::core

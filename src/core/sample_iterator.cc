@@ -1,0 +1,108 @@
+#include "core/sample_iterator.h"
+
+#include "lsm/key_format.h"
+#include "lsm/memtable.h"
+
+namespace tu::core {
+
+SampleIterator::SampleIterator(uint64_t id, int64_t t0, int64_t t1,
+                               std::unique_ptr<lsm::Iterator> lsm_iter,
+                               std::vector<compress::Sample> head_samples,
+                               int member_slot, int64_t seek_slack_ms)
+    : id_(id),
+      t0_(t0),
+      t1_(t1),
+      member_slot_(member_slot),
+      lsm_iter_(std::move(lsm_iter)),
+      head_samples_(std::move(head_samples)) {
+  // The open chunk is the newest data: stage it with maximal precedence.
+  for (const compress::Sample& s : head_samples_) {
+    if (s.timestamp >= t0_ && s.timestamp <= t1_) {
+      pending_[s.timestamp] = {UINT64_MAX, s.value};
+    }
+  }
+  const int64_t seek_ts =
+      (t0_ < INT64_MIN + seek_slack_ms) ? INT64_MIN : t0_ - seek_slack_ms;
+  lsm_iter_->Seek(lsm::MakeChunkKey(id_, seek_ts));
+  Advance();
+}
+
+void SampleIterator::FillBuffer() {
+  if (!lsm_iter_->Valid()) {
+    status_ = lsm_iter_->status();
+    lsm_done_ = true;
+    return;
+  }
+  const Slice user_key = lsm::InternalKeyUserKey(lsm_iter_->key());
+  if (lsm::ChunkKeyId(user_key) != id_ ||
+      lsm::ChunkKeyTimestamp(user_key) > t1_) {
+    lsm_done_ = true;
+    return;
+  }
+  const uint64_t seq = lsm::InternalKeySeq(lsm_iter_->key());
+  const Slice payload = lsm::ChunkValuePayload(lsm_iter_->value());
+
+  std::vector<compress::Sample> samples;
+  Status s;
+  if (member_slot_ >= 0) {
+    s = compress::DecodeGroupMember(
+        payload, static_cast<uint32_t>(member_slot_), &samples);
+  } else {
+    uint64_t chunk_seq = 0;
+    s = compress::DecodeSeriesChunk(payload, &chunk_seq, &samples);
+  }
+  if (!s.ok()) {
+    status_ = s;
+    lsm_done_ = true;
+    return;
+  }
+  for (const compress::Sample& sample : samples) {
+    if (sample.timestamp < t0_ || sample.timestamp > t1_) continue;
+    auto it = pending_.find(sample.timestamp);
+    if (it == pending_.end() || seq >= it->second.first) {
+      pending_[sample.timestamp] = {seq, sample.value};
+    }
+    max_buffered_ts_ = std::max(max_buffered_ts_, sample.timestamp);
+  }
+  lsm_iter_->Next();
+}
+
+void SampleIterator::Advance() {
+  while (true) {
+    // A pending timestamp T is final once no future chunk can contain it:
+    // chunks arrive in ascending start_ts and any chunk containing T
+    // starts at or before T.
+    if (!pending_.empty() && !lsm_done_) {
+      if (lsm_iter_->Valid()) {
+        const Slice user_key = lsm::InternalKeyUserKey(lsm_iter_->key());
+        if (lsm::ChunkKeyId(user_key) == id_ &&
+            lsm::ChunkKeyTimestamp(user_key) <= pending_.begin()->first &&
+            lsm::ChunkKeyTimestamp(user_key) <= t1_) {
+          FillBuffer();
+          continue;
+        }
+      } else {
+        lsm_done_ = true;
+        status_ = lsm_iter_->status();
+      }
+      break;
+    }
+    if (pending_.empty()) {
+      if (lsm_done_) {
+        valid_ = false;
+        return;
+      }
+      FillBuffer();
+      continue;
+    }
+    break;  // pending non-empty, lsm done
+  }
+  auto it = pending_.begin();
+  current_ = compress::Sample{it->first, it->second.second};
+  pending_.erase(it);
+  valid_ = status_.ok();
+}
+
+void SampleIterator::Next() { Advance(); }
+
+}  // namespace tu::core

@@ -1,0 +1,835 @@
+#include "core/timeunion_db.h"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+
+#include "lsm/key_format.h"
+#include "util/memory_tracker.h"
+#include "util/mmap_file.h"
+
+namespace tu::core {
+
+using compress::Sample;
+using index::Label;
+using index::Labels;
+using index::TagMatcher;
+
+TimeUnionDB::TimeUnionDB(DBOptions options) : options_(std::move(options)) {}
+
+TimeUnionDB::~TimeUnionDB() {
+  if (maintenance_) maintenance_->Stop();
+  MemoryTracker::Global().Sub(MemCategory::kTags, registry_bytes_);
+}
+
+Status TimeUnionDB::Open(DBOptions options, std::unique_ptr<TimeUnionDB>* db) {
+  std::unique_ptr<TimeUnionDB> result(new TimeUnionDB(std::move(options)));
+  TU_RETURN_IF_ERROR(result->Init());
+  *db = std::move(result);
+  return Status::OK();
+}
+
+Status TimeUnionDB::Init() {
+  env_ = std::make_unique<cloud::TieredEnv>(options_.workspace,
+                                            options_.env_options);
+  block_cache_ = std::make_unique<lsm::BlockCache>(options_.block_cache_bytes);
+
+  // Mmap-backed structures are working storage; recovery rebuilds them from
+  // the WAL, so a fresh open starts them clean.
+  const std::string mmap_dir = env_->mmap_dir();
+  TU_RETURN_IF_ERROR(RemoveDirRecursive(mmap_dir));
+  TU_RETURN_IF_ERROR(EnsureDir(mmap_dir));
+
+  index_ = std::make_unique<index::InvertedIndex>(mmap_dir, "index",
+                                                  options_.trie);
+  TU_RETURN_IF_ERROR(index_->Init());
+  tag_store_ = std::make_unique<index::TagStore>(mmap_dir, "tags");
+  series_chunks_ = std::make_unique<mem::ChunkArray>(
+      mmap_dir, "series_chunks", options_.series_chunk_bytes);
+  group_ts_chunks_ = std::make_unique<mem::ChunkArray>(
+      mmap_dir, "group_ts_chunks", options_.group_ts_chunk_bytes);
+  group_val_chunks_ = std::make_unique<mem::ChunkArray>(
+      mmap_dir, "group_val_chunks", options_.group_val_chunk_bytes);
+
+  if (options_.backend == DBOptions::Backend::kLeveled) {
+    // TU-LDB baseline: TimeUnion data model over a classic leveled LSM
+    // (first two levels fast, deeper levels slow). WAL unsupported here.
+    auto leveled = std::make_unique<lsm::LeveledLsm>(
+        env_.get(), "lsm", options_.leveled, block_cache_.get());
+    leveled_lsm_ = leveled.get();
+    lsm_ = std::move(leveled);
+    TU_RETURN_IF_ERROR(lsm_->Open());
+    return StartMaintenance();
+  }
+
+  lsm::TimeLsmOptions lsm_options = options_.lsm;
+  if (options_.enable_wal) {
+    lsm_options.persist_manifest = true;
+    lsm_options.on_flush = [this](const Slice& user_key, const Slice& value) {
+      // §3.3: when a KV reaches level 0, log a flush mark with the chunk's
+      // embedded sequence id so earlier WAL records become purgeable.
+      uint64_t chunk_seq = 0;
+      Slice payload = lsm::ChunkValuePayload(value);
+      if (GetVarint64(&payload, &chunk_seq)) {
+        WalRecord mark;
+        mark.type = WalRecordType::kFlushMark;
+        mark.id = lsm::ChunkKeyId(user_key);
+        mark.seq = chunk_seq;
+        wal_->Append(mark);
+      }
+    };
+  }
+  auto time_lsm = std::make_unique<lsm::TimePartitionedLsm>(
+      env_.get(), "lsm", lsm_options, block_cache_.get());
+  time_lsm_ = time_lsm.get();
+  lsm_ = std::move(time_lsm);
+  Status open_status;
+  if (options_.enable_wal) {
+    wal_ = std::make_unique<WalWriter>(&env_->fast(), "WAL");
+    TU_RETURN_IF_ERROR(wal_->Open());
+    TU_RETURN_IF_ERROR(lsm_->Open());
+    open_status = RecoverFromWal();
+  } else {
+    open_status = lsm_->Open();
+  }
+  TU_RETURN_IF_ERROR(open_status);
+  return StartMaintenance();
+}
+
+Status TimeUnionDB::StartMaintenance() {
+  if (!options_.background_maintenance) return Status::OK();
+  MaintenanceOptions mopts;
+  mopts.interval_ms = options_.maintenance_interval_ms;
+  mopts.retention_ms = options_.retention_ms;
+  mopts.advise_memory_release = true;
+  mopts.now = options_.maintenance_clock;
+  maintenance_ = std::make_unique<MaintenanceWorker>(
+      std::move(mopts), [this](int64_t watermark) {
+        if (watermark != INT64_MIN) ApplyRetention(watermark);
+        if (wal_) wal_->Purge();
+        AdviseMemoryRelease();
+      });
+  maintenance_->Start();
+  return Status::OK();
+}
+
+Status TimeUnionDB::MaybeLog(const WalRecord& record) {
+  if (!wal_) return Status::OK();
+  TU_RETURN_IF_ERROR(wal_->Append(record));
+  if (wal_->bytes_written() > options_.wal_purge_bytes) {
+    return wal_->Purge();
+  }
+  return Status::OK();
+}
+
+Status TimeUnionDB::RecoverFromWal() {
+  // Pass 1: newest flush mark per id — samples at or below it are already
+  // safe in the (manifest-recovered) LSM.
+  std::map<uint64_t, uint64_t> flushed;
+  TU_RETURN_IF_ERROR(
+      ReplayWal(&env_->fast(), "WAL", [&](const WalRecord& r) -> Status {
+        if (r.type == WalRecordType::kFlushMark) {
+          flushed[r.id] = std::max(flushed[r.id], r.seq);
+        }
+        return Status::OK();
+      }));
+
+  // Pass 2: rebuild registries, heads and unflushed samples. WAL logging
+  // is suppressed during replay by temporarily detaching the writer.
+  auto saved_wal = std::move(wal_);
+  Status replay_status =
+      ReplayWal(&env_->fast(), "WAL", [&](const WalRecord& r) -> Status {
+        switch (r.type) {
+          case WalRecordType::kRegisterSeries: {
+            uint64_t ref = 0;
+            // Re-register without a sample: create the entry directly.
+            std::lock_guard<std::mutex> lock(mu_);
+            const std::string key = index::LabelsKey(r.labels);
+            if (series_by_key_.count(key)) return Status::OK();
+            uint64_t tag_offset = 0;
+            TU_RETURN_IF_ERROR(tag_store_->Append(r.labels, &tag_offset));
+            TU_RETURN_IF_ERROR(index_->Add(r.id, r.labels));
+            SeriesEntry entry;
+            entry.head = std::make_unique<mem::SeriesHead>(
+                r.id, tag_offset, series_chunks_.get(),
+                options_.samples_per_chunk);
+            entry.labels = r.labels;
+            series_by_key_[key] = r.id;
+            series_.emplace(r.id, std::move(entry));
+            next_id_ = std::max(next_id_, r.id + 1);
+            (void)ref;
+            return Status::OK();
+          }
+          case WalRecordType::kRegisterGroup: {
+            std::lock_guard<std::mutex> lock(mu_);
+            const std::string key = index::LabelsKey(r.labels);
+            if (group_by_key_.count(key)) return Status::OK();
+            uint64_t tag_offset = 0;
+            TU_RETURN_IF_ERROR(tag_store_->Append(r.labels, &tag_offset));
+            TU_RETURN_IF_ERROR(index_->Add(r.id, r.labels));
+            GroupEntry entry;
+            entry.head = std::make_unique<mem::GroupHead>(
+                r.id, tag_offset, group_ts_chunks_.get(),
+                group_val_chunks_.get(), options_.samples_per_chunk);
+            entry.group_labels = r.labels;
+            group_by_key_[key] = r.id;
+            groups_.emplace(r.id, std::move(entry));
+            next_id_ = std::max(next_id_, r.id + 1);
+            return Status::OK();
+          }
+          case WalRecordType::kRegisterMember: {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = groups_.find(r.id);
+            if (it == groups_.end()) {
+              return Status::Corruption("wal member before group");
+            }
+            GroupEntry& entry = it->second;
+            const std::string key = index::LabelsKey(r.labels);
+            if (entry.head->FindMember(key) >= 0) return Status::OK();
+            uint64_t tag_offset = 0;
+            TU_RETURN_IF_ERROR(tag_store_->Append(r.labels, &tag_offset));
+            TU_RETURN_IF_ERROR(index_->Add(r.id, r.labels));
+            uint32_t slot = 0;
+            TU_RETURN_IF_ERROR(entry.head->AddMember(tag_offset, key, &slot));
+            entry.member_labels.resize(
+                std::max<size_t>(entry.member_labels.size(), slot + 1));
+            entry.member_labels[slot] = r.labels;
+            return Status::OK();
+          }
+          case WalRecordType::kSample: {
+            auto it = flushed.find(r.id);
+            if (it != flushed.end() && r.seq <= it->second) return Status::OK();
+            std::lock_guard<std::mutex> lock(mu_);
+            auto found = series_.find(r.id);
+            if (found == series_.end()) {
+              return Status::Corruption("wal sample before register");
+            }
+            return AppendToSeries(&found->second, r.ts, r.value);
+          }
+          case WalRecordType::kGroupSample: {
+            auto it = flushed.find(r.id);
+            if (it != flushed.end() && r.seq <= it->second) return Status::OK();
+            std::lock_guard<std::mutex> lock(mu_);
+            auto found = groups_.find(r.id);
+            if (found == groups_.end()) {
+              return Status::Corruption("wal group sample before register");
+            }
+            return AppendRowToGroup(&found->second, r.slots, r.ts, r.values);
+          }
+          case WalRecordType::kFlushMark:
+            return Status::OK();
+        }
+        return Status::OK();
+      });
+  wal_ = std::move(saved_wal);
+  return replay_status;
+}
+
+// ---------------------------------------------------------------------------
+// Write paths
+// ---------------------------------------------------------------------------
+
+Status TimeUnionDB::FlushSeriesChunk(mem::SeriesHead* head, bool* flushed) {
+  std::string payload;
+  int64_t first_ts = 0;
+  *flushed = head->CloseChunk(&payload, &first_ts);
+  if (!*flushed) return Status::OK();
+  return lsm_->Put(
+      lsm::MakeChunkKey(head->id(), first_ts),
+      lsm::MakeChunkValue(lsm::ChunkType::kSeries, payload));
+}
+
+Status TimeUnionDB::FlushGroupChunk(GroupEntry* entry, bool* flushed) {
+  std::string payload;
+  int64_t first_ts = 0;
+  *flushed = entry->head->CloseChunk(&payload, &first_ts);
+  if (!*flushed) return Status::OK();
+  return lsm_->Put(
+      lsm::MakeChunkKey(entry->head->id(), first_ts),
+      lsm::MakeChunkValue(lsm::ChunkType::kGroup, payload));
+}
+
+Status TimeUnionDB::AppendToSeries(SeriesEntry* entry, int64_t ts,
+                                   double value) {
+  mem::SeriesHead* head = entry->head.get();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const int64_t partition_end = lsm_->PartitionEndFor(ts);
+    mem::AppendResult result;
+    bool too_old = false;
+    TU_RETURN_IF_ERROR(
+        head->Append(ts, value, partition_end, &result, &too_old));
+    if (too_old) {
+      // §3.1 case 4: older than the open chunk — route straight to the
+      // LSM as a single-sample chunk; the tree's time partitions place it.
+      std::string payload;
+      compress::EncodeSeriesChunk(head->seq_id(), {Sample{ts, value}},
+                                  &payload);
+      return lsm_->Put(
+          lsm::MakeChunkKey(head->id(), ts),
+          lsm::MakeChunkValue(lsm::ChunkType::kSeries, payload));
+    }
+    switch (result) {
+      case mem::AppendResult::kOk:
+      case mem::AppendResult::kDuplicate:
+        return Status::OK();
+      case mem::AppendResult::kChunkClosed: {
+        bool flushed = false;
+        return FlushSeriesChunk(head, &flushed);
+      }
+      case mem::AppendResult::kNeedsFlush: {
+        bool flushed = false;
+        TU_RETURN_IF_ERROR(FlushSeriesChunk(head, &flushed));
+        continue;  // retry the append on a fresh chunk
+      }
+    }
+  }
+  return Status::Corruption("series append did not converge");
+}
+
+Status TimeUnionDB::RegisterSeries(const Labels& labels,
+                                   uint64_t* series_ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SeriesEntry* entry = nullptr;
+  return RegisterSeriesLocked(labels, series_ref, &entry);
+}
+
+Status TimeUnionDB::RegisterSeriesLocked(const Labels& labels,
+                                         uint64_t* series_ref,
+                                         SeriesEntry** entry) {
+  Labels sorted = labels;
+  index::SortLabels(&sorted);
+  const std::string key = index::LabelsKey(sorted);
+
+  auto it = series_by_key_.find(key);
+  if (it != series_by_key_.end()) {
+    *series_ref = it->second;
+    *entry = &series_.at(it->second);
+    return Status::OK();
+  }
+  const uint64_t id = next_id_++;
+  uint64_t tag_offset = 0;
+  TU_RETURN_IF_ERROR(tag_store_->Append(sorted, &tag_offset));
+  TU_RETURN_IF_ERROR(index_->Add(id, sorted));
+
+  SeriesEntry fresh;
+  fresh.head = std::make_unique<mem::SeriesHead>(
+      id, tag_offset, series_chunks_.get(), options_.samples_per_chunk);
+  fresh.labels = sorted;
+  series_by_key_[key] = id;
+  *entry = &series_.emplace(id, std::move(fresh)).first->second;
+  *series_ref = id;
+
+  const int64_t bytes =
+      static_cast<int64_t>(key.size() + sizeof(SeriesEntry) + 64);
+  registry_bytes_ += bytes;
+  MemoryTracker::Global().Add(MemCategory::kTags, bytes);
+
+  WalRecord reg;
+  reg.type = WalRecordType::kRegisterSeries;
+  reg.id = id;
+  reg.labels = sorted;
+  return MaybeLog(reg);
+}
+
+Status TimeUnionDB::Insert(const Labels& labels, int64_t ts, double value,
+                           uint64_t* series_ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SeriesEntry* entry = nullptr;
+  TU_RETURN_IF_ERROR(RegisterSeriesLocked(labels, series_ref, &entry));
+  TU_RETURN_IF_ERROR(AppendToSeries(entry, ts, value));
+  if (wal_) {
+    WalRecord rec;
+    rec.type = WalRecordType::kSample;
+    rec.id = *series_ref;
+    rec.seq = entry->head->seq_id();
+    rec.ts = ts;
+    rec.value = value;
+    TU_RETURN_IF_ERROR(MaybeLog(rec));
+  }
+  return Status::OK();
+}
+
+Status TimeUnionDB::InsertFast(uint64_t series_ref, int64_t ts, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(series_ref);
+  if (it == series_.end()) {
+    return Status::NotFound("unknown series reference");
+  }
+  TU_RETURN_IF_ERROR(AppendToSeries(&it->second, ts, value));
+  if (wal_) {
+    WalRecord rec;
+    rec.type = WalRecordType::kSample;
+    rec.id = series_ref;
+    rec.seq = it->second.head->seq_id();
+    rec.ts = ts;
+    rec.value = value;
+    TU_RETURN_IF_ERROR(MaybeLog(rec));
+  }
+  return Status::OK();
+}
+
+Status TimeUnionDB::AppendRowToGroup(GroupEntry* entry,
+                                     const std::vector<uint32_t>& slots,
+                                     int64_t ts,
+                                     const std::vector<double>& values) {
+  mem::GroupHead* head = entry->head.get();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const int64_t partition_end = lsm_->PartitionEndFor(ts);
+    mem::AppendResult result;
+    bool too_old = false;
+    TU_RETURN_IF_ERROR(head->InsertRow(ts, slots, values, partition_end,
+                                       &result, &too_old));
+    if (too_old) {
+      // Single-row group chunk straight into the LSM.
+      std::vector<compress::GroupRow> rows(1);
+      rows[0].timestamp = ts;
+      rows[0].values.resize(head->num_members());
+      for (size_t i = 0; i < slots.size(); ++i) {
+        rows[0].values[slots[i]] = values[i];
+      }
+      std::string payload;
+      compress::EncodeGroupChunk(head->seq_id(),
+                                 static_cast<uint32_t>(head->num_members()),
+                                 rows, &payload);
+      return lsm_->Put(lsm::MakeChunkKey(head->id(), ts),
+                       lsm::MakeChunkValue(lsm::ChunkType::kGroup, payload));
+    }
+    switch (result) {
+      case mem::AppendResult::kOk:
+      case mem::AppendResult::kDuplicate:
+        return Status::OK();
+      case mem::AppendResult::kChunkClosed: {
+        bool flushed = false;
+        return FlushGroupChunk(entry, &flushed);
+      }
+      case mem::AppendResult::kNeedsFlush: {
+        bool flushed = false;
+        TU_RETURN_IF_ERROR(FlushGroupChunk(entry, &flushed));
+        continue;
+      }
+    }
+  }
+  return Status::Corruption("group append did not converge");
+}
+
+Status TimeUnionDB::InsertGroup(const Labels& group_tags,
+                                const std::vector<Labels>& member_tags,
+                                int64_t ts, const std::vector<double>& values,
+                                uint64_t* group_ref,
+                                std::vector<uint32_t>* slots) {
+  if (member_tags.size() != values.size()) {
+    return Status::InvalidArgument("member/value count mismatch");
+  }
+  Labels sorted_group = group_tags;
+  index::SortLabels(&sorted_group);
+  const std::string group_key = index::LabelsKey(sorted_group);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  GroupEntry* entry;
+  auto it = group_by_key_.find(group_key);
+  if (it != group_by_key_.end()) {
+    *group_ref = it->second;
+    entry = &groups_.at(it->second);
+  } else {
+    const uint64_t id = next_id_++;
+    uint64_t tag_offset = 0;
+    TU_RETURN_IF_ERROR(tag_store_->Append(sorted_group, &tag_offset));
+    // Group tags are indexed once with the group ID as postings ID (§3.1).
+    TU_RETURN_IF_ERROR(index_->Add(id, sorted_group));
+
+    GroupEntry fresh;
+    fresh.head = std::make_unique<mem::GroupHead>(
+        id, tag_offset, group_ts_chunks_.get(), group_val_chunks_.get(),
+        options_.samples_per_chunk);
+    fresh.group_labels = sorted_group;
+    group_by_key_[group_key] = id;
+    entry = &groups_.emplace(id, std::move(fresh)).first->second;
+    *group_ref = id;
+
+    const int64_t bytes =
+        static_cast<int64_t>(group_key.size() + sizeof(GroupEntry) + 64);
+    registry_bytes_ += bytes;
+    MemoryTracker::Global().Add(MemCategory::kTags, bytes);
+
+    WalRecord reg;
+    reg.type = WalRecordType::kRegisterGroup;
+    reg.id = id;
+    reg.labels = sorted_group;
+    TU_RETURN_IF_ERROR(MaybeLog(reg));
+  }
+
+  // Resolve/append members (§3.4: an appending array ordered by first
+  // insertion; lookups check whether the timeseries is already recorded).
+  slots->clear();
+  slots->reserve(member_tags.size());
+  for (const Labels& tags : member_tags) {
+    Labels sorted = tags;
+    index::SortLabels(&sorted);
+    const std::string key = index::LabelsKey(sorted);
+    int slot = entry->head->FindMember(key);
+    if (slot < 0) {
+      uint64_t tag_offset = 0;
+      TU_RETURN_IF_ERROR(tag_store_->Append(sorted, &tag_offset));
+      // Member unique tags also map to the group ID in the first-level
+      // index.
+      TU_RETURN_IF_ERROR(index_->Add(*group_ref, sorted));
+      uint32_t new_slot = 0;
+      TU_RETURN_IF_ERROR(entry->head->AddMember(tag_offset, key, &new_slot));
+      entry->member_labels.resize(
+          std::max<size_t>(entry->member_labels.size(), new_slot + 1));
+      entry->member_labels[new_slot] = sorted;
+      slot = static_cast<int>(new_slot);
+
+      WalRecord reg;
+      reg.type = WalRecordType::kRegisterMember;
+      reg.id = *group_ref;
+      reg.slot = new_slot;
+      reg.labels = sorted;
+      TU_RETURN_IF_ERROR(MaybeLog(reg));
+    }
+    slots->push_back(static_cast<uint32_t>(slot));
+  }
+
+  TU_RETURN_IF_ERROR(AppendRowToGroup(entry, *slots, ts, values));
+  if (wal_) {
+    WalRecord rec;
+    rec.type = WalRecordType::kGroupSample;
+    rec.id = *group_ref;
+    rec.seq = entry->head->seq_id();
+    rec.ts = ts;
+    rec.slots = *slots;
+    rec.values = values;
+    TU_RETURN_IF_ERROR(MaybeLog(rec));
+  }
+  return Status::OK();
+}
+
+Status TimeUnionDB::InsertGroupFast(uint64_t group_ref,
+                                    const std::vector<uint32_t>& slots,
+                                    int64_t ts,
+                                    const std::vector<double>& values) {
+  if (slots.size() != values.size()) {
+    return Status::InvalidArgument("slot/value count mismatch");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = groups_.find(group_ref);
+  if (it == groups_.end()) {
+    return Status::NotFound("unknown group reference");
+  }
+  for (uint32_t slot : slots) {
+    if (slot >= it->second.head->num_members()) {
+      return Status::InvalidArgument("member slot out of range");
+    }
+  }
+  TU_RETURN_IF_ERROR(AppendRowToGroup(&it->second, slots, ts, values));
+  if (wal_) {
+    WalRecord rec;
+    rec.type = WalRecordType::kGroupSample;
+    rec.id = group_ref;
+    rec.seq = it->second.head->seq_id();
+    rec.ts = ts;
+    rec.slots = slots;
+    rec.values = values;
+    TU_RETURN_IF_ERROR(MaybeLog(rec));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Query path
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Sample accumulator with newest-chunk-wins per timestamp.
+class SampleMerger {
+ public:
+  void AddChunk(uint64_t seq, const std::vector<Sample>& samples, int64_t t0,
+                int64_t t1) {
+    for (const Sample& s : samples) {
+      if (s.timestamp < t0 || s.timestamp > t1) continue;
+      auto it = best_.find(s.timestamp);
+      if (it == best_.end() || seq >= it->second.first) {
+        best_[s.timestamp] = {seq, s.value};
+      }
+    }
+  }
+
+  std::vector<Sample> Finish() const {
+    std::vector<Sample> out;
+    out.reserve(best_.size());
+    for (const auto& [ts, sv] : best_) out.push_back(Sample{ts, sv.second});
+    return out;
+  }
+
+ private:
+  std::map<int64_t, std::pair<uint64_t, double>> best_;
+};
+
+bool MatcherMatches(const TagMatcher& m, const Labels& labels) {
+  for (const Label& l : labels) {
+    if (l.name != m.name) continue;
+    if (m.type == TagMatcher::Type::kEqual) return l.value == m.value;
+    try {
+      return std::regex_match(l.value, std::regex(m.value));
+    } catch (const std::regex_error&) {
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status TimeUnionDB::CollectSeries(SeriesEntry* entry, int64_t t0, int64_t t1,
+                                  std::vector<Sample>* out) {
+  SampleMerger merger;
+  const uint64_t id = entry->head->id();
+
+  std::unique_ptr<lsm::Iterator> it;
+  TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, &it));
+  // Seek to this series' chunks (its key prefix gathers them together —
+  // the §3.3 data-locality design). A chunk starting before t0 can still
+  // contain samples >= t0, but its span is bounded by one partition
+  // length, so back off by the partition upper bound.
+  const int64_t slack = options_.lsm.partition_upper_bound_ms;
+  const int64_t seek_ts = (t0 < INT64_MIN + slack) ? INT64_MIN : t0 - slack;
+  for (it->Seek(lsm::MakeChunkKey(id, seek_ts)); it->Valid(); it->Next()) {
+    const Slice user_key = lsm::InternalKeyUserKey(it->key());
+    if (lsm::ChunkKeyId(user_key) != id ||
+        lsm::ChunkKeyTimestamp(user_key) > t1) {
+      break;
+    }
+    uint64_t seq = 0;
+    std::vector<Sample> samples;
+    TU_RETURN_IF_ERROR(compress::DecodeSeriesChunk(
+        lsm::ChunkValuePayload(it->value()), &seq, &samples));
+    merger.AddChunk(seq, samples, t0, t1);
+  }
+  TU_RETURN_IF_ERROR(it->status());
+
+  // The open chunk is the newest data.
+  std::vector<Sample> open;
+  TU_RETURN_IF_ERROR(entry->head->SnapshotOpen(&open));
+  merger.AddChunk(UINT64_MAX, open, t0, t1);
+
+  *out = merger.Finish();
+  return Status::OK();
+}
+
+Status TimeUnionDB::CollectGroupMember(GroupEntry* entry, uint32_t slot,
+                                       int64_t t0, int64_t t1,
+                                       std::vector<Sample>* out) {
+  SampleMerger merger;
+  const uint64_t id = entry->head->id();
+
+  std::unique_ptr<lsm::Iterator> it;
+  TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, &it));
+  const int64_t slack = options_.lsm.partition_upper_bound_ms;
+  const int64_t seek_ts = (t0 < INT64_MIN + slack) ? INT64_MIN : t0 - slack;
+  for (it->Seek(lsm::MakeChunkKey(id, seek_ts)); it->Valid(); it->Next()) {
+    const Slice user_key = lsm::InternalKeyUserKey(it->key());
+    if (lsm::ChunkKeyId(user_key) != id ||
+        lsm::ChunkKeyTimestamp(user_key) > t1) {
+      break;
+    }
+    const Slice payload = lsm::ChunkValuePayload(it->value());
+    uint64_t seq = 0;
+    {
+      Slice peek = payload;
+      GetVarint64(&peek, &seq);
+    }
+    std::vector<Sample> samples;
+    TU_RETURN_IF_ERROR(compress::DecodeGroupMember(payload, slot, &samples));
+    merger.AddChunk(seq, samples, t0, t1);
+  }
+  TU_RETURN_IF_ERROR(it->status());
+
+  std::vector<Sample> open;
+  TU_RETURN_IF_ERROR(entry->head->SnapshotMember(slot, &open));
+  merger.AddChunk(UINT64_MAX, open, t0, t1);
+
+  *out = merger.Finish();
+  return Status::OK();
+}
+
+Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
+                          int64_t t1, QueryResult* out) {
+  out->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+
+  index::Postings ids;
+  TU_RETURN_IF_ERROR(index_->Select(matchers, &ids));
+
+  for (uint64_t id : ids) {
+    auto series_it = series_.find(id);
+    if (series_it != series_.end()) {
+      SeriesResult result;
+      result.id = id;
+      result.labels = series_it->second.labels;
+      TU_RETURN_IF_ERROR(
+          CollectSeries(&series_it->second, t0, t1, &result.samples));
+      if (!result.samples.empty()) out->push_back(std::move(result));
+      continue;
+    }
+    auto group_it = groups_.find(id);
+    if (group_it == groups_.end()) continue;  // retired id
+
+    // Second level of indexing (§2.4 challenge 3): locate the members of
+    // this group that themselves satisfy every matcher against the union
+    // of group tags and member unique tags.
+    GroupEntry& entry = group_it->second;
+    for (uint32_t slot = 0; slot < entry.head->num_members(); ++slot) {
+      Labels full = entry.group_labels;
+      full.insert(full.end(), entry.member_labels[slot].begin(),
+                  entry.member_labels[slot].end());
+      bool all_match = true;
+      for (const TagMatcher& m : matchers) {
+        if (!MatcherMatches(m, full)) {
+          all_match = false;
+          break;
+        }
+      }
+      if (!all_match) continue;
+      SeriesResult result;
+      result.id = id;
+      index::SortLabels(&full);
+      result.labels = std::move(full);
+      TU_RETURN_IF_ERROR(
+          CollectGroupMember(&entry, slot, t0, t1, &result.samples));
+      if (!result.samples.empty()) out->push_back(std::move(result));
+    }
+  }
+  return Status::OK();
+}
+
+Status TimeUnionDB::QueryIterators(const std::vector<TagMatcher>& matchers,
+                                   int64_t t0, int64_t t1,
+                                   std::vector<SeriesIterResult>* out) {
+  out->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+
+  index::Postings ids;
+  TU_RETURN_IF_ERROR(index_->Select(matchers, &ids));
+  const int64_t slack = options_.lsm.partition_upper_bound_ms;
+
+  for (uint64_t id : ids) {
+    auto series_it = series_.find(id);
+    if (series_it != series_.end()) {
+      std::unique_ptr<lsm::Iterator> lsm_iter;
+      TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, &lsm_iter));
+      std::vector<Sample> head;
+      TU_RETURN_IF_ERROR(series_it->second.head->SnapshotOpen(&head));
+      SeriesIterResult result;
+      result.id = id;
+      result.labels = series_it->second.labels;
+      result.iter = std::make_unique<SampleIterator>(
+          id, t0, t1, std::move(lsm_iter), std::move(head),
+          /*member_slot=*/-1, slack);
+      out->push_back(std::move(result));
+      continue;
+    }
+    auto group_it = groups_.find(id);
+    if (group_it == groups_.end()) continue;
+    GroupEntry& entry = group_it->second;
+    for (uint32_t slot = 0; slot < entry.head->num_members(); ++slot) {
+      Labels full = entry.group_labels;
+      full.insert(full.end(), entry.member_labels[slot].begin(),
+                  entry.member_labels[slot].end());
+      bool all_match = true;
+      for (const TagMatcher& m : matchers) {
+        if (!MatcherMatches(m, full)) {
+          all_match = false;
+          break;
+        }
+      }
+      if (!all_match) continue;
+      std::unique_ptr<lsm::Iterator> lsm_iter;
+      TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, &lsm_iter));
+      std::vector<Sample> head;
+      TU_RETURN_IF_ERROR(entry.head->SnapshotMember(slot, &head));
+      SeriesIterResult result;
+      result.id = id;
+      index::SortLabels(&full);
+      result.labels = std::move(full);
+      result.iter = std::make_unique<SampleIterator>(
+          id, t0, t1, std::move(lsm_iter), std::move(head),
+          static_cast<int>(slot), slack);
+      out->push_back(std::move(result));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance
+// ---------------------------------------------------------------------------
+
+Status TimeUnionDB::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, entry] : series_) {
+    bool flushed = false;
+    TU_RETURN_IF_ERROR(FlushSeriesChunk(entry.head.get(), &flushed));
+  }
+  for (auto& [id, entry] : groups_) {
+    bool flushed = false;
+    TU_RETURN_IF_ERROR(FlushGroupChunk(&entry, &flushed));
+  }
+  TU_RETURN_IF_ERROR(lsm_->FlushAll());
+  if (wal_) {
+    TU_RETURN_IF_ERROR(wal_->Sync());
+  }
+  return Status::OK();
+}
+
+Status TimeUnionDB::ApplyRetention(int64_t watermark) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TU_RETURN_IF_ERROR(lsm_->ApplyRetention(watermark));
+
+  // Purge memory objects whose newest sample is older than the watermark
+  // (§3.3 data retention).
+  for (auto it = series_.begin(); it != series_.end();) {
+    if (it->second.head->last_ts() < watermark) {
+      TU_RETURN_IF_ERROR(index_->Remove(it->first, it->second.labels));
+      series_by_key_.erase(index::LabelsKey(it->second.labels));
+      it = series_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    if (it->second.head->last_ts() < watermark) {
+      TU_RETURN_IF_ERROR(index_->Remove(it->first, it->second.group_labels));
+      for (const Labels& member : it->second.member_labels) {
+        TU_RETURN_IF_ERROR(index_->Remove(it->first, member));
+      }
+      group_by_key_.erase(index::LabelsKey(it->second.group_labels));
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t TimeUnionDB::NumSeries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+uint64_t TimeUnionDB::NumGroups() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_.size();
+}
+
+uint64_t TimeUnionDB::IndexMemoryUsage() const { return index_->MemoryUsage(); }
+
+void TimeUnionDB::AdviseMemoryRelease() {
+  index_->AdviseDontNeed();
+  tag_store_->AdviseDontNeed();
+  series_chunks_->AdviseDontNeed();
+  group_ts_chunks_->AdviseDontNeed();
+  group_val_chunks_->AdviseDontNeed();
+}
+
+}  // namespace tu::core

@@ -1,0 +1,233 @@
+// TimeUnionDB: the public API of the paper's system — the unified data
+// model (§3.1), memory-efficient global index and head objects (§3.2), the
+// elastic time-partitioned LSM-tree on hybrid cloud storage (§3.3), and
+// the four operations of §3.4:
+//   Insert / InsertFast           — Put(Timeseries), slow/fast path
+//   InsertGroup / InsertGroupFast — Put(Group), slow/fast path
+//   Query                         — Get with time range + tag selectors
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/tiered_env.h"
+#include "compress/chunk.h"
+#include "index/inverted_index.h"
+#include "index/labels.h"
+#include "index/tag_store.h"
+#include "lsm/chunk_store.h"
+#include "lsm/leveled_lsm.h"
+#include "lsm/time_lsm.h"
+#include "mem/chunk_array.h"
+#include "mem/head.h"
+#include "core/maintenance.h"
+#include "core/sample_iterator.h"
+#include "core/wal.h"
+
+namespace tu::core {
+
+struct DBOptions {
+  /// Root directory; fast tier, slow tier and mmap files live under it.
+  std::string workspace;
+  cloud::TieredEnvOptions env_options = cloud::TieredEnvOptions::Instant();
+
+  /// Open-chunk close threshold (§3.2: 32 by default; larger chunks trade
+  /// memory for compression ratio).
+  uint32_t samples_per_chunk = 32;
+  size_t series_chunk_bytes = 256;
+  size_t group_ts_chunk_bytes = 192;
+  size_t group_val_chunk_bytes = 192;
+
+  /// Storage backend: the paper's time-partitioned tree (TU) or a classic
+  /// leveled LSM with the first two levels on fast storage (TU-LDB).
+  enum class Backend { kTimePartitioned, kLeveled };
+  Backend backend = Backend::kTimePartitioned;
+
+  lsm::TimeLsmOptions lsm;
+  lsm::LeveledLsmOptions leveled;  // used when backend == kLeveled
+  size_t block_cache_bytes = 64 << 20;
+  index::TrieOptions trie;
+
+  /// §3.3 logging scheme. Off for pure benchmarks.
+  bool enable_wal = false;
+  /// Purge the WAL when it exceeds this size.
+  uint64_t wal_purge_bytes = 16 << 20;
+
+  /// Data retention window (0 = keep everything); see ApplyRetention.
+  int64_t retention_ms = 0;
+  /// Run the §3.3 background maintenance worker (periodic retention,
+  /// WAL purge, mmap release hints).
+  bool background_maintenance = false;
+  int64_t maintenance_interval_ms = 1000;
+  /// Clock for the retention watermark (tests inject a virtual clock).
+  std::function<int64_t()> maintenance_clock;
+};
+
+/// One series in a query result.
+struct SeriesResult {
+  uint64_t id = 0;
+  index::Labels labels;
+  std::vector<compress::Sample> samples;  // ascending timestamps
+};
+
+using QueryResult = std::vector<SeriesResult>;
+
+class TimeUnionDB {
+ public:
+  static Status Open(DBOptions options, std::unique_ptr<TimeUnionDB>* db);
+  ~TimeUnionDB();
+
+  TimeUnionDB(const TimeUnionDB&) = delete;
+  TimeUnionDB& operator=(const TimeUnionDB&) = delete;
+
+  // -- Put (Timeseries), §3.4 ---------------------------------------------
+
+  /// Slow path: resolves (or registers) the series identified by `labels`
+  /// and appends one sample. Returns the series reference for the fast
+  /// path.
+  Status Insert(const index::Labels& labels, int64_t ts, double value,
+                uint64_t* series_ref);
+
+  /// Fast path: appends by reference, skipping tag comparison.
+  Status InsertFast(uint64_t series_ref, int64_t ts, double value);
+
+  /// Resolves (or registers) a series without appending a sample — lets a
+  /// client obtain the fast-path reference up front.
+  Status RegisterSeries(const index::Labels& labels, uint64_t* series_ref);
+
+  // -- Put (Group), §3.4 ----------------------------------------------------
+
+  /// Slow path: registers/extends the group identified by `group_tags`,
+  /// appends one shared-timestamp row with `values[i]` for the member
+  /// identified by `member_tags[i]`. Returns the group reference and the
+  /// member slot indexes for the fast path.
+  Status InsertGroup(const index::Labels& group_tags,
+                     const std::vector<index::Labels>& member_tags,
+                     int64_t ts, const std::vector<double>& values,
+                     uint64_t* group_ref, std::vector<uint32_t>* slots);
+
+  /// Fast path: appends a row by group reference + member slots.
+  Status InsertGroupFast(uint64_t group_ref,
+                         const std::vector<uint32_t>& slots, int64_t ts,
+                         const std::vector<double>& values);
+
+  // -- Get, §3.4 ------------------------------------------------------------
+
+  /// Returns every timeseries matching all `matchers` restricted to
+  /// [t0, t1] (inclusive), including group members located through the
+  /// two-level index.
+  Status Query(const std::vector<index::TagMatcher>& matchers, int64_t t0,
+               int64_t t1, QueryResult* out);
+
+  /// Streaming variant of Query (§3.4): each matching timeseries comes
+  /// with a lazy SampleIterator instead of materialized samples. The
+  /// iterators stay valid after this call returns (they pin the LSM
+  /// resources they read).
+  struct SeriesIterResult {
+    uint64_t id = 0;
+    index::Labels labels;
+    std::unique_ptr<SampleIterator> iter;
+  };
+  Status QueryIterators(const std::vector<index::TagMatcher>& matchers,
+                        int64_t t0, int64_t t1,
+                        std::vector<SeriesIterResult>* out);
+
+  /// Lists all values of a tag name across the index (label-values API).
+  Status ListTagValues(const std::string& tag_name,
+                       std::vector<std::string>* values) const {
+    return index_->TagValues(tag_name, values);
+  }
+
+  // -- Maintenance ----------------------------------------------------------
+
+  /// Flushes all open chunks and memtables down the LSM (test/bench
+  /// boundary; production relies on chunk-full flushing).
+  Status Flush();
+
+  /// Drops data older than `watermark` and purges dead memory objects
+  /// (§3.3 data retention).
+  Status ApplyRetention(int64_t watermark);
+
+  // -- Introspection ---------------------------------------------------------
+
+  uint64_t NumSeries() const;
+  uint64_t NumGroups() const;
+  /// Index memory (trie + postings), §3.2 accounting.
+  uint64_t IndexMemoryUsage() const;
+  cloud::TieredEnv& env() { return *env_; }
+  /// The time-partitioned tree; nullptr under the leveled backend.
+  lsm::TimePartitionedLsm* time_lsm() { return time_lsm_; }
+  /// The leveled tree; nullptr under the time-partitioned backend.
+  lsm::LeveledLsm* leveled_lsm() { return leveled_lsm_; }
+  lsm::ChunkStore& lsm() { return *lsm_; }
+
+  /// Hints the OS to reclaim mmap'ed index/sample pages (§3.2 swap-out).
+  void AdviseMemoryRelease();
+
+ private:
+  explicit TimeUnionDB(DBOptions options);
+
+  Status Init();
+  Status StartMaintenance();
+  Status RecoverFromWal();
+
+  struct SeriesEntry {
+    std::unique_ptr<mem::SeriesHead> head;
+    index::Labels labels;
+  };
+  struct GroupEntry {
+    std::unique_ptr<mem::GroupHead> head;
+    index::Labels group_labels;
+    std::vector<index::Labels> member_labels;  // unique tags per slot
+  };
+
+  /// Flush a closed series chunk payload into the LSM + WAL mark.
+  Status FlushSeriesChunk(mem::SeriesHead* head, bool* flushed);
+  Status FlushGroupChunk(GroupEntry* entry, bool* flushed);
+
+  Status RegisterSeriesLocked(const index::Labels& labels,
+                              uint64_t* series_ref, SeriesEntry** entry);
+  Status AppendToSeries(SeriesEntry* entry, int64_t ts, double value);
+  Status AppendRowToGroup(GroupEntry* entry,
+                          const std::vector<uint32_t>& slots, int64_t ts,
+                          const std::vector<double>& values);
+
+  /// Collects the samples of one individual series in [t0, t1].
+  Status CollectSeries(SeriesEntry* entry, int64_t t0, int64_t t1,
+                       std::vector<compress::Sample>* out);
+  /// Collects the samples of one group member in [t0, t1].
+  Status CollectGroupMember(GroupEntry* entry, uint32_t slot, int64_t t0,
+                            int64_t t1, std::vector<compress::Sample>* out);
+
+  Status MaybeLog(const WalRecord& record);
+
+  DBOptions options_;
+  std::unique_ptr<cloud::TieredEnv> env_;
+  std::unique_ptr<lsm::BlockCache> block_cache_;
+  std::unique_ptr<index::InvertedIndex> index_;
+  std::unique_ptr<index::TagStore> tag_store_;
+  std::unique_ptr<mem::ChunkArray> series_chunks_;
+  std::unique_ptr<mem::ChunkArray> group_ts_chunks_;
+  std::unique_ptr<mem::ChunkArray> group_val_chunks_;
+  std::unique_ptr<lsm::ChunkStore> lsm_;
+  lsm::TimePartitionedLsm* time_lsm_ = nullptr;  // borrowed view of lsm_
+  lsm::LeveledLsm* leveled_lsm_ = nullptr;       // borrowed view of lsm_
+  std::unique_ptr<WalWriter> wal_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, uint64_t> series_by_key_;
+  std::unordered_map<std::string, uint64_t> group_by_key_;
+  std::unordered_map<uint64_t, SeriesEntry> series_;
+  std::unordered_map<uint64_t, GroupEntry> groups_;
+  uint64_t next_id_ = 1;
+  int64_t registry_bytes_ = 0;  // kTags accounting of the maps above
+
+  // Declared last: its thread must stop before the members above die.
+  std::unique_ptr<MaintenanceWorker> maintenance_;
+};
+
+}  // namespace tu::core

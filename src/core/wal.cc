@@ -1,0 +1,245 @@
+#include "core/wal.h"
+
+#include <map>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace tu::core {
+
+namespace {
+
+void PutLabels(std::string* out, const index::Labels& labels) {
+  PutVarint32(out, static_cast<uint32_t>(labels.size()));
+  for (const auto& l : labels) {
+    PutLengthPrefixedSlice(out, l.name);
+    PutLengthPrefixedSlice(out, l.value);
+  }
+}
+
+bool GetLabels(Slice* in, index::Labels* labels) {
+  uint32_t n = 0;
+  if (!GetVarint32(in, &n)) return false;
+  labels->clear();
+  labels->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Slice name, value;
+    if (!GetLengthPrefixedSlice(in, &name) ||
+        !GetLengthPrefixedSlice(in, &value)) {
+      return false;
+    }
+    labels->push_back(index::Label{name.ToString(), value.ToString()});
+  }
+  return true;
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void EncodeWalRecord(const WalRecord& record, std::string* out) {
+  out->clear();
+  out->push_back(static_cast<char>(record.type));
+  switch (record.type) {
+    case WalRecordType::kRegisterSeries:
+    case WalRecordType::kRegisterGroup:
+      PutVarint64(out, record.id);
+      PutLabels(out, record.labels);
+      break;
+    case WalRecordType::kRegisterMember:
+      PutVarint64(out, record.id);
+      PutVarint32(out, record.slot);
+      PutLabels(out, record.labels);
+      break;
+    case WalRecordType::kSample:
+      PutVarint64(out, record.id);
+      PutVarint64(out, record.seq);
+      PutFixed64(out, static_cast<uint64_t>(record.ts));
+      PutFixed64(out, DoubleBits(record.value));
+      break;
+    case WalRecordType::kGroupSample:
+      PutVarint64(out, record.id);
+      PutVarint64(out, record.seq);
+      PutFixed64(out, static_cast<uint64_t>(record.ts));
+      PutVarint32(out, static_cast<uint32_t>(record.slots.size()));
+      for (size_t i = 0; i < record.slots.size(); ++i) {
+        PutVarint32(out, record.slots[i]);
+        PutFixed64(out, DoubleBits(record.values[i]));
+      }
+      break;
+    case WalRecordType::kFlushMark:
+      PutVarint64(out, record.id);
+      PutVarint64(out, record.seq);
+      break;
+  }
+}
+
+Status DecodeWalRecord(const Slice& payload, WalRecord* record) {
+  if (payload.empty()) return Status::Corruption("empty wal record");
+  Slice in = payload;
+  record->type = static_cast<WalRecordType>(in[0]);
+  in.remove_prefix(1);
+  auto fail = [] { return Status::Corruption("bad wal record"); };
+  switch (record->type) {
+    case WalRecordType::kRegisterSeries:
+    case WalRecordType::kRegisterGroup:
+      if (!GetVarint64(&in, &record->id) || !GetLabels(&in, &record->labels)) {
+        return fail();
+      }
+      return Status::OK();
+    case WalRecordType::kRegisterMember:
+      if (!GetVarint64(&in, &record->id) || !GetVarint32(&in, &record->slot) ||
+          !GetLabels(&in, &record->labels)) {
+        return fail();
+      }
+      return Status::OK();
+    case WalRecordType::kSample: {
+      if (!GetVarint64(&in, &record->id) || !GetVarint64(&in, &record->seq) ||
+          in.size() < 16) {
+        return fail();
+      }
+      record->ts = static_cast<int64_t>(DecodeFixed64(in.data()));
+      record->value = BitsDouble(DecodeFixed64(in.data() + 8));
+      return Status::OK();
+    }
+    case WalRecordType::kGroupSample: {
+      if (!GetVarint64(&in, &record->id) || !GetVarint64(&in, &record->seq) ||
+          in.size() < 8) {
+        return fail();
+      }
+      record->ts = static_cast<int64_t>(DecodeFixed64(in.data()));
+      in.remove_prefix(8);
+      uint32_t n = 0;
+      if (!GetVarint32(&in, &n)) return fail();
+      record->slots.clear();
+      record->values.clear();
+      for (uint32_t i = 0; i < n; ++i) {
+        uint32_t slot = 0;
+        if (!GetVarint32(&in, &slot) || in.size() < 8) return fail();
+        record->slots.push_back(slot);
+        record->values.push_back(BitsDouble(DecodeFixed64(in.data())));
+        in.remove_prefix(8);
+      }
+      return Status::OK();
+    }
+    case WalRecordType::kFlushMark:
+      if (!GetVarint64(&in, &record->id) || !GetVarint64(&in, &record->seq)) {
+        return fail();
+      }
+      return Status::OK();
+  }
+  return fail();
+}
+
+WalWriter::WalWriter(cloud::BlockStore* store, std::string fname)
+    : store_(store), fname_(std::move(fname)) {}
+
+Status WalWriter::Open() {
+  // Append semantics: preserve existing contents across reopen.
+  std::string existing;
+  Status s = store_->ReadFileToString(fname_, &existing);
+  if (s.ok() && !existing.empty()) {
+    std::unique_ptr<cloud::WritableFile> file;
+    TU_RETURN_IF_ERROR(store_->NewWritableFile(fname_, &file));
+    TU_RETURN_IF_ERROR(file->Append(existing));
+    file_ = std::move(file);
+    bytes_written_ = existing.size();
+    return Status::OK();
+  }
+  TU_RETURN_IF_ERROR(store_->NewWritableFile(fname_, &file_));
+  bytes_written_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string payload;
+  EncodeWalRecord(record, &payload);
+  std::string framed;
+  PutFixed32(&framed,
+             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
+  framed += payload;
+  bytes_written_ += framed.size();
+  return file_->Append(framed);
+}
+
+Status WalWriter::Sync() { return file_->Sync(); }
+
+Status WalWriter::Purge() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TU_RETURN_IF_ERROR(file_->Flush());
+  // Pass 1: find the newest flush mark per id.
+  std::map<uint64_t, uint64_t> flushed_seq;
+  TU_RETURN_IF_ERROR(
+      ReplayWal(store_, fname_, [&](const WalRecord& r) -> Status {
+        if (r.type == WalRecordType::kFlushMark) {
+          flushed_seq[r.id] = std::max(flushed_seq[r.id], r.seq);
+        }
+        return Status::OK();
+      }));
+
+  // Pass 2: rewrite, dropping obsolete sample records.
+  const std::string tmp = fname_ + ".purge";
+  store_->DeleteFile(tmp);  // stale leftover from a crashed purge, if any
+  WalWriter fresh(store_, tmp);
+  TU_RETURN_IF_ERROR(fresh.Open());
+  TU_RETURN_IF_ERROR(
+      ReplayWal(store_, fname_, [&](const WalRecord& r) -> Status {
+        switch (r.type) {
+          case WalRecordType::kSample:
+          case WalRecordType::kGroupSample: {
+            auto it = flushed_seq.find(r.id);
+            if (it != flushed_seq.end() && r.seq <= it->second) {
+              return Status::OK();  // superseded by a flushed chunk
+            }
+            return fresh.Append(r);
+          }
+          case WalRecordType::kFlushMark:
+            return Status::OK();  // consumed
+          default:
+            return fresh.Append(r);
+        }
+      }));
+  TU_RETURN_IF_ERROR(fresh.Sync());
+  fresh.file_.reset();
+  file_.reset();
+  TU_RETURN_IF_ERROR(store_->RenameFile(tmp, fname_));
+  return Open();
+}
+
+Status ReplayWal(cloud::BlockStore* store, const std::string& fname,
+                 const std::function<Status(const WalRecord&)>& fn) {
+  std::string contents;
+  Status s = store->ReadFileToString(fname, &contents);
+  if (s.IsNotFound()) return Status::OK();
+  TU_RETURN_IF_ERROR(s);
+
+  Slice in(contents);
+  while (in.size() >= 8) {
+    const uint32_t crc = crc32c::Unmask(DecodeFixed32(in.data()));
+    const uint32_t len = DecodeFixed32(in.data() + 4);
+    if (in.size() < 8 + static_cast<size_t>(len)) break;  // truncated tail
+    const Slice payload(in.data() + 8, len);
+    if (crc32c::Value(payload.data(), payload.size()) != crc) {
+      break;  // torn write: stop replay at the corruption point
+    }
+    WalRecord record;
+    TU_RETURN_IF_ERROR(DecodeWalRecord(payload, &record));
+    TU_RETURN_IF_ERROR(fn(record));
+    in.remove_prefix(8 + len);
+  }
+  return Status::OK();
+}
+
+}  // namespace tu::core

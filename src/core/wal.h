@@ -1,0 +1,82 @@
+// Write-ahead log with the paper's §3.3 logging scheme: LevelDB's own log
+// is disabled; instead every inserted sample is logged with its series/
+// group sequence ID, and when a chunk reaches level 0 a special flush-mark
+// record (id, seq) declares all earlier records of that id obsolete. A
+// background-style Purge() compacts the log by dropping obsolete records.
+//
+// Record framing: [fixed32 masked-crc][fixed32 len][payload]. Payload:
+//   type byte, then per type:
+//     kRegisterSeries:  varint id | labels
+//     kRegisterGroup:   varint id | group labels
+//     kRegisterMember:  varint gid | varint slot | labels
+//     kSample:          varint id | varint seq | fixed64 ts | fixed64 value
+//     kGroupSample:     varint gid | varint seq | fixed64 ts |
+//                       varint n | n*(varint slot, fixed64 value)
+//     kFlushMark:       varint id | varint seq
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cloud/block_store.h"
+#include "index/labels.h"
+#include "util/status.h"
+
+namespace tu::core {
+
+enum class WalRecordType : char {
+  kRegisterSeries = 1,
+  kRegisterGroup = 2,
+  kRegisterMember = 3,
+  kSample = 4,
+  kGroupSample = 5,
+  kFlushMark = 6,
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kSample;
+  uint64_t id = 0;
+  uint64_t seq = 0;
+  int64_t ts = 0;
+  double value = 0;
+  uint32_t slot = 0;                     // kRegisterMember
+  index::Labels labels;                  // register records
+  std::vector<uint32_t> slots;           // kGroupSample
+  std::vector<double> values;            // kGroupSample
+};
+
+void EncodeWalRecord(const WalRecord& record, std::string* out);
+Status DecodeWalRecord(const Slice& payload, WalRecord* record);
+
+class WalWriter {
+ public:
+  WalWriter(cloud::BlockStore* store, std::string fname);
+
+  Status Open();
+  Status Append(const WalRecord& record);
+  Status Sync();
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Rewrites the log keeping only records still needed: register records
+  /// and samples with seq > the latest flush mark of their id (§3.3 "a
+  /// background worker will purge those stale log records periodically").
+  Status Purge();
+
+ private:
+  cloud::BlockStore* store_;
+  std::string fname_;
+  std::mutex mu_;  // Append may race with the LSM's background flush hook
+  std::unique_ptr<cloud::WritableFile> file_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Replays `fname`, invoking `fn` per record in order. Tolerates a
+/// truncated tail (crash mid-append).
+Status ReplayWal(cloud::BlockStore* store, const std::string& fname,
+                 const std::function<Status(const WalRecord&)>& fn);
+
+}  // namespace tu::core

@@ -1,0 +1,418 @@
+#include "index/double_array_trie.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace tu::index {
+
+namespace {
+
+size_t CommonPrefix(const Slice& a, const Slice& b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace
+
+DoubleArrayTrie::DoubleArrayTrie(std::string dir, std::string name,
+                                 TrieOptions options)
+    : options_(options) {
+  const size_t slot_file_bytes = options_.slots_per_file * sizeof(int32_t);
+  base_ = std::make_unique<MmapFileArray>(dir, name + ".base", slot_file_bytes);
+  check_ = std::make_unique<MmapFileArray>(dir, name + ".check", slot_file_bytes);
+  tail_ = std::make_unique<MmapFileArray>(dir, name + ".tail",
+                                          options_.tail_file_bytes);
+}
+
+DoubleArrayTrie::~DoubleArrayTrie() = default;
+
+Status DoubleArrayTrie::Init() {
+  TU_RETURN_IF_ERROR(EnsureState(kRoot + kMaxCode));
+  TU_RETURN_IF_ERROR(tail_->Reserve(1));
+  CheckAt(kRoot) = kRoot;  // mark the root slot occupied
+  used_states_ = 1;
+  return Status::OK();
+}
+
+int32_t& DoubleArrayTrie::BaseAt(int32_t s) {
+  return *reinterpret_cast<int32_t*>(base_->At(static_cast<size_t>(s) * 4));
+}
+
+int32_t& DoubleArrayTrie::CheckAt(int32_t s) {
+  return *reinterpret_cast<int32_t*>(check_->At(static_cast<size_t>(s) * 4));
+}
+
+int32_t DoubleArrayTrie::BaseAt(int32_t s) const {
+  return *reinterpret_cast<const int32_t*>(
+      base_->At(static_cast<size_t>(s) * 4));
+}
+
+int32_t DoubleArrayTrie::CheckAt(int32_t s) const {
+  return *reinterpret_cast<const int32_t*>(
+      check_->At(static_cast<size_t>(s) * 4));
+}
+
+Status DoubleArrayTrie::EnsureState(int32_t s) {
+  const size_t needed = (static_cast<size_t>(s) + 1) * sizeof(int32_t);
+  if (needed > base_->capacity()) {
+    TU_RETURN_IF_ERROR(base_->Reserve(needed));
+    TU_RETURN_IF_ERROR(check_->Reserve(needed));
+  }
+  max_state_ = static_cast<int32_t>(base_->capacity() / sizeof(int32_t)) - 1;
+  return Status::OK();
+}
+
+Status DoubleArrayTrie::AppendTail(const Slice& suffix, uint64_t value,
+                                   int64_t* offset) {
+  std::string entry;
+  PutVarint32(&entry, static_cast<uint32_t>(suffix.size()));
+  entry.append(suffix.data(), suffix.size());
+  PutFixed64(&entry, value);
+
+  *offset = tail_pos_;
+  TU_RETURN_IF_ERROR(tail_->Reserve(static_cast<size_t>(tail_pos_) + entry.size()));
+  // Entries may cross mmap file boundaries; copy piecewise.
+  size_t written = 0;
+  while (written < entry.size()) {
+    const size_t off = static_cast<size_t>(tail_pos_) + written;
+    const size_t room = tail_->file_size() - off % tail_->file_size();
+    const size_t n = std::min(entry.size() - written, room);
+    memcpy(tail_->At(off), entry.data() + written, n);
+    written += n;
+  }
+  tail_pos_ += static_cast<int64_t>(entry.size());
+  return Status::OK();
+}
+
+void DoubleArrayTrie::ReadTail(int64_t offset, std::string* suffix,
+                               uint64_t* value) const {
+  // Read the varint length byte-by-byte (crossing file boundaries safely).
+  size_t off = static_cast<size_t>(offset);
+  uint32_t len = 0;
+  for (uint32_t shift = 0;; shift += 7) {
+    const uint8_t byte = static_cast<uint8_t>(*tail_->At(off++));
+    len |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) break;
+  }
+  suffix->resize(len);
+  for (uint32_t i = 0; i < len; ++i) (*suffix)[i] = *tail_->At(off++);
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = *tail_->At(off++);
+  *value = DecodeFixed64(buf);
+}
+
+void DoubleArrayTrie::WriteTailValue(int64_t offset, uint64_t value) {
+  size_t off = static_cast<size_t>(offset);
+  uint32_t len = 0;
+  for (uint32_t shift = 0;; shift += 7) {
+    const uint8_t byte = static_cast<uint8_t>(*tail_->At(off++));
+    len |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) break;
+  }
+  off += len;
+  char buf[8];
+  EncodeFixed64(buf, value);
+  for (int i = 0; i < 8; ++i) *tail_->At(off++) = buf[i];
+}
+
+Status DoubleArrayTrie::FindBase(const int32_t* codes, int n,
+                                 int32_t* out_base) {
+  // Advance the free-slot hint past occupied slots.
+  while (next_check_pos_ <= max_state_ &&
+         (next_check_pos_ == kRoot || CheckAt(next_check_pos_) != 0)) {
+    ++next_check_pos_;
+  }
+  int32_t min_code = codes[0], max_code = codes[0];
+  for (int i = 1; i < n; ++i) {
+    min_code = std::min(min_code, codes[i]);
+    max_code = std::max(max_code, codes[i]);
+  }
+  int32_t b = next_check_pos_ - min_code;
+  if (b < 1) b = 1;
+  for (;; ++b) {
+    bool ok = true;
+    for (int i = 0; i < n; ++i) {
+      const int32_t t = b + codes[i];
+      if (t == kRoot) {
+        ok = false;
+        break;
+      }
+      if (t <= max_state_ && CheckAt(t) != 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      TU_RETURN_IF_ERROR(EnsureState(b + max_code));
+      *out_base = b;
+      return Status::OK();
+    }
+  }
+}
+
+Status DoubleArrayTrie::MakeLeaf(int32_t parent, int32_t code,
+                                 const Slice& suffix, uint64_t value) {
+  const int32_t t = BaseAt(parent) + code;
+  TU_RETURN_IF_ERROR(EnsureState(t));
+  assert(CheckAt(t) == 0);
+  CheckAt(t) = parent;
+  ++used_states_;
+  int64_t off = 0;
+  TU_RETURN_IF_ERROR(AppendTail(suffix, value, &off));
+  BaseAt(t) = static_cast<int32_t>(-(off + 1));
+  return Status::OK();
+}
+
+Status DoubleArrayTrie::Relocate(int32_t s, int32_t extra_code) {
+  // Collect the existing child codes of s.
+  int32_t codes[kMaxCode + 1];
+  int n = 0;
+  const int32_t old_base = BaseAt(s);
+  for (int32_t c = 1; c <= kMaxCode; ++c) {
+    const int32_t t = old_base + c;
+    if (t >= 2 && t <= max_state_ && CheckAt(t) == s) codes[n++] = c;
+  }
+  codes[n] = extra_code;
+
+  int32_t new_base = 0;
+  TU_RETURN_IF_ERROR(FindBase(codes, n + 1, &new_base));
+
+  for (int i = 0; i < n; ++i) {
+    const int32_t c = codes[i];
+    const int32_t old_t = old_base + c;
+    const int32_t new_t = new_base + c;
+    CheckAt(new_t) = s;
+    BaseAt(new_t) = BaseAt(old_t);
+    // Grandchildren still point at old_t; repoint them.
+    if (BaseAt(old_t) > 0) {
+      const int32_t child_base = BaseAt(old_t);
+      for (int32_t e = 1; e <= kMaxCode; ++e) {
+        const int32_t g = child_base + e;
+        if (g >= 2 && g <= max_state_ && CheckAt(g) == old_t) {
+          CheckAt(g) = new_t;
+        }
+      }
+    }
+    CheckAt(old_t) = 0;
+    BaseAt(old_t) = 0;
+  }
+  BaseAt(s) = new_base;
+  return Status::OK();
+}
+
+Status DoubleArrayTrie::SplitLeaf(int32_t s, const Slice& remaining,
+                                  uint64_t value) {
+  const int64_t old_off = -(static_cast<int64_t>(BaseAt(s)) + 1);
+  std::string old_suffix;
+  uint64_t old_value = 0;
+  ReadTail(old_off, &old_suffix, &old_value);
+
+  if (Slice(old_suffix) == remaining) {
+    WriteTailValue(old_off, value);  // same key: overwrite
+    return Status::OK();
+  }
+
+  // Convert s from leaf to the head of an internal chain covering the
+  // common prefix of the old suffix and the new remaining key.
+  const size_t p = CommonPrefix(Slice(old_suffix), remaining);
+  int32_t cur = s;
+  for (size_t j = 0; j < p; ++j) {
+    const int32_t code = Code(static_cast<uint8_t>(old_suffix[j]));
+    int32_t b = 0;
+    TU_RETURN_IF_ERROR(FindBase(&code, 1, &b));
+    BaseAt(cur) = b;
+    const int32_t t = b + code;
+    CheckAt(t) = cur;
+    BaseAt(t) = 0;
+    ++used_states_;
+    cur = t;
+  }
+
+  const int32_t code_old = p < old_suffix.size()
+                               ? Code(static_cast<uint8_t>(old_suffix[p]))
+                               : kEndCode;
+  const int32_t code_new =
+      p < remaining.size() ? Code(static_cast<uint8_t>(remaining[p])) : kEndCode;
+  assert(code_old != code_new);
+  const int32_t branch_codes[2] = {code_old, code_new};
+  int32_t b = 0;
+  TU_RETURN_IF_ERROR(FindBase(branch_codes, 2, &b));
+  BaseAt(cur) = b;
+
+  const Slice old_rest =
+      p < old_suffix.size()
+          ? Slice(old_suffix.data() + p + 1, old_suffix.size() - p - 1)
+          : Slice();
+  const Slice new_rest = p < remaining.size()
+                             ? Slice(remaining.data() + p + 1,
+                                     remaining.size() - p - 1)
+                             : Slice();
+  TU_RETURN_IF_ERROR(MakeLeaf(cur, code_old, old_rest, old_value));
+  TU_RETURN_IF_ERROR(MakeLeaf(cur, code_new, new_rest, value));
+  ++num_keys_;
+  return Status::OK();
+}
+
+Status DoubleArrayTrie::Insert(const Slice& key, uint64_t value) {
+  int32_t s = kRoot;
+  for (size_t i = 0; i <= key.size(); ++i) {
+    if (s != kRoot && BaseAt(s) < 0) {
+      return SplitLeaf(s, Slice(key.data() + i, key.size() - i), value);
+    }
+    const int32_t code =
+        i < key.size() ? Code(static_cast<uint8_t>(key[i])) : kEndCode;
+    const Slice suffix_after = i < key.size()
+                                   ? Slice(key.data() + i + 1, key.size() - i - 1)
+                                   : Slice();
+    if (BaseAt(s) == 0) {
+      // No children yet (fresh root/internal).
+      int32_t b = 0;
+      TU_RETURN_IF_ERROR(FindBase(&code, 1, &b));
+      BaseAt(s) = b;
+      TU_RETURN_IF_ERROR(MakeLeaf(s, code, suffix_after, value));
+      ++num_keys_;
+      return Status::OK();
+    }
+    int32_t t = BaseAt(s) + code;
+    TU_RETURN_IF_ERROR(EnsureState(t));
+    if (CheckAt(t) == 0 && t != kRoot) {
+      TU_RETURN_IF_ERROR(MakeLeaf(s, code, suffix_after, value));
+      ++num_keys_;
+      return Status::OK();
+    }
+    if (CheckAt(t) != s) {
+      TU_RETURN_IF_ERROR(Relocate(s, code));
+      TU_RETURN_IF_ERROR(MakeLeaf(s, code, suffix_after, value));
+      ++num_keys_;
+      return Status::OK();
+    }
+    // Child exists.
+    if (i == key.size()) {
+      // End-transition to an existing terminal leaf: same key, overwrite.
+      assert(BaseAt(t) < 0);
+      WriteTailValue(-(static_cast<int64_t>(BaseAt(t)) + 1), value);
+      return Status::OK();
+    }
+    s = t;
+  }
+  return Status::OK();  // unreachable
+}
+
+Status DoubleArrayTrie::Lookup(const Slice& key, uint64_t* value) const {
+  int32_t s = kRoot;
+  for (size_t i = 0; i <= key.size(); ++i) {
+    if (s != kRoot && BaseAt(s) < 0) {
+      std::string suffix;
+      uint64_t v = 0;
+      ReadTail(-(static_cast<int64_t>(BaseAt(s)) + 1), &suffix, &v);
+      if (Slice(suffix) == Slice(key.data() + i, key.size() - i)) {
+        *value = v;
+        return Status::OK();
+      }
+      return Status::NotFound();
+    }
+    if (BaseAt(s) <= 0) return Status::NotFound();
+    const int32_t code =
+        i < key.size() ? Code(static_cast<uint8_t>(key[i])) : kEndCode;
+    const int32_t t = BaseAt(s) + code;
+    if (t > max_state_ || CheckAt(t) != s) return Status::NotFound();
+    if (i == key.size()) {
+      // Terminal leaf via end transition.
+      std::string suffix;
+      uint64_t v = 0;
+      ReadTail(-(static_cast<int64_t>(BaseAt(t)) + 1), &suffix, &v);
+      if (!suffix.empty()) return Status::NotFound();
+      *value = v;
+      return Status::OK();
+    }
+    s = t;
+  }
+  return Status::NotFound();
+}
+
+bool DoubleArrayTrie::ScanNode(
+    int32_t s, std::string* key_buf,
+    const std::function<bool(const std::string&, uint64_t)>& fn) const {
+  if (s != kRoot && BaseAt(s) < 0) {
+    std::string suffix;
+    uint64_t v = 0;
+    ReadTail(-(static_cast<int64_t>(BaseAt(s)) + 1), &suffix, &v);
+    const size_t old = key_buf->size();
+    key_buf->append(suffix);
+    const bool cont = fn(*key_buf, v);
+    key_buf->resize(old);
+    return cont;
+  }
+  if (BaseAt(s) <= 0) return true;  // childless internal (shouldn't happen)
+  const int32_t base = BaseAt(s);
+  for (int32_t code = 1; code <= kMaxCode; ++code) {
+    const int32_t t = base + code;
+    if (t < 2 || t > max_state_ || CheckAt(t) != s) continue;
+    if (code == kEndCode) {
+      std::string suffix;
+      uint64_t v = 0;
+      ReadTail(-(static_cast<int64_t>(BaseAt(t)) + 1), &suffix, &v);
+      if (!fn(*key_buf, v)) return false;
+    } else {
+      key_buf->push_back(static_cast<char>(code - 2));
+      const bool cont = ScanNode(t, key_buf, fn);
+      key_buf->pop_back();
+      if (!cont) return false;
+    }
+  }
+  return true;
+}
+
+Status DoubleArrayTrie::ScanPrefix(
+    const Slice& prefix,
+    const std::function<bool(const std::string&, uint64_t)>& fn) const {
+  int32_t s = kRoot;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (s != kRoot && BaseAt(s) < 0) {
+      // Leaf reached mid-prefix: the single key below matches iff its
+      // suffix continues the prefix.
+      std::string suffix;
+      uint64_t v = 0;
+      ReadTail(-(static_cast<int64_t>(BaseAt(s)) + 1), &suffix, &v);
+      const Slice rest(prefix.data() + i, prefix.size() - i);
+      if (Slice(suffix).starts_with(rest)) {
+        std::string key(prefix.data(), i);
+        key.append(suffix);
+        fn(key, v);
+      }
+      return Status::OK();
+    }
+    if (BaseAt(s) <= 0) return Status::OK();
+    const int32_t code = Code(static_cast<uint8_t>(prefix[i]));
+    const int32_t t = BaseAt(s) + code;
+    if (t > max_state_ || CheckAt(t) != s) return Status::OK();
+    s = t;
+  }
+  std::string key_buf = prefix.ToString();
+  ScanNode(s, &key_buf, fn);
+  return Status::OK();
+}
+
+uint64_t DoubleArrayTrie::MemoryUsage() const {
+  return static_cast<uint64_t>(used_states_) * 8 +
+         static_cast<uint64_t>(tail_pos_);
+}
+
+Status DoubleArrayTrie::Sync() {
+  TU_RETURN_IF_ERROR(base_->Sync());
+  TU_RETURN_IF_ERROR(check_->Sync());
+  return tail_->Sync();
+}
+
+void DoubleArrayTrie::AdviseDontNeed() {
+  base_->AdviseDontNeed();
+  check_->AdviseDontNeed();
+  tail_->AdviseDontNeed();
+}
+
+}  // namespace tu::index

@@ -1,0 +1,127 @@
+// Double-array trie with a tail array (Aoe 1992 / cedar style), the
+// paper's §3.2 inverted-index backbone. Three growable arrays — BASE,
+// CHECK, TAIL — each stored in dynamic mmap file arrays so the index can
+// exceed RAM and be swapped by the OS instead of OOM-killing the process.
+//
+// Semantics (Fig. 8):
+//   state(x --c--> y):  y = BASE[x] + code(c), valid iff CHECK[y] == x
+//   BASE[y] < 0:        leaf; -(BASE[y]+1) is a TAIL offset holding the
+//                       remaining suffix (length-prefixed) and the value.
+//
+// Keys are arbitrary byte strings (tag pairs "key$value"); values are
+// uint64 (postings-list ids). Supports exact lookup, insert-or-update, and
+// prefix iteration (the substrate for regex tag selectors).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/mmap_file.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tu::index {
+
+struct TrieOptions {
+  /// Slots per mmap file for BASE/CHECK (paper: one million).
+  size_t slots_per_file = 1 << 20;
+  /// Bytes per mmap file for TAIL.
+  size_t tail_file_bytes = 4 << 20;
+};
+
+class DoubleArrayTrie {
+ public:
+  /// Trie files are created under `dir` with the given `name` prefix.
+  DoubleArrayTrie(std::string dir, std::string name, TrieOptions options = {});
+  ~DoubleArrayTrie();
+
+  DoubleArrayTrie(const DoubleArrayTrie&) = delete;
+  DoubleArrayTrie& operator=(const DoubleArrayTrie&) = delete;
+
+  /// Must be called once before use; maps the initial files.
+  Status Init();
+
+  /// Inserts `key` -> `value`, overwriting any existing value.
+  Status Insert(const Slice& key, uint64_t value);
+
+  /// Exact lookup. Returns NotFound if absent.
+  Status Lookup(const Slice& key, uint64_t* value) const;
+
+  /// Invokes `fn(key, value)` for every stored key starting with `prefix`,
+  /// in unspecified order. `fn` returning false stops the iteration.
+  Status ScanPrefix(const Slice& prefix,
+                    const std::function<bool(const std::string&, uint64_t)>& fn) const;
+
+  /// Number of stored keys.
+  uint64_t num_keys() const { return num_keys_; }
+
+  /// Bytes of trie structure in active use (BASE+CHECK used slots + TAIL
+  /// used bytes). This is what the memory experiments account.
+  uint64_t MemoryUsage() const;
+
+  /// Flushes mmap files to disk.
+  Status Sync();
+
+  /// Hints the OS that the mapping can be reclaimed (swap-out behaviour).
+  void AdviseDontNeed();
+
+ private:
+  static constexpr int32_t kRoot = 1;
+  static constexpr int32_t kEndCode = 1;  // terminator pseudo-character
+
+  static int32_t Code(uint8_t c) { return static_cast<int32_t>(c) + 2; }
+  static constexpr int32_t kMaxCode = 257;
+
+  int32_t& BaseAt(int32_t s);
+  int32_t& CheckAt(int32_t s);
+  int32_t BaseAt(int32_t s) const;
+  int32_t CheckAt(int32_t s) const;
+
+  /// Grows BASE/CHECK so index `s` is addressable.
+  Status EnsureState(int32_t s);
+
+  /// Appends `suffix` + value to TAIL; returns the tail offset.
+  Status AppendTail(const Slice& suffix, uint64_t value, int64_t* offset);
+
+  /// Reads the tail entry at `offset`.
+  void ReadTail(int64_t offset, std::string* suffix, uint64_t* value) const;
+
+  /// Overwrites the value of the tail entry at `offset` (suffix unchanged).
+  void WriteTailValue(int64_t offset, uint64_t value);
+
+  /// Finds a BASE b such that for every code in `codes` the slot b+code is
+  /// free; grows the arrays as needed.
+  Status FindBase(const int32_t* codes, int n, int32_t* out_base);
+
+  /// Moves the children of `s` to a base that also frees slot for
+  /// `extra_code`.
+  Status Relocate(int32_t s, int32_t extra_code);
+
+  /// Makes `s` (a leaf pointing into TAIL) into an internal chain/branch so
+  /// that `remaining` (suffix of the key being inserted, may be empty) can
+  /// be added with `value`.
+  Status SplitLeaf(int32_t s, const Slice& remaining, uint64_t value);
+
+  /// Creates a leaf child of `parent` via `code`, with tail `suffix`+value.
+  Status MakeLeaf(int32_t parent, int32_t code, const Slice& suffix,
+                  uint64_t value);
+
+  /// Recursive DFS for ScanPrefix.
+  bool ScanNode(int32_t s, std::string* key_buf,
+                const std::function<bool(const std::string&, uint64_t)>& fn) const;
+
+  TrieOptions options_;
+  std::unique_ptr<MmapFileArray> base_;
+  std::unique_ptr<MmapFileArray> check_;
+  std::unique_ptr<MmapFileArray> tail_;
+
+  int32_t max_state_ = 0;        // highest addressable state index
+  int32_t used_states_ = 0;      // claimed slots (for memory accounting)
+  int64_t tail_pos_ = 0;         // next free TAIL byte
+  uint64_t num_keys_ = 0;
+  int32_t next_check_pos_ = 2;   // FindBase scan heuristic
+};
+
+}  // namespace tu::index

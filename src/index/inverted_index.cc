@@ -1,0 +1,159 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+#include "util/memory_tracker.h"
+
+namespace tu::index {
+
+InvertedIndex::InvertedIndex(std::string dir, std::string name,
+                             TrieOptions trie_options)
+    : trie_(std::move(dir), std::move(name), trie_options) {}
+
+InvertedIndex::~InvertedIndex() {
+  MemoryTracker::Global().Sub(MemCategory::kInvertedIndex,
+                              static_cast<int64_t>(postings_bytes_));
+}
+
+Status InvertedIndex::Init() { return trie_.Init(); }
+
+Status InvertedIndex::GetOrCreateList(const std::string& trie_key,
+                                      uint64_t* list_id) {
+  Status s = trie_.Lookup(trie_key, list_id);
+  if (s.ok()) return s;
+  if (!s.IsNotFound()) return s;
+  const uint64_t before = trie_.MemoryUsage();
+  *list_id = lists_.size();
+  lists_.emplace_back();
+  TU_RETURN_IF_ERROR(trie_.Insert(trie_key, *list_id));
+  MemoryTracker::Global().Add(
+      MemCategory::kInvertedIndex,
+      static_cast<int64_t>(trie_.MemoryUsage() - before));
+  return Status::OK();
+}
+
+Status InvertedIndex::Add(uint64_t id, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Label& l : labels) {
+    uint64_t list_id = 0;
+    TU_RETURN_IF_ERROR(GetOrCreateList(l.Joined(), &list_id));
+    Postings& p = lists_[list_id];
+    const size_t before = p.capacity();
+    PostingsInsert(&p, id);
+    const int64_t delta =
+        static_cast<int64_t>((p.capacity() - before) * sizeof(uint64_t));
+    postings_bytes_ += delta;
+    MemoryTracker::Global().Add(MemCategory::kInvertedIndex, delta);
+  }
+  return Status::OK();
+}
+
+Status InvertedIndex::Remove(uint64_t id, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Label& l : labels) {
+    uint64_t list_id = 0;
+    Status s = trie_.Lookup(l.Joined(), &list_id);
+    if (s.IsNotFound()) continue;
+    TU_RETURN_IF_ERROR(s);
+    PostingsRemove(&lists_[list_id], id);
+  }
+  return Status::OK();
+}
+
+Status InvertedIndex::GetPostings(const std::string& name,
+                                  const std::string& value,
+                                  Postings* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->clear();
+  uint64_t list_id = 0;
+  Status s = trie_.Lookup(name + kTagDelim + value, &list_id);
+  if (s.IsNotFound()) return Status::OK();
+  TU_RETURN_IF_ERROR(s);
+  *out = lists_[list_id];
+  return Status::OK();
+}
+
+Status InvertedIndex::SelectOne(const TagMatcher& m, Postings* out) const {
+  out->clear();
+  if (m.type == TagMatcher::Type::kEqual) {
+    uint64_t list_id = 0;
+    Status s = trie_.Lookup(m.name + kTagDelim + m.value, &list_id);
+    if (s.IsNotFound()) return Status::OK();
+    TU_RETURN_IF_ERROR(s);
+    *out = lists_[list_id];
+    return Status::OK();
+  }
+  // Regex: scan all tag pairs of this name and union matching postings.
+  std::regex re;
+  try {
+    re = std::regex(m.value);
+  } catch (const std::regex_error&) {
+    return Status::InvalidArgument("bad regex: " + m.value);
+  }
+  const std::string prefix = m.name + kTagDelim;
+  Postings merged;
+  Status scan_status = trie_.ScanPrefix(
+      prefix, [&](const std::string& key, uint64_t list_id) {
+        const std::string value = key.substr(prefix.size());
+        if (std::regex_match(value, re)) {
+          merged = PostingsUnion(merged, lists_[list_id]);
+        }
+        return true;
+      });
+  TU_RETURN_IF_ERROR(scan_status);
+  *out = std::move(merged);
+  return Status::OK();
+}
+
+Status InvertedIndex::Select(const std::vector<TagMatcher>& matchers,
+                             Postings* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->clear();
+  if (matchers.empty()) return Status::OK();
+  std::vector<Postings> per_matcher(matchers.size());
+  for (size_t i = 0; i < matchers.size(); ++i) {
+    TU_RETURN_IF_ERROR(SelectOne(matchers[i], &per_matcher[i]));
+    if (per_matcher[i].empty()) return Status::OK();  // empty intersection
+  }
+  std::vector<const Postings*> ptrs;
+  ptrs.reserve(per_matcher.size());
+  for (const Postings& p : per_matcher) ptrs.push_back(&p);
+  *out = PostingsIntersectAll(ptrs);
+  return Status::OK();
+}
+
+Status InvertedIndex::TagValues(const std::string& name,
+                                std::vector<std::string>* values) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  values->clear();
+  const std::string prefix = name + kTagDelim;
+  TU_RETURN_IF_ERROR(trie_.ScanPrefix(
+      prefix, [&](const std::string& key, uint64_t) {
+        values->push_back(key.substr(prefix.size()));
+        return true;
+      }));
+  std::sort(values->begin(), values->end());
+  return Status::OK();
+}
+
+uint64_t InvertedIndex::NumTagPairs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trie_.num_keys();
+}
+
+uint64_t InvertedIndex::MemoryUsage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trie_.MemoryUsage() + postings_bytes_;
+}
+
+Status InvertedIndex::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trie_.Sync();
+}
+
+void InvertedIndex::AdviseDontNeed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  trie_.AdviseDontNeed();
+}
+
+}  // namespace tu::index

@@ -1,0 +1,85 @@
+// InvertedIndex: the single global in-memory inverted index of §3.2 —
+// tag pairs indexed by a double-array trie on mmap file arrays, mapping to
+// postings lists of series/group IDs. Replaces Prometheus' per-partition
+// nested hash tables (the 51%-of-memory culprit of Fig. 3b).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "index/double_array_trie.h"
+#include "index/labels.h"
+#include "index/postings.h"
+#include "util/status.h"
+
+namespace tu::index {
+
+/// A tag selector of the Get API (§3.4): exact or regular-expression match
+/// on one tag name.
+struct TagMatcher {
+  enum class Type { kEqual, kRegex };
+
+  Type type = Type::kEqual;
+  std::string name;
+  std::string value;  // literal, or ECMAScript regex for kRegex
+
+  static TagMatcher Equal(std::string name, std::string value) {
+    return TagMatcher{Type::kEqual, std::move(name), std::move(value)};
+  }
+  static TagMatcher Regex(std::string name, std::string pattern) {
+    return TagMatcher{Type::kRegex, std::move(name), std::move(pattern)};
+  }
+};
+
+class InvertedIndex {
+ public:
+  /// Trie files go under `dir` with the `name` prefix.
+  InvertedIndex(std::string dir, std::string name, TrieOptions trie_options = {});
+  ~InvertedIndex();
+
+  Status Init();
+
+  /// Adds `id` to the postings of every tag pair in `labels`. Thread-safe.
+  Status Add(uint64_t id, const Labels& labels);
+
+  /// Removes `id` from the postings of every tag pair in `labels`
+  /// (retention purge).
+  Status Remove(uint64_t id, const Labels& labels);
+
+  /// Resolves the matchers to the sorted ID set satisfying all of them.
+  Status Select(const std::vector<TagMatcher>& matchers, Postings* out) const;
+
+  /// Postings of one exact tag pair (empty if absent).
+  Status GetPostings(const std::string& name, const std::string& value,
+                     Postings* out) const;
+
+  /// Lists all values stored under a tag name (label-values API), sorted.
+  Status TagValues(const std::string& name,
+                   std::vector<std::string>* values) const;
+
+  /// Total number of distinct tag pairs.
+  uint64_t NumTagPairs() const;
+
+  /// Index memory: trie structure + postings lists.
+  uint64_t MemoryUsage() const;
+
+  Status Sync();
+  void AdviseDontNeed();
+
+ private:
+  Status SelectOne(const TagMatcher& m, Postings* out) const;
+
+  /// Returns the postings list id for the tag pair, creating it if absent.
+  Status GetOrCreateList(const std::string& trie_key, uint64_t* list_id);
+
+  mutable std::mutex mu_;
+  DoubleArrayTrie trie_;
+  std::vector<Postings> lists_;
+  uint64_t postings_bytes_ = 0;  // tracked incrementally for MemoryUsage
+};
+
+}  // namespace tu::index

@@ -1,0 +1,34 @@
+#include "index/labels.h"
+
+namespace tu::index {
+
+std::string LabelsKey(const Labels& labels) {
+  std::string key;
+  for (const Label& l : labels) {
+    if (!key.empty()) key += ',';
+    key += l.name;
+    key += kTagDelim;
+    key += l.value;
+  }
+  return key;
+}
+
+bool ExtractGroupTags(const Labels& labels,
+                      const std::vector<std::string>& group_tag_names,
+                      Labels* group_tags, Labels* unique_tags) {
+  group_tags->clear();
+  unique_tags->clear();
+  for (const Label& l : labels) {
+    const bool is_group =
+        std::find(group_tag_names.begin(), group_tag_names.end(), l.name) !=
+        group_tag_names.end();
+    if (is_group) {
+      group_tags->push_back(l);
+    } else {
+      unique_tags->push_back(l);
+    }
+  }
+  return group_tags->size() == group_tag_names.size();
+}
+
+}  // namespace tu::index

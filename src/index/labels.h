@@ -1,0 +1,47 @@
+// Labels: the tag-pair identifier vocabulary of the unified data model
+// (§3.1). A timeseries identifier is a sorted set of tag pairs; a group is
+// identified by its shared group tags, and members by their unique tags.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace tu::index {
+
+/// The delimiter used to concatenate tag key and value into one trie key
+/// (Fig. 8 uses '$').
+constexpr char kTagDelim = '$';
+
+/// One tag pair.
+struct Label {
+  std::string name;
+  std::string value;
+
+  bool operator==(const Label&) const = default;
+  auto operator<=>(const Label&) const = default;
+
+  /// "name$value" trie key.
+  std::string Joined() const { return name + kTagDelim + value; }
+};
+
+/// A sorted set of tag pairs identifying one timeseries (or the shared
+/// tags of a group).
+using Labels = std::vector<Label>;
+
+/// Sorts by name (then value); identifiers compare bytewise afterwards.
+inline void SortLabels(Labels* labels) {
+  std::sort(labels->begin(), labels->end());
+}
+
+/// Canonical string form "k1$v1,k2$v2,..." of a sorted label set; used as a
+/// dedup key for series/group identity.
+std::string LabelsKey(const Labels& labels);
+
+/// Splits `labels` into (group tags ∩ labels, labels − group tags): the
+/// §3.1 transition from a flat tag set to group representation. Returns
+/// false if any requested group tag is missing from `labels`.
+bool ExtractGroupTags(const Labels& labels, const std::vector<std::string>& group_tag_names,
+                      Labels* group_tags, Labels* unique_tags);
+
+}  // namespace tu::index

@@ -1,0 +1,42 @@
+#include "index/postings.h"
+
+#include <algorithm>
+
+namespace tu::index {
+
+void PostingsInsert(Postings* postings, uint64_t id) {
+  auto it = std::lower_bound(postings->begin(), postings->end(), id);
+  if (it == postings->end() || *it != id) postings->insert(it, id);
+}
+
+void PostingsRemove(Postings* postings, uint64_t id) {
+  auto it = std::lower_bound(postings->begin(), postings->end(), id);
+  if (it != postings->end() && *it == id) postings->erase(it);
+}
+
+Postings PostingsIntersect(const Postings& a, const Postings& b) {
+  Postings out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+Postings PostingsUnion(const Postings& a, const Postings& b) {
+  Postings out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+Postings PostingsIntersectAll(const std::vector<const Postings*>& lists) {
+  if (lists.empty()) return {};
+  Postings result = *lists[0];
+  for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    result = PostingsIntersect(result, *lists[i]);
+  }
+  return result;
+}
+
+}  // namespace tu::index

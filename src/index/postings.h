@@ -1,0 +1,28 @@
+// Postings lists: sorted u64 ID lists with union/intersection, the value
+// side of the inverted index. With grouping, postings entries are group IDs
+// instead of series IDs, which is what shrinks them (§2.4 challenge 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tu::index {
+
+using Postings = std::vector<uint64_t>;
+
+/// Inserts `id` keeping the list sorted and deduplicated.
+void PostingsInsert(Postings* postings, uint64_t id);
+
+/// Removes `id` if present.
+void PostingsRemove(Postings* postings, uint64_t id);
+
+/// Sorted-list intersection.
+Postings PostingsIntersect(const Postings& a, const Postings& b);
+
+/// Sorted-list union.
+Postings PostingsUnion(const Postings& a, const Postings& b);
+
+/// Intersection across many lists (empty input -> empty result).
+Postings PostingsIntersectAll(const std::vector<const Postings*>& lists);
+
+}  // namespace tu::index

@@ -1,0 +1,58 @@
+#include "index/tag_store.h"
+
+#include "util/coding.h"
+
+namespace tu::index {
+
+TagStore::TagStore(std::string dir, std::string name, size_t file_bytes)
+    : array_(std::move(dir), std::move(name), file_bytes) {}
+
+Status TagStore::Append(const Labels& labels, uint64_t* offset) {
+  std::string entry;
+  PutVarint32(&entry, static_cast<uint32_t>(labels.size()));
+  for (const Label& l : labels) {
+    PutLengthPrefixedSlice(&entry, l.name);
+    PutLengthPrefixedSlice(&entry, l.value);
+  }
+  // Prefix the entry with its own length so Read doesn't need an external
+  // size.
+  std::string framed;
+  PutVarint32(&framed, static_cast<uint32_t>(entry.size()));
+  framed += entry;
+
+  *offset = pos_;
+  TU_RETURN_IF_ERROR(array_.Reserve(pos_ + framed.size()));
+  array_.WriteBytes(pos_, framed.data(), framed.size());
+  pos_ += framed.size();
+  return Status::OK();
+}
+
+Status TagStore::Read(uint64_t offset, Labels* labels) const {
+  labels->clear();
+  // Read the frame length (varint, up to 5 bytes).
+  char len_buf[5];
+  const size_t avail = std::min<size_t>(5, pos_ - offset);
+  array_.ReadBytes(offset, avail, len_buf);
+  uint32_t entry_len = 0;
+  const char* p = GetVarint32Ptr(len_buf, len_buf + avail, &entry_len);
+  if (p == nullptr) return Status::Corruption("tag store: bad frame length");
+  const size_t header = static_cast<size_t>(p - len_buf);
+
+  std::string entry(entry_len, '\0');
+  array_.ReadBytes(offset + header, entry_len, entry.data());
+  Slice in(entry);
+  uint32_t count = 0;
+  if (!GetVarint32(&in, &count)) return Status::Corruption("tag store: count");
+  labels->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Slice name, value;
+    if (!GetLengthPrefixedSlice(&in, &name) ||
+        !GetLengthPrefixedSlice(&in, &value)) {
+      return Status::Corruption("tag store: label");
+    }
+    labels->push_back(Label{name.ToString(), value.ToString()});
+  }
+  return Status::OK();
+}
+
+}  // namespace tu::index

@@ -1,0 +1,37 @@
+// TagStore: §3.2 "Timeseries tags" — per-series/group tag sets serialized
+// into growable mmap file arrays so millions of identifiers don't pin RAM.
+// Append-only; each Append returns a stable offset kept in the head object.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "index/labels.h"
+#include "util/mmap_file.h"
+#include "util/status.h"
+
+namespace tu::index {
+
+class TagStore {
+ public:
+  TagStore(std::string dir, std::string name, size_t file_bytes = 4 << 20);
+
+  /// Serializes `labels` into the store; returns the entry offset.
+  Status Append(const Labels& labels, uint64_t* offset);
+
+  /// Reads the entry at `offset`.
+  Status Read(uint64_t offset, Labels* labels) const;
+
+  /// Bytes appended so far (memory-accounting figure).
+  uint64_t BytesUsed() const { return pos_; }
+
+  Status Sync() { return array_.Sync(); }
+  void AdviseDontNeed() { array_.AdviseDontNeed(); }
+
+ private:
+  MmapFileArray array_;
+  uint64_t pos_ = 0;
+};
+
+}  // namespace tu::index

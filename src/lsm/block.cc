@@ -1,0 +1,207 @@
+#include "lsm/block.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace tu::lsm {
+
+BlockBuilder::BlockBuilder(int restart_interval)
+    : restart_interval_(restart_interval) {
+  restarts_.push_back(0);
+}
+
+void BlockBuilder::Add(const Slice& key, const Slice& value) {
+  size_t shared = 0;
+  if (counter_ < restart_interval_) {
+    const size_t min_len = std::min(last_key_.size(), key.size());
+    while (shared < min_len && last_key_[shared] == key[shared]) ++shared;
+  } else {
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  const size_t unshared = key.size() - shared;
+
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(unshared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(value.size()));
+  buffer_.append(key.data() + shared, unshared);
+  buffer_.append(value.data(), value.size());
+
+  last_key_.resize(shared);
+  last_key_.append(key.data() + shared, unshared);
+  ++counter_;
+}
+
+Slice BlockBuilder::Finish() {
+  for (uint32_t r : restarts_) PutFixed32(&buffer_, r);
+  PutFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+  finished_ = true;
+  return Slice(buffer_);
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.clear();
+  restarts_.push_back(0);
+  counter_ = 0;
+  finished_ = false;
+  last_key_.clear();
+}
+
+size_t BlockBuilder::CurrentSizeEstimate() const {
+  return buffer_.size() + restarts_.size() * sizeof(uint32_t) +
+         sizeof(uint32_t);
+}
+
+// ---------------------------------------------------------------------------
+
+Block::Block(const Slice& contents) : data_(contents.data(), contents.size()) {
+  if (data_.size() < sizeof(uint32_t)) {
+    malformed_ = true;
+    return;
+  }
+  num_restarts_ = DecodeFixed32(data_.data() + data_.size() - 4);
+  const size_t trailer = (1 + static_cast<size_t>(num_restarts_)) * 4;
+  if (trailer > data_.size()) {
+    malformed_ = true;
+    return;
+  }
+  restart_offset_ = static_cast<uint32_t>(data_.size() - trailer);
+}
+
+class Block::Iter : public Iterator {
+ public:
+  Iter(const Block* block)
+      : data_(block->data_.data()),
+        restarts_(block->restart_offset_),
+        num_restarts_(block->num_restarts_),
+        malformed_(block->malformed_) {
+    current_ = restarts_;  // invalid until positioned
+    next_offset_ = restarts_;
+  }
+
+  bool Valid() const override { return !malformed_ && current_ < restarts_; }
+
+  void SeekToFirst() override {
+    if (malformed_ || num_restarts_ == 0) {
+      current_ = restarts_;
+      return;
+    }
+    SeekToRestart(0);
+    ParseNextEntry();
+  }
+
+  void Seek(const Slice& target) override {
+    if (malformed_) return;
+    // Binary search over restart points for the last restart whose key is
+    // < target, then scan linearly.
+    uint32_t left = 0, right = num_restarts_ ? num_restarts_ - 1 : 0;
+    while (left < right) {
+      const uint32_t mid = (left + right + 1) / 2;
+      Slice mid_key;
+      if (!RestartKey(mid, &mid_key)) {
+        MarkMalformed();
+        return;
+      }
+      if (mid_key.compare(target) < 0) {
+        left = mid;
+      } else {
+        right = mid - 1;
+      }
+    }
+    SeekToRestart(left);
+    while (true) {
+      if (!ParseNextEntry()) return;
+      if (Slice(key_).compare(target) >= 0) return;
+    }
+  }
+
+  void Next() override { ParseNextEntry(); }
+
+  Slice key() const override { return Slice(key_); }
+  Slice value() const override { return value_; }
+  Status status() const override {
+    return malformed_ ? Status::Corruption("malformed block") : Status::OK();
+  }
+
+ private:
+  void MarkMalformed() {
+    malformed_ = true;
+    current_ = restarts_;
+  }
+
+  uint32_t RestartPoint(uint32_t i) const {
+    return DecodeFixed32(data_ + restarts_ + i * 4);
+  }
+
+  /// Decodes the full key at restart point i (shared_len is 0 there).
+  bool RestartKey(uint32_t i, Slice* key) {
+    const char* p = data_ + RestartPoint(i);
+    const char* limit = data_ + restarts_;
+    uint32_t shared, unshared, value_len;
+    p = GetVarint32Ptr(p, limit, &shared);
+    if (!p) return false;
+    p = GetVarint32Ptr(p, limit, &unshared);
+    if (!p) return false;
+    p = GetVarint32Ptr(p, limit, &value_len);
+    if (!p || shared != 0) return false;
+    *key = Slice(p, unshared);
+    return true;
+  }
+
+  void SeekToRestart(uint32_t i) {
+    key_.clear();
+    next_offset_ = RestartPoint(i);
+  }
+
+  /// Parses the entry at next_offset_; returns false at block end.
+  bool ParseNextEntry() {
+    current_ = next_offset_;
+    if (current_ >= restarts_) {
+      current_ = restarts_;
+      return false;
+    }
+    const char* p = data_ + current_;
+    const char* limit = data_ + restarts_;
+    uint32_t shared, unshared, value_len;
+    p = GetVarint32Ptr(p, limit, &shared);
+    if (!p) {
+      MarkMalformed();
+      return false;
+    }
+    p = GetVarint32Ptr(p, limit, &unshared);
+    if (!p) {
+      MarkMalformed();
+      return false;
+    }
+    p = GetVarint32Ptr(p, limit, &value_len);
+    if (!p || p + unshared + value_len > limit || shared > key_.size()) {
+      MarkMalformed();
+      return false;
+    }
+    key_.resize(shared);
+    key_.append(p, unshared);
+    value_ = Slice(p + unshared, value_len);
+    next_offset_ = static_cast<uint32_t>((p + unshared + value_len) - data_);
+    return true;
+  }
+
+  const char* data_;
+  const uint32_t restarts_;      // offset of the restart array
+  const uint32_t num_restarts_;
+  bool malformed_;
+  uint32_t current_ = 0;         // offset of the current entry
+  uint32_t next_offset_ = 0;
+  std::string key_;
+  Slice value_;
+};
+
+std::unique_ptr<Iterator> Block::NewIterator() const {
+  auto it = std::make_unique<Iter>(this);
+  // Start invalid until positioned.
+  return it;
+}
+
+}  // namespace tu::lsm

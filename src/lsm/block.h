@@ -1,0 +1,66 @@
+// SSTable data/index block format with restart-point prefix compression
+// (§3.3: the 16-byte chunk keys share long prefixes, so prefix compression
+// saves the 64-bit ID and most timestamp bytes for consecutive chunks of
+// the same series/group).
+//
+// Entry: varint32 shared_len | varint32 unshared_len | varint32 value_len
+//        | unshared key bytes | value bytes
+// Trailer: fixed32 restart offsets... | fixed32 num_restarts
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/iterator.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tu::lsm {
+
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16);
+
+  /// Keys must be added in ascending order.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Appends the restart trailer and returns the block contents.
+  Slice Finish();
+
+  void Reset();
+
+  /// Uncompressed size if Finish() were called now.
+  size_t CurrentSizeEstimate() const;
+  bool empty() const { return buffer_.empty(); }
+  const std::string& last_key() const { return last_key_; }
+
+ private:
+  int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;
+  bool finished_ = false;
+  std::string last_key_;
+};
+
+/// An immutable parsed block; shared across iterators (cacheable).
+class Block {
+ public:
+  /// `contents` is copied.
+  explicit Block(const Slice& contents);
+
+  std::unique_ptr<Iterator> NewIterator() const;
+  size_t size() const { return data_.size(); }
+
+ private:
+  class Iter;
+
+  std::string data_;
+  uint32_t restart_offset_ = 0;  // offset of the restart array
+  uint32_t num_restarts_ = 0;
+  bool malformed_ = false;
+};
+
+}  // namespace tu::lsm

@@ -1,0 +1,63 @@
+#include "lsm/bloom.h"
+
+namespace tu::lsm {
+
+uint32_t BloomHash(const Slice& key) {
+  // FNV-1a style mixing; sufficient spread for filter purposes.
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < key.size(); ++i) {
+    h ^= static_cast<uint8_t>(key[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(bits_per_key) {
+  // k = ln(2) * bits/key, clamped like LevelDB.
+  k_ = static_cast<int>(bits_per_key * 0.69);
+  if (k_ < 1) k_ = 1;
+  if (k_ > 30) k_ = 30;
+}
+
+void BloomFilterBuilder::AddKey(const Slice& key) {
+  hashes_.push_back(BloomHash(key));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  size_t bits = hashes_.size() * static_cast<size_t>(bits_per_key_);
+  if (bits < 64) bits = 64;
+  const size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string result(bytes, '\0');
+  for (uint32_t h : hashes_) {
+    const uint32_t delta = (h >> 17) | (h << 15);  // double hashing
+    for (int j = 0; j < k_; ++j) {
+      const size_t bitpos = h % bits;
+      result[bitpos / 8] |= static_cast<char>(1 << (bitpos % 8));
+      h += delta;
+    }
+  }
+  result.push_back(static_cast<char>(k_));
+  return result;
+}
+
+bool BloomFilterMayContain(const Slice& filter, const Slice& key) {
+  if (filter.size() < 2) return true;
+  const size_t bytes = filter.size() - 1;
+  const size_t bits = bytes * 8;
+  const int k = filter[filter.size() - 1];
+  if (k < 1 || k > 30) return true;  // treat unknown format as match
+
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; ++j) {
+    const size_t bitpos = h % bits;
+    if ((filter[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace tu::lsm

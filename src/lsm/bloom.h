@@ -1,0 +1,34 @@
+// Bloom filter for SSTable keys (§2.3: "a filter block with a bloom filter
+// to accelerate queries"). Double-hashing scheme, ~10 bits/key default.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace tu::lsm {
+
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key = 10);
+
+  void AddKey(const Slice& key);
+
+  /// Serializes the filter over all added keys (appends k as last byte).
+  std::string Finish();
+
+ private:
+  int bits_per_key_;
+  int k_;
+  std::vector<uint32_t> hashes_;
+};
+
+/// Returns true if `key` may be in the filter (false = definitely absent).
+bool BloomFilterMayContain(const Slice& filter, const Slice& key);
+
+/// The hash function shared by builder and query side.
+uint32_t BloomHash(const Slice& key);
+
+}  // namespace tu::lsm

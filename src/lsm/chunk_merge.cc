@@ -1,0 +1,154 @@
+#include "lsm/chunk_merge.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "compress/chunk.h"
+
+namespace tu::lsm {
+
+int PartitionIndexOf(const std::vector<int64_t>& boundaries, int64_t ts) {
+  auto it = std::upper_bound(boundaries.begin(), boundaries.end(), ts);
+  return static_cast<int>(it - boundaries.begin()) - 1;
+}
+
+namespace {
+
+Status MergeSeriesChunks(const std::vector<ChunkInput>& inputs,
+                         const std::vector<int64_t>& boundaries,
+                         uint32_t max_samples_per_chunk,
+                         std::vector<MergedChunk>* out) {
+  // Newest-first so the first writer of a timestamp wins.
+  std::vector<const ChunkInput*> ordered;
+  ordered.reserve(inputs.size());
+  for (const ChunkInput& in : inputs) ordered.push_back(&in);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ChunkInput* a, const ChunkInput* b) {
+              return a->seq > b->seq;
+            });
+
+  std::map<int64_t, double> merged;
+  uint64_t max_seq = 0;
+  for (const ChunkInput* in : ordered) {
+    max_seq = std::max(max_seq, in->seq);
+    uint64_t seq = 0;
+    std::vector<compress::Sample> samples;
+    TU_RETURN_IF_ERROR(compress::DecodeSeriesChunk(
+        ChunkValuePayload(in->value), &seq, &samples));
+    for (const compress::Sample& s : samples) {
+      merged.emplace(s.timestamp, s.value);  // keeps the newest (first)
+    }
+  }
+
+  // Emit per partition, capping samples per output chunk.
+  std::vector<compress::Sample> pending;
+  int pending_partition = INT32_MIN;
+  auto flush_pending = [&]() {
+    if (pending.empty()) return;
+    std::string payload;
+    compress::EncodeSeriesChunk(max_seq, pending, &payload);
+    out->push_back(MergedChunk{pending[0].timestamp,
+                               MakeChunkValue(ChunkType::kSeries, payload)});
+    pending.clear();
+  };
+  for (const auto& [ts, value] : merged) {
+    const int part = PartitionIndexOf(boundaries, ts);
+    if (part != pending_partition ||
+        pending.size() >= max_samples_per_chunk) {
+      flush_pending();
+      pending_partition = part;
+    }
+    pending.push_back(compress::Sample{ts, value});
+  }
+  flush_pending();
+  return Status::OK();
+}
+
+Status MergeGroupChunks(const std::vector<ChunkInput>& inputs,
+                        const std::vector<int64_t>& boundaries,
+                        uint32_t max_samples_per_chunk,
+                        std::vector<MergedChunk>* out) {
+  std::vector<const ChunkInput*> ordered;
+  ordered.reserve(inputs.size());
+  for (const ChunkInput& in : inputs) ordered.push_back(&in);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ChunkInput* a, const ChunkInput* b) {
+              return a->seq > b->seq;
+            });
+
+  // Row-merge: newest chunk's non-NULL cell wins; member counts may differ
+  // across chunks (new members appear in later chunks) — the merged width
+  // is the maximum (§3.3 "handle the inconsistency in two group chunks by
+  // filling NULL values to those missing timeseries").
+  std::map<int64_t, std::vector<std::optional<double>>> merged;
+  uint32_t width = 0;
+  uint64_t max_seq = 0;
+  for (const ChunkInput* in : ordered) {
+    max_seq = std::max(max_seq, in->seq);
+    uint64_t seq = 0;
+    uint32_t members = 0;
+    std::vector<compress::GroupRow> rows;
+    TU_RETURN_IF_ERROR(compress::DecodeGroupChunk(
+        ChunkValuePayload(in->value), &seq, &members, &rows));
+    width = std::max(width, members);
+    for (compress::GroupRow& row : rows) {
+      auto& cells = merged.try_emplace(row.timestamp).first->second;
+      if (cells.size() < row.values.size()) cells.resize(row.values.size());
+      for (size_t m = 0; m < row.values.size(); ++m) {
+        // Only fill cells not already claimed by a newer chunk.
+        if (!cells[m].has_value() && row.values[m].has_value()) {
+          cells[m] = row.values[m];
+        }
+      }
+    }
+  }
+
+  std::vector<compress::GroupRow> pending;
+  int pending_partition = INT32_MIN;
+  auto flush_pending = [&]() {
+    if (pending.empty()) return;
+    for (compress::GroupRow& row : pending) row.values.resize(width);
+    std::string payload;
+    compress::EncodeGroupChunk(max_seq, width, pending, &payload);
+    out->push_back(MergedChunk{pending[0].timestamp,
+                               MakeChunkValue(ChunkType::kGroup, payload)});
+    pending.clear();
+  };
+  for (auto& [ts, cells] : merged) {
+    const int part = PartitionIndexOf(boundaries, ts);
+    if (part != pending_partition ||
+        pending.size() >= max_samples_per_chunk) {
+      flush_pending();
+      pending_partition = part;
+    }
+    compress::GroupRow row;
+    row.timestamp = ts;
+    row.values = cells;
+    pending.push_back(std::move(row));
+  }
+  flush_pending();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MergeChunks(const std::vector<ChunkInput>& inputs,
+                   const std::vector<int64_t>& boundaries,
+                   uint32_t max_samples_per_chunk,
+                   std::vector<MergedChunk>* out) {
+  out->clear();
+  if (inputs.empty()) return Status::OK();
+  const ChunkType type = ChunkValueType(inputs[0].value);
+  for (const ChunkInput& in : inputs) {
+    if (ChunkValueType(in.value) != type) {
+      return Status::Corruption("mixed chunk types under one key");
+    }
+  }
+  if (type == ChunkType::kSeries) {
+    return MergeSeriesChunks(inputs, boundaries, max_samples_per_chunk, out);
+  }
+  return MergeGroupChunks(inputs, boundaries, max_samples_per_chunk, out);
+}
+
+}  // namespace tu::lsm

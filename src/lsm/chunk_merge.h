@@ -1,0 +1,48 @@
+// Sample-aware chunk operations used by compactions (§3.3):
+//  - merging the chunks of one series/group into larger chunks ("key-value
+//    pairs of the same timeseries/group are merged into larger key-value
+//    pairs for a better compression ratio"), newest-SSTable-wins on
+//    duplicate timestamps;
+//  - splitting a chunk at time-partition boundaries so partition contents
+//    stay strictly bounded by their time range (partition align, Fig. 12).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lsm/key_format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tu::lsm {
+
+/// One chunk entry with its precedence (the internal-key sequence; larger =
+/// newer).
+struct ChunkInput {
+  uint64_t seq = 0;
+  Slice value;  // type byte + payload
+};
+
+/// Merges chunks of ONE series/group (all inputs must share the chunk
+/// type). Produces merged output chunks covering [split boundaries), each
+/// at most `max_samples_per_chunk` samples: {start_ts, serialized value}.
+/// `boundaries` is a sorted list of time-partition boundaries; output
+/// chunks never span a boundary. Duplicate timestamps resolve newest-first
+/// per sample (series) / per cell (group member).
+struct MergedChunk {
+  int64_t start_ts = 0;
+  std::string value;  // type byte + payload
+};
+
+Status MergeChunks(const std::vector<ChunkInput>& inputs,
+                   const std::vector<int64_t>& boundaries,
+                   uint32_t max_samples_per_chunk,
+                   std::vector<MergedChunk>* out);
+
+/// Returns the partition index of `ts` given sorted `boundaries`:
+/// partition i covers [boundaries[i], boundaries[i+1]). ts before the first
+/// boundary -> -1; after the last -> boundaries.size()-1.
+int PartitionIndexOf(const std::vector<int64_t>& boundaries, int64_t ts);
+
+}  // namespace tu::lsm

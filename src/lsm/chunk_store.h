@@ -1,0 +1,38 @@
+// ChunkStore: the storage-engine contract TimeUnionDB writes its closed
+// chunks into. Implemented by TimePartitionedLsm (the paper's design) and
+// LeveledLsm (the classic design) — swapping them is exactly the paper's
+// TU vs TU-LDB comparison (§4.1 comparison systems).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "lsm/iterator.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tu::lsm {
+
+class ChunkStore {
+ public:
+  virtual ~ChunkStore() = default;
+
+  virtual Status Open() = 0;
+  /// Inserts a chunk entry (§3.3 key format; type byte + payload value).
+  virtual Status Put(const Slice& user_key, const Slice& value) = 0;
+  /// Flushes memtables and drains pending maintenance.
+  virtual Status FlushAll() = 0;
+  /// Iterator over all chunks of `id` intersecting [t0, t1].
+  virtual Status NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
+                                  std::unique_ptr<Iterator>* out) = 0;
+  /// Drops data entirely older than `watermark` (best effort).
+  virtual Status ApplyRetention(int64_t watermark) {
+    (void)watermark;
+    return Status::OK();
+  }
+  /// End of the time partition a chunk starting at `ts` must not cross
+  /// (stores without time partitioning return a far horizon).
+  virtual int64_t PartitionEndFor(int64_t ts) const = 0;
+};
+
+}  // namespace tu::lsm

@@ -1,0 +1,30 @@
+// Iterator: the LevelDB-style cursor interface shared by memtables, blocks,
+// SSTables and the merging iterator (§3.4 Get path).
+#pragma once
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tu::lsm {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  /// Positions at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+
+  /// Valid() required for key()/value().
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  virtual Status status() const = 0;
+};
+
+}  // namespace tu::lsm

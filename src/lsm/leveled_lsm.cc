@@ -1,0 +1,353 @@
+#include "lsm/leveled_lsm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "lsm/key_format.h"
+#include "lsm/merging_iterator.h"
+#include "util/memory_tracker.h"
+
+namespace tu::lsm {
+
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool RangesOverlap(const TableMeta& a, const TableMeta& b) {
+  return Slice(a.smallest_key).compare(b.largest_key) <= 0 &&
+         Slice(b.smallest_key).compare(a.largest_key) <= 0;
+}
+
+}  // namespace
+
+LeveledLsm::LeveledLsm(cloud::TieredEnv* env, std::string name,
+                       LeveledLsmOptions options, BlockCache* block_cache)
+    : env_(env),
+      name_(std::move(name)),
+      options_(options),
+      block_cache_(block_cache) {
+  levels_.resize(options_.max_levels);
+}
+
+LeveledLsm::~LeveledLsm() {
+  if (mem_) {
+    MemoryTracker::Global().Sub(
+        MemCategory::kMemtable,
+        static_cast<int64_t>(mem_->ApproximateMemoryUsage()));
+  }
+}
+
+namespace {
+
+std::unique_ptr<MemTable> NewTrackedMemTable() {
+  auto mem = std::make_unique<MemTable>();
+  MemoryTracker::Global().Add(
+      MemCategory::kMemtable,
+      static_cast<int64_t>(mem->ApproximateMemoryUsage()));
+  return mem;
+}
+
+}  // namespace
+
+Status LeveledLsm::Open() {
+  TU_RETURN_IF_ERROR(env_->fast().CreateDir(name_));
+  mem_ = NewTrackedMemTable();
+  return Status::OK();
+}
+
+std::string LeveledLsm::FastName(uint64_t table_id) const {
+  return name_ + "/" + TableFileName(table_id);
+}
+
+std::string LeveledLsm::SlowKey(uint64_t table_id) const {
+  return name_ + "/" + TableFileName(table_id);
+}
+
+Status LeveledLsm::Put(const Slice& user_key, const Slice& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t before = mem_->ApproximateMemoryUsage();
+  mem_->Add(next_seq_++, user_key, value);
+  MemoryTracker::Global().Add(
+      MemCategory::kMemtable,
+      static_cast<int64_t>(mem_->ApproximateMemoryUsage() - before));
+  if (mem_->ApproximateMemoryUsage() >= options_.memtable_bytes) {
+    TU_RETURN_IF_ERROR(FlushMemTable());
+    return MaybeCompact();
+  }
+  return Status::OK();
+}
+
+Status LeveledLsm::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!mem_->empty()) {
+    TU_RETURN_IF_ERROR(FlushMemTable());
+  }
+  return MaybeCompact();
+}
+
+Status LeveledLsm::FlushMemTable() {
+  auto it = mem_->NewIterator();
+  it->SeekToFirst();
+  std::vector<TableHandle> outputs;
+  TU_RETURN_IF_ERROR(BuildTables(it.get(), 0, &outputs));
+  // L0 keeps newest tables first.
+  for (auto& t : outputs) {
+    levels_[0].insert(levels_[0].begin(), std::move(t));
+  }
+  MemoryTracker::Global().Sub(
+      MemCategory::kMemtable,
+      static_cast<int64_t>(mem_->ApproximateMemoryUsage()));
+  mem_ = NewTrackedMemTable();
+  return Status::OK();
+}
+
+Status LeveledLsm::BuildTables(Iterator* input, int target_level,
+                               std::vector<TableHandle>* outputs) {
+  outputs->clear();
+  const bool fast = LevelIsFast(target_level);
+
+  std::unique_ptr<TableSink> sink;
+  std::unique_ptr<TableBuilder> builder;
+  uint64_t table_id = 0;
+
+  auto open_output = [&]() -> Status {
+    table_id = next_table_id_++;
+    if (fast) {
+      std::unique_ptr<cloud::WritableFile> file;
+      TU_RETURN_IF_ERROR(env_->fast().NewWritableFile(FastName(table_id), &file));
+      sink = std::make_unique<FileTableSink>(std::move(file));
+    } else {
+      sink = std::make_unique<BufferTableSink>();
+    }
+    builder =
+        std::make_unique<TableBuilder>(options_.table_options, sink.get());
+    return Status::OK();
+  };
+
+  auto close_output = [&]() -> Status {
+    if (!builder || builder->num_entries() == 0) {
+      builder.reset();
+      sink.reset();
+      return Status::OK();
+    }
+    TableHandle handle;
+    TU_RETURN_IF_ERROR(builder->Finish(&handle.meta));
+    handle.meta.table_id = table_id;
+    TU_RETURN_IF_ERROR(sink->Close());
+    if (!fast) {
+      auto* buf = static_cast<BufferTableSink*>(sink.get());
+      TU_RETURN_IF_ERROR(
+          env_->slow().PutObject(SlowKey(table_id), buf->buffer()));
+      stats_.slow_bytes_written.fetch_add(buf->buffer().size(),
+                                          std::memory_order_relaxed);
+      handle.on_slow = true;
+    }
+    stats_.bytes_written.fetch_add(handle.meta.file_size,
+                                   std::memory_order_relaxed);
+    outputs->push_back(std::move(handle));
+    builder.reset();
+    sink.reset();
+    return Status::OK();
+  };
+
+  for (; input->Valid(); input->Next()) {
+    if (!builder) TU_RETURN_IF_ERROR(open_output());
+    TU_RETURN_IF_ERROR(builder->Add(input->key(), input->value()));
+    if (builder->EstimatedSize() >= options_.max_output_table_bytes) {
+      TU_RETURN_IF_ERROR(close_output());
+    }
+  }
+  TU_RETURN_IF_ERROR(input->status());
+  return close_output();
+}
+
+Status LeveledLsm::MaybeCompact() {
+  // Run compactions until every level is within its threshold.
+  bool again = true;
+  while (again) {
+    again = false;
+    if (static_cast<int>(levels_[0].size()) >= options_.l0_compaction_trigger) {
+      TU_RETURN_IF_ERROR(CompactLevel(0));
+      again = true;
+      continue;
+    }
+    for (int level = 1; level < options_.max_levels - 1; ++level) {
+      const uint64_t limit = static_cast<uint64_t>(
+          options_.base_level_bytes *
+          std::pow(options_.level_multiplier, level - 1));
+      if (TotalBytes(level) > limit) {
+        TU_RETURN_IF_ERROR(CompactLevel(level));
+        again = true;
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status LeveledLsm::OpenReader(TableHandle* handle, bool fill_cache) {
+  if (handle->reader) return Status::OK();
+  std::unique_ptr<TableSource> source;
+  if (handle->on_slow) {
+    TU_RETURN_IF_ERROR(SlowTableSource::Open(
+        &env_->slow(), SlowKey(handle->meta.table_id), &source));
+  } else {
+    TU_RETURN_IF_ERROR(FastTableSource::Open(
+        &env_->fast(), FastName(handle->meta.table_id), &source));
+  }
+  TableReaderOptions opts;
+  opts.block_cache = fill_cache ? block_cache_ : nullptr;
+  opts.cache_id = name_ + ":" + std::to_string(handle->meta.table_id);
+  std::unique_ptr<TableReader> reader;
+  TU_RETURN_IF_ERROR(TableReader::Open(opts, std::move(source), &reader));
+  handle->reader = std::move(reader);
+  return Status::OK();
+}
+
+Status LeveledLsm::DeleteTable(const TableHandle& handle, bool was_fast) {
+  if (was_fast) {
+    return env_->fast().DeleteFile(FastName(handle.meta.table_id));
+  }
+  return env_->slow().DeleteObject(SlowKey(handle.meta.table_id));
+}
+
+Status LeveledLsm::CompactLevel(int level) {
+  const uint64_t start_us = NowUs();
+  const int next = level + 1;
+
+  // Select victims: all of L0 (overlapping), or one table round-robin.
+  std::vector<TableHandle> victims;
+  if (level == 0) {
+    victims = std::move(levels_[0]);
+    levels_[0].clear();
+  } else {
+    if (levels_[level].empty()) return Status::OK();
+    const size_t idx = compaction_pointer_ % levels_[level].size();
+    victims.push_back(levels_[level][idx]);
+    levels_[level].erase(levels_[level].begin() + idx);
+    ++compaction_pointer_;
+  }
+
+  // Key range of the victims.
+  TableMeta range;
+  range.smallest_key = victims[0].meta.smallest_key;
+  range.largest_key = victims[0].meta.largest_key;
+  for (const auto& v : victims) {
+    if (Slice(v.meta.smallest_key).compare(range.smallest_key) < 0) {
+      range.smallest_key = v.meta.smallest_key;
+    }
+    if (Slice(v.meta.largest_key).compare(range.largest_key) > 0) {
+      range.largest_key = v.meta.largest_key;
+    }
+  }
+
+  // All overlapping tables in the next level join the merge ("at least one
+  // overlapping SSTable needs to be read from the next level", §2.4).
+  std::vector<TableHandle> next_inputs;
+  auto& next_level = levels_[next];
+  for (auto it = next_level.begin(); it != next_level.end();) {
+    if (RangesOverlap(it->meta, range)) {
+      next_inputs.push_back(std::move(*it));
+      it = next_level.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Merge: victims (newer) first so equal internal keys keep newest order.
+  std::vector<std::unique_ptr<Iterator>> children;
+  std::vector<std::pair<TableHandle, bool>> consumed;  // handle, was_fast
+  for (auto& v : victims) {
+    TU_RETURN_IF_ERROR(OpenReader(&v, /*fill_cache=*/false));
+    stats_.tables_read.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_read.fetch_add(v.meta.file_size, std::memory_order_relaxed);
+    children.push_back(v.reader->NewIterator());
+    consumed.emplace_back(std::move(v), LevelIsFast(level));
+  }
+  for (auto& v : next_inputs) {
+    TU_RETURN_IF_ERROR(OpenReader(&v, /*fill_cache=*/false));
+    stats_.tables_read.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_read.fetch_add(v.meta.file_size, std::memory_order_relaxed);
+    children.push_back(v.reader->NewIterator());
+    consumed.emplace_back(std::move(v), LevelIsFast(next));
+  }
+  auto merged = NewMergingIterator(std::move(children));
+  merged->SeekToFirst();
+
+  std::vector<TableHandle> outputs;
+  TU_RETURN_IF_ERROR(BuildTables(merged.get(), next, &outputs));
+
+  // Install outputs sorted by smallest key; delete inputs.
+  for (auto& t : outputs) next_level.push_back(std::move(t));
+  std::sort(next_level.begin(), next_level.end(),
+            [](const TableHandle& a, const TableHandle& b) {
+              return Slice(a.meta.smallest_key).compare(b.meta.smallest_key) <
+                     0;
+            });
+  for (auto& [handle, was_fast] : consumed) {
+    TU_RETURN_IF_ERROR(DeleteTable(handle, was_fast));
+  }
+
+  stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+  stats_.total_us.fetch_add(NowUs() - start_us, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LeveledLsm::NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
+                                    std::unique_ptr<Iterator>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string lo = MakeChunkKey(id, t0);
+  const std::string hi = MakeChunkKey(id, t1);
+
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(mem_->NewIterator());
+  for (int level = 0; level < options_.max_levels; ++level) {
+    for (auto& handle : levels_[level]) {
+      if (Slice(handle.meta.largest_key).compare(lo) < 0) continue;
+      if (Slice(handle.meta.smallest_key).compare(hi) > 0 &&
+          InternalKeyUserKey(handle.meta.smallest_key).compare(hi) > 0) {
+        continue;
+      }
+      if (handle.meta.min_series_id > id || handle.meta.max_series_id < id) {
+        continue;
+      }
+      TU_RETURN_IF_ERROR(OpenReader(&handle));
+      if (!handle.reader->MayContainId(id)) continue;
+      children.push_back(handle.reader->NewIterator());
+    }
+  }
+  *out = NewMergingIterator(std::move(children));
+  return Status::OK();
+}
+
+Status LeveledLsm::NewFullIterator(std::unique_ptr<Iterator>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(mem_->NewIterator());
+  for (auto& level : levels_) {
+    for (auto& handle : level) {
+      TU_RETURN_IF_ERROR(OpenReader(&handle));
+      children.push_back(handle.reader->NewIterator());
+    }
+  }
+  *out = NewMergingIterator(std::move(children));
+  return Status::OK();
+}
+
+uint64_t LeveledLsm::NumTables(int level) const {
+  return levels_[level].size();
+}
+
+uint64_t LeveledLsm::TotalBytes(int level) const {
+  uint64_t total = 0;
+  for (const auto& t : levels_[level]) total += t.meta.file_size;
+  return total;
+}
+
+}  // namespace tu::lsm

@@ -1,0 +1,126 @@
+// LeveledLsm ("leveldb-lite"): a from-scratch classic leveled LSM-tree —
+// memtable, L0 with overlapping tables, size-tiered deeper levels with
+// LevelDB's level-based compaction (victim table + all overlapping tables
+// in the next level). This is the baseline architecture of §2.3/Fig. 4 and
+// the storage engine of the TU-LDB / tsdb-LDB comparison systems: levels
+// below `num_fast_levels` live on the slow object tier, which is exactly
+// what makes its compactions pay the S3 traffic the paper measures.
+//
+// Values are opaque (no chunk merging): the store is a duplicate-tolerant
+// multiset over internal keys, queries do sample-level newest-wins.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cloud/tiered_env.h"
+#include "lsm/chunk_store.h"
+#include "lsm/iterator.h"
+#include "lsm/memtable.h"
+#include "lsm/table_builder.h"
+#include "lsm/table_reader.h"
+
+namespace tu::lsm {
+
+/// A placed SSTable: metadata + lazily opened reader.
+struct TableHandle {
+  TableMeta meta;
+  bool on_slow = false;
+  std::shared_ptr<TableReader> reader;
+};
+
+struct LeveledLsmOptions {
+  size_t memtable_bytes = 4 << 20;
+  /// Target size of level 1; level i target = base * multiplier^(i-1).
+  uint64_t base_level_bytes = 8 << 20;
+  double level_multiplier = 10.0;
+  int l0_compaction_trigger = 4;
+  int max_levels = 7;
+  /// Levels [0, num_fast_levels) on the fast tier, the rest on slow.
+  int num_fast_levels = 2;
+  size_t max_output_table_bytes = 2 << 20;
+  TableBuilderOptions table_options;
+};
+
+/// Compaction statistics for the Fig. 4 analysis.
+struct CompactionStats {
+  std::atomic<uint64_t> compactions{0};
+  std::atomic<uint64_t> tables_read{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> slow_bytes_written{0};
+  std::atomic<uint64_t> total_us{0};
+};
+
+class LeveledLsm : public ChunkStore {
+ public:
+  /// Files live under `<env fast root>/<name>/`; slow-tier objects use the
+  /// key prefix `<name>/`.
+  LeveledLsm(cloud::TieredEnv* env, std::string name, LeveledLsmOptions options,
+             BlockCache* block_cache);
+  ~LeveledLsm() override;
+
+  Status Open() override;
+
+  /// Inserts an entry; flush + compactions run inline when thresholds trip.
+  Status Put(const Slice& user_key, const Slice& value) override;
+
+  /// Forces the memtable to disk and runs all pending compactions.
+  Status FlushAll() override;
+
+  /// Iterator over the full store for series `id` in [t0, t1]: children are
+  /// the memtable plus every table possibly containing the id/range,
+  /// newest-first at equal keys.
+  Status NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
+                          std::unique_ptr<Iterator>* out) override;
+
+  /// No time partitioning: chunks close on sample count only.
+  int64_t PartitionEndFor(int64_t ts) const override {
+    (void)ts;
+    return INT64_MAX;
+  }
+
+  /// Iterator over everything (integration tests / full scans).
+  Status NewFullIterator(std::unique_ptr<Iterator>* out);
+
+  const CompactionStats& stats() const { return stats_; }
+  uint64_t NumTables(int level) const;
+  uint64_t TotalBytes(int level) const;
+  int num_levels() const { return options_.max_levels; }
+
+ private:
+  Status FlushMemTable();
+  Status MaybeCompact();
+  Status CompactLevel(int level);
+  /// Opens the table reader; compaction reads pass fill_cache=false so
+  /// they do not pollute the query block cache (RocksDB idiom).
+  Status OpenReader(TableHandle* handle, bool fill_cache = true);
+  Status BuildTables(Iterator* input, int target_level,
+                     std::vector<TableHandle>* outputs);
+  std::string FastName(uint64_t table_id) const;
+  std::string SlowKey(uint64_t table_id) const;
+  bool LevelIsFast(int level) const {
+    return level < options_.num_fast_levels;
+  }
+  Status DeleteTable(const TableHandle& handle, bool was_fast);
+
+  cloud::TieredEnv* env_;
+  std::string name_;
+  LeveledLsmOptions options_;
+  BlockCache* block_cache_;
+
+  std::mutex mu_;
+  std::unique_ptr<MemTable> mem_;
+  std::vector<std::vector<TableHandle>> levels_;  // L0 newest-first
+  uint64_t next_table_id_ = 1;
+  uint64_t next_seq_ = 1;
+  int compaction_pointer_ = 0;  // round-robin victim index heuristic
+
+  CompactionStats stats_;
+};
+
+}  // namespace tu::lsm

@@ -1,0 +1,74 @@
+#include "lsm/memtable.h"
+
+#include "lsm/key_format.h"
+#include "util/coding.h"
+#include "util/memory_tracker.h"
+
+namespace tu::lsm {
+
+std::string MakeInternalKey(const Slice& user_key, uint64_t seq) {
+  std::string key(user_key.data(), user_key.size());
+  PutBigEndian64(&key, ~seq);
+  return key;
+}
+
+uint64_t InternalKeySeq(const Slice& internal_key) {
+  return ~DecodeBigEndian64(internal_key.data() + internal_key.size() - 8);
+}
+
+MemTable::MemTable() : table_(&arena_) {}
+
+void MemTable::Add(uint64_t seq, const Slice& user_key, const Slice& value) {
+  // Entry layout: [internal key (user_key.size + 8)][value]; the skiplist
+  // key slice covers the whole entry — internal keys are unique and have a
+  // fixed size, so bytewise comparison of full entries orders correctly.
+  const size_t ikey_size = user_key.size() + 8;
+  const size_t entry_size = ikey_size + value.size();
+  char* buf = arena_.Allocate(entry_size);
+  memcpy(buf, user_key.data(), user_key.size());
+  EncodeBigEndian64(buf + user_key.size(), ~seq);
+  memcpy(buf + ikey_size, value.data(), value.size());
+  table_.Insert(Slice(buf, entry_size));
+  ++num_entries_;
+
+  const int64_t ts = ChunkKeyTimestamp(user_key);
+  if (ts < min_ts_) min_ts_ = ts;
+  if (ts > max_ts_) max_ts_ = ts;
+}
+
+namespace {
+
+class MemTableIterator : public Iterator {
+ public:
+  explicit MemTableIterator(const SkipList* table) : iter_(table) {}
+
+  bool Valid() const override { return iter_.Valid(); }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void Seek(const Slice& target) override {
+    // target is an internal key (or a prefix thereof).
+    iter_.Seek(target);
+  }
+  void Next() override { iter_.Next(); }
+
+  Slice key() const override {
+    const Slice entry = iter_.key();
+    return Slice(entry.data(), kInternalKeySize);
+  }
+  Slice value() const override {
+    const Slice entry = iter_.key();
+    return Slice(entry.data() + kInternalKeySize,
+                 entry.size() - kInternalKeySize);
+  }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  SkipList::Iterator iter_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> MemTable::NewIterator() const {
+  return std::make_unique<MemTableIterator>(&table_);
+}
+
+}  // namespace tu::lsm

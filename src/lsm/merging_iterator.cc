@@ -1,0 +1,76 @@
+#include "lsm/merging_iterator.h"
+
+namespace tu::lsm {
+
+namespace {
+
+class MergingIterator : public Iterator {
+ public:
+  explicit MergingIterator(std::vector<std::unique_ptr<Iterator>> children)
+      : children_(std::move(children)) {}
+
+  bool Valid() const override { return current_ >= 0; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+  }
+
+  void Next() override {
+    children_[current_]->Next();
+    FindSmallest();
+  }
+
+  Slice key() const override { return children_[current_]->key(); }
+  Slice value() const override { return children_[current_]->value(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    current_ = -1;
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (!children_[i]->Valid()) continue;
+      if (current_ < 0 ||
+          children_[i]->key().compare(children_[current_]->key()) < 0) {
+        current_ = static_cast<int>(i);
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Iterator>> children_;
+  int current_ = -1;
+};
+
+class EmptyIterator : public Iterator {
+ public:
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void Seek(const Slice&) override {}
+  void Next() override {}
+  Slice key() const override { return Slice(); }
+  Slice value() const override { return Slice(); }
+  Status status() const override { return Status::OK(); }
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> NewMergingIterator(
+    std::vector<std::unique_ptr<Iterator>> children) {
+  if (children.empty()) return std::make_unique<EmptyIterator>();
+  if (children.size() == 1) return std::move(children[0]);
+  return std::make_unique<MergingIterator>(std::move(children));
+}
+
+}  // namespace tu::lsm

@@ -1,0 +1,19 @@
+// MergingIterator: k-way merge over child iterators in ascending internal
+// key order — the §3.4 "merge iterator which connects the individual
+// iterators of all related MemTables and SSTables".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lsm/iterator.h"
+
+namespace tu::lsm {
+
+/// Takes ownership of the children. Yields entries of all children in
+/// ascending key order; duplicate keys are yielded in child order (callers
+/// place newer sources first and apply newest-wins at decode time).
+std::unique_ptr<Iterator> NewMergingIterator(
+    std::vector<std::unique_ptr<Iterator>> children);
+
+}  // namespace tu::lsm

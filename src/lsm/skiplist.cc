@@ -1,0 +1,94 @@
+#include "lsm/skiplist.h"
+
+#include <cstring>
+
+namespace tu::lsm {
+
+struct SkipList::Node {
+  Slice key;
+
+  Node* Next(int level) {
+    return next_[level].load(std::memory_order_acquire);
+  }
+  void SetNext(int level, Node* node) {
+    next_[level].store(node, std::memory_order_release);
+  }
+
+  // Variable-length tail; allocated with the node.
+  std::atomic<Node*> next_[1];
+};
+
+SkipList::SkipList(Arena* arena) : arena_(arena) {
+  head_ = NewNode(Slice(), kMaxHeight);
+  for (int i = 0; i < kMaxHeight; ++i) head_->SetNext(i, nullptr);
+}
+
+SkipList::Node* SkipList::NewNode(const Slice& key, int height) {
+  char* mem = arena_->AllocateAligned(
+      sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
+  Node* node = new (mem) Node();
+  node->key = key;
+  return node;
+}
+
+int SkipList::RandomHeight() {
+  int height = 1;
+  while (height < kMaxHeight && rnd_.OneIn(4)) ++height;
+  return height;
+}
+
+SkipList::Node* SkipList::FindGreaterOrEqual(const Slice& key,
+                                             Node** prev) const {
+  Node* x = head_;
+  int level = max_height_.load(std::memory_order_relaxed) - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (next != nullptr && next->key.compare(key) < 0) {
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) return next;
+      --level;
+    }
+  }
+}
+
+void SkipList::Insert(const Slice& key) {
+  Node* prev[kMaxHeight];
+  Node* x = FindGreaterOrEqual(key, prev);
+  assert(x == nullptr || x->key != key);  // no duplicates
+
+  const int height = RandomHeight();
+  const int cur_max = max_height_.load(std::memory_order_relaxed);
+  if (height > cur_max) {
+    for (int i = cur_max; i < height; ++i) prev[i] = head_;
+    max_height_.store(height, std::memory_order_relaxed);
+  }
+
+  Node* node = NewNode(key, height);
+  for (int i = 0; i < height; ++i) {
+    node->SetNext(i, prev[i]->Next(i));
+    prev[i]->SetNext(i, node);
+  }
+}
+
+bool SkipList::Contains(const Slice& key) const {
+  Node* x = FindGreaterOrEqual(key, nullptr);
+  return x != nullptr && x->key == key;
+}
+
+Slice SkipList::Iterator::key() const {
+  return static_cast<const Node*>(node_)->key;
+}
+
+void SkipList::Iterator::Next() {
+  node_ = const_cast<Node*>(static_cast<const Node*>(node_))->Next(0);
+}
+
+void SkipList::Iterator::SeekToFirst() { node_ = list_->head_->Next(0); }
+
+void SkipList::Iterator::Seek(const Slice& target) {
+  node_ = list_->FindGreaterOrEqual(target, nullptr);
+}
+
+}  // namespace tu::lsm

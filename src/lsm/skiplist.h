@@ -1,0 +1,63 @@
+// SkipList: the MemTable's sorted index (§2.3), LevelDB-style —
+// arena-allocated nodes, probabilistic height, single writer + concurrent
+// readers (we additionally serialize writers externally).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "util/arena.h"
+#include "util/random.h"
+#include "util/slice.h"
+
+namespace tu::lsm {
+
+/// Keys are arena-owned byte strings compared with memcmp order. The
+/// caller guarantees no duplicate keys are inserted.
+class SkipList {
+ public:
+  explicit SkipList(Arena* arena);
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts `key` (copied into the arena by the caller beforehand; the
+  /// Slice must point at arena memory).
+  void Insert(const Slice& key);
+
+  bool Contains(const Slice& key) const;
+
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    Slice key() const;
+    void Next();
+    void SeekToFirst();
+    void Seek(const Slice& target);
+
+   private:
+    const SkipList* list_;
+    const void* node_ = nullptr;
+  };
+
+ private:
+  struct Node;
+  static constexpr int kMaxHeight = 12;
+
+  Node* NewNode(const Slice& key, int height);
+  int RandomHeight();
+  /// First node with key >= target; prev[] receives the predecessors.
+  Node* FindGreaterOrEqual(const Slice& key, Node** prev) const;
+
+  Arena* arena_;
+  Node* head_;
+  std::atomic<int> max_height_{1};
+  Random rnd_{0xdeadbeef};
+
+  friend class Iterator;
+};
+
+}  // namespace tu::lsm

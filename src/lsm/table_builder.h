@@ -1,0 +1,99 @@
+// TableBuilder: writes an SSTable — 4 KB prefix-compressed data blocks
+// (optionally SnappyLite-compressed), a bloom filter block, an index block
+// and the footer. The sink abstraction lets tables be streamed to the fast
+// tier (file append) or buffered and uploaded whole to the slow tier
+// (object Put), matching the paper's "new SSTables are uploaded to slow
+// cloud storage" flow.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cloud/block_store.h"
+#include "lsm/block.h"
+#include "lsm/bloom.h"
+#include "lsm/table_format.h"
+#include "util/status.h"
+
+namespace tu::lsm {
+
+/// Byte sink a table is built into.
+class TableSink {
+ public:
+  virtual ~TableSink() = default;
+  virtual Status Append(const Slice& data) = 0;
+  virtual uint64_t Size() const = 0;
+  virtual Status Close() = 0;
+};
+
+/// Sink writing to a fast-tier file.
+class FileTableSink : public TableSink {
+ public:
+  explicit FileTableSink(std::unique_ptr<cloud::WritableFile> file)
+      : file_(std::move(file)) {}
+
+  Status Append(const Slice& data) override { return file_->Append(data); }
+  uint64_t Size() const override { return file_->Size(); }
+  Status Close() override {
+    TU_RETURN_IF_ERROR(file_->Sync());
+    return file_->Close();
+  }
+
+ private:
+  std::unique_ptr<cloud::WritableFile> file_;
+};
+
+/// Sink buffering in memory (for slow-tier object upload).
+class BufferTableSink : public TableSink {
+ public:
+  Status Append(const Slice& data) override {
+    buffer_.append(data.data(), data.size());
+    return Status::OK();
+  }
+  uint64_t Size() const override { return buffer_.size(); }
+  Status Close() override { return Status::OK(); }
+
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+struct TableBuilderOptions {
+  size_t block_size = 4096;  // S_block of the cost model
+  int restart_interval = 16;
+  bool compress_blocks = true;
+  int bloom_bits_per_key = 10;
+};
+
+class TableBuilder {
+ public:
+  TableBuilder(TableBuilderOptions options, TableSink* sink);
+
+  /// Adds a key-value pair; internal keys must arrive in ascending order.
+  Status Add(const Slice& key, const Slice& value);
+
+  /// Writes filter/index/footer. The sink is flushed but not closed.
+  Status Finish(TableMeta* meta);
+
+  uint64_t num_entries() const { return meta_.num_entries; }
+  uint64_t EstimatedSize() const;
+
+ private:
+  Status FlushDataBlock();
+  Status WriteBlock(const Slice& contents, BlockHandle* handle);
+
+  TableBuilderOptions options_;
+  TableSink* sink_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  BloomFilterBuilder filter_;
+  TableMeta meta_;
+  std::string last_data_block_key_;
+  uint64_t last_filter_id_ = 0;
+  bool pending_index_entry_ = false;
+  BlockHandle pending_handle_;
+  std::string compress_scratch_;
+};
+
+}  // namespace tu::lsm

@@ -1,0 +1,67 @@
+#include "lsm/table_format.h"
+
+#include <cstdio>
+
+namespace tu::lsm {
+
+void Footer::EncodeTo(std::string* dst) const {
+  const size_t start = dst->size();
+  filter_handle.EncodeTo(dst);
+  index_handle.EncodeTo(dst);
+  dst->resize(start + kFooterSize - 8);  // pad
+  PutFixed64(dst, kTableMagic);
+}
+
+Status Footer::DecodeFrom(const Slice& input) {
+  if (input.size() < kFooterSize) {
+    return Status::Corruption("footer too short");
+  }
+  const uint64_t magic = DecodeFixed64(input.data() + kFooterSize - 8);
+  if (magic != kTableMagic) {
+    return Status::Corruption("bad table magic");
+  }
+  Slice in(input.data(), kFooterSize - 8);
+  if (!filter_handle.DecodeFrom(&in) || !index_handle.DecodeFrom(&in)) {
+    return Status::Corruption("bad footer handles");
+  }
+  return Status::OK();
+}
+
+void TableMeta::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, table_id);
+  PutVarint64(dst, file_size);
+  PutVarint64(dst, num_entries);
+  PutLengthPrefixedSlice(dst, smallest_key);
+  PutLengthPrefixedSlice(dst, largest_key);
+  PutVarint64(dst, min_series_id);
+  PutVarint64(dst, max_series_id);
+  PutFixed64(dst, static_cast<uint64_t>(min_ts));
+  PutFixed64(dst, static_cast<uint64_t>(max_ts));
+}
+
+bool TableMeta::DecodeFrom(Slice* input) {
+  Slice smallest, largest;
+  if (!GetVarint64(input, &table_id) || !GetVarint64(input, &file_size) ||
+      !GetVarint64(input, &num_entries) ||
+      !GetLengthPrefixedSlice(input, &smallest) ||
+      !GetLengthPrefixedSlice(input, &largest) ||
+      !GetVarint64(input, &min_series_id) ||
+      !GetVarint64(input, &max_series_id) || input->size() < 16) {
+    return false;
+  }
+  smallest_key = smallest.ToString();
+  largest_key = largest.ToString();
+  min_ts = static_cast<int64_t>(DecodeFixed64(input->data()));
+  max_ts = static_cast<int64_t>(DecodeFixed64(input->data() + 8));
+  input->remove_prefix(16);
+  return true;
+}
+
+std::string TableFileName(uint64_t table_id) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%08llu.sst",
+           static_cast<unsigned long long>(table_id));
+  return buf;
+}
+
+}  // namespace tu::lsm

@@ -1,0 +1,72 @@
+// On-disk SSTable format shared by the builder and reader:
+//
+//   [data block]* [filter block] [index block] [footer]
+//
+// Each block is stored as: contents | 1-byte compression type | 4-byte
+// masked CRC32C(contents + type). Index entries map the last key of each
+// data block to its BlockHandle. The footer (fixed size, at file end)
+// holds the filter and index handles plus a magic number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tu::lsm {
+
+constexpr uint64_t kTableMagic = 0x7475736d67726b76ull;  // "tusmgrkv"
+constexpr size_t kBlockTrailerSize = 5;                  // type + crc32
+constexpr size_t kFooterSize = 48;
+
+enum class BlockCompression : char {
+  kNone = 0,
+  kSnappyLite = 1,
+};
+
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;  // contents size, excluding trailer
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint64(dst, offset);
+    PutVarint64(dst, size);
+  }
+
+  bool DecodeFrom(Slice* input) {
+    return GetVarint64(input, &offset) && GetVarint64(input, &size);
+  }
+};
+
+struct Footer {
+  BlockHandle filter_handle;
+  BlockHandle index_handle;
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(const Slice& input);
+};
+
+/// Summary of one SSTable kept in the level manifest: key/ID/time bounds
+/// drive partition routing, patch ID-range routing (§3.3) and query
+/// pruning.
+struct TableMeta {
+  uint64_t table_id = 0;     // unique file/object number
+  uint64_t file_size = 0;
+  uint64_t num_entries = 0;
+  std::string smallest_key;  // internal keys
+  std::string largest_key;
+  uint64_t min_series_id = UINT64_MAX;
+  uint64_t max_series_id = 0;
+  int64_t min_ts = INT64_MAX;
+  int64_t max_ts = INT64_MIN;
+
+  void EncodeTo(std::string* dst) const;
+  bool DecodeFrom(Slice* input);
+};
+
+/// File/object naming shared by the engines.
+std::string TableFileName(uint64_t table_id);
+
+}  // namespace tu::lsm

@@ -1,0 +1,209 @@
+#include "lsm/table_reader.h"
+
+#include "compress/snappy_lite.h"
+#include "lsm/bloom.h"
+#include "util/crc32c.h"
+
+namespace tu::lsm {
+
+Status FastTableSource::Open(cloud::BlockStore* store, const std::string& fname,
+                             std::unique_ptr<TableSource>* out) {
+  std::unique_ptr<cloud::RandomAccessFile> file;
+  TU_RETURN_IF_ERROR(store->NewRandomAccessFile(fname, &file));
+  out->reset(new FastTableSource(std::move(file)));
+  return Status::OK();
+}
+
+Status FastTableSource::ReadAt(uint64_t offset, size_t n,
+                               std::string* out) const {
+  Slice result;
+  TU_RETURN_IF_ERROR(file_->Read(offset, n, &result, out));
+  out->resize(result.size());
+  if (result.size() != n) {
+    return Status::Corruption("short table read");
+  }
+  return Status::OK();
+}
+
+Status SlowTableSource::Open(cloud::ObjectStore* store, const std::string& key,
+                             std::unique_ptr<TableSource>* out) {
+  uint64_t size = 0;
+  TU_RETURN_IF_ERROR(store->ObjectSize(key, &size));
+  out->reset(new SlowTableSource(store, key, size));
+  return Status::OK();
+}
+
+Status SlowTableSource::ReadAt(uint64_t offset, size_t n,
+                               std::string* out) const {
+  TU_RETURN_IF_ERROR(store_->GetRange(key_, offset, n, out));
+  if (out->size() != n) {
+    return Status::Corruption("short object read");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+
+Status TableReader::Open(TableReaderOptions options,
+                         std::unique_ptr<TableSource> source,
+                         std::unique_ptr<TableReader>* out) {
+  const uint64_t size = source->Size();
+  if (size < kFooterSize) return Status::Corruption("table too small");
+
+  std::string footer_bytes;
+  TU_RETURN_IF_ERROR(
+      source->ReadAt(size - kFooterSize, kFooterSize, &footer_bytes));
+  Footer footer;
+  TU_RETURN_IF_ERROR(footer.DecodeFrom(footer_bytes));
+
+  std::unique_ptr<TableReader> reader(
+      new TableReader(std::move(options), std::move(source)));
+
+  // Index block is pinned for the reader's lifetime.
+  std::string index_contents;
+  TU_RETURN_IF_ERROR(
+      reader->ReadBlockContents(footer.index_handle, &index_contents));
+  reader->index_block_ = std::make_shared<Block>(Slice(index_contents));
+
+  // Filter block (raw bytes, no trailer).
+  if (footer.filter_handle.size > 0) {
+    TU_RETURN_IF_ERROR(reader->source_->ReadAt(footer.filter_handle.offset,
+                                               footer.filter_handle.size,
+                                               &reader->filter_));
+  }
+
+  *out = std::move(reader);
+  return Status::OK();
+}
+
+Status TableReader::ReadBlockContents(const BlockHandle& handle,
+                                      std::string* out) const {
+  std::string raw;
+  TU_RETURN_IF_ERROR(
+      source_->ReadAt(handle.offset, handle.size + kBlockTrailerSize, &raw));
+  const char* trailer = raw.data() + handle.size;
+
+  if (options_.verify_checksums) {
+    const uint32_t expected = crc32c::Unmask(DecodeFixed32(trailer + 1));
+    uint32_t actual = crc32c::Value(raw.data(), handle.size);
+    actual = crc32c::Extend(actual, trailer, 1);
+    if (expected != actual) {
+      return Status::Corruption("block checksum mismatch");
+    }
+  }
+
+  const auto type = static_cast<BlockCompression>(trailer[0]);
+  switch (type) {
+    case BlockCompression::kNone:
+      out->assign(raw.data(), handle.size);
+      return Status::OK();
+    case BlockCompression::kSnappyLite:
+      return compress::SnappyLiteUncompress(Slice(raw.data(), handle.size),
+                                            out);
+  }
+  return Status::Corruption("unknown block compression");
+}
+
+Status TableReader::GetBlock(const BlockHandle& handle,
+                             std::shared_ptr<Block>* block) const {
+  std::string cache_key;
+  if (options_.block_cache != nullptr) {
+    cache_key = options_.cache_id + ":" + std::to_string(handle.offset);
+    if (auto cached = options_.block_cache->Lookup(cache_key)) {
+      *block = std::move(cached);
+      return Status::OK();
+    }
+  }
+  std::string contents;
+  TU_RETURN_IF_ERROR(ReadBlockContents(handle, &contents));
+  auto parsed = std::make_shared<Block>(Slice(contents));
+  if (options_.block_cache != nullptr) {
+    options_.block_cache->Insert(cache_key, parsed, parsed->size());
+  }
+  *block = std::move(parsed);
+  return Status::OK();
+}
+
+bool TableReader::MayContainId(uint64_t id) const {
+  if (filter_.empty()) return true;
+  std::string id_key;
+  PutBigEndian64(&id_key, id);
+  return BloomFilterMayContain(filter_, id_key);
+}
+
+// ---------------------------------------------------------------------------
+// Two-level iterator: index block entries -> data block iterators.
+// ---------------------------------------------------------------------------
+
+class TableReader::TwoLevelIter : public Iterator {
+ public:
+  explicit TwoLevelIter(const TableReader* table)
+      : table_(table), index_iter_(table->index_block_->NewIterator()) {}
+
+  bool Valid() const override {
+    return data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_) data_iter_->SeekToFirst();
+    SkipEmptyBlocksForward();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_) data_iter_->Seek(target);
+    SkipEmptyBlocksForward();
+  }
+
+  void Next() override {
+    data_iter_->Next();
+    SkipEmptyBlocksForward();
+  }
+
+  Slice key() const override { return data_iter_->key(); }
+  Slice value() const override { return data_iter_->value(); }
+  Status status() const override { return status_; }
+
+ private:
+  void InitDataBlock() {
+    data_iter_.reset();
+    data_block_.reset();
+    if (!index_iter_->Valid()) return;
+    BlockHandle handle;
+    Slice handle_bytes = index_iter_->value();
+    if (!handle.DecodeFrom(&handle_bytes)) {
+      status_ = Status::Corruption("bad index entry");
+      return;
+    }
+    Status s = table_->GetBlock(handle, &data_block_);
+    if (!s.ok()) {
+      status_ = s;
+      return;
+    }
+    data_iter_ = data_block_->NewIterator();
+  }
+
+  void SkipEmptyBlocksForward() {
+    while (data_iter_ != nullptr && !data_iter_->Valid()) {
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_) data_iter_->SeekToFirst();
+      if (!index_iter_->Valid()) return;
+    }
+  }
+
+  const TableReader* table_;
+  std::unique_ptr<Iterator> index_iter_;
+  std::shared_ptr<Block> data_block_;
+  std::unique_ptr<Iterator> data_iter_;
+  Status status_;
+};
+
+std::unique_ptr<Iterator> TableReader::NewIterator() const {
+  return std::make_unique<TwoLevelIter>(this);
+}
+
+}  // namespace tu::lsm

@@ -1,0 +1,105 @@
+// TableReader: reads SSTables from either storage tier through the
+// TableSource abstraction. Fast-tier reads are positional file reads; the
+// slow tier serves each block read as one S3 Get request — exactly the
+// per-request cost structure of Eqs. 4/6. A shared block cache (the 1 GB
+// LRU of §4.1) absorbs repeated slow-tier block fetches.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cloud/block_store.h"
+#include "cloud/object_store.h"
+#include "lsm/block.h"
+#include "lsm/iterator.h"
+#include "lsm/table_format.h"
+#include "util/lru_cache.h"
+#include "util/status.h"
+
+namespace tu::lsm {
+
+/// Random-access byte source of one table.
+class TableSource {
+ public:
+  virtual ~TableSource() = default;
+  virtual Status ReadAt(uint64_t offset, size_t n, std::string* out) const = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Fast-tier source (EBS-like positional reads).
+class FastTableSource : public TableSource {
+ public:
+  static Status Open(cloud::BlockStore* store, const std::string& fname,
+                     std::unique_ptr<TableSource>* out);
+
+  Status ReadAt(uint64_t offset, size_t n, std::string* out) const override;
+  uint64_t Size() const override { return file_->Size(); }
+
+ private:
+  explicit FastTableSource(std::unique_ptr<cloud::RandomAccessFile> file)
+      : file_(std::move(file)) {}
+
+  std::unique_ptr<cloud::RandomAccessFile> file_;
+};
+
+/// Slow-tier source (S3-like ranged Gets; one Get per block read).
+class SlowTableSource : public TableSource {
+ public:
+  static Status Open(cloud::ObjectStore* store, const std::string& key,
+                     std::unique_ptr<TableSource>* out);
+
+  Status ReadAt(uint64_t offset, size_t n, std::string* out) const override;
+  uint64_t Size() const override { return size_; }
+
+ private:
+  SlowTableSource(cloud::ObjectStore* store, std::string key, uint64_t size)
+      : store_(store), key_(std::move(key)), size_(size) {}
+
+  cloud::ObjectStore* store_;
+  std::string key_;
+  uint64_t size_;
+};
+
+using BlockCache = LRUCache<Block>;
+
+struct TableReaderOptions {
+  /// Shared block cache; nullptr disables caching.
+  BlockCache* block_cache = nullptr;
+  /// Cache key prefix, unique per table (e.g. "sst:<table_id>").
+  std::string cache_id;
+  bool verify_checksums = true;
+};
+
+class TableReader {
+ public:
+  static Status Open(TableReaderOptions options,
+                     std::unique_ptr<TableSource> source,
+                     std::unique_ptr<TableReader>* out);
+
+  /// Iterator over the whole table (internal keys).
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  /// Bloom-filter test on a series/group ID: false means no chunk of that
+  /// ID is in this table.
+  bool MayContainId(uint64_t id) const;
+
+  uint64_t Size() const { return source_->Size(); }
+
+ private:
+  TableReader(TableReaderOptions options, std::unique_ptr<TableSource> source)
+      : options_(std::move(options)), source_(std::move(source)) {}
+
+  Status ReadBlockContents(const BlockHandle& handle, std::string* out) const;
+  /// Reads (through the cache if configured) the block at `handle`.
+  Status GetBlock(const BlockHandle& handle,
+                  std::shared_ptr<Block>* block) const;
+
+  class TwoLevelIter;
+
+  TableReaderOptions options_;
+  std::unique_ptr<TableSource> source_;
+  std::shared_ptr<Block> index_block_;
+  std::string filter_;
+};
+
+}  // namespace tu::lsm

@@ -1,0 +1,213 @@
+// TimePartitionedLsm: the paper's elastic time-partitioned LSM-tree (§3.3).
+//
+// Three levels on two storage tiers:
+//   L0, L1 — short time partitions (default 30 min) on the fast tier.
+//            L0 receives memtable flushes (tables may overlap in keys);
+//            the L0->L1 compaction gathers each series/group's chunks
+//            together and merges them into larger key-value pairs.
+//   L2     — a SINGLE level of long partitions (default 2 h) on the slow
+//            tier. Ordered data migrates L1->L2 with one write and zero
+//            slow-tier reads (no overlapping-SSTable merges: the Eqs. 7-10
+//            saving). Out-of-order arrivals into closed L2 partitions are
+//            appended as PATCH tables routed by the ID ranges of the
+//            partition's base tables (Fig. 11), merged only when a base
+//            accumulates more than `patch_threshold` patches.
+//
+// Partition lengths adapt to a fast-storage budget (Algorithm 1): halved
+// under pressure, doubled when sparse; compactions split and align
+// partitions of mixed lengths (Fig. 12). Retention drops whole partitions.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cloud/tiered_env.h"
+#include "lsm/chunk_store.h"
+#include "lsm/iterator.h"
+#include "lsm/leveled_lsm.h"  // TableHandle
+#include "lsm/memtable.h"
+#include "lsm/table_builder.h"
+#include "lsm/table_reader.h"
+#include "util/thread_pool.h"
+
+namespace tu::lsm {
+
+struct TimeLsmOptions {
+  /// Initial L0/L1 partition length (ms). Paper default: 30 minutes.
+  int64_t l0_partition_ms = 30LL * 60 * 1000;
+  /// Initial L2 partition length (ms). Paper default: 2 hours.
+  int64_t l2_partition_ms = 2LL * 60 * 60 * 1000;
+  /// Bounds for dynamic adjustment.
+  int64_t partition_lower_bound_ms = 15LL * 60 * 1000;
+  int64_t partition_upper_bound_ms = 8LL * 60 * 60 * 1000;
+  /// Compact L0 when it holds more than this many partitions.
+  int l0_partition_trigger = 2;
+  /// Merge a base table with its patches beyond this count (§3.3).
+  int patch_threshold = 3;
+  size_t memtable_bytes = 4 << 20;
+  size_t max_output_table_bytes = 2 << 20;
+  /// Cap on merged chunk size during compaction ("merged into larger
+  /// key-value pairs", Â§3.3). Kept moderate: per-chunk overhead is what
+  /// the group model amortizes across members (Table 3).
+  uint32_t max_samples_per_merged_chunk = 64;
+  /// Fast-tier budget for Algorithm 1; 0 disables dynamic size control.
+  uint64_t fast_storage_limit_bytes = 0;
+  /// Flush immutable memtables on a background worker (immutable queue).
+  bool background_flush = false;
+  /// Invoked for every key-value pair as it reaches level 0 — the hook the
+  /// §3.3 logging scheme uses to write flush-mark records.
+  std::function<void(const Slice& user_key, const Slice& value)> on_flush;
+  /// Persist the level manifest to the fast tier after each mutation so a
+  /// reopen recovers the tree.
+  bool persist_manifest = false;
+  TableBuilderOptions table_options;
+};
+
+struct TimeLsmStats {
+  std::atomic<uint64_t> flushes{0};
+  std::atomic<uint64_t> l0_to_l1_compactions{0};
+  std::atomic<uint64_t> l1_to_l2_compactions{0};
+  std::atomic<uint64_t> patches_created{0};
+  std::atomic<uint64_t> patch_merges{0};
+  std::atomic<uint64_t> partitions_retired{0};
+  std::atomic<uint64_t> fast_bytes_written{0};
+  std::atomic<uint64_t> slow_bytes_written{0};
+  std::atomic<uint64_t> compaction_us{0};
+};
+
+class TimePartitionedLsm : public ChunkStore {
+ public:
+  TimePartitionedLsm(cloud::TieredEnv* env, std::string name,
+                     TimeLsmOptions options, BlockCache* block_cache);
+  ~TimePartitionedLsm() override;
+
+  Status Open() override;
+
+  /// Inserts a chunk entry (key: §3.3 format; value: type byte + payload).
+  Status Put(const Slice& user_key, const Slice& value) override;
+
+  /// Flushes the memtable and drains all pending maintenance.
+  Status FlushAll() override;
+
+  /// Iterator over all data of series/group `id` intersecting [t0, t1].
+  Status NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
+                          std::unique_ptr<Iterator>* out) override;
+
+  /// Drops every partition whose data is entirely older than `watermark`.
+  Status ApplyRetention(int64_t watermark) override;
+
+  // -- Introspection for benches/tests ------------------------------------
+  const TimeLsmStats& stats() const { return stats_; }
+  int64_t l0_partition_ms() const {
+    return l0_len_ms_.load(std::memory_order_relaxed);
+  }
+  int64_t l2_partition_ms() const {
+    return l2_len_ms_.load(std::memory_order_relaxed);
+  }
+  /// Bytes of L0+L1 tables (the EBS usage Algorithm 1 controls).
+  uint64_t FastBytesUsed() const;
+  uint64_t SlowBytesUsed() const;
+  size_t NumL0Partitions() const;
+  size_t NumL1Partitions() const;
+  size_t NumL2Partitions() const;
+  /// Total patch tables currently attached in L2.
+  size_t NumL2Patches() const;
+  /// End of the L0 partition that would hold a chunk starting at `ts` —
+  /// the bound heads use to close chunks at partition edges (§3.3).
+  int64_t PartitionEndFor(int64_t ts) const override {
+    // Lock-free: called on every sample append (hot path).
+    const int64_t len = l0_len_ms_.load(std::memory_order_relaxed);
+    return AlignDown(ts, len) + len;
+  }
+
+ private:
+  struct Partition {
+    int64_t start = 0;
+    int64_t end = 0;
+    std::vector<TableHandle> tables;  // L0 newest-first; L1 sorted by key
+  };
+
+  struct L2Entry {
+    TableHandle base;
+    std::vector<TableHandle> patches;
+  };
+
+  struct L2Partition {
+    int64_t start = 0;
+    int64_t end = 0;
+    std::vector<L2Entry> entries;  // sorted by base min_series_id
+  };
+
+  static int64_t AlignDown(int64_t ts, int64_t len) {
+    // Works for negative timestamps too (floor division).
+    int64_t q = ts / len;
+    if (ts % len != 0 && ts < 0) --q;
+    return q * len;
+  }
+
+  Status FlushMemTable(MemTable* mem);
+  Status MaybeMaintain();
+  Status CompactOldestL0();
+  Status MaybeCompactL1ToL2();
+  Status CompactL1WindowToL2(int64_t w_start, int64_t w_end,
+                             std::vector<Partition> inputs);
+  Status MergePatchesIfNeeded();
+  Status MergeEntryPatches(L2Partition* partition, size_t entry_index);
+  Status RunDynamicSizeControl();
+
+  /// Sample-aware merge of `inputs` into per-partition tables aligned to
+  /// `boundaries` (sorted, covering the inputs' range). Outputs one vector
+  /// of tables per boundary interval, written to the given tier.
+  Status MergePartitionTables(std::vector<TableHandle*> inputs,
+                              const std::vector<int64_t>& boundaries,
+                              bool to_slow,
+                              std::vector<std::vector<TableHandle>>* outputs);
+
+  /// Opens the table reader; compaction reads pass fill_cache=false so
+  /// they do not pollute the query block cache (RocksDB idiom).
+  Status OpenReader(TableHandle* handle, bool fill_cache = true);
+  /// Serializes/loads l0_/l1_/l2_ + counters to/from the fast tier.
+  Status SaveManifest();
+  Status LoadManifest();
+  Status WriteTable(
+      const std::vector<std::pair<std::string, std::string>>& entries,
+      bool to_slow, TableHandle* out);
+  Status DeleteTable(const TableHandle& handle, bool on_slow);
+  std::string FastName(uint64_t table_id) const;
+  std::string SlowKey(uint64_t table_id) const;
+
+  cloud::TieredEnv* env_;
+  std::string name_;
+  TimeLsmOptions options_;
+  BlockCache* block_cache_;
+
+  /// Two-lock design so background flush/compaction does not block
+  /// foreground insertion (§3.3): `mem_mu_` guards the memtable and
+  /// immutable queue only; `mu_` guards the level manifest. Lock order:
+  /// mem_mu_ before mu_.
+  mutable std::mutex mem_mu_;
+  mutable std::mutex mu_;
+  std::shared_ptr<MemTable> mem_;
+  std::deque<std::shared_ptr<MemTable>> immutables_;
+  std::unique_ptr<ThreadPool> flush_pool_;
+
+  std::vector<Partition> l0_;  // sorted by start
+  std::vector<Partition> l1_;  // sorted by start
+  std::vector<L2Partition> l2_;  // sorted by start
+
+  std::atomic<int64_t> l0_len_ms_;
+  std::atomic<int64_t> l2_len_ms_;
+
+  uint64_t next_table_id_ = 1;
+  uint64_t next_seq_ = 1;
+  int grow_votes_ = 0;  // Algorithm 1 growth hysteresis
+
+  TimeLsmStats stats_;
+};
+
+}  // namespace tu::lsm

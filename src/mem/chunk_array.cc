@@ -1,0 +1,93 @@
+#include "mem/chunk_array.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/memory_tracker.h"
+
+namespace tu::mem {
+
+ChunkArray::ChunkArray(std::string dir, std::string name, size_t chunk_size,
+                       size_t chunks_per_file)
+    : dir_(std::move(dir)),
+      name_(std::move(name)),
+      chunk_size_(chunk_size),
+      chunks_per_file_(chunks_per_file) {
+  // Header: bitmap rounded up to 64 bytes for alignment.
+  header_bytes_ = ((chunks_per_file_ + 7) / 8 + 63) / 64 * 64;
+}
+
+ChunkArray::~ChunkArray() {
+  MemoryTracker::Global().Sub(MemCategory::kSamples,
+                              static_cast<int64_t>(MemoryUsage()));
+}
+
+Status ChunkArray::AddFile() {
+  TU_RETURN_IF_ERROR(EnsureDir(dir_));
+  char suffix[16];
+  snprintf(suffix, sizeof(suffix), ".%04zu", files_.size());
+  const size_t file_bytes = header_bytes_ + chunks_per_file_ * chunk_size_;
+  File f;
+  TU_RETURN_IF_ERROR(
+      MmapFile::Open(dir_ + "/" + name_ + suffix, file_bytes, &f.mmap));
+  f.bitmap = std::make_unique<Bitmap>(
+      reinterpret_cast<uint8_t*>(f.mmap->data()), chunks_per_file_);
+  files_.push_back(std::move(f));
+  return Status::OK();
+}
+
+Status ChunkArray::Allocate(uint64_t* slot) {
+  for (size_t pass = 0; pass < files_.size(); ++pass) {
+    const size_t fi = (alloc_hint_file_ + pass) % files_.size();
+    const size_t bit = files_[fi].bitmap->FirstClear();
+    if (bit < chunks_per_file_) {
+      files_[fi].bitmap->Set(bit);
+      alloc_hint_file_ = fi;
+      *slot = fi * chunks_per_file_ + bit;
+      ++allocated_;
+      MemoryTracker::Global().Add(MemCategory::kSamples,
+                                  static_cast<int64_t>(chunk_size_));
+      return Status::OK();
+    }
+  }
+  TU_RETURN_IF_ERROR(AddFile());
+  const size_t fi = files_.size() - 1;
+  files_[fi].bitmap->Set(0);
+  alloc_hint_file_ = fi;
+  *slot = fi * chunks_per_file_;
+  ++allocated_;
+  MemoryTracker::Global().Add(MemCategory::kSamples,
+                              static_cast<int64_t>(chunk_size_));
+  return Status::OK();
+}
+
+void ChunkArray::Free(uint64_t slot) {
+  const size_t fi = slot / chunks_per_file_;
+  const size_t bit = slot % chunks_per_file_;
+  files_[fi].bitmap->Clear(bit);
+  memset(ChunkData(slot), 0, chunk_size_);
+  --allocated_;
+  MemoryTracker::Global().Sub(MemCategory::kSamples,
+                              static_cast<int64_t>(chunk_size_));
+}
+
+char* ChunkArray::ChunkData(uint64_t slot) {
+  const size_t fi = slot / chunks_per_file_;
+  const size_t bit = slot % chunks_per_file_;
+  return files_[fi].mmap->data() + header_bytes_ + bit * chunk_size_;
+}
+
+const char* ChunkArray::ChunkData(uint64_t slot) const {
+  return const_cast<ChunkArray*>(this)->ChunkData(slot);
+}
+
+Status ChunkArray::Sync() {
+  for (auto& f : files_) TU_RETURN_IF_ERROR(f.mmap->Sync());
+  return Status::OK();
+}
+
+void ChunkArray::AdviseDontNeed() {
+  for (auto& f : files_) f.mmap->AdviseDontNeed();
+}
+
+}  // namespace tu::mem

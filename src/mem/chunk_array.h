@@ -1,0 +1,68 @@
+// ChunkArray: the mmap file arrays for data samples (Fig. 9). Each mmap
+// file starts with an allocation bitmap header followed by fixed-size
+// chunks holding compressed sample bytes. Freed areas are reused; the
+// arrays grow by mapping new files. Because the backing is file mmap, the
+// OS can swap these pages instead of OOM-killing the process (§3.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/bitmap.h"
+#include "util/mmap_file.h"
+#include "util/status.h"
+
+namespace tu::mem {
+
+class ChunkArray {
+ public:
+  /// Chunks are `chunk_size` bytes; each mmap file holds `chunks_per_file`
+  /// of them plus the bitmap header.
+  ChunkArray(std::string dir, std::string name, size_t chunk_size,
+             size_t chunks_per_file = 4096);
+  ~ChunkArray();
+
+  ChunkArray(const ChunkArray&) = delete;
+  ChunkArray& operator=(const ChunkArray&) = delete;
+
+  /// Allocates a chunk; returns its stable slot id.
+  Status Allocate(uint64_t* slot);
+
+  /// Returns a freed slot to the free pool and zeroes its bitmap bit
+  /// ("the corresponding area of the mmap file will be cleaned", §3.2).
+  void Free(uint64_t slot);
+
+  /// Pointer to the chunk payload (chunk_size bytes, stable address).
+  char* ChunkData(uint64_t slot);
+  const char* ChunkData(uint64_t slot) const;
+
+  size_t chunk_size() const { return chunk_size_; }
+  uint64_t allocated_chunks() const { return allocated_; }
+
+  /// Bytes of payload currently allocated (memory accounting).
+  uint64_t MemoryUsage() const { return allocated_ * chunk_size_; }
+
+  Status Sync();
+  void AdviseDontNeed();
+
+ private:
+  struct File {
+    std::unique_ptr<MmapFile> mmap;
+    std::unique_ptr<Bitmap> bitmap;  // borrows the mmap header
+  };
+
+  Status AddFile();
+
+  std::string dir_;
+  std::string name_;
+  size_t chunk_size_;
+  size_t chunks_per_file_;
+  size_t header_bytes_;
+  std::vector<File> files_;
+  uint64_t allocated_ = 0;
+  size_t alloc_hint_file_ = 0;
+};
+
+}  // namespace tu::mem

@@ -1,0 +1,56 @@
+// Arena: bump allocator for memtable nodes and keys (LevelDB idiom).
+// All memory is released at once when the arena is destroyed.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tu {
+
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a pointer to `bytes` bytes of uninitialized memory.
+  char* Allocate(size_t bytes);
+
+  /// Like Allocate, but aligned for any scalar type (8 bytes).
+  char* AllocateAligned(size_t bytes);
+
+  /// Total memory footprint of the arena (approximate, thread-safe read).
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kBlockSize = 4096;
+
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_ = nullptr;
+  size_t alloc_bytes_remaining_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_{0};
+};
+
+inline char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+}  // namespace tu

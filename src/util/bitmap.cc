@@ -1,0 +1,26 @@
+#include "util/bitmap.h"
+
+#include <bit>
+
+namespace tu {
+
+size_t Bitmap::FirstClear() const {
+  const size_t nbytes = (nbits_ + 7) / 8;
+  for (size_t b = 0; b < nbytes; ++b) {
+    if (data_[b] != 0xff) {
+      const size_t bit = b * 8 + std::countr_one(data_[b]);
+      return bit < nbits_ ? bit : nbits_;
+    }
+  }
+  return nbits_;
+}
+
+size_t Bitmap::CountSet() const {
+  size_t count = 0;
+  const size_t full_bytes = nbits_ / 8;
+  for (size_t b = 0; b < full_bytes; ++b) count += std::popcount(data_[b]);
+  for (size_t i = full_bytes * 8; i < nbits_; ++i) count += Test(i) ? 1 : 0;
+  return count;
+}
+
+}  // namespace tu

@@ -1,0 +1,56 @@
+// Bitmap: fixed-capacity bit set used as the allocation header of mmap chunk
+// arrays (Fig. 9) and as the NULL mask of group chunk columns.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tu {
+
+/// A growable bit set with first-clear-bit search. Storage can either be
+/// owned (std::vector) or borrowed (a region inside an mmap'ed file header).
+class Bitmap {
+ public:
+  /// Owned storage with `nbits` capacity, all clear.
+  explicit Bitmap(size_t nbits)
+      : owned_((nbits + 7) / 8, 0), data_(owned_.data()), nbits_(nbits) {}
+
+  /// Borrowed storage: `data` must hold at least (nbits+7)/8 bytes and
+  /// outlive the Bitmap.
+  Bitmap(uint8_t* data, size_t nbits) : data_(data), nbits_(nbits) {}
+
+  size_t size() const { return nbits_; }
+
+  bool Test(size_t i) const {
+    assert(i < nbits_);
+    return (data_[i >> 3] >> (i & 7)) & 1;
+  }
+
+  void Set(size_t i) {
+    assert(i < nbits_);
+    data_[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+  }
+
+  void Clear(size_t i) {
+    assert(i < nbits_);
+    data_[i >> 3] &= static_cast<uint8_t>(~(1u << (i & 7)));
+  }
+
+  void ClearAll() { memset(data_, 0, (nbits_ + 7) / 8); }
+
+  /// Index of the first clear bit, or size() if the bitmap is full.
+  size_t FirstClear() const;
+
+  /// Number of set bits.
+  size_t CountSet() const;
+
+ private:
+  std::vector<uint8_t> owned_;
+  uint8_t* data_;
+  size_t nbits_;
+};
+
+}  // namespace tu

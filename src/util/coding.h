@@ -1,0 +1,104 @@
+// Binary encoding primitives: fixed-width little-endian integers for block
+// internals, big-endian for sortable LSM keys (§3.3 key format), and LEB128
+// varints for compact lengths.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace tu {
+
+// ---------- Fixed-width little-endian (block internals) ----------
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  memcpy(dst, &value, sizeof(value));  // host is little-endian (x86/ARM LE)
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t v;
+  memcpy(&v, ptr, sizeof(v));
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t v;
+  memcpy(&v, ptr, sizeof(v));
+  return v;
+}
+
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+// ---------- Fixed-width big-endian (sortable key encoding, §3.3) ----------
+
+/// Encodes `value` big-endian so that memcmp order equals numeric order.
+inline void EncodeBigEndian64(char* dst, uint64_t value) {
+  for (int i = 7; i >= 0; --i) {
+    dst[i] = static_cast<char>(value & 0xff);
+    value >>= 8;
+  }
+}
+
+inline uint64_t DecodeBigEndian64(const char* ptr) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(ptr[i]);
+  }
+  return v;
+}
+
+inline void PutBigEndian64(std::string* dst, uint64_t value) {
+  char buf[8];
+  EncodeBigEndian64(buf, value);
+  dst->append(buf, 8);
+}
+
+/// Encodes a signed timestamp big-endian with the sign bit flipped so the
+/// bytewise order matches signed numeric order (supports pre-epoch data).
+inline void PutOrderedInt64(std::string* dst, int64_t value) {
+  PutBigEndian64(dst, static_cast<uint64_t>(value) ^ (1ull << 63));
+}
+
+inline int64_t DecodeOrderedInt64(const char* ptr) {
+  return static_cast<int64_t>(DecodeBigEndian64(ptr) ^ (1ull << 63));
+}
+
+// ---------- LEB128 varints ----------
+
+char* EncodeVarint32(char* dst, uint32_t v);
+char* EncodeVarint64(char* dst, uint64_t v);
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Parses a varint32 from the front of `*input`, advancing it. Returns false
+/// on truncated input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Appends varint length + bytes.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+/// Parses a length-prefixed slice from the front of `*input`, advancing it.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+int VarintLength(uint64_t v);
+
+}  // namespace tu

@@ -1,0 +1,65 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tu {
+
+void Histogram::Add(double value) {
+  values_.push_back(value);
+  sum_ += value;
+  sorted_ = false;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sum_ += other.sum_;
+  sorted_ = false;
+}
+
+void Histogram::Clear() {
+  values_.clear();
+  sum_ = 0;
+  sorted_ = true;
+}
+
+double Histogram::Average() const {
+  return values_.empty() ? 0.0 : sum_ / static_cast<double>(values_.size());
+}
+
+double Histogram::Min() const {
+  SortIfNeeded();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Histogram::Max() const {
+  SortIfNeeded();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Histogram::Percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  SortIfNeeded();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count() << " avg=" << Average() << " p50=" << Percentile(50)
+     << " p99=" << Percentile(99) << " max=" << Max();
+  return os.str();
+}
+
+void Histogram::SortIfNeeded() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+}  // namespace tu

@@ -1,0 +1,37 @@
+// Histogram: latency statistics for the benchmark harness (avg / percentile
+// reporting matching the paper's query-latency figures).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tu {
+
+/// Records double-valued observations (typically microseconds) and reports
+/// count/avg/min/max/percentiles. Not thread-safe; one per measuring thread.
+class Histogram {
+ public:
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return static_cast<uint64_t>(values_.size()); }
+  double Average() const;
+  double Min() const;
+  double Max() const;
+  /// p in [0, 100]; nearest-rank percentile.
+  double Percentile(double p) const;
+
+  /// One-line summary: "count=N avg=X p50=Y p99=Z max=W".
+  std::string Summary() const;
+
+ private:
+  void SortIfNeeded() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  double sum_ = 0;
+};
+
+}  // namespace tu

@@ -1,0 +1,55 @@
+#include "util/memory_tracker.h"
+
+#include <sstream>
+
+namespace tu {
+
+const char* MemCategoryName(MemCategory c) {
+  switch (c) {
+    case MemCategory::kInvertedIndex:
+      return "inverted_index";
+    case MemCategory::kTags:
+      return "tags";
+    case MemCategory::kSamples:
+      return "samples";
+    case MemCategory::kBlockMeta:
+      return "block_meta";
+    case MemCategory::kMemtable:
+      return "memtable";
+    case MemCategory::kCache:
+      return "cache";
+    case MemCategory::kOther:
+      return "other";
+    case MemCategory::kNumCategories:
+      break;
+  }
+  return "invalid";
+}
+
+MemoryTracker& MemoryTracker::Global() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+int64_t MemoryTracker::Total() const {
+  int64_t sum = 0;
+  for (const auto& c : counters_) sum += c.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void MemoryTracker::Reset() {
+  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+}
+
+std::string MemoryTracker::Report() const {
+  std::ostringstream os;
+  os << "memory usage (bytes):\n";
+  for (int i = 0; i < static_cast<int>(MemCategory::kNumCategories); ++i) {
+    os << "  " << MemCategoryName(static_cast<MemCategory>(i)) << ": "
+       << counters_[i].load(std::memory_order_relaxed) << "\n";
+  }
+  os << "  total: " << Total() << "\n";
+  return os.str();
+}
+
+}  // namespace tu

@@ -1,0 +1,144 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+namespace tu {
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) munmap(data_, size_);
+  if (fd_ >= 0) close(fd_);
+}
+
+Status MmapFile::Open(const std::string& path, size_t size,
+                      std::unique_ptr<MmapFile>* out) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  if (ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    close(fd);
+    return Status::IOError("ftruncate " + path + ": " + strerror(errno));
+  }
+  void* addr = mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (addr == MAP_FAILED) {
+    close(fd);
+    return Status::IOError("mmap " + path + ": " + strerror(errno));
+  }
+  out->reset(new MmapFile(path, fd, static_cast<char*>(addr), size));
+  return Status::OK();
+}
+
+Status MmapFile::Sync() {
+  if (msync(data_, size_, MS_SYNC) != 0) {
+    return Status::IOError("msync " + path_ + ": " + strerror(errno));
+  }
+  return Status::OK();
+}
+
+void MmapFile::AdviseDontNeed() { madvise(data_, size_, MADV_DONTNEED); }
+
+MmapFileArray::MmapFileArray(std::string dir, std::string name,
+                             size_t file_size)
+    : dir_(std::move(dir)), name_(std::move(name)), file_size_(file_size) {}
+
+MmapFileArray::~MmapFileArray() = default;
+
+Status MmapFileArray::Reserve(size_t bytes) {
+  TU_RETURN_IF_ERROR(EnsureDir(dir_));
+  while (capacity() < bytes) {
+    char suffix[16];
+    snprintf(suffix, sizeof(suffix), ".%04zu", files_.size());
+    std::unique_ptr<MmapFile> f;
+    TU_RETURN_IF_ERROR(MmapFile::Open(dir_ + "/" + name_ + suffix, file_size_, &f));
+    files_.push_back(std::move(f));
+  }
+  return Status::OK();
+}
+
+char* MmapFileArray::At(size_t offset) {
+  assert(offset < capacity());
+  return files_[offset / file_size_]->data() + (offset % file_size_);
+}
+
+const char* MmapFileArray::At(size_t offset) const {
+  assert(offset < capacity());
+  return files_[offset / file_size_]->data() + (offset % file_size_);
+}
+
+void MmapFileArray::WriteBytes(size_t offset, const char* data, size_t len) {
+  size_t written = 0;
+  while (written < len) {
+    const size_t off = offset + written;
+    const size_t room = file_size_ - off % file_size_;
+    const size_t n = std::min(len - written, room);
+    memcpy(At(off), data + written, n);
+    written += n;
+  }
+}
+
+void MmapFileArray::ReadBytes(size_t offset, size_t len, char* out) const {
+  size_t done = 0;
+  while (done < len) {
+    const size_t off = offset + done;
+    const size_t room = file_size_ - off % file_size_;
+    const size_t n = std::min(len - done, room);
+    memcpy(out + done, At(off), n);
+    done += n;
+  }
+}
+
+Status MmapFileArray::Sync() {
+  for (auto& f : files_) TU_RETURN_IF_ERROR(f->Sync());
+  return Status::OK();
+}
+
+void MmapFileArray::AdviseDontNeed() {
+  for (auto& f : files_) f->AdviseDontNeed();
+}
+
+MmapSlotArray::MmapSlotArray(std::string dir, std::string name,
+                             size_t slot_size, size_t slots_per_file)
+    : slot_size_(slot_size),
+      slots_per_file_(slots_per_file),
+      array_(std::move(dir), std::move(name), slot_size * slots_per_file) {}
+
+Status MmapSlotArray::ReserveSlots(size_t n) {
+  const size_t files_needed = (n + slots_per_file_ - 1) / slots_per_file_;
+  return array_.Reserve(files_needed * array_.file_size());
+}
+
+char* MmapSlotArray::Slot(size_t i) {
+  const size_t file = i / slots_per_file_;
+  const size_t index_in_file = i % slots_per_file_;
+  return array_.At(file * array_.file_size() + index_in_file * slot_size_);
+}
+
+const char* MmapSlotArray::Slot(size_t i) const {
+  return const_cast<MmapSlotArray*>(this)->Slot(i);
+}
+
+Status EnsureDir(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) return Status::IOError("mkdir " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+  if (ec) return Status::IOError("rm -r " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+}  // namespace tu

@@ -1,0 +1,130 @@
+// MmapFile: a file-backed memory mapping that the OS can swap out under
+// memory pressure — the mechanism behind TimeUnion's memory-efficient index
+// and data-sample storage (§3.2). MmapFileArray chains fixed-size MmapFiles
+// into a growable address space ("dynamic mmap file arrays" in the paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tu {
+
+/// A single file mapped read-write into memory. Created at a fixed size;
+/// flushed with msync; unmapped + closed on destruction.
+class MmapFile {
+ public:
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Creates (or opens, if it exists) `path` with exactly `size` bytes and
+  /// maps it read-write. A fresh file is zero-filled by ftruncate.
+  static Status Open(const std::string& path, size_t size,
+                     std::unique_ptr<MmapFile>* out);
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// msync(MS_SYNC) the whole mapping.
+  Status Sync();
+
+  /// Advises the kernel the mapping won't be needed soon (lets it reclaim
+  /// the pages early — the paper's "positively swapped out" behaviour).
+  void AdviseDontNeed();
+
+ private:
+  MmapFile(std::string path, int fd, char* data, size_t size)
+      : path_(std::move(path)), fd_(fd), data_(data), size_(size) {}
+
+  std::string path_;
+  int fd_;
+  char* data_;
+  size_t size_;
+};
+
+/// A logically contiguous, dynamically growable byte array made of a chain
+/// of fixed-size mmap files: file i holds bytes [i*file_size, (i+1)*file_size).
+/// New files are appended on demand; existing addresses stay stable.
+class MmapFileArray {
+ public:
+  /// Files are created as `dir`/`name`.NNNN, each `file_size` bytes.
+  MmapFileArray(std::string dir, std::string name, size_t file_size);
+  ~MmapFileArray();
+
+  MmapFileArray(const MmapFileArray&) = delete;
+  MmapFileArray& operator=(const MmapFileArray&) = delete;
+
+  /// Ensures capacity for at least `bytes` bytes, mapping new files as
+  /// needed.
+  Status Reserve(size_t bytes);
+
+  /// Pointer to byte `offset`. The caller must only touch bytes inside the
+  /// same underlying file (i.e. [offset, offset + n) must not cross a
+  /// file_size boundary); SlotSpan() below gives safe fixed-slot access.
+  char* At(size_t offset);
+  const char* At(size_t offset) const;
+
+  /// Copies `len` bytes into the array at `offset`, handling file-boundary
+  /// crossings. Capacity must already cover [offset, offset+len).
+  void WriteBytes(size_t offset, const char* data, size_t len);
+
+  /// Copies `len` bytes out of the array at `offset`.
+  void ReadBytes(size_t offset, size_t len, char* out) const;
+
+  size_t capacity() const { return files_.size() * file_size_; }
+  size_t file_size() const { return file_size_; }
+  size_t num_files() const { return files_.size(); }
+
+  Status Sync();
+  void AdviseDontNeed();
+
+ private:
+  std::string dir_;
+  std::string name_;
+  size_t file_size_;
+  std::vector<std::unique_ptr<MmapFile>> files_;
+};
+
+/// Typed fixed-slot view over an MmapFileArray: slot i is `slot_size` bytes,
+/// and slots never cross file boundaries (slots_per_file = file_size /
+/// slot_size; the file tail remainder is unused).
+class MmapSlotArray {
+ public:
+  MmapSlotArray(std::string dir, std::string name, size_t slot_size,
+                size_t slots_per_file);
+
+  /// Ensures slot `i` is mapped.
+  Status ReserveSlots(size_t n);
+
+  char* Slot(size_t i);
+  const char* Slot(size_t i) const;
+
+  size_t slot_size() const { return slot_size_; }
+  size_t capacity_slots() const {
+    return array_.num_files() * slots_per_file_;
+  }
+
+  Status Sync() { return array_.Sync(); }
+  void AdviseDontNeed() { array_.AdviseDontNeed(); }
+
+ private:
+  size_t slot_size_;
+  size_t slots_per_file_;
+  MmapFileArray array_;
+};
+
+/// Creates directory `path` (and parents). OK if it already exists.
+Status EnsureDir(const std::string& path);
+
+/// Recursively removes `path` if it exists (test/bench cleanup).
+Status RemoveDirRecursive(const std::string& path);
+
+}  // namespace tu

@@ -1,0 +1,16 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace tu {
+
+double Random::NextGaussian(double mean, double stddev) {
+  // Box–Muller transform; u1 is kept away from 0 so log() is finite.
+  double u1 = NextDouble();
+  if (u1 < 1e-12) u1 = 1e-12;
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace tu

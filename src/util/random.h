@@ -1,0 +1,60 @@
+// Deterministic pseudo-random generators for workload generation and tests.
+#pragma once
+
+#include <cstdint>
+
+namespace tu {
+
+/// xorshift128+ generator: fast, reproducible across platforms, good enough
+/// for workload synthesis (not for cryptography).
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s0_ = seed * 0x9e3779b97f4a7c15ull + 1;
+    s1_ = Mix(s0_);
+    // Warm up so small seeds diverge.
+    for (int i = 0; i < 8; ++i) Next64();
+  }
+
+  uint64_t Next64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  uint32_t Next() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Skewed distribution: picks base in [0, max_log] uniformly, then a value
+  /// up to 2^base. Favors small numbers (LevelDB test idiom).
+  uint64_t Skewed(int max_log) { return Uniform(1ull << Uniform(max_log + 1)); }
+
+  /// Gaussian via Box–Muller (one value per call; slight waste, simple).
+  double NextGaussian(double mean, double stddev);
+
+ private:
+  static uint64_t Mix(uint64_t z) {
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace tu

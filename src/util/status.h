@@ -1,0 +1,79 @@
+// Status: result type for operations that can fail, following the
+// LevelDB/RocksDB idiom (no exceptions in the storage layer).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tu {
+
+/// Result of an operation that can fail. Cheap to copy in the OK case
+/// (single enum); carries a message otherwise.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kInvalidArgument,
+    kIOError,
+    kBusy,
+    kOutOfSpace,
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = {}) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg = {}) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg = {}) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = {}) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg = {}) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Busy(std::string_view msg = {}) { return Status(Code::kBusy, msg); }
+  static Status OutOfSpace(std::string_view msg = {}) {
+    return Status(Code::kOutOfSpace, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsOutOfSpace() const { return code_ == Code::kOutOfSpace; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "CODE: message" string for logs and error reporting.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), msg_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+/// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+/// enclosing function. Storage-layer internal plumbing helper.
+#define TU_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::tu::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace tu

@@ -1,0 +1,160 @@
+#include "lsm/chunk_merge.h"
+
+#include <gtest/gtest.h>
+
+#include "compress/chunk.h"
+
+namespace tu::lsm {
+namespace {
+
+using compress::GroupRow;
+using compress::Sample;
+
+std::string SeriesValue(uint64_t seq, std::vector<Sample> samples) {
+  std::string payload;
+  compress::EncodeSeriesChunk(seq, samples, &payload);
+  return MakeChunkValue(ChunkType::kSeries, payload);
+}
+
+TEST(PartitionIndexOf, Boundaries) {
+  const std::vector<int64_t> b = {0, 100, 200};
+  EXPECT_EQ(PartitionIndexOf(b, -1), -1);
+  EXPECT_EQ(PartitionIndexOf(b, 0), 0);
+  EXPECT_EQ(PartitionIndexOf(b, 99), 0);
+  EXPECT_EQ(PartitionIndexOf(b, 100), 1);
+  EXPECT_EQ(PartitionIndexOf(b, 250), 2);
+}
+
+TEST(MergeChunks, MergesAndSortsSeriesSamples) {
+  const std::string v1 = SeriesValue(1, {{100, 1.0}, {300, 3.0}});
+  const std::string v2 = SeriesValue(2, {{200, 2.0}, {400, 4.0}});
+  std::vector<ChunkInput> inputs = {{1, Slice(v1)}, {2, Slice(v2)}};
+
+  std::vector<MergedChunk> out;
+  ASSERT_TRUE(MergeChunks(inputs, {0, 1000}, 256, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].start_ts, 100);
+
+  uint64_t seq;
+  std::vector<Sample> samples;
+  ASSERT_TRUE(compress::DecodeSeriesChunk(
+                  ChunkValuePayload(out[0].value), &seq, &samples)
+                  .ok());
+  EXPECT_EQ(samples, (std::vector<Sample>{
+                         {100, 1.0}, {200, 2.0}, {300, 3.0}, {400, 4.0}}));
+  EXPECT_EQ(seq, 2u);  // max input seq survives
+}
+
+TEST(MergeChunks, NewestWinsOnDuplicateTimestamps) {
+  const std::string old_chunk = SeriesValue(1, {{100, 1.0}, {200, 2.0}});
+  const std::string new_chunk = SeriesValue(5, {{200, 9.0}});
+  std::vector<ChunkInput> inputs = {{1, Slice(old_chunk)},
+                                    {5, Slice(new_chunk)}};
+  std::vector<MergedChunk> out;
+  ASSERT_TRUE(MergeChunks(inputs, {0, 1000}, 256, &out).ok());
+  uint64_t seq;
+  std::vector<Sample> samples;
+  ASSERT_TRUE(compress::DecodeSeriesChunk(
+                  ChunkValuePayload(out[0].value), &seq, &samples)
+                  .ok());
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[1], (Sample{200, 9.0}));
+}
+
+TEST(MergeChunks, SplitsAtPartitionBoundaries) {
+  const std::string v =
+      SeriesValue(1, {{50, 1.0}, {150, 2.0}, {250, 3.0}});
+  std::vector<ChunkInput> inputs = {{1, Slice(v)}};
+  std::vector<MergedChunk> out;
+  ASSERT_TRUE(MergeChunks(inputs, {0, 100, 200, 300}, 256, &out).ok());
+  ASSERT_EQ(out.size(), 3u);  // one chunk per partition
+  EXPECT_EQ(out[0].start_ts, 50);
+  EXPECT_EQ(out[1].start_ts, 150);
+  EXPECT_EQ(out[2].start_ts, 250);
+}
+
+TEST(MergeChunks, CapsSamplesPerChunk) {
+  std::vector<Sample> many;
+  for (int i = 0; i < 100; ++i) many.push_back({i * 10LL, 1.0});
+  const std::string v = SeriesValue(1, many);
+  std::vector<ChunkInput> inputs = {{1, Slice(v)}};
+  std::vector<MergedChunk> out;
+  ASSERT_TRUE(MergeChunks(inputs, {0, 100000}, 32, &out).ok());
+  EXPECT_EQ(out.size(), 4u);  // 100 samples / 32 cap
+}
+
+TEST(MergeChunks, GroupCellwiseNewestWins) {
+  std::vector<GroupRow> old_rows(1);
+  old_rows[0] = {100, {1.0, 2.0}};
+  std::vector<GroupRow> new_rows(1);
+  new_rows[0] = {100, {9.0, std::nullopt}};  // member 1 missing in new chunk
+  std::string old_payload, new_payload;
+  compress::EncodeGroupChunk(1, 2, old_rows, &old_payload);
+  compress::EncodeGroupChunk(5, 2, new_rows, &new_payload);
+  const std::string v1 = MakeChunkValue(ChunkType::kGroup, old_payload);
+  const std::string v2 = MakeChunkValue(ChunkType::kGroup, new_payload);
+
+  std::vector<ChunkInput> inputs = {{1, Slice(v1)}, {5, Slice(v2)}};
+  std::vector<MergedChunk> out;
+  ASSERT_TRUE(MergeChunks(inputs, {0, 1000}, 256, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(ChunkValueType(out[0].value), ChunkType::kGroup);
+
+  uint64_t seq;
+  uint32_t members;
+  std::vector<GroupRow> rows;
+  ASSERT_TRUE(compress::DecodeGroupChunk(ChunkValuePayload(out[0].value),
+                                         &seq, &members, &rows)
+                  .ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(*rows[0].values[0], 9.0);  // newest non-null wins
+  EXPECT_EQ(*rows[0].values[1], 2.0);  // older value fills the NULL
+}
+
+TEST(MergeChunks, GroupWidthGrowsToNewestMembership) {
+  std::vector<GroupRow> narrow(1);
+  narrow[0] = {100, {1.0}};
+  std::vector<GroupRow> wide(1);
+  wide[0] = {200, {1.5, 2.5, 3.5}};
+  std::string p1, p2;
+  compress::EncodeGroupChunk(1, 1, narrow, &p1);
+  compress::EncodeGroupChunk(2, 3, wide, &p2);
+  const std::string v1 = MakeChunkValue(ChunkType::kGroup, p1);
+  const std::string v2 = MakeChunkValue(ChunkType::kGroup, p2);
+
+  std::vector<ChunkInput> inputs = {{1, Slice(v1)}, {2, Slice(v2)}};
+  std::vector<MergedChunk> out;
+  ASSERT_TRUE(MergeChunks(inputs, {0, 1000}, 256, &out).ok());
+  uint64_t seq;
+  uint32_t members;
+  std::vector<GroupRow> rows;
+  ASSERT_TRUE(compress::DecodeGroupChunk(ChunkValuePayload(out[0].value),
+                                         &seq, &members, &rows)
+                  .ok());
+  EXPECT_EQ(members, 3u);
+  ASSERT_EQ(rows.size(), 2u);
+  // The old row is padded with NULLs for the new members (§3.3).
+  EXPECT_FALSE(rows[0].values[1].has_value());
+  EXPECT_FALSE(rows[0].values[2].has_value());
+}
+
+TEST(MergeChunks, MixedTypesRejected) {
+  const std::string series = SeriesValue(1, {{100, 1.0}});
+  std::vector<GroupRow> rows(1);
+  rows[0] = {100, {1.0}};
+  std::string gp;
+  compress::EncodeGroupChunk(1, 1, rows, &gp);
+  const std::string group = MakeChunkValue(ChunkType::kGroup, gp);
+  std::vector<ChunkInput> inputs = {{1, Slice(series)}, {2, Slice(group)}};
+  std::vector<MergedChunk> out;
+  EXPECT_TRUE(MergeChunks(inputs, {0, 1000}, 256, &out).IsCorruption());
+}
+
+TEST(MergeChunks, EmptyInput) {
+  std::vector<MergedChunk> out;
+  ASSERT_TRUE(MergeChunks({}, {0, 1000}, 256, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace tu::lsm

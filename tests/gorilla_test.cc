@@ -1,0 +1,203 @@
+#include "compress/gorilla.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "compress/chunk.h"
+#include "util/random.h"
+
+namespace tu::compress {
+namespace {
+
+TEST(BitStream, RoundTripBits) {
+  char buf[64] = {};
+  BitWriter w(buf, sizeof(buf));
+  w.WriteBit(true);
+  w.WriteBit(false);
+  w.WriteBits(0b1011, 4);
+  w.WriteBits(0xdeadbeefcafebabeull, 64);
+  w.WriteBits(7, 3);
+
+  BitReader r(buf, sizeof(buf));
+  EXPECT_TRUE(r.ReadBit());
+  EXPECT_FALSE(r.ReadBit());
+  EXPECT_EQ(r.ReadBits(4), 0b1011u);
+  EXPECT_EQ(r.ReadBits(64), 0xdeadbeefcafebabeull);
+  EXPECT_EQ(r.ReadBits(3), 7u);
+}
+
+TEST(BitStream, RemainingBits) {
+  char buf[2];
+  BitWriter w(buf, sizeof(buf));
+  EXPECT_EQ(w.RemainingBits(), 16u);
+  w.WriteBits(0, 10);
+  EXPECT_EQ(w.RemainingBits(), 6u);
+  EXPECT_EQ(w.BytesUsed(), 2u);
+}
+
+std::vector<int64_t> RegularTimestamps(int n, int64_t start, int64_t step) {
+  std::vector<int64_t> out;
+  for (int i = 0; i < n; ++i) out.push_back(start + i * step);
+  return out;
+}
+
+TEST(GorillaTimestamps, RegularInterval) {
+  char buf[512] = {};
+  BitWriter w(buf, sizeof(buf));
+  TimestampEncoder enc;
+  const auto ts = RegularTimestamps(120, 1600000000000, 30000);
+  for (int64_t t : ts) enc.Append(&w, t);
+
+  // Regular intervals compress to ~1 bit/sample after the first two.
+  EXPECT_LT(w.BytesUsed(), 40u);
+
+  BitReader r(buf, sizeof(buf));
+  TimestampDecoder dec;
+  for (int64_t t : ts) EXPECT_EQ(dec.Next(&r), t);
+}
+
+TEST(GorillaTimestamps, JitteredAndNegativeDeltas) {
+  char buf[4096] = {};
+  BitWriter w(buf, sizeof(buf));
+  TimestampEncoder enc;
+  Random rng(99);
+  std::vector<int64_t> ts;
+  int64_t t = -5000;  // pre-epoch start
+  for (int i = 0; i < 500; ++i) {
+    t += static_cast<int64_t>(rng.Uniform(5000)) - 200;  // may go backwards
+    ts.push_back(t);
+    enc.Append(&w, t);
+  }
+  BitReader r(buf, sizeof(buf));
+  TimestampDecoder dec;
+  for (int64_t expect : ts) EXPECT_EQ(dec.Next(&r), expect);
+}
+
+TEST(GorillaTimestamps, AllDodBuckets) {
+  // Exercise every delta-of-delta bucket boundary.
+  const std::vector<int64_t> dods = {0,     1,     -63,   64,     65,
+                                     -255,  256,   257,   -2047,  2048,
+                                     2049,  100000, -100000, 1ll << 40};
+  std::vector<int64_t> ts = {0, 1000};
+  int64_t delta = 1000;
+  for (int64_t dod : dods) {
+    delta += dod;
+    ts.push_back(ts.back() + delta);
+  }
+  char buf[4096] = {};
+  BitWriter w(buf, sizeof(buf));
+  TimestampEncoder enc;
+  for (int64_t t : ts) enc.Append(&w, t);
+  BitReader r(buf, sizeof(buf));
+  TimestampDecoder dec;
+  for (int64_t expect : ts) EXPECT_EQ(dec.Next(&r), expect);
+}
+
+TEST(GorillaValues, ConstantValueCompressesToBits) {
+  char buf[512] = {};
+  BitWriter w(buf, sizeof(buf));
+  ValueEncoder enc;
+  for (int i = 0; i < 100; ++i) enc.Append(&w, 42.5);
+  EXPECT_LT(w.BytesUsed(), 24u);  // 8 bytes raw + ~1 bit each after
+
+  BitReader r(buf, sizeof(buf));
+  ValueDecoder dec;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dec.Next(&r), 42.5);
+}
+
+TEST(GorillaValues, SpecialDoubles) {
+  const std::vector<double> values = {
+      0.0, -0.0, 1.0, -1.0, 1e308, -1e308, 5e-324,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(), 3.141592653589793};
+  char buf[4096] = {};
+  BitWriter w(buf, sizeof(buf));
+  ValueEncoder enc;
+  for (double v : values) enc.Append(&w, v);
+  BitReader r(buf, sizeof(buf));
+  ValueDecoder dec;
+  for (double expect : values) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(dec.Next(&r)),
+              std::bit_cast<uint64_t>(expect));
+  }
+}
+
+TEST(GorillaValues, NaNRoundTrips) {
+  char buf[256] = {};
+  BitWriter w(buf, sizeof(buf));
+  ValueEncoder enc;
+  enc.Append(&w, std::nan(""));
+  enc.Append(&w, 1.0);
+  BitReader r(buf, sizeof(buf));
+  ValueDecoder dec;
+  EXPECT_TRUE(std::isnan(dec.Next(&r)));
+  EXPECT_EQ(dec.Next(&r), 1.0);
+}
+
+class GorillaValueRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GorillaValueRandomTest, RandomWalkRoundTrips) {
+  Random rng(GetParam());
+  std::vector<double> values;
+  double v = 100.0;
+  for (int i = 0; i < 1000; ++i) {
+    v += rng.NextGaussian(0, 1.5);
+    values.push_back(v);
+  }
+  std::vector<char> buf(values.size() * 12);
+  BitWriter w(buf.data(), buf.size());
+  ValueEncoder enc;
+  for (double x : values) {
+    ASSERT_GE(w.RemainingBits(), kMaxBitsPerValue);
+    enc.Append(&w, x);
+  }
+  BitReader r(buf.data(), buf.size());
+  ValueDecoder dec;
+  for (double expect : values) EXPECT_EQ(dec.Next(&r), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GorillaValueRandomTest,
+                         ::testing::Values(1, 17, 23, 99));
+
+TEST(NullableValues, NullsInterleaved) {
+  char buf[1024] = {};
+  BitWriter w(buf, sizeof(buf));
+  NullableValueEncoder enc;
+  enc.AppendValue(&w, 1.5);
+  enc.AppendNull(&w);
+  enc.AppendNull(&w);
+  enc.AppendValue(&w, 2.5);
+  enc.AppendValue(&w, 2.5);
+  enc.AppendNull(&w);
+
+  BitReader r(buf, sizeof(buf));
+  NullableValueDecoder dec;
+  double v = 0;
+  EXPECT_TRUE(dec.Next(&r, &v));
+  EXPECT_EQ(v, 1.5);
+  EXPECT_FALSE(dec.Next(&r, &v));
+  EXPECT_FALSE(dec.Next(&r, &v));
+  EXPECT_TRUE(dec.Next(&r, &v));
+  EXPECT_EQ(v, 2.5);
+  EXPECT_TRUE(dec.Next(&r, &v));
+  EXPECT_EQ(v, 2.5);
+  EXPECT_FALSE(dec.Next(&r, &v));
+}
+
+TEST(NullableValues, AllNullColumn) {
+  char buf[64] = {};
+  BitWriter w(buf, sizeof(buf));
+  NullableValueEncoder enc;
+  for (int i = 0; i < 100; ++i) enc.AppendNull(&w);
+  EXPECT_LE(w.BytesUsed(), 13u);  // 1 bit per NULL
+
+  BitReader r(buf, sizeof(buf));
+  NullableValueDecoder dec;
+  double v;
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(dec.Next(&r, &v));
+}
+
+}  // namespace
+}  // namespace tu::compress

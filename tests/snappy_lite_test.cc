@@ -1,0 +1,102 @@
+#include "compress/snappy_lite.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace tu::compress {
+namespace {
+
+void RoundTrip(const std::string& input) {
+  std::string compressed, output;
+  SnappyLiteCompress(input, &compressed);
+  EXPECT_LE(compressed.size(), SnappyLiteMaxCompressedSize(input.size()));
+  ASSERT_TRUE(SnappyLiteUncompress(compressed, &output).ok());
+  EXPECT_EQ(output, input);
+}
+
+TEST(SnappyLite, EmptyAndTiny) {
+  RoundTrip("");
+  RoundTrip("a");
+  RoundTrip("abc");
+}
+
+TEST(SnappyLite, RepetitiveDataCompresses) {
+  std::string input;
+  for (int i = 0; i < 100; ++i) input += "hello world, hello block! ";
+  std::string compressed;
+  SnappyLiteCompress(input, &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 4);
+  std::string output;
+  ASSERT_TRUE(SnappyLiteUncompress(compressed, &output).ok());
+  EXPECT_EQ(output, input);
+}
+
+TEST(SnappyLite, RleStyleOverlappingCopies) {
+  RoundTrip(std::string(10'000, 'x'));
+  std::string ab;
+  for (int i = 0; i < 5000; ++i) ab += (i % 2) ? 'a' : 'b';
+  RoundTrip(ab);
+}
+
+TEST(SnappyLite, IncompressibleDataSurvives) {
+  Random rng(1);
+  std::string input;
+  for (int i = 0; i < 10'000; ++i) {
+    input.push_back(static_cast<char>(rng.Next64() & 0xff));
+  }
+  RoundTrip(input);
+}
+
+class SnappyLiteRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SnappyLiteRandomTest, MixedEntropyRoundTrips) {
+  Random rng(GetParam());
+  std::string input;
+  while (input.size() < 50'000) {
+    if (rng.OneIn(3)) {
+      input.append(rng.Uniform(300) + 1, static_cast<char>(rng.Uniform(256)));
+    } else if (rng.OneIn(2) && input.size() > 100) {
+      const size_t start = rng.Uniform(input.size() - 50);
+      input.append(input, start, rng.Uniform(50) + 1);
+    } else {
+      for (int i = 0; i < 20; ++i) {
+        input.push_back(static_cast<char>(rng.Next64() & 0xff));
+      }
+    }
+  }
+  RoundTrip(input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnappyLiteRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(SnappyLite, MalformedInputRejected) {
+  std::string output;
+  EXPECT_FALSE(SnappyLiteUncompress(Slice("", 0), &output).ok());
+  // Claims a long literal run but the data is short.
+  std::string bogus;
+  bogus.push_back(20);   // uncompressed length varint
+  bogus.push_back(100);  // literal run of 101 bytes...
+  bogus += "short";
+  EXPECT_FALSE(SnappyLiteUncompress(bogus, &output).ok());
+  // Copy referencing data before the start of the output.
+  std::string bad_copy;
+  bad_copy.push_back(10);
+  bad_copy.push_back(static_cast<char>(0xF0));
+  bad_copy.push_back(50);  // offset 50 > output size 0
+  bad_copy.push_back(4);
+  EXPECT_FALSE(SnappyLiteUncompress(bad_copy, &output).ok());
+}
+
+TEST(SnappyLite, LengthMismatchDetected) {
+  std::string compressed;
+  SnappyLiteCompress("hello world", &compressed);
+  // Tamper with the declared length.
+  compressed[0] = 5;
+  std::string output;
+  EXPECT_FALSE(SnappyLiteUncompress(compressed, &output).ok());
+}
+
+}  // namespace
+}  // namespace tu::compress

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/bitmap.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/histogram.h"
+#include "util/lru_cache.h"
+#include "util/memory_tracker.h"
+#include "util/random.h"
+#include "util/slice.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace tu {
+namespace {
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::NotFound("missing key");
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::NotSupported().IsNotSupported());
+}
+
+TEST(SliceTest, CompareAndPrefix) {
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("b").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("hello").starts_with("hel"));
+  EXPECT_FALSE(Slice("he").starts_with("hel"));
+  Slice s("abcdef");
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+}
+
+TEST(CodingTest, VarintRoundTrip) {
+  const std::vector<uint64_t> values = {0,        1,        127,
+                                        128,      300,      1ull << 32,
+                                        UINT64_MAX};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(buf.size(), static_cast<size_t>(VarintLength(v)));
+    Slice in(buf);
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(&in, &got));
+    EXPECT_EQ(got, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodingTest, VarintTruncatedFails) {
+  std::string buf;
+  PutVarint64(&buf, UINT64_MAX);
+  buf.resize(buf.size() - 1);
+  Slice in(buf);
+  uint64_t got = 0;
+  EXPECT_FALSE(GetVarint64(&in, &got));
+}
+
+TEST(CodingTest, BigEndianIsSortable) {
+  std::string a, b, c;
+  PutBigEndian64(&a, 5);
+  PutBigEndian64(&b, 255);
+  PutBigEndian64(&c, 1ull << 40);
+  EXPECT_LT(Slice(a).compare(b), 0);
+  EXPECT_LT(Slice(b).compare(c), 0);
+  EXPECT_EQ(DecodeBigEndian64(c.data()), 1ull << 40);
+}
+
+TEST(CodingTest, OrderedInt64HandlesNegatives) {
+  std::string neg, zero, pos;
+  PutOrderedInt64(&neg, -1000);
+  PutOrderedInt64(&zero, 0);
+  PutOrderedInt64(&pos, 1000);
+  EXPECT_LT(Slice(neg).compare(zero), 0);
+  EXPECT_LT(Slice(zero).compare(pos), 0);
+  EXPECT_EQ(DecodeOrderedInt64(neg.data()), -1000);
+  EXPECT_EQ(DecodeOrderedInt64(pos.data()), 1000);
+}
+
+TEST(CodingTest, LengthPrefixedSlice) {
+  std::string buf;
+  PutLengthPrefixedSlice(&buf, "hello");
+  PutLengthPrefixedSlice(&buf, "");
+  PutLengthPrefixedSlice(&buf, "world");
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &c));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.ToString(), "world");
+}
+
+TEST(Crc32cTest, KnownProperties) {
+  const uint32_t crc1 = crc32c::Value("hello", 5);
+  const uint32_t crc2 = crc32c::Value("hello", 5);
+  const uint32_t crc3 = crc32c::Value("hellp", 5);
+  EXPECT_EQ(crc1, crc2);
+  EXPECT_NE(crc1, crc3);
+  // Extend must equal one-shot.
+  uint32_t ext = crc32c::Value("he", 2);
+  ext = crc32c::Extend(ext, "llo", 3);
+  EXPECT_EQ(ext, crc1);
+  // Mask is reversible and changes the value.
+  EXPECT_NE(crc32c::Mask(crc1), crc1);
+  EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc1)), crc1);
+}
+
+TEST(BitmapTest, SetClearFind) {
+  Bitmap bm(100);
+  EXPECT_EQ(bm.FirstClear(), 0u);
+  for (size_t i = 0; i < 10; ++i) bm.Set(i);
+  EXPECT_EQ(bm.FirstClear(), 10u);
+  EXPECT_EQ(bm.CountSet(), 10u);
+  bm.Clear(5);
+  EXPECT_EQ(bm.FirstClear(), 5u);
+  EXPECT_FALSE(bm.Test(5));
+  EXPECT_TRUE(bm.Test(6));
+  for (size_t i = 0; i < 100; ++i) bm.Set(i);
+  EXPECT_EQ(bm.FirstClear(), 100u);  // full
+  bm.ClearAll();
+  EXPECT_EQ(bm.CountSet(), 0u);
+}
+
+TEST(ArenaTest, AllocationsDisjointAndAligned) {
+  Arena arena;
+  std::set<char*> seen;
+  for (int i = 1; i < 300; ++i) {
+    char* p = arena.AllocateAligned(i);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+    memset(p, 0xab, i);  // must be writable
+    EXPECT_TRUE(seen.insert(p).second);
+  }
+  EXPECT_GT(arena.MemoryUsage(), 0u);
+}
+
+TEST(LRUCacheTest, EvictsLeastRecentlyUsed) {
+  LRUCacheShard<int> cache(100);
+  cache.Insert("a", std::make_shared<int>(1), 40);
+  cache.Insert("b", std::make_shared<int>(2), 40);
+  EXPECT_NE(cache.Lookup("a"), nullptr);  // touch a -> b becomes LRU
+  cache.Insert("c", std::make_shared<int>(3), 40);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_LE(cache.usage(), 100u);
+}
+
+TEST(LRUCacheTest, ShardedCacheCounts) {
+  LRUCache<int> cache(16 << 10);
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert("key" + std::to_string(i), std::make_shared<int>(i), 10);
+  }
+  int found = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (cache.Lookup("key" + std::to_string(i))) ++found;
+  }
+  EXPECT_EQ(found, 100);
+  EXPECT_GT(cache.hits(), 0u);
+  cache.Erase("key5");
+  EXPECT_EQ(cache.Lookup("key5"), nullptr);
+}
+
+TEST(MemoryTrackerTest, CategoriesIndependent) {
+  MemoryTracker tracker;
+  tracker.Add(MemCategory::kSamples, 100);
+  tracker.Add(MemCategory::kCache, 50);
+  tracker.Sub(MemCategory::kSamples, 30);
+  EXPECT_EQ(tracker.Get(MemCategory::kSamples), 70);
+  EXPECT_EQ(tracker.Get(MemCategory::kCache), 50);
+  EXPECT_EQ(tracker.Total(), 120);
+  tracker.Reset();
+  EXPECT_EQ(tracker.Total(), 0);
+}
+
+TEST(HistogramTest, PercentilesAndMerge) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Average(), 50.5);
+  EXPECT_EQ(h.Min(), 1);
+  EXPECT_EQ(h.Max(), 100);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 1.0);
+  EXPECT_NEAR(h.Percentile(99), 99, 1.5);
+
+  Histogram other;
+  other.Add(1000);
+  h.Merge(other);
+  EXPECT_EQ(h.Max(), 1000);
+  EXPECT_EQ(h.count(), 101u);
+}
+
+TEST(ThreadPoolTest, RunsAllTasksAndWaitsIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(RandomTest, DeterministicAndBounded) {
+  Random a(42), b(42), c(43);
+  EXPECT_EQ(a.Next64(), b.Next64());
+  EXPECT_NE(a.Next64(), c.Next64());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(a.Uniform(10), 10u);
+    const double d = a.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  // Gaussian sanity: mean near target.
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) sum += a.NextGaussian(5, 1);
+  EXPECT_NEAR(sum / 10000, 5.0, 0.1);
+}
+
+}  // namespace
+}  // namespace tu

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compaction_cost.dir/bench_compaction_cost.cc.o"
+  "CMakeFiles/bench_compaction_cost.dir/bench_compaction_cost.cc.o.d"
+  "bench_compaction_cost"
+  "bench_compaction_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compaction_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_devops.dir/bench_fig14_devops.cc.o"
+  "CMakeFiles/bench_fig14_devops.dir/bench_fig14_devops.cc.o.d"
+  "bench_fig14_devops"
+  "bench_fig14_devops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_devops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_big_devops.dir/bench_fig15_big_devops.cc.o"
+  "CMakeFiles/bench_fig15_big_devops.dir/bench_fig15_big_devops.cc.o.d"
+  "bench_fig15_big_devops"
+  "bench_fig15_big_devops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_big_devops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

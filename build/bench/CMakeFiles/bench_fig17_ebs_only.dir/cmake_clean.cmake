@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_ebs_only.dir/bench_fig17_ebs_only.cc.o"
+  "CMakeFiles/bench_fig17_ebs_only.dir/bench_fig17_ebs_only.cc.o.d"
+  "bench_fig17_ebs_only"
+  "bench_fig17_ebs_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_ebs_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

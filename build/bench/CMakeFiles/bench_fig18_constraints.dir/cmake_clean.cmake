@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_constraints.dir/bench_fig18_constraints.cc.o"
+  "CMakeFiles/bench_fig18_constraints.dir/bench_fig18_constraints.cc.o.d"
+  "bench_fig18_constraints"
+  "bench_fig18_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_tsdb_ldb.dir/bench_fig4_tsdb_ldb.cc.o"
+  "CMakeFiles/bench_fig4_tsdb_ldb.dir/bench_fig4_tsdb_ldb.cc.o.d"
+  "bench_fig4_tsdb_ldb"
+  "bench_fig4_tsdb_ldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tsdb_ldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

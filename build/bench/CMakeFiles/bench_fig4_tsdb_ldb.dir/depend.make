@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_tsdb_ldb.
+# This may be replaced when dependencies are built.

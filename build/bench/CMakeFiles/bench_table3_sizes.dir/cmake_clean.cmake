@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sizes.dir/bench_table3_sizes.cc.o"
+  "CMakeFiles/bench_table3_sizes.dir/bench_table3_sizes.cc.o.d"
+  "bench_table3_sizes"
+  "bench_table3_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/cortex_sim.cc" "src/CMakeFiles/timeunion.dir/baseline/cortex_sim.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/baseline/cortex_sim.cc.o.d"
+  "/root/repo/src/baseline/tsdb_engine.cc" "src/CMakeFiles/timeunion.dir/baseline/tsdb_engine.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/baseline/tsdb_engine.cc.o.d"
+  "/root/repo/src/cloud/block_store.cc" "src/CMakeFiles/timeunion.dir/cloud/block_store.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/cloud/block_store.cc.o.d"
+  "/root/repo/src/cloud/cost_model.cc" "src/CMakeFiles/timeunion.dir/cloud/cost_model.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/cloud/cost_model.cc.o.d"
+  "/root/repo/src/cloud/object_store.cc" "src/CMakeFiles/timeunion.dir/cloud/object_store.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/cloud/object_store.cc.o.d"
+  "/root/repo/src/cloud/storage_sim.cc" "src/CMakeFiles/timeunion.dir/cloud/storage_sim.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/cloud/storage_sim.cc.o.d"
+  "/root/repo/src/cloud/tiered_env.cc" "src/CMakeFiles/timeunion.dir/cloud/tiered_env.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/cloud/tiered_env.cc.o.d"
+  "/root/repo/src/compress/chunk.cc" "src/CMakeFiles/timeunion.dir/compress/chunk.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/compress/chunk.cc.o.d"
+  "/root/repo/src/compress/gorilla.cc" "src/CMakeFiles/timeunion.dir/compress/gorilla.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/compress/gorilla.cc.o.d"
+  "/root/repo/src/compress/snappy_lite.cc" "src/CMakeFiles/timeunion.dir/compress/snappy_lite.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/compress/snappy_lite.cc.o.d"
+  "/root/repo/src/core/maintenance.cc" "src/CMakeFiles/timeunion.dir/core/maintenance.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/core/maintenance.cc.o.d"
+  "/root/repo/src/core/sample_iterator.cc" "src/CMakeFiles/timeunion.dir/core/sample_iterator.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/core/sample_iterator.cc.o.d"
+  "/root/repo/src/core/timeunion_db.cc" "src/CMakeFiles/timeunion.dir/core/timeunion_db.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/core/timeunion_db.cc.o.d"
+  "/root/repo/src/core/wal.cc" "src/CMakeFiles/timeunion.dir/core/wal.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/core/wal.cc.o.d"
+  "/root/repo/src/index/double_array_trie.cc" "src/CMakeFiles/timeunion.dir/index/double_array_trie.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/index/double_array_trie.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/timeunion.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/labels.cc" "src/CMakeFiles/timeunion.dir/index/labels.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/index/labels.cc.o.d"
+  "/root/repo/src/index/postings.cc" "src/CMakeFiles/timeunion.dir/index/postings.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/index/postings.cc.o.d"
+  "/root/repo/src/index/tag_store.cc" "src/CMakeFiles/timeunion.dir/index/tag_store.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/index/tag_store.cc.o.d"
+  "/root/repo/src/lsm/block.cc" "src/CMakeFiles/timeunion.dir/lsm/block.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/lsm/block.cc.o.d"
+  "/root/repo/src/lsm/bloom.cc" "src/CMakeFiles/timeunion.dir/lsm/bloom.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/lsm/bloom.cc.o.d"
+  "/root/repo/src/lsm/chunk_merge.cc" "src/CMakeFiles/timeunion.dir/lsm/chunk_merge.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/lsm/chunk_merge.cc.o.d"
+  "/root/repo/src/lsm/leveled_lsm.cc" "src/CMakeFiles/timeunion.dir/lsm/leveled_lsm.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/lsm/leveled_lsm.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/CMakeFiles/timeunion.dir/lsm/memtable.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/lsm/memtable.cc.o.d"
+  "/root/repo/src/lsm/merging_iterator.cc" "src/CMakeFiles/timeunion.dir/lsm/merging_iterator.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/lsm/merging_iterator.cc.o.d"
+  "/root/repo/src/lsm/skiplist.cc" "src/CMakeFiles/timeunion.dir/lsm/skiplist.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/lsm/skiplist.cc.o.d"
+  "/root/repo/src/lsm/table_builder.cc" "src/CMakeFiles/timeunion.dir/lsm/table_builder.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/lsm/table_builder.cc.o.d"
+  "/root/repo/src/lsm/table_format.cc" "src/CMakeFiles/timeunion.dir/lsm/table_format.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/lsm/table_format.cc.o.d"
+  "/root/repo/src/lsm/table_reader.cc" "src/CMakeFiles/timeunion.dir/lsm/table_reader.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/lsm/table_reader.cc.o.d"
+  "/root/repo/src/lsm/time_lsm.cc" "src/CMakeFiles/timeunion.dir/lsm/time_lsm.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/lsm/time_lsm.cc.o.d"
+  "/root/repo/src/mem/chunk_array.cc" "src/CMakeFiles/timeunion.dir/mem/chunk_array.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/mem/chunk_array.cc.o.d"
+  "/root/repo/src/mem/head.cc" "src/CMakeFiles/timeunion.dir/mem/head.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/mem/head.cc.o.d"
+  "/root/repo/src/tsbs/devops.cc" "src/CMakeFiles/timeunion.dir/tsbs/devops.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/tsbs/devops.cc.o.d"
+  "/root/repo/src/util/arena.cc" "src/CMakeFiles/timeunion.dir/util/arena.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/util/arena.cc.o.d"
+  "/root/repo/src/util/bitmap.cc" "src/CMakeFiles/timeunion.dir/util/bitmap.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/util/bitmap.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/timeunion.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/timeunion.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/util/crc32c.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/timeunion.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/memory_tracker.cc" "src/CMakeFiles/timeunion.dir/util/memory_tracker.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/util/memory_tracker.cc.o.d"
+  "/root/repo/src/util/mmap_file.cc" "src/CMakeFiles/timeunion.dir/util/mmap_file.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/util/mmap_file.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/timeunion.dir/util/random.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/timeunion.dir/util/status.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/util/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/timeunion.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/timeunion.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunk_merge_test.dir/chunk_merge_test.cc.o"
+  "CMakeFiles/chunk_merge_test.dir/chunk_merge_test.cc.o.d"
+  "chunk_merge_test"
+  "chunk_merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunk_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

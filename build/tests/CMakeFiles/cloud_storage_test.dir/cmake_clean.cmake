@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_storage_test.dir/cloud_storage_test.cc.o"
+  "CMakeFiles/cloud_storage_test.dir/cloud_storage_test.cc.o.d"
+  "cloud_storage_test"
+  "cloud_storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

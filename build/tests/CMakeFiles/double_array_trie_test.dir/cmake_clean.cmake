@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_array_trie_test.dir/double_array_trie_test.cc.o"
+  "CMakeFiles/double_array_trie_test.dir/double_array_trie_test.cc.o.d"
+  "double_array_trie_test"
+  "double_array_trie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_array_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorilla_test.dir/gorilla_test.cc.o"
+  "CMakeFiles/gorilla_test.dir/gorilla_test.cc.o.d"
+  "gorilla_test"
+  "gorilla_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorilla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

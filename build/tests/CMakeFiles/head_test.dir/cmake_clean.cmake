@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_test.dir/head_test.cc.o"
+  "CMakeFiles/head_test.dir/head_test.cc.o.d"
+  "head_test"
+  "head_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leveled_lsm_test.dir/leveled_lsm_test.cc.o"
+  "CMakeFiles/leveled_lsm_test.dir/leveled_lsm_test.cc.o.d"
+  "leveled_lsm_test"
+  "leveled_lsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leveled_lsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

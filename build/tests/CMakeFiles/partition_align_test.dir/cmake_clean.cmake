@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_align_test.dir/partition_align_test.cc.o"
+  "CMakeFiles/partition_align_test.dir/partition_align_test.cc.o.d"
+  "partition_align_test"
+  "partition_align_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_align_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

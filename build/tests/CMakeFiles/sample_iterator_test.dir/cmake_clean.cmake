@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_iterator_test.dir/sample_iterator_test.cc.o"
+  "CMakeFiles/sample_iterator_test.dir/sample_iterator_test.cc.o.d"
+  "sample_iterator_test"
+  "sample_iterator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_iterator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snappy_lite_test.dir/snappy_lite_test.cc.o"
+  "CMakeFiles/snappy_lite_test.dir/snappy_lite_test.cc.o.d"
+  "snappy_lite_test"
+  "snappy_lite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snappy_lite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

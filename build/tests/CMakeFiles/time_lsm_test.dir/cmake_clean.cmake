@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_lsm_test.dir/time_lsm_test.cc.o"
+  "CMakeFiles/time_lsm_test.dir/time_lsm_test.cc.o.d"
+  "time_lsm_test"
+  "time_lsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_lsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeunion_db_test.dir/timeunion_db_test.cc.o"
+  "CMakeFiles/timeunion_db_test.dir/timeunion_db_test.cc.o.d"
+  "timeunion_db_test"
+  "timeunion_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeunion_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

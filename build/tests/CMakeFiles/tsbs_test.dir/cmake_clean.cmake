@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsbs_test.dir/tsbs_test.cc.o"
+  "CMakeFiles/tsbs_test.dir/tsbs_test.cc.o.d"
+  "tsbs_test"
+  "tsbs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsdb_engine_test.dir/tsdb_engine_test.cc.o"
+  "CMakeFiles/tsdb_engine_test.dir/tsdb_engine_test.cc.o.d"
+  "tsdb_engine_test"
+  "tsdb_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsdb_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

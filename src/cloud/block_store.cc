@@ -8,6 +8,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "cloud/fault_injector.h"
 #include "util/mmap_file.h"
 
 namespace tu::cloud {
@@ -24,8 +25,21 @@ class PosixWritableFile : public WritableFile {
   }
 
   Status Append(const Slice& data) override {
+    size_t write_bytes = data.size();
+    Status injected;
+    if (store_->fault() != nullptr) {
+      size_t keep = 0;
+      injected = store_->fault()->InterceptWrite(FaultOp::kAppend, fname_,
+                                                 data.size(), &keep);
+      if (!injected.ok()) {
+        store_->CountFault();
+        if (keep == 0) return injected;
+        // Torn write: the prefix still reaches the file before the error.
+        write_bytes = keep;
+      }
+    }
     const char* p = data.data();
-    size_t left = data.size();
+    size_t left = write_bytes;
     while (left > 0) {
       ssize_t n = ::write(fd_, p, left);
       if (n < 0) {
@@ -35,14 +49,21 @@ class PosixWritableFile : public WritableFile {
       p += n;
       left -= static_cast<size_t>(n);
     }
-    size_ += data.size();
-    store_->ChargeWrite(data.size());
-    return Status::OK();
+    size_ += write_bytes;
+    store_->ChargeWrite(write_bytes);
+    return injected;
   }
 
   Status Flush() override { return Status::OK(); }
 
   Status Sync() override {
+    if (store_->fault() != nullptr) {
+      Status injected = store_->fault()->Intercept(FaultOp::kSync, fname_);
+      if (!injected.ok()) {
+        store_->CountFault();
+        return injected;
+      }
+    }
     if (::fdatasync(fd_) != 0) {
       return Status::IOError("fdatasync " + fname_ + ": " + strerror(errno));
     }
@@ -79,6 +100,13 @@ class PosixRandomAccessFile : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               std::string* scratch) const override {
+    if (store_->fault() != nullptr) {
+      Status injected = store_->fault()->Intercept(FaultOp::kGet, fname_);
+      if (!injected.ok()) {
+        store_->CountFault();
+        return injected;
+      }
+    }
     scratch->resize(n);
     ssize_t got = ::pread(fd_, scratch->data(), n, static_cast<off_t>(offset));
     if (got < 0) {
@@ -86,6 +114,12 @@ class PosixRandomAccessFile : public RandomAccessFile {
     }
     *result = Slice(scratch->data(), static_cast<size_t>(got));
     store_->ChargeRead(fname_, static_cast<uint64_t>(got));
+    if (n > 0 && got == 0) {
+      // Same boundary rule as ObjectStore::GetRange: short reads within the
+      // file are fine, but a start offset at or past EOF is a caller error.
+      return Status::InvalidArgument("offset " + std::to_string(offset) +
+                                     " at or beyond size of " + fname_);
+    }
     return Status::OK();
   }
 
@@ -107,6 +141,13 @@ BlockStore::BlockStore(std::string root_dir, TierSimOptions sim)
 
 Status BlockStore::NewWritableFile(const std::string& fname,
                                    std::unique_ptr<WritableFile>* out) {
+  if (fault() != nullptr) {
+    Status injected = fault()->Intercept(FaultOp::kOpen, fname);
+    if (!injected.ok()) {
+      CountFault();
+      return injected;
+    }
+  }
   const std::string path = FullPath(fname);
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
@@ -118,6 +159,13 @@ Status BlockStore::NewWritableFile(const std::string& fname,
 
 Status BlockStore::NewRandomAccessFile(const std::string& fname,
                                        std::unique_ptr<RandomAccessFile>* out) {
+  if (fault() != nullptr) {
+    Status injected = fault()->Intercept(FaultOp::kOpen, fname);
+    if (!injected.ok()) {
+      CountFault();
+      return injected;
+    }
+  }
   const std::string path = FullPath(fname);
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
@@ -156,6 +204,13 @@ Status BlockStore::WriteStringToFile(const std::string& fname,
 }
 
 Status BlockStore::DeleteFile(const std::string& fname) {
+  if (fault() != nullptr) {
+    Status injected = fault()->Intercept(FaultOp::kDelete, fname);
+    if (!injected.ok()) {
+      CountFault();
+      return injected;
+    }
+  }
   counters_.delete_ops.fetch_add(1, std::memory_order_relaxed);
   if (::unlink(FullPath(fname).c_str()) != 0) {
     if (errno == ENOENT) return Status::NotFound(fname);
@@ -165,6 +220,13 @@ Status BlockStore::DeleteFile(const std::string& fname) {
 }
 
 Status BlockStore::RenameFile(const std::string& src, const std::string& dst) {
+  if (fault() != nullptr) {
+    Status injected = fault()->Intercept(FaultOp::kRename, src);
+    if (!injected.ok()) {
+      CountFault();
+      return injected;
+    }
+  }
   if (::rename(FullPath(src).c_str(), FullPath(dst).c_str()) != 0) {
     return Status::IOError("rename " + src + " -> " + dst + ": " +
                            strerror(errno));
@@ -173,6 +235,13 @@ Status BlockStore::RenameFile(const std::string& src, const std::string& dst) {
 }
 
 Status BlockStore::FileExists(const std::string& fname) const {
+  if (fault() != nullptr) {
+    Status injected = fault()->Intercept(FaultOp::kStat, fname);
+    if (!injected.ok()) {
+      CountFault();
+      return injected;
+    }
+  }
   struct stat st;
   if (::stat(FullPath(fname).c_str(), &st) != 0) {
     return Status::NotFound(fname);
@@ -182,6 +251,13 @@ Status BlockStore::FileExists(const std::string& fname) const {
 
 Status BlockStore::GetFileSize(const std::string& fname,
                                uint64_t* size) const {
+  if (fault() != nullptr) {
+    Status injected = fault()->Intercept(FaultOp::kStat, fname);
+    if (!injected.ok()) {
+      CountFault();
+      return injected;
+    }
+  }
   struct stat st;
   if (::stat(FullPath(fname).c_str(), &st) != 0) {
     return Status::NotFound(fname);
@@ -192,6 +268,13 @@ Status BlockStore::GetFileSize(const std::string& fname,
 
 Status BlockStore::ListDir(const std::string& dir,
                            std::vector<std::string>* names) const {
+  if (fault() != nullptr) {
+    Status injected = fault()->Intercept(FaultOp::kList, dir);
+    if (!injected.ok()) {
+      CountFault();
+      return injected;
+    }
+  }
   names->clear();
   std::error_code ec;
   const std::string path = dir.empty() ? root_ : FullPath(dir);

@@ -67,6 +67,12 @@ class BlockStore {
   TierCounters& counters() { return counters_; }
   const TierSimOptions& sim() const { return sim_; }
   const std::string& root() const { return root_; }
+  /// The scripted failure model for this tier, or null.
+  FaultInjector* fault() const { return sim_.fault.get(); }
+  /// Records one injected fault against this tier (used by file handles).
+  void CountFault() const {
+    counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::string FullPath(const std::string& fname) const {
     return root_ + "/" + fname;
@@ -82,7 +88,8 @@ class BlockStore {
 
   std::string root_;
   TierSimOptions sim_;
-  TierCounters counters_;
+  // Mutable: const probes (Exists/Size/List) still count injected faults.
+  mutable TierCounters counters_;
 
   mutable std::mutex mu_;
   std::unordered_set<std::string> read_before_;

@@ -1,0 +1,144 @@
+#include "cloud/fault_injector.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tu::cloud {
+
+FaultRule FaultRule::Transient(uint32_t op_mask, double probability,
+                               std::string key_prefix) {
+  FaultRule rule;
+  rule.ops = op_mask;
+  rule.probability = probability;
+  rule.key_prefix = std::move(key_prefix);
+  rule.kind = Kind::kTransient;
+  return rule;
+}
+
+FaultRule FaultRule::Permanent(uint32_t op_mask, uint64_t fail_nth,
+                               std::string key_prefix) {
+  FaultRule rule;
+  rule.ops = op_mask;
+  rule.fail_nth = fail_nth;
+  rule.max_fires = 1;
+  rule.key_prefix = std::move(key_prefix);
+  rule.kind = Kind::kPermanent;
+  return rule;
+}
+
+FaultRule FaultRule::TornWrite(uint32_t op_mask, uint64_t fail_nth,
+                               double keep_fraction, std::string key_prefix) {
+  FaultRule rule;
+  rule.ops = op_mask;
+  rule.fail_nth = fail_nth;
+  rule.max_fires = 1;
+  rule.key_prefix = std::move(key_prefix);
+  rule.kind = Kind::kTornWrite;
+  rule.torn_keep_fraction = keep_fraction;
+  return rule;
+}
+
+void FaultInjector::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(std::move(rule));
+}
+
+void FaultInjector::SetPolicy(FaultPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_ = std::move(policy.rules);
+}
+
+void FaultInjector::ArmCrashPoint(const std::string& site,
+                                  uint64_t skip_hits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CrashPoint& point = crash_points_[site];
+  point.skip_hits = skip_hits;
+  point.hits = 0;
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  crash_points_.clear();
+  faults_injected_ = 0;
+}
+
+Status FaultInjector::Intercept(FaultOp op, const std::string& key) {
+  size_t ignored = 0;
+  return InterceptWrite(op, key, 0, &ignored);
+}
+
+Status FaultInjector::InterceptWrite(FaultOp op, const std::string& key,
+                                     size_t size, size_t* keep_bytes) {
+  *keep_bytes = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FaultRule& rule : rules_) {
+    if ((rule.ops & FaultOpMask(op)) == 0) continue;
+    if (!rule.key_prefix.empty() &&
+        key.compare(0, rule.key_prefix.size(), rule.key_prefix) != 0) {
+      continue;
+    }
+    rule.matches++;
+    if (rule.max_fires >= 0 &&
+        rule.fires >= static_cast<uint64_t>(rule.max_fires)) {
+      continue;
+    }
+    bool fire = false;
+    if (rule.fail_nth > 0) {
+      fire = (rule.matches == rule.fail_nth);
+    } else if (rule.probability > 0.0) {
+      fire = (rng_.NextDouble() < rule.probability);
+    }
+    if (!fire) continue;
+    rule.fires++;
+    faults_injected_++;
+    switch (rule.kind) {
+      case FaultRule::Kind::kTransient:
+        return Status::Busy("injected transient fault on " + key);
+      case FaultRule::Kind::kPermanent:
+        return Status::IOError("injected permanent fault on " + key);
+      case FaultRule::Kind::kTornWrite:
+        *keep_bytes = static_cast<size_t>(static_cast<double>(size) *
+                                          rule.torn_keep_fraction);
+        if (*keep_bytes >= size && size > 0) *keep_bytes = size - 1;
+        return Status::IOError("injected torn write on " + key);
+      case FaultRule::Kind::kCrash:
+        std::fprintf(stderr, "[fault_injector] crash rule fired on %s\n",
+                     key.c_str());
+        std::fflush(stderr);
+        std::_Exit(kFaultCrashExitCode);
+    }
+  }
+  return Status::OK();
+}
+
+void FaultInjector::MaybeCrash(const std::string& site) {
+  bool crash = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = crash_points_.find(site);
+    if (it == crash_points_.end()) return;
+    it->second.hits++;
+    crash = (it->second.hits > it->second.skip_hits);
+    if (crash) faults_injected_++;
+  }
+  if (crash) {
+    std::fprintf(stderr, "[fault_injector] crash point \"%s\" fired\n",
+                 site.c_str());
+    std::fflush(stderr);
+    std::_Exit(kFaultCrashExitCode);
+  }
+}
+
+uint64_t FaultInjector::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_injected_;
+}
+
+uint64_t FaultInjector::CrashPointHits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = crash_points_.find(site);
+  return it == crash_points_.end() ? 0 : it->second.hits;
+}
+
+}  // namespace tu::cloud

@@ -1,0 +1,138 @@
+// FaultInjector: scriptable failure model for the simulated cloud tiers.
+// Real hybrid-cloud deployments see transient 5xx/throttling errors, torn
+// (partial) uploads and process crashes as routine events; the stores
+// consult an injector before each operation so tests and benches can make
+// any tier misbehave on demand.
+//
+// Two mechanisms:
+//   - FaultRule: matched per operation (op-kind bitmask + key prefix),
+//     triggered probabilistically or deterministically on the Nth matching
+//     op. A rule injects a transient error (Status::Busy — the retryable
+//     class), a permanent error (Status::IOError), a torn write that
+//     persists only a prefix of the payload, or a process crash.
+//   - Crash points: labeled sites in the write/compaction/WAL paths
+//     (e.g. "l2.upload.pre_commit"). Arming a label makes the process
+//     _Exit at that site, simulating a kill -9 for recovery tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tu::cloud {
+
+/// Operation kinds a fault rule can match (bitmask).
+enum class FaultOp : uint32_t {
+  kPut = 1u << 0,     // whole-object Put / WriteStringToFile
+  kGet = 1u << 1,     // ranged Get / positional read
+  kDelete = 1u << 2,  // object/file delete
+  kStat = 1u << 3,    // exists / size probes
+  kList = 1u << 4,    // directory/prefix listing
+  kAppend = 1u << 5,  // WritableFile::Append
+  kSync = 1u << 6,    // WritableFile::Sync
+  kRename = 1u << 7,  // rename/commit
+  kOpen = 1u << 8,    // file/handle open
+};
+
+constexpr uint32_t kAllFaultOps = 0xffffffffu;
+
+inline uint32_t FaultOpMask(FaultOp op) { return static_cast<uint32_t>(op); }
+inline uint32_t operator|(FaultOp a, FaultOp b) {
+  return FaultOpMask(a) | FaultOpMask(b);
+}
+
+/// One scripted failure. A rule fires either probabilistically
+/// (`probability`) or deterministically on the `fail_nth`-th matching
+/// operation (1-based); `max_fires` bounds how often it can fire.
+struct FaultRule {
+  enum class Kind {
+    kTransient,  // retryable: the injected Status::Busy models S3 5xx/throttle
+    kPermanent,  // non-retryable: Status::IOError
+    kTornWrite,  // persist only torn_keep_fraction of the payload, then fail
+    kCrash,      // _Exit the process at the matched operation
+  };
+
+  uint32_t ops = kAllFaultOps;  // bitmask of FaultOp
+  std::string key_prefix;       // empty matches every key
+  double probability = 0.0;     // chance to fire per matching op
+  uint64_t fail_nth = 0;        // fire exactly on the Nth match; 0 = off
+  int max_fires = -1;           // -1 = unlimited
+  Kind kind = Kind::kTransient;
+  double torn_keep_fraction = 0.5;  // kTornWrite: payload prefix persisted
+
+  // -- Convenience constructors -------------------------------------------
+  static FaultRule Transient(uint32_t op_mask, double probability,
+                             std::string key_prefix = "");
+  static FaultRule Permanent(uint32_t op_mask, uint64_t fail_nth,
+                             std::string key_prefix = "");
+  static FaultRule TornWrite(uint32_t op_mask, uint64_t fail_nth,
+                             double keep_fraction, std::string key_prefix = "");
+
+  // -- Internal trigger bookkeeping (mutated by the injector) -------------
+  uint64_t matches = 0;
+  uint64_t fires = 0;
+};
+
+/// The whole scripted failure scenario: an ordered rule list (first firing
+/// rule wins per operation).
+struct FaultPolicy {
+  std::vector<FaultRule> rules;
+};
+
+/// Exit code used by injected crashes, so crash-recovery tests can tell a
+/// fired crash point apart from any other child-process failure.
+constexpr int kFaultCrashExitCode = 43;
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 42) : rng_(seed) {}
+
+  void AddRule(FaultRule rule);
+  void SetPolicy(FaultPolicy policy);
+  /// Arms the labeled crash site: the process _Exits on the
+  /// (skip_hits+1)-th time execution reaches it.
+  void ArmCrashPoint(const std::string& site, uint64_t skip_hits = 0);
+  void Clear();
+
+  /// Consulted by the stores before a non-payload operation. OK = proceed.
+  Status Intercept(FaultOp op, const std::string& key);
+
+  /// Consulted before a write of `size` payload bytes. On a torn-write
+  /// fault, *keep_bytes is set to the prefix length the caller must still
+  /// persist before reporting the returned (non-OK) status; otherwise
+  /// *keep_bytes is 0 on failure.
+  Status InterceptWrite(FaultOp op, const std::string& key, size_t size,
+                        size_t* keep_bytes);
+
+  /// Labeled crash site (no-op unless armed via ArmCrashPoint).
+  void MaybeCrash(const std::string& site);
+
+  uint64_t faults_injected() const;
+  /// Times the labeled site was reached (armed or not yet fired).
+  uint64_t CrashPointHits(const std::string& site) const;
+
+ private:
+  struct CrashPoint {
+    uint64_t skip_hits = 0;
+    uint64_t hits = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<FaultRule> rules_;
+  std::map<std::string, CrashPoint> crash_points_;
+  Random rng_;
+  uint64_t faults_injected_ = 0;
+};
+
+/// Null-safe helper for labeled crash sites in engine code.
+inline void CrashPoint(FaultInjector* injector, const char* site) {
+  if (injector != nullptr) injector->MaybeCrash(site);
+}
+
+}  // namespace tu::cloud

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "cloud/fault_injector.h"
 #include "util/mmap_file.h"
 
 namespace tu::cloud {
@@ -65,6 +66,19 @@ std::string ObjectStore::KeyPath(const std::string& key) const {
 }
 
 Status ObjectStore::PutObject(const std::string& key, const Slice& data) {
+  size_t write_bytes = data.size();
+  Status injected;
+  if (sim_.fault != nullptr) {
+    size_t keep = 0;
+    injected = sim_.fault->InterceptWrite(FaultOp::kPut, key, data.size(), &keep);
+    if (!injected.ok()) {
+      counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      if (keep == 0) return injected;
+      // Torn write: the truncated payload still lands at the key, so a
+      // later size/CRC verification can catch it.
+      write_bytes = keep;
+    }
+  }
   const std::string path = KeyPath(key);
   const std::string tmp = path + ".upload";
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -72,7 +86,7 @@ Status ObjectStore::PutObject(const std::string& key, const Slice& data) {
     return Status::IOError("open " + tmp + ": " + strerror(errno));
   }
   const char* p = data.data();
-  size_t left = data.size();
+  size_t left = write_bytes;
   while (left > 0) {
     ssize_t n = ::write(fd, p, left);
     if (n < 0) {
@@ -88,9 +102,9 @@ Status ObjectStore::PutObject(const std::string& key, const Slice& data) {
     return Status::IOError("rename " + tmp + ": " + strerror(errno));
   }
   counters_.put_ops.fetch_add(1, std::memory_order_relaxed);
-  counters_.bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
-  ChargeLatency(sim_, &counters_, sim_.ChargeUs(data.size(), false));
-  return Status::OK();
+  counters_.bytes_written.fetch_add(write_bytes, std::memory_order_relaxed);
+  ChargeLatency(sim_, &counters_, sim_.ChargeUs(write_bytes, false));
+  return injected;
 }
 
 Status ObjectStore::GetObject(const std::string& key, std::string* out) {
@@ -101,6 +115,13 @@ Status ObjectStore::GetObject(const std::string& key, std::string* out) {
 
 Status ObjectStore::GetRange(const std::string& key, uint64_t offset, size_t n,
                              std::string* out) {
+  if (sim_.fault != nullptr) {
+    Status injected = sim_.fault->Intercept(FaultOp::kGet, key);
+    if (!injected.ok()) {
+      counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      return injected;
+    }
+  }
   const std::string path = KeyPath(key);
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
@@ -114,6 +135,12 @@ Status ObjectStore::GetRange(const std::string& key, uint64_t offset, size_t n,
     return Status::IOError("pread " + path + ": " + strerror(errno));
   }
   out->resize(static_cast<size_t>(got));
+  if (n > 0 && got == 0) {
+    // Reads that start within the object return a (possibly short) prefix;
+    // an offset at or past the end is a caller error, as in S3's 416.
+    return Status::InvalidArgument("offset " + std::to_string(offset) +
+                                   " at or beyond size of " + key);
+  }
   counters_.get_ops.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes_read.fetch_add(static_cast<uint64_t>(got),
                                  std::memory_order_relaxed);
@@ -124,6 +151,13 @@ Status ObjectStore::GetRange(const std::string& key, uint64_t offset, size_t n,
 }
 
 Status ObjectStore::DeleteObject(const std::string& key) {
+  if (sim_.fault != nullptr) {
+    Status injected = sim_.fault->Intercept(FaultOp::kDelete, key);
+    if (!injected.ok()) {
+      counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      return injected;
+    }
+  }
   counters_.delete_ops.fetch_add(1, std::memory_order_relaxed);
   if (::unlink(KeyPath(key).c_str()) != 0) {
     if (errno == ENOENT) return Status::NotFound(key);
@@ -133,20 +167,61 @@ Status ObjectStore::DeleteObject(const std::string& key) {
 }
 
 Status ObjectStore::ObjectExists(const std::string& key) const {
+  if (sim_.fault != nullptr) {
+    Status injected = sim_.fault->Intercept(FaultOp::kStat, key);
+    if (!injected.ok()) {
+      counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      return injected;
+    }
+  }
   struct stat st;
   if (::stat(KeyPath(key).c_str(), &st) != 0) return Status::NotFound(key);
   return Status::OK();
 }
 
 Status ObjectStore::ObjectSize(const std::string& key, uint64_t* size) const {
+  if (sim_.fault != nullptr) {
+    Status injected = sim_.fault->Intercept(FaultOp::kStat, key);
+    if (!injected.ok()) {
+      counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      return injected;
+    }
+  }
   struct stat st;
   if (::stat(KeyPath(key).c_str(), &st) != 0) return Status::NotFound(key);
   *size = static_cast<uint64_t>(st.st_size);
   return Status::OK();
 }
 
+Status ObjectStore::RenameObject(const std::string& src,
+                                 const std::string& dst) {
+  if (sim_.fault != nullptr) {
+    Status injected = sim_.fault->Intercept(FaultOp::kRename, src);
+    if (!injected.ok()) {
+      counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      return injected;
+    }
+  }
+  const std::string src_path = KeyPath(src);
+  const std::string dst_path = KeyPath(dst);
+  if (::rename(src_path.c_str(), dst_path.c_str()) != 0) {
+    if (errno == ENOENT) return Status::NotFound(src);
+    return Status::IOError("rename " + src + ": " + strerror(errno));
+  }
+  // One metadata request: per-op latency, no payload bytes.
+  ChargeLatency(sim_, &counters_, sim_.ChargeUs(0, false));
+  return Status::OK();
+}
+
 Status ObjectStore::ListObjects(const std::string& prefix,
                                 std::vector<std::string>* keys) const {
+  if (sim_.fault != nullptr) {
+    Status injected = sim_.fault->Intercept(FaultOp::kList, prefix);
+    if (!injected.ok()) {
+      counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      return injected;
+    }
+  }
   keys->clear();
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {

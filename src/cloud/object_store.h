@@ -34,6 +34,10 @@ class ObjectStore {
   Status ObjectExists(const std::string& key) const;
   Status ObjectSize(const std::string& key, uint64_t* size) const;
 
+  /// Atomically renames `src` to `dst` (models an S3 server-side
+  /// copy+delete used as the commit step of an atomic upload protocol).
+  Status RenameObject(const std::string& src, const std::string& dst);
+
   /// Lists keys with the given prefix (lexicographic order).
   Status ListObjects(const std::string& prefix,
                      std::vector<std::string>* keys) const;
@@ -44,6 +48,8 @@ class ObjectStore {
   const TierCounters& counters() const { return counters_; }
   TierCounters& counters() { return counters_; }
   const TierSimOptions& sim() const { return sim_; }
+  /// The scripted failure model for this tier, or null.
+  FaultInjector* fault() const { return sim_.fault.get(); }
 
  private:
   std::string KeyPath(const std::string& key) const;
@@ -51,7 +57,8 @@ class ObjectStore {
 
   std::string root_;
   TierSimOptions sim_;
-  TierCounters counters_;
+  // Mutable: const probes (Exists/Size/List) still count injected faults.
+  mutable TierCounters counters_;
 
   mutable std::mutex mu_;
   std::unordered_set<std::string> read_before_;

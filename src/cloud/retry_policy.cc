@@ -1,0 +1,59 @@
+#include "cloud/retry_policy.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "cloud/storage_sim.h"
+#include "util/random.h"
+
+namespace tu::cloud {
+
+Status RunWithRetry(const RetryPolicy& policy, TierCounters* counters,
+                    std::string_view what, const std::function<Status()>& op) {
+  // Seed per call site from the address of `what` + a process-wide counter,
+  // so concurrent retry loops don't sleep in lockstep.
+  static std::atomic<uint64_t> call_seq{0};
+  Random rng(0x9e3779b9u ^ call_seq.fetch_add(1, std::memory_order_relaxed));
+
+  uint64_t backoff_us = policy.initial_backoff_us;
+  uint64_t slept_us = 0;
+  Status s;
+  for (int attempt = 1;; ++attempt) {
+    s = op();
+    if (s.ok() || !policy.ShouldRetry(s)) return s;
+    const bool budget_spent =
+        policy.total_budget_us > 0 && slept_us >= policy.total_budget_us;
+    if (attempt >= policy.max_attempts || budget_spent) {
+      if (counters != nullptr) {
+        counters->retry_give_ups.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::IOError("gave up after " + std::to_string(attempt) +
+                             " attempt(s) on " + std::string(what) + ": " +
+                             s.ToString());
+    }
+    uint64_t sleep_us = backoff_us;
+    if (policy.jitter > 0.0 && sleep_us > 0) {
+      const double low = 1.0 - policy.jitter;
+      sleep_us = static_cast<uint64_t>(
+          static_cast<double>(sleep_us) * (low + policy.jitter * rng.NextDouble()));
+    }
+    if (policy.total_budget_us > 0) {
+      sleep_us = std::min(sleep_us, policy.total_budget_us - slept_us);
+    }
+    if (policy.real_sleep && sleep_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    }
+    slept_us += sleep_us;
+    backoff_us = std::min(
+        policy.max_backoff_us,
+        static_cast<uint64_t>(static_cast<double>(backoff_us) *
+                              policy.backoff_multiplier));
+    if (counters != nullptr) {
+      counters->retries.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace tu::cloud

@@ -1,0 +1,54 @@
+// RetryPolicy: exponential backoff with jitter for slow-tier operations.
+// Object stores throttle and fail transiently as a matter of course; the
+// engine wraps its slow-tier call sites (L2 uploads, patch writes, block
+// fetches) in RunWithRetry so transient errors are absorbed instead of
+// surfacing to compaction or queries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace tu::cloud {
+
+struct TierCounters;
+
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 5;
+  uint64_t initial_backoff_us = 200;
+  uint64_t max_backoff_us = 50'000;
+  double backoff_multiplier = 2.0;
+  /// Fraction of the backoff randomized: sleep ∈ [b*(1-jitter), b].
+  double jitter = 0.5;
+  /// Give up once cumulative backoff exceeds this budget (0 = unlimited).
+  uint64_t total_budget_us = 5'000'000;
+  /// Transient (Busy) errors always retry; IOError only if this is set.
+  bool retry_io_errors = false;
+  /// Actually sleep between attempts. Tests disable for speed.
+  bool real_sleep = true;
+
+  bool ShouldRetry(const Status& s) const {
+    return s.IsBusy() || (retry_io_errors && s.IsIOError());
+  }
+
+  static RetryPolicy Default() { return RetryPolicy{}; }
+  /// No retries at all: each error surfaces immediately.
+  static RetryPolicy None() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+/// Runs `op` until it succeeds, fails non-retryably, or the policy's
+/// attempt/time budget is exhausted. Each retry bumps counters->retries;
+/// exhausting the budget on a retryable error bumps counters->retry_give_ups.
+/// `what` labels the operation in give-up messages. `counters` may be null.
+Status RunWithRetry(const RetryPolicy& policy, TierCounters* counters,
+                    std::string_view what, const std::function<Status()>& op);
+
+}  // namespace tu::cloud

@@ -41,6 +41,9 @@ void TierCounters::Reset() {
   bytes_read = 0;
   bytes_written = 0;
   charged_us = 0;
+  faults_injected = 0;
+  retries = 0;
+  retry_give_ups = 0;
 }
 
 std::string TierCounters::Report(const std::string& tier_name) const {
@@ -48,7 +51,9 @@ std::string TierCounters::Report(const std::string& tier_name) const {
   os << tier_name << ": gets=" << get_ops.load() << " puts=" << put_ops.load()
      << " deletes=" << delete_ops.load() << " read_bytes=" << bytes_read.load()
      << " written_bytes=" << bytes_written.load()
-     << " charged_ms=" << charged_us.load() / 1000;
+     << " charged_ms=" << charged_us.load() / 1000
+     << " faults=" << faults_injected.load() << " retries=" << retries.load()
+     << " give_ups=" << retry_give_ups.load();
   return os.str();
 }
 

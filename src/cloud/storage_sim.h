@@ -10,9 +10,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "cloud/retry_policy.h"
+
 namespace tu::cloud {
+
+class FaultInjector;
 
 /// Latency model of one storage tier. Latencies are charged per operation:
 ///   latency_us = per_op_latency_us + bytes / bandwidth_bytes_per_us
@@ -27,6 +32,14 @@ struct TierSimOptions {
   double first_read_penalty = 1.0;  // multiplier on the first read of an object
   bool real_sleep = false;
   double sleep_scale = 1.0;  // fraction of charged latency actually slept
+
+  /// Optional scripted failure model consulted before each operation
+  /// (see fault_injector.h). Null = every op succeeds.
+  std::shared_ptr<FaultInjector> fault;
+
+  /// Backoff policy the engine's call sites apply to this tier's
+  /// retryable (transient) errors.
+  RetryPolicy retry;
 
   /// AWS EBS gp2-like defaults, calibrated against Fig. 1: ~0.1 ms/op,
   /// ~250 MB/s, first read 1.8x slower.
@@ -53,6 +66,12 @@ struct TierCounters {
   std::atomic<uint64_t> bytes_written{0};
   /// Total charged latency in microseconds (simulated time).
   std::atomic<uint64_t> charged_us{0};
+  /// Failures the fault injector produced against this tier.
+  std::atomic<uint64_t> faults_injected{0};
+  /// Operations re-issued by RunWithRetry after a transient error.
+  std::atomic<uint64_t> retries{0};
+  /// Retry loops that exhausted their attempt/time budget.
+  std::atomic<uint64_t> retry_give_ups{0};
 
   void Reset();
   std::string Report(const std::string& tier_name) const;

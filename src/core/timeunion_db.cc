@@ -1,6 +1,7 @@
 #include "core/timeunion_db.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <regex>
 
@@ -123,6 +124,7 @@ Status TimeUnionDB::MaybeLog(const WalRecord& record) {
 }
 
 Status TimeUnionDB::RecoverFromWal() {
+  recovery_report_ = RecoveryReport{};
   // Pass 1: newest flush mark per id — samples at or below it are already
   // safe in the (manifest-recovered) LSM.
   std::map<uint64_t, uint64_t> flushed;
@@ -137,6 +139,7 @@ Status TimeUnionDB::RecoverFromWal() {
   // Pass 2: rebuild registries, heads and unflushed samples. WAL logging
   // is suppressed during replay by temporarily detaching the writer.
   auto saved_wal = std::move(wal_);
+  WalReplayStats replay_stats;
   Status replay_status =
       ReplayWal(&env_->fast(), "WAL", [&](const WalRecord& r) -> Status {
         switch (r.type) {
@@ -220,9 +223,28 @@ Status TimeUnionDB::RecoverFromWal() {
             return Status::OK();
         }
         return Status::OK();
-      });
+      },
+      &replay_stats);
   wal_ = std::move(saved_wal);
+  recovery_report_.wal = replay_stats;
+  if (time_lsm_ != nullptr) {
+    recovery_report_.tables_quarantined =
+        time_lsm_->stats().tables_quarantined.load(std::memory_order_relaxed);
+    recovery_report_.orphans_swept =
+        time_lsm_->stats().orphans_swept.load(std::memory_order_relaxed);
+  }
+  if (!replay_stats.Clean() || recovery_report_.tables_quarantined > 0) {
+    std::fprintf(stderr, "[timeunion_db] recovery: wal %s, quarantined=%llu\n",
+                 replay_stats.ToString().c_str(),
+                 static_cast<unsigned long long>(
+                     recovery_report_.tables_quarantined));
+  }
   return replay_status;
+}
+
+Status TimeUnionDB::SyncWal() {
+  if (!wal_) return Status::OK();
+  return wal_->Sync();
 }
 
 // ---------------------------------------------------------------------------

@@ -67,6 +67,14 @@ struct DBOptions {
   std::function<int64_t()> maintenance_clock;
 };
 
+/// What the last Open salvaged: WAL replay stats plus the LSM's open-time
+/// quarantine/sweep counts. All zeros / clean after an orderly shutdown.
+struct RecoveryReport {
+  WalReplayStats wal;
+  uint64_t tables_quarantined = 0;
+  uint64_t orphans_swept = 0;
+};
+
 /// One series in a query result.
 struct SeriesResult {
   uint64_t id = 0;
@@ -148,6 +156,11 @@ class TimeUnionDB {
   /// boundary; production relies on chunk-full flushing).
   Status Flush();
 
+  /// Syncs the WAL to stable storage. A sample is only crash-durable
+  /// (guaranteed to survive reopen) once a SyncWal after its insert
+  /// returned OK. No-op without `enable_wal`.
+  Status SyncWal();
+
   /// Drops data older than `watermark` and purges dead memory objects
   /// (§3.3 data retention).
   Status ApplyRetention(int64_t watermark);
@@ -156,6 +169,8 @@ class TimeUnionDB {
 
   uint64_t NumSeries() const;
   uint64_t NumGroups() const;
+  /// What the Open-time recovery salvaged/dropped (see RecoveryReport).
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
   /// Index memory (trie + postings), §3.2 accounting.
   uint64_t IndexMemoryUsage() const;
   cloud::TieredEnv& env() { return *env_; }
@@ -225,6 +240,7 @@ class TimeUnionDB {
   std::unordered_map<uint64_t, GroupEntry> groups_;
   uint64_t next_id_ = 1;
   int64_t registry_bytes_ = 0;  // kTags accounting of the maps above
+  RecoveryReport recovery_report_;
 
   // Declared last: its thread must stop before the members above die.
   std::unique_ptr<MaintenanceWorker> maintenance_;

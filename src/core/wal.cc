@@ -1,7 +1,9 @@
 #include "core/wal.h"
 
 #include <map>
+#include <sstream>
 
+#include "cloud/fault_injector.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 
@@ -163,6 +165,9 @@ Status WalWriter::Open() {
 
 Status WalWriter::Append(const WalRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Crash here = the process died before the record reached the log: the
+  // sample was never acknowledged, so replay correctly omits it.
+  cloud::CrashPoint(store_->fault(), "wal.append");
   std::string payload;
   EncodeWalRecord(record, &payload);
   std::string framed;
@@ -174,7 +179,10 @@ Status WalWriter::Append(const WalRecord& record) {
   return file_->Append(framed);
 }
 
-Status WalWriter::Sync() { return file_->Sync(); }
+Status WalWriter::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_->Sync();
+}
 
 Status WalWriter::Purge() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -218,25 +226,79 @@ Status WalWriter::Purge() {
   return Open();
 }
 
+std::string WalReplayStats::ToString() const {
+  std::ostringstream os;
+  os << "applied=" << records_applied;
+  if (Clean()) {
+    os << (torn_tail ? " torn_tail" : " clean_eof");
+  } else {
+    os << " corruption_at=" << corruption_offset
+       << " dropped_records=" << records_dropped
+       << " dropped_bytes=" << bytes_dropped;
+  }
+  return os.str();
+}
+
 Status ReplayWal(cloud::BlockStore* store, const std::string& fname,
-                 const std::function<Status(const WalRecord&)>& fn) {
+                 const std::function<Status(const WalRecord&)>& fn,
+                 WalReplayStats* stats) {
+  WalReplayStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = WalReplayStats{};
+
   std::string contents;
   Status s = store->ReadFileToString(fname, &contents);
-  if (s.IsNotFound()) return Status::OK();
+  if (s.IsNotFound()) {
+    stats->clean_eof = true;
+    return Status::OK();
+  }
   TU_RETURN_IF_ERROR(s);
 
   Slice in(contents);
+  uint64_t offset = 0;
+  while (true) {
+    if (in.empty()) {
+      stats->clean_eof = true;
+      return Status::OK();
+    }
+    if (in.size() < 8) {
+      // A partial header: the process died mid-append. Expected; the
+      // records before it are all intact.
+      stats->torn_tail = true;
+      return Status::OK();
+    }
+    const uint32_t crc = crc32c::Unmask(DecodeFixed32(in.data()));
+    const uint32_t len = DecodeFixed32(in.data() + 4);
+    if (in.size() < 8 + static_cast<size_t>(len)) {
+      stats->torn_tail = true;
+      return Status::OK();
+    }
+    const Slice payload(in.data() + 8, len);
+    WalRecord record;
+    if (crc32c::Value(payload.data(), payload.size()) != crc ||
+        !DecodeWalRecord(payload, &record).ok()) {
+      break;  // mid-log damage: everything from here on is untrusted
+    }
+    TU_RETURN_IF_ERROR(fn(record));
+    stats->records_applied++;
+    in.remove_prefix(8 + len);
+    offset += 8 + len;
+  }
+
+  // Mid-log corruption. Replay must stop (records past a gap cannot be
+  // applied in order), but count what follows so the caller can report
+  // how much was lost rather than silently truncating.
+  stats->corruption_offset = offset;
+  stats->bytes_dropped = in.size();
+  in.remove_prefix(8 + std::min<size_t>(in.size() - 8,
+                                        DecodeFixed32(in.data() + 4)));
   while (in.size() >= 8) {
     const uint32_t crc = crc32c::Unmask(DecodeFixed32(in.data()));
     const uint32_t len = DecodeFixed32(in.data() + 4);
-    if (in.size() < 8 + static_cast<size_t>(len)) break;  // truncated tail
+    if (in.size() < 8 + static_cast<size_t>(len)) break;
     const Slice payload(in.data() + 8, len);
-    if (crc32c::Value(payload.data(), payload.size()) != crc) {
-      break;  // torn write: stop replay at the corruption point
-    }
-    WalRecord record;
-    TU_RETURN_IF_ERROR(DecodeWalRecord(payload, &record));
-    TU_RETURN_IF_ERROR(fn(record));
+    if (crc32c::Value(payload.data(), payload.size()) != crc) break;
+    stats->records_dropped++;
     in.remove_prefix(8 + len);
   }
   return Status::OK();

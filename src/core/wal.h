@@ -74,9 +74,37 @@ class WalWriter {
   uint64_t bytes_written_ = 0;
 };
 
+/// What a WAL replay salvaged and what it had to drop. A clean log ends
+/// exactly at a record boundary; a crash mid-append leaves a truncated
+/// tail (expected, tolerated); a CRC mismatch before the tail means the
+/// log body itself is damaged and everything after it is dropped.
+struct WalReplayStats {
+  uint64_t records_applied = 0;
+  /// Whole records past the corruption point that framed+checksummed
+  /// correctly but were not applied (replay cannot trust their order).
+  uint64_t records_dropped = 0;
+  /// Bytes from the first bad frame to end of log.
+  uint64_t bytes_dropped = 0;
+  /// Byte offset of the first bad frame, or kNoCorruption.
+  uint64_t corruption_offset = kNoCorruption;
+  /// Log ended exactly on a record boundary.
+  bool clean_eof = false;
+  /// The final frame was cut short (crash mid-append) — benign.
+  bool torn_tail = false;
+
+  static constexpr uint64_t kNoCorruption = ~0ull;
+
+  bool Clean() const { return corruption_offset == kNoCorruption; }
+  std::string ToString() const;
+};
+
 /// Replays `fname`, invoking `fn` per record in order. Tolerates a
-/// truncated tail (crash mid-append).
+/// truncated tail (crash mid-append); a mid-log CRC corruption stops the
+/// replay at the damaged frame. Either way the Status is OK and `stats`
+/// (optional) reports what was salvaged vs. dropped — callers decide
+/// whether dropped bytes are acceptable.
 Status ReplayWal(cloud::BlockStore* store, const std::string& fname,
-                 const std::function<Status(const WalRecord&)>& fn);
+                 const std::function<Status(const WalRecord&)>& fn,
+                 WalReplayStats* stats = nullptr);
 
 }  // namespace tu::core

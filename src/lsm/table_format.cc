@@ -64,4 +64,15 @@ std::string TableFileName(uint64_t table_id) {
   return buf;
 }
 
+bool ParseTableFileName(const std::string& name, uint64_t* table_id) {
+  if (name.size() < 5 || !name.ends_with(".sst")) return false;
+  uint64_t id = 0;
+  for (size_t i = 0; i + 4 < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    id = id * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *table_id = id;
+  return true;
+}
+
 }  // namespace tu::lsm

@@ -69,4 +69,8 @@ struct TableMeta {
 /// File/object naming shared by the engines.
 std::string TableFileName(uint64_t table_id);
 
+/// Inverse of TableFileName: true if `name` is a table file, extracting its
+/// id. Used by the open-time orphan sweep to tell tables from other files.
+bool ParseTableFileName(const std::string& name, uint64_t* table_id);
+
 }  // namespace tu::lsm

@@ -1,5 +1,6 @@
 #include "lsm/table_reader.h"
 
+#include "cloud/retry_policy.h"
 #include "compress/snappy_lite.h"
 #include "lsm/bloom.h"
 #include "util/crc32c.h"
@@ -28,14 +29,20 @@ Status FastTableSource::ReadAt(uint64_t offset, size_t n,
 Status SlowTableSource::Open(cloud::ObjectStore* store, const std::string& key,
                              std::unique_ptr<TableSource>* out) {
   uint64_t size = 0;
-  TU_RETURN_IF_ERROR(store->ObjectSize(key, &size));
+  TU_RETURN_IF_ERROR(cloud::RunWithRetry(
+      store->sim().retry, &store->counters(), "stat " + key,
+      [&] { return store->ObjectSize(key, &size); }));
   out->reset(new SlowTableSource(store, key, size));
   return Status::OK();
 }
 
 Status SlowTableSource::ReadAt(uint64_t offset, size_t n,
                                std::string* out) const {
-  TU_RETURN_IF_ERROR(store_->GetRange(key_, offset, n, out));
+  // Block fetches hit the object store per call; transient throttling here
+  // would otherwise fail a whole query.
+  TU_RETURN_IF_ERROR(cloud::RunWithRetry(
+      store_->sim().retry, &store_->counters(), "get " + key_,
+      [&] { return store_->GetRange(key_, offset, n, out); }));
   if (out->size() != n) {
     return Status::Corruption("short object read");
   }

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <map>
+#include <unordered_set>
 
+#include "cloud/fault_injector.h"
 #include "lsm/chunk_merge.h"
 #include "lsm/key_format.h"
 #include "lsm/merging_iterator.h"
+#include "util/crc32c.h"
 #include "util/memory_tracker.h"
 
 namespace tu::lsm {
@@ -88,7 +92,138 @@ Status TimePartitionedLsm::Open() {
   }
   if (options_.persist_manifest) {
     TU_RETURN_IF_ERROR(LoadManifest());
+    TU_RETURN_IF_ERROR(RecoverStorageState());
   }
+  return Status::OK();
+}
+
+Status TimePartitionedLsm::RecoverStorageState() {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Pass 1: verify every manifest-referenced table is present with the
+  // recorded size; quarantine the rest. A quarantined L2 base leaves its
+  // patches behind as standalone entries (they still carry valid data).
+  bool changed = false;
+  auto verify = [&](const TableHandle& t, bool on_slow,
+                    std::string* reason) -> bool {
+    uint64_t size = 0;
+    Status s = on_slow ? env_->slow().ObjectSize(SlowKey(t.meta.table_id), &size)
+                       : env_->fast().GetFileSize(FastName(t.meta.table_id), &size);
+    if (!s.ok()) {
+      *reason = s.ToString();
+      return false;
+    }
+    if (size != t.meta.file_size) {
+      *reason = "size " + std::to_string(size) + " != manifest " +
+                std::to_string(t.meta.file_size);
+      return false;
+    }
+    return true;
+  };
+  auto quarantine = [&](const TableHandle& t, bool on_slow,
+                        std::string reason) {
+    std::fprintf(stderr,
+                 "[time_lsm] quarantining table %llu (%s tier): %s\n",
+                 static_cast<unsigned long long>(t.meta.table_id),
+                 on_slow ? "slow" : "fast", reason.c_str());
+    quarantined_.push_back(
+        QuarantinedTable{t.meta.table_id, on_slow, std::move(reason)});
+    stats_.tables_quarantined.fetch_add(1, std::memory_order_relaxed);
+    changed = true;
+  };
+
+  auto scrub_level = [&](std::vector<Partition>* level) {
+    for (Partition& p : *level) {
+      for (auto it = p.tables.begin(); it != p.tables.end();) {
+        std::string reason;
+        if (verify(*it, /*on_slow=*/false, &reason)) {
+          ++it;
+        } else {
+          quarantine(*it, /*on_slow=*/false, std::move(reason));
+          it = p.tables.erase(it);
+        }
+      }
+    }
+    std::erase_if(*level, [](const Partition& p) { return p.tables.empty(); });
+  };
+  scrub_level(&l0_);
+  scrub_level(&l1_);
+
+  for (L2Partition& p : l2_) {
+    std::vector<L2Entry> kept;
+    for (L2Entry& e : p.entries) {
+      std::vector<TableHandle> patches = std::move(e.patches);
+      e.patches.clear();
+      std::string reason;
+      const bool base_ok = verify(e.base, /*on_slow=*/true, &reason);
+      if (!base_ok) quarantine(e.base, /*on_slow=*/true, std::move(reason));
+      for (TableHandle& t : patches) {
+        std::string patch_reason;
+        if (!verify(t, /*on_slow=*/true, &patch_reason)) {
+          quarantine(t, /*on_slow=*/true, std::move(patch_reason));
+        } else if (base_ok) {
+          e.patches.push_back(std::move(t));
+        } else {
+          // Base lost: promote the surviving patch to its own entry.
+          L2Entry promoted;
+          promoted.base = std::move(t);
+          kept.push_back(std::move(promoted));
+        }
+      }
+      if (base_ok) kept.push_back(std::move(e));
+    }
+    std::sort(kept.begin(), kept.end(), [](const L2Entry& a, const L2Entry& b) {
+      return a.base.meta.min_series_id < b.base.meta.min_series_id;
+    });
+    p.entries = std::move(kept);
+  }
+  std::erase_if(l2_, [](const L2Partition& p) { return p.entries.empty(); });
+
+  // Pass 2: sweep files neither tier should hold — `.tmp`/`.upload`
+  // leftovers of interrupted uploads and table files the (authoritative)
+  // manifest no longer references.
+  std::unordered_set<uint64_t> live;
+  for (const Partition& p : l0_) {
+    for (const TableHandle& t : p.tables) live.insert(t.meta.table_id);
+  }
+  for (const Partition& p : l1_) {
+    for (const TableHandle& t : p.tables) live.insert(t.meta.table_id);
+  }
+  for (const L2Partition& p : l2_) {
+    for (const L2Entry& e : p.entries) {
+      live.insert(e.base.meta.table_id);
+      for (const TableHandle& t : e.patches) live.insert(t.meta.table_id);
+    }
+  }
+  auto sweepable = [&](const std::string& name) {
+    if (name.ends_with(".tmp") || name.ends_with(".upload")) return true;
+    uint64_t id = 0;
+    return ParseTableFileName(name, &id) && !live.contains(id);
+  };
+
+  std::vector<std::string> names;
+  Status s = env_->fast().ListDir(name_, &names);
+  if (s.ok()) {
+    for (const std::string& name : names) {
+      if (name == "MANIFEST" || !sweepable(name)) continue;
+      if (env_->fast().DeleteFile(name_ + "/" + name).ok()) {
+        stats_.orphans_swept.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  std::vector<std::string> keys;
+  s = env_->slow().ListObjects(name_ + "/", &keys);
+  if (s.ok()) {
+    for (const std::string& key : keys) {
+      const std::string name = key.substr(name_.size() + 1);
+      if (!sweepable(name)) continue;
+      if (env_->slow().DeleteObject(key).ok()) {
+        stats_.orphans_swept.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (changed) return SaveManifest();
   return Status::OK();
 }
 
@@ -291,7 +426,39 @@ Status TimePartitionedLsm::WriteTable(
   TU_RETURN_IF_ERROR(sink->Close());
   if (to_slow) {
     auto* buf = static_cast<BufferTableSink*>(sink.get());
-    TU_RETURN_IF_ERROR(env_->slow().PutObject(SlowKey(table_id), buf->buffer()));
+    // Atomic upload protocol: land the bytes under a .tmp key, verify the
+    // object (size, optionally CRC), then commit with a rename. A crash at
+    // any point leaves either nothing at the final key or the complete
+    // table — never a torn one; .tmp leftovers are swept at open.
+    cloud::ObjectStore& slow = env_->slow();
+    const std::string key = SlowKey(table_id);
+    const std::string tmp = key + ".tmp";
+    cloud::CrashPoint(slow.fault(), "l2.upload.pre_put");
+    TU_RETURN_IF_ERROR(cloud::RunWithRetry(
+        slow.sim().retry, &slow.counters(), "upload " + tmp, [&]() -> Status {
+          TU_RETURN_IF_ERROR(slow.PutObject(tmp, buf->buffer()));
+          uint64_t uploaded = 0;
+          TU_RETURN_IF_ERROR(slow.ObjectSize(tmp, &uploaded));
+          if (uploaded != buf->buffer().size()) {
+            return Status::Busy("torn upload: " + std::to_string(uploaded) +
+                                " of " + std::to_string(buf->buffer().size()) +
+                                " bytes at " + tmp);
+          }
+          if (options_.verify_upload_crc) {
+            std::string back;
+            TU_RETURN_IF_ERROR(slow.GetObject(tmp, &back));
+            if (crc32c::Value(back.data(), back.size()) !=
+                crc32c::Value(buf->buffer().data(), buf->buffer().size())) {
+              return Status::Busy("upload crc mismatch at " + tmp);
+            }
+          }
+          return Status::OK();
+        }));
+    cloud::CrashPoint(slow.fault(), "l2.upload.pre_commit");
+    TU_RETURN_IF_ERROR(cloud::RunWithRetry(
+        slow.sim().retry, &slow.counters(), "commit " + key,
+        [&] { return slow.RenameObject(tmp, key); }));
+    cloud::CrashPoint(slow.fault(), "l2.upload.post_commit");
     stats_.slow_bytes_written.fetch_add(buf->buffer().size(),
                                         std::memory_order_relaxed);
     out->on_slow = true;
@@ -306,10 +473,20 @@ Status TimePartitionedLsm::WriteTable(
 
 Status TimePartitionedLsm::DeleteTable(const TableHandle& handle,
                                        bool on_slow) {
+  // Deletes run only after the manifest stopped referencing the table, so
+  // they are idempotent (NotFound is fine) and may fail without harm — a
+  // missed delete is an orphan the next open sweeps.
+  Status s;
   if (on_slow) {
-    return env_->slow().DeleteObject(SlowKey(handle.meta.table_id));
+    cloud::ObjectStore& slow = env_->slow();
+    s = cloud::RunWithRetry(
+        slow.sim().retry, &slow.counters(), "delete table",
+        [&] { return slow.DeleteObject(SlowKey(handle.meta.table_id)); });
+  } else {
+    s = env_->fast().DeleteFile(FastName(handle.meta.table_id));
   }
-  return env_->fast().DeleteFile(FastName(handle.meta.table_id));
+  if (s.IsNotFound()) return Status::OK();
+  return s;
 }
 
 Status TimePartitionedLsm::FlushMemTable(MemTable* mem) {
@@ -324,7 +501,6 @@ Status TimePartitionedLsm::FlushMemTable(MemTable* mem) {
     const int64_t part_start = AlignDown(ts, l0_len_ms_);
     buckets[part_start].emplace_back(it->key().ToString(),
                                      it->value().ToString());
-    if (options_.on_flush) options_.on_flush(user_key, it->value());
   }
 
   for (auto& [part_start, entries] : buckets) {
@@ -361,7 +537,19 @@ Status TimePartitionedLsm::FlushMemTable(MemTable* mem) {
       MemCategory::kMemtable,
       static_cast<int64_t>(mem->ApproximateMemoryUsage()));
   stats_.flushes.fetch_add(1, std::memory_order_relaxed);
-  return SaveManifest();
+  cloud::CrashPoint(env_->fast().fault(), "l0.flush.pre_manifest");
+  TU_RETURN_IF_ERROR(SaveManifest());
+  // Flush marks (the §3.3 WAL purge hook) only after the flushed tables are
+  // durably referenced: a crash before this point keeps the WAL records
+  // live, so replay rebuilds what the flush had not yet committed.
+  if (options_.on_flush) {
+    for (const auto& [part_start, entries] : buckets) {
+      for (const auto& [ikey, value] : entries) {
+        options_.on_flush(InternalKeyUserKey(ikey), value);
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Status TimePartitionedLsm::MaybeMaintain() {
@@ -542,12 +730,17 @@ Status TimePartitionedLsm::CompactOldestL0() {
               return a.start < b.start;
             });
 
+  // Durability order: the manifest must reference the outputs before any
+  // input is unlinked — a crash in between leaves only removable orphans,
+  // never a manifest pointing at deleted tables. Delete failures are
+  // tolerated for the same reason.
+  TU_RETURN_IF_ERROR(SaveManifest());
   for (const TableHandle& t : victim.tables) {
-    TU_RETURN_IF_ERROR(DeleteTable(t, /*on_slow=*/false));
+    (void)DeleteTable(t, /*on_slow=*/false);
   }
   for (const Partition& p : l1_inputs) {
     for (const TableHandle& t : p.tables) {
-      TU_RETURN_IF_ERROR(DeleteTable(t, /*on_slow=*/false));
+      (void)DeleteTable(t, /*on_slow=*/false);
     }
   }
 
@@ -690,9 +883,12 @@ Status TimePartitionedLsm::CompactL1WindowToL2(int64_t w_start, int64_t w_end,
               });
   }
 
+  // Same durability order as CompactOldestL0: outputs reach the manifest
+  // before inputs are unlinked.
+  TU_RETURN_IF_ERROR(SaveManifest());
   for (const Partition& p : inputs) {
     for (const TableHandle& t : p.tables) {
-      TU_RETURN_IF_ERROR(DeleteTable(t, /*on_slow=*/false));
+      (void)DeleteTable(t, /*on_slow=*/false);
     }
   }
   stats_.l1_to_l2_compactions.fetch_add(1, std::memory_order_relaxed);
@@ -739,9 +935,10 @@ Status TimePartitionedLsm::MergeEntryPatches(L2Partition* partition,
               return a.base.meta.min_series_id < b.base.meta.min_series_id;
             });
 
-  TU_RETURN_IF_ERROR(DeleteTable(entry.base, /*on_slow=*/true));
+  TU_RETURN_IF_ERROR(SaveManifest());
+  (void)DeleteTable(entry.base, /*on_slow=*/true);
   for (const TableHandle& t : entry.patches) {
-    TU_RETURN_IF_ERROR(DeleteTable(t, /*on_slow=*/true));
+    (void)DeleteTable(t, /*on_slow=*/true);
   }
   stats_.patch_merges.fetch_add(1, std::memory_order_relaxed);
   stats_.compaction_us.fetch_add(NowUs() - start_us,
@@ -809,11 +1006,14 @@ Status TimePartitionedLsm::RunDynamicSizeControl() {
 
 Status TimePartitionedLsm::ApplyRetention(int64_t watermark) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto retire_partitions = [&](std::vector<Partition>* level) -> Status {
+  // Unreference first, unlink after the manifest is durable: a crash
+  // mid-retention then leaves orphans (swept at open), not dangling refs.
+  std::vector<std::pair<TableHandle, bool>> doomed;
+  auto retire_partitions = [&](std::vector<Partition>* level) {
     for (auto it = level->begin(); it != level->end();) {
       if (it->end <= watermark) {
-        for (const TableHandle& t : it->tables) {
-          TU_RETURN_IF_ERROR(DeleteTable(t, /*on_slow=*/false));
+        for (TableHandle& t : it->tables) {
+          doomed.emplace_back(std::move(t), /*on_slow=*/false);
         }
         stats_.partitions_retired.fetch_add(1, std::memory_order_relaxed);
         it = level->erase(it);
@@ -821,16 +1021,15 @@ Status TimePartitionedLsm::ApplyRetention(int64_t watermark) {
         ++it;
       }
     }
-    return Status::OK();
   };
-  TU_RETURN_IF_ERROR(retire_partitions(&l0_));
-  TU_RETURN_IF_ERROR(retire_partitions(&l1_));
+  retire_partitions(&l0_);
+  retire_partitions(&l1_);
   for (auto it = l2_.begin(); it != l2_.end();) {
     if (it->end <= watermark) {
-      for (const L2Entry& e : it->entries) {
-        TU_RETURN_IF_ERROR(DeleteTable(e.base, /*on_slow=*/true));
-        for (const TableHandle& t : e.patches) {
-          TU_RETURN_IF_ERROR(DeleteTable(t, /*on_slow=*/true));
+      for (L2Entry& e : it->entries) {
+        doomed.emplace_back(std::move(e.base), /*on_slow=*/true);
+        for (TableHandle& t : e.patches) {
+          doomed.emplace_back(std::move(t), /*on_slow=*/true);
         }
       }
       stats_.partitions_retired.fetch_add(1, std::memory_order_relaxed);
@@ -839,7 +1038,11 @@ Status TimePartitionedLsm::ApplyRetention(int64_t watermark) {
       ++it;
     }
   }
-  return SaveManifest();
+  TU_RETURN_IF_ERROR(SaveManifest());
+  for (const auto& [handle, on_slow] : doomed) {
+    (void)DeleteTable(handle, on_slow);
+  }
+  return Status::OK();
 }
 
 Status TimePartitionedLsm::NewIteratorForId(uint64_t id, int64_t t0,

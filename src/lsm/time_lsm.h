@@ -65,6 +65,10 @@ struct TimeLsmOptions {
   /// Persist the level manifest to the fast tier after each mutation so a
   /// reopen recovers the tree.
   bool persist_manifest = false;
+  /// After an L2 upload, read the object back and compare its CRC before
+  /// committing (over and above the size check). Costs one extra Get per
+  /// upload; off by default.
+  bool verify_upload_crc = false;
   TableBuilderOptions table_options;
 };
 
@@ -78,6 +82,18 @@ struct TimeLsmStats {
   std::atomic<uint64_t> fast_bytes_written{0};
   std::atomic<uint64_t> slow_bytes_written{0};
   std::atomic<uint64_t> compaction_us{0};
+  /// Manifest-referenced tables found missing/short at open and dropped.
+  std::atomic<uint64_t> tables_quarantined{0};
+  /// Unreferenced table/.tmp files removed by the open-time sweep.
+  std::atomic<uint64_t> orphans_swept{0};
+};
+
+/// A table the open-time scan found unreadable. The table is dropped from
+/// its level (the rest of the tree opens normally) and reported here.
+struct QuarantinedTable {
+  uint64_t table_id = 0;
+  bool on_slow = false;
+  std::string reason;
 };
 
 class TimePartitionedLsm : public ChunkStore {
@@ -103,6 +119,11 @@ class TimePartitionedLsm : public ChunkStore {
 
   // -- Introspection for benches/tests ------------------------------------
   const TimeLsmStats& stats() const { return stats_; }
+  /// Tables dropped by the open-time consistency scan.
+  std::vector<QuarantinedTable> quarantined() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return quarantined_;
+  }
   int64_t l0_partition_ms() const {
     return l0_len_ms_.load(std::memory_order_relaxed);
   }
@@ -174,6 +195,10 @@ class TimePartitionedLsm : public ChunkStore {
   /// Serializes/loads l0_/l1_/l2_ + counters to/from the fast tier.
   Status SaveManifest();
   Status LoadManifest();
+  /// Post-LoadManifest consistency pass: quarantines manifest-referenced
+  /// tables that are missing or size-mismatched, and sweeps unreferenced
+  /// table/.tmp files (leftovers of a crash mid-compaction) from both tiers.
+  Status RecoverStorageState();
   Status WriteTable(
       const std::vector<std::pair<std::string, std::string>>& entries,
       bool to_slow, TableHandle* out);
@@ -207,6 +232,7 @@ class TimePartitionedLsm : public ChunkStore {
   uint64_t next_seq_ = 1;
   int grow_votes_ = 0;  // Algorithm 1 growth hysteresis
 
+  std::vector<QuarantinedTable> quarantined_;
   TimeLsmStats stats_;
 };
 

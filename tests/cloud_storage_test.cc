@@ -95,6 +95,59 @@ TEST_F(CloudStorageTest, ObjectStorePutGetRangeDelete) {
   EXPECT_TRUE(store.ObjectExists("lsm/0001.sst").IsNotFound());
 }
 
+TEST_F(CloudStorageTest, ObjectStoreGetRangeBoundaries) {
+  ObjectStore store(ws_ + "/slow_b", TierSimOptions::Instant());
+  const std::string data = "0123456789abcdef";
+  ASSERT_TRUE(store.PutObject("k", data).ok());
+
+  std::string out;
+  // Short read within bounds succeeds.
+  ASSERT_TRUE(store.GetRange("k", 12, 100, &out).ok());
+  EXPECT_EQ(out, "cdef");
+  // Offset exactly at the object size: nothing there to read.
+  EXPECT_TRUE(store.GetRange("k", data.size(), 1, &out).IsInvalidArgument());
+  // Offset past the end likewise.
+  EXPECT_TRUE(store.GetRange("k", data.size() + 10, 4, &out).IsInvalidArgument());
+  // Zero-length reads are fine anywhere (degenerate but harmless).
+  ASSERT_TRUE(store.GetRange("k", 0, 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+
+  // Empty object: only n == 0 works.
+  ASSERT_TRUE(store.PutObject("empty", "").ok());
+  ASSERT_TRUE(store.GetRange("empty", 0, 0, &out).ok());
+  EXPECT_TRUE(store.GetRange("empty", 0, 1, &out).IsInvalidArgument());
+}
+
+TEST_F(CloudStorageTest, BlockStoreReadBoundaries) {
+  BlockStore store(ws_ + "/fast_b", TierSimOptions::Instant());
+  ASSERT_TRUE(store.WriteStringToFile("f", "hello").ok());
+
+  std::unique_ptr<RandomAccessFile> reader;
+  ASSERT_TRUE(store.NewRandomAccessFile("f", &reader).ok());
+  Slice result;
+  std::string scratch;
+  // Short read within bounds succeeds.
+  ASSERT_TRUE(reader->Read(3, 100, &result, &scratch).ok());
+  EXPECT_EQ(result.ToString(), "lo");
+  // Offset at / past EOF with n > 0 is an error.
+  EXPECT_TRUE(reader->Read(5, 1, &result, &scratch).IsInvalidArgument());
+  EXPECT_TRUE(reader->Read(99, 1, &result, &scratch).IsInvalidArgument());
+  // n == 0 is fine (ReadFileToString on an empty file relies on this).
+  ASSERT_TRUE(reader->Read(0, 0, &result, &scratch).ok());
+  EXPECT_EQ(result.size(), 0u);
+}
+
+TEST_F(CloudStorageTest, ObjectStoreRenameObject) {
+  ObjectStore store(ws_ + "/slow_r", TierSimOptions::Instant());
+  ASSERT_TRUE(store.PutObject("lsm/0001.sst.tmp", "payload").ok());
+  ASSERT_TRUE(store.RenameObject("lsm/0001.sst.tmp", "lsm/0001.sst").ok());
+  EXPECT_TRUE(store.ObjectExists("lsm/0001.sst.tmp").IsNotFound());
+  std::string out;
+  ASSERT_TRUE(store.GetObject("lsm/0001.sst", &out).ok());
+  EXPECT_EQ(out, "payload");
+  EXPECT_TRUE(store.RenameObject("missing", "x").IsNotFound());
+}
+
 TEST_F(CloudStorageTest, ObjectStoreListByPrefix) {
   ObjectStore store(ws_ + "/slow2", TierSimOptions::Instant());
   ASSERT_TRUE(store.PutObject("a/1", "x").ok());

@@ -1,0 +1,349 @@
+// Fault-injection / crash-recovery suite (`ctest -L fault`):
+//   - FaultInjector rule matching (Nth-op, probabilistic, prefix, torn).
+//   - RunWithRetry backoff semantics and give-up accounting.
+//   - End-to-end workload under a 10% transient slow-tier error rate:
+//     insert -> flush -> compact -> query must complete via retries.
+//   - Crash matrix: fork a child, arm one crash point (WAL append, L0
+//     flush, L2 upload pre/post commit), let it _Exit mid-operation, then
+//     reopen and verify every acknowledged sample survived and a second
+//     reopen finds nothing left to quarantine or sweep.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cloud/fault_injector.h"
+#include "cloud/object_store.h"
+#include "cloud/retry_policy.h"
+#include "cloud/tiered_env.h"
+#include "core/timeunion_db.h"
+#include "util/mmap_file.h"
+
+namespace tu {
+namespace {
+
+using cloud::FaultInjector;
+using cloud::FaultOp;
+using cloud::FaultOpMask;
+using cloud::FaultRule;
+
+// -- Injector rule matching --------------------------------------------------
+
+TEST(FaultInjectorTest, NthOpRuleFiresExactlyOnce) {
+  FaultInjector fi;
+  fi.AddRule(FaultRule::Permanent(FaultOpMask(FaultOp::kPut), 2));
+  EXPECT_TRUE(fi.Intercept(FaultOp::kPut, "a").ok());
+  EXPECT_TRUE(fi.Intercept(FaultOp::kPut, "b").IsIOError());
+  EXPECT_TRUE(fi.Intercept(FaultOp::kPut, "c").ok());
+  EXPECT_EQ(fi.faults_injected(), 1u);
+}
+
+TEST(FaultInjectorTest, OpMaskAndPrefixFilterMatches) {
+  FaultInjector fi;
+  fi.AddRule(FaultRule::Permanent(FaultOpMask(FaultOp::kGet), 1, "lsm/"));
+  EXPECT_TRUE(fi.Intercept(FaultOp::kPut, "lsm/x").ok());  // wrong op kind
+  EXPECT_TRUE(fi.Intercept(FaultOp::kGet, "wal/x").ok());  // wrong prefix
+  EXPECT_TRUE(fi.Intercept(FaultOp::kGet, "lsm/x").IsIOError());
+}
+
+TEST(FaultInjectorTest, TransientIsRetryableAndBoundedByMaxFires) {
+  FaultInjector fi;
+  FaultRule rule = FaultRule::Transient(cloud::kAllFaultOps, 1.0);
+  rule.max_fires = 2;
+  fi.AddRule(rule);
+  EXPECT_TRUE(fi.Intercept(FaultOp::kPut, "k").IsBusy());
+  EXPECT_TRUE(fi.Intercept(FaultOp::kSync, "k").IsBusy());
+  EXPECT_TRUE(fi.Intercept(FaultOp::kPut, "k").ok());  // budget exhausted
+  EXPECT_EQ(fi.faults_injected(), 2u);
+}
+
+TEST(FaultInjectorTest, TornWriteReportsKeptPrefix) {
+  FaultInjector fi;
+  fi.AddRule(FaultRule::TornWrite(FaultOpMask(FaultOp::kAppend), 1, 0.5));
+  size_t keep = 999;
+  Status s = fi.InterceptWrite(FaultOp::kAppend, "WAL", 100, &keep);
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(keep, 50u);
+  keep = 999;
+  EXPECT_TRUE(fi.InterceptWrite(FaultOp::kAppend, "WAL", 100, &keep).ok());
+  EXPECT_EQ(keep, 0u);
+}
+
+TEST(FaultInjectorTest, TornPutThroughObjectStorePersistsPrefix) {
+  const std::string ws = "/tmp/timeunion_test/fault_torn";
+  RemoveDirRecursive(ws);
+  auto fi = std::make_shared<FaultInjector>();
+  fi->AddRule(FaultRule::TornWrite(FaultOpMask(FaultOp::kPut), 1, 0.25));
+  cloud::TierSimOptions sim = cloud::TierSimOptions::Instant();
+  sim.fault = fi;
+  cloud::ObjectStore store(ws, sim);
+
+  EXPECT_FALSE(store.PutObject("k", std::string(16, 'x')).ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(store.ObjectSize("k", &size).ok());
+  EXPECT_EQ(size, 4u);  // only the torn prefix landed
+  EXPECT_EQ(store.counters().faults_injected.load(), 1u);
+
+  // The next Put overwrites the torn object cleanly.
+  ASSERT_TRUE(store.PutObject("k", std::string(16, 'x')).ok());
+  ASSERT_TRUE(store.ObjectSize("k", &size).ok());
+  EXPECT_EQ(size, 16u);
+  RemoveDirRecursive(ws);
+}
+
+// -- RunWithRetry ------------------------------------------------------------
+
+TEST(RetryPolicyTest, TransientErrorsRetriedUntilSuccess) {
+  cloud::TierCounters counters;
+  cloud::RetryPolicy policy;
+  policy.real_sleep = false;
+  int calls = 0;
+  Status s = cloud::RunWithRetry(policy, &counters, "op", [&] {
+    return ++calls < 3 ? Status::Busy("throttled") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(counters.retries.load(), 2u);
+  EXPECT_EQ(counters.retry_give_ups.load(), 0u);
+}
+
+TEST(RetryPolicyTest, PermanentErrorsSurfaceImmediately) {
+  cloud::TierCounters counters;
+  cloud::RetryPolicy policy;
+  policy.real_sleep = false;
+  int calls = 0;
+  Status s = cloud::RunWithRetry(policy, &counters, "op", [&] {
+    ++calls;
+    return Status::IOError("disk on fire");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(counters.retries.load(), 0u);
+  EXPECT_EQ(counters.retry_give_ups.load(), 0u);
+}
+
+TEST(RetryPolicyTest, ExhaustedAttemptsCountAsGiveUp) {
+  cloud::TierCounters counters;
+  cloud::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.real_sleep = false;
+  int calls = 0;
+  Status s = cloud::RunWithRetry(policy, &counters, "upload 0001.sst", [&] {
+    ++calls;
+    return Status::Busy("throttled");
+  });
+  EXPECT_TRUE(s.IsIOError());  // give-up converts to a permanent failure
+  EXPECT_NE(s.ToString().find("upload 0001.sst"), std::string::npos);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(counters.retries.load(), 2u);
+  EXPECT_EQ(counters.retry_give_ups.load(), 1u);
+}
+
+// -- Acceptance workload: 10% transient slow-tier faults ---------------------
+
+TEST(FaultInjectionDbTest, TransientSlowTierFaultsAbsorbedByRetries) {
+  const std::string ws = "/tmp/timeunion_test/fault_db";
+  RemoveDirRecursive(ws);
+
+  core::DBOptions opts;
+  opts.workspace = ws;
+  opts.env_options = cloud::TieredEnvOptions::Instant();
+  // Every slow-tier Put/Get fails transiently 10% of the time.
+  auto fi = std::make_shared<FaultInjector>(7);
+  fi->AddRule(FaultRule::Transient(FaultOp::kPut | FaultOp::kGet, 0.10));
+  opts.env_options.slow_sim.fault = fi;
+  opts.env_options.slow_sim.retry.max_attempts = 6;
+  opts.env_options.slow_sim.retry.real_sleep = false;
+  // Tiny partitions so the workload exercises L2 uploads and reads.
+  opts.samples_per_chunk = 4;
+  opts.lsm.memtable_bytes = 8 << 10;
+  opts.lsm.l0_partition_ms = 1000;
+  opts.lsm.l2_partition_ms = 4000;
+  opts.lsm.partition_lower_bound_ms = 1000;
+  opts.lsm.l0_partition_trigger = 1;
+
+  std::unique_ptr<core::TimeUnionDB> db;
+  ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+
+  const int n = 2000;
+  uint64_t ref = 0;
+  ASSERT_TRUE(db->Insert({{"metric", "cpu"}}, 0, 0.0, &ref).ok());
+  for (int i = 1; i < n; ++i) {
+    ASSERT_TRUE(db->InsertFast(ref, i * 250LL, 1.0 * i).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_GT(db->time_lsm()->NumL2Partitions(), 0u);
+
+  core::QueryResult result;
+  ASSERT_TRUE(db->Query({index::TagMatcher::Equal("metric", "cpu")}, 0,
+                        n * 250LL, &result)
+                  .ok());
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].samples.size(), static_cast<size_t>(n));
+
+  // The workload only completed because retries absorbed every fault.
+  const cloud::TierCounters& slow = db->env().slow().counters();
+  EXPECT_GT(slow.faults_injected.load(), 0u);
+  EXPECT_GT(slow.retries.load(), 0u);
+  EXPECT_EQ(slow.retry_give_ups.load(), 0u);
+  const std::string report = db->env().CountersReport();
+  EXPECT_NE(report.find("retries="), std::string::npos);
+  EXPECT_NE(report.find("give_ups="), std::string::npos);
+
+  db.reset();
+  RemoveDirRecursive(ws);
+}
+
+// -- Crash matrix ------------------------------------------------------------
+
+// One armed crash site per case; skip_hits lets a few hits commit first so
+// the child dies mid-stream rather than on its very first operation.
+struct CrashCase {
+  const char* site;
+  uint64_t skip_hits;
+};
+
+core::DBOptions CrashWorkloadOptions(const std::string& ws) {
+  core::DBOptions opts;
+  opts.workspace = ws;
+  opts.env_options = cloud::TieredEnvOptions::Instant();
+  opts.enable_wal = true;
+  opts.samples_per_chunk = 4;
+  opts.lsm.memtable_bytes = 8 << 10;
+  opts.lsm.l0_partition_ms = 1000;
+  opts.lsm.l2_partition_ms = 4000;
+  opts.lsm.partition_lower_bound_ms = 1000;
+  opts.lsm.l0_partition_trigger = 1;
+  return opts;
+}
+
+constexpr int kCrashSamples = 300;
+constexpr int64_t kCrashIntervalMs = 250;
+
+// Records "samples [0, n) are acknowledged" durably (write + rename so the
+// parent never reads a half-written count).
+void WriteAck(const std::string& ws, int n) {
+  const std::string tmp = ws + "/ack.tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) std::_Exit(85);
+  std::fprintf(f, "%d", n);
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), (ws + "/ack").c_str()) != 0) std::_Exit(86);
+}
+
+int ReadAck(const std::string& ws) {
+  std::ifstream in(ws + "/ack");
+  int n = 0;
+  in >> n;
+  return n;
+}
+
+// Child body: insert+sync+ack until the armed crash point _Exits the
+// process with kFaultCrashExitCode. Exit codes other than 43 mark distinct
+// unexpected failures for the parent's diagnostics. Never returns.
+[[noreturn]] void CrashChildWorkload(const std::string& ws,
+                                     const CrashCase& c) {
+  auto fi = std::make_shared<FaultInjector>();
+  fi->ArmCrashPoint(c.site, c.skip_hits);
+  core::DBOptions opts = CrashWorkloadOptions(ws);
+  opts.env_options.fast_sim.fault = fi;
+  opts.env_options.slow_sim.fault = fi;
+
+  std::unique_ptr<core::TimeUnionDB> db;
+  if (!core::TimeUnionDB::Open(opts, &db).ok()) std::_Exit(81);
+  uint64_t ref = 0;
+  for (int i = 0; i < kCrashSamples; ++i) {
+    Status s = (i == 0)
+                   ? db->Insert({{"metric", "cpu"}}, 0, 0.0, &ref)
+                   : db->InsertFast(ref, i * kCrashIntervalMs, 1.0 * i);
+    if (!s.ok()) std::_Exit(82);
+    if (!db->SyncWal().ok()) std::_Exit(83);
+    WriteAck(ws, i + 1);  // sample i is now acknowledged
+    if ((i + 1) % 16 == 0 && !db->Flush().ok()) std::_Exit(84);
+  }
+  std::_Exit(0);  // crash point never fired — the parent flags this
+}
+
+class CrashRecoveryTest : public ::testing::TestWithParam<CrashCase> {};
+
+TEST_P(CrashRecoveryTest, AcknowledgedSamplesSurviveCrash) {
+  const CrashCase c = GetParam();
+  std::string ws = "/tmp/timeunion_test/crash_";
+  for (const char* p = c.site; *p != '\0'; ++p) {
+    ws += (*p == '.') ? '_' : *p;
+  }
+  RemoveDirRecursive(ws);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) CrashChildWorkload(ws, c);  // never returns
+
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus)) << c.site;
+  ASSERT_EQ(WEXITSTATUS(wstatus), cloud::kFaultCrashExitCode)
+      << c.site << ": child exited " << WEXITSTATUS(wstatus)
+      << " (0 = crash point never reached; 8x = workload error)";
+
+  const int acked = ReadAck(ws);
+  ASSERT_GT(acked, 0) << c.site;
+
+  // First reopen: recovery may quarantine/sweep crash leftovers, then WAL
+  // replay must restore every acknowledged sample.
+  std::unique_ptr<core::TimeUnionDB> db;
+  ASSERT_TRUE(core::TimeUnionDB::Open(CrashWorkloadOptions(ws), &db).ok())
+      << c.site;
+
+  core::QueryResult result;
+  ASSERT_TRUE(db->Query({index::TagMatcher::Equal("metric", "cpu")}, 0,
+                        kCrashSamples * kCrashIntervalMs, &result)
+                  .ok());
+  ASSERT_EQ(result.size(), 1u) << c.site;
+  // No duplicated data: timestamps strictly ascending.
+  for (size_t i = 1; i < result[0].samples.size(); ++i) {
+    ASSERT_LT(result[0].samples[i - 1].timestamp,
+              result[0].samples[i].timestamp)
+        << c.site;
+  }
+  std::map<int64_t, double> samples;
+  for (const auto& s : result[0].samples) samples[s.timestamp] = s.value;
+  for (int i = 0; i < acked; ++i) {
+    auto it = samples.find(i * kCrashIntervalMs);
+    ASSERT_NE(it, samples.end())
+        << c.site << ": acked sample " << i << "/" << acked << " lost";
+    EXPECT_EQ(it->second, 1.0 * i) << c.site << ": sample " << i;
+  }
+
+  // Second reopen: the first recovery left nothing dangling behind.
+  db.reset();
+  ASSERT_TRUE(core::TimeUnionDB::Open(CrashWorkloadOptions(ws), &db).ok())
+      << c.site;
+  EXPECT_EQ(db->recovery_report().tables_quarantined, 0u) << c.site;
+  EXPECT_EQ(db->recovery_report().orphans_swept, 0u) << c.site;
+
+  db.reset();
+  RemoveDirRecursive(ws);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CrashMatrix, CrashRecoveryTest,
+    ::testing::Values(CrashCase{"wal.append", 25},
+                      CrashCase{"l0.flush.pre_manifest", 0},
+                      CrashCase{"l2.upload.pre_commit", 0},
+                      CrashCase{"l2.upload.post_commit", 1}),
+    [](const ::testing::TestParamInfo<CrashCase>& info) {
+      std::string name = info.param.site;
+      for (char& ch : name) {
+        if (ch == '.') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace tu

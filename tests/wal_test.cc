@@ -22,17 +22,20 @@ class WalTest : public ::testing::Test {
 
   std::vector<WalRecord> Replay() {
     std::vector<WalRecord> records;
+    stats_ = WalReplayStats{};
     EXPECT_TRUE(ReplayWal(store_.get(), "WAL",
                           [&](const WalRecord& r) {
                             records.push_back(r);
                             return Status::OK();
-                          })
+                          },
+                          &stats_)
                     .ok());
     return records;
   }
 
   std::string ws_;
   std::unique_ptr<cloud::BlockStore> store_;
+  WalReplayStats stats_;
 };
 
 TEST_F(WalTest, AllRecordTypesRoundTrip) {
@@ -84,6 +87,12 @@ TEST_F(WalTest, AllRecordTypesRoundTrip) {
 
   const auto records = Replay();
   ASSERT_EQ(records.size(), 6u);
+  // An intact log replays clean: boundary EOF, nothing dropped.
+  EXPECT_TRUE(stats_.Clean());
+  EXPECT_TRUE(stats_.clean_eof);
+  EXPECT_FALSE(stats_.torn_tail);
+  EXPECT_EQ(stats_.records_applied, 6u);
+  EXPECT_EQ(stats_.records_dropped, 0u);
   EXPECT_EQ(records[0].type, WalRecordType::kRegisterSeries);
   EXPECT_EQ(records[0].labels.size(), 2u);
   EXPECT_EQ(records[2].slot, 3u);
@@ -116,6 +125,12 @@ TEST_F(WalTest, TruncatedTailToleratedAtReplay) {
 
   const auto records = Replay();
   EXPECT_EQ(records.size(), 1u);  // the intact record survives
+  // A torn tail is the benign crash-mid-append shape, not corruption.
+  EXPECT_TRUE(stats_.Clean());
+  EXPECT_TRUE(stats_.torn_tail);
+  EXPECT_FALSE(stats_.clean_eof);
+  EXPECT_EQ(stats_.records_applied, 1u);
+  EXPECT_EQ(stats_.records_dropped, 0u);
 }
 
 TEST_F(WalTest, CorruptRecordStopsReplay) {
@@ -136,6 +151,46 @@ TEST_F(WalTest, CorruptRecordStopsReplay) {
   contents[10] ^= 0x42;  // flip a payload byte of record 1
   ASSERT_TRUE(store_->WriteStringToFile("WAL", contents).ok());
   EXPECT_TRUE(Replay().empty());  // CRC catches it, replay stops
+  // Mid-log corruption: first frame bad, so everything was dropped —
+  // including the second record, which still frames+checksums correctly.
+  EXPECT_FALSE(stats_.Clean());
+  EXPECT_EQ(stats_.corruption_offset, 0u);
+  EXPECT_EQ(stats_.records_applied, 0u);
+  EXPECT_EQ(stats_.records_dropped, 1u);
+  EXPECT_EQ(stats_.bytes_dropped, contents.size());
+  EXPECT_FALSE(stats_.torn_tail);
+}
+
+TEST_F(WalTest, MidLogCorruptionStatsLocateTheDamage) {
+  WalWriter writer(store_.get(), "WAL");
+  ASSERT_TRUE(writer.Open().ok());
+  WalRecord sample;
+  sample.type = WalRecordType::kSample;
+  sample.id = 1;
+  sample.value = 1.0;
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    sample.seq = seq;
+    sample.ts = static_cast<int64_t>(10 * seq);
+    ASSERT_TRUE(writer.Append(sample).ok());
+  }
+  ASSERT_TRUE(writer.Sync().ok());
+
+  std::string contents;
+  ASSERT_TRUE(store_->ReadFileToString("WAL", &contents).ok());
+  const uint64_t frame_size = contents.size() / 3;  // identical records
+  contents[frame_size + 9] ^= 0x42;  // corrupt record 2's payload
+  ASSERT_TRUE(store_->WriteStringToFile("WAL", contents).ok());
+
+  const auto records = Replay();
+  ASSERT_EQ(records.size(), 1u);  // record 1 applied
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_FALSE(stats_.Clean());
+  EXPECT_EQ(stats_.records_applied, 1u);
+  EXPECT_EQ(stats_.corruption_offset, frame_size);
+  EXPECT_EQ(stats_.bytes_dropped, contents.size() - frame_size);
+  EXPECT_EQ(stats_.records_dropped, 1u);  // record 3, intact but untrusted
+  // The human-readable summary names the damage.
+  EXPECT_NE(stats_.ToString().find("corruption_at="), std::string::npos);
 }
 
 TEST_F(WalTest, PurgeDropsFlushedSamples) {

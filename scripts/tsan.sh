@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the repo with ThreadSanitizer and runs the concurrency-labelled
+# test suites (ctest -L concurrency). Any data race in the sharded DB core
+# fails the run.
+#
+# Usage: scripts/tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DTU_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
+  concurrency_test util_test maintenance_test
+
+# halt_on_error: make the first race fail the test instead of just logging.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "$BUILD_DIR" -L concurrency --output-on-failure

@@ -16,10 +16,36 @@ using index::Label;
 using index::Labels;
 using index::TagMatcher;
 
-TimeUnionDB::TimeUnionDB(DBOptions options) : options_(std::move(options)) {}
+namespace {
+
+uint32_t RoundUpPow2(uint32_t n) {
+  uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TimeUnionDB::TimeUnionDB(DBOptions options)
+    : options_(std::move(options)),
+      append_locks_(std::max<uint32_t>(1, options_.append_lock_stripes)) {
+  const uint32_t shards =
+      RoundUpPow2(std::max<uint32_t>(1, options_.registry_shards));
+  shard_mask_ = shards - 1;
+  key_shards_ = std::make_unique<KeyShard[]>(shards);
+  entry_shards_ = std::make_unique<EntryShard[]>(shards);
+}
 
 TimeUnionDB::~TimeUnionDB() {
   if (maintenance_) maintenance_->Stop();
+  // Tear down the LSM before the WAL writer: its background flush workers
+  // fire the on_flush hook, which appends flush marks through wal_. Member
+  // destruction alone would run in reverse declaration order and free wal_
+  // while those workers can still be draining.
+  time_lsm_ = nullptr;
+  leveled_lsm_ = nullptr;
+  lsm_.reset();
+  wal_.reset();
   MemoryTracker::Global().Sub(MemCategory::kTags, registry_bytes_);
 }
 
@@ -116,9 +142,24 @@ Status TimeUnionDB::StartMaintenance() {
 
 Status TimeUnionDB::MaybeLog(const WalRecord& record) {
   if (!wal_) return Status::OK();
+  // The WAL is the one serialized append point of the write path; the
+  // writer's internal mutex orders records, so inserts hold no DB-wide
+  // lock here.
   TU_RETURN_IF_ERROR(wal_->Append(record));
-  if (wal_->bytes_written() > options_.wal_purge_bytes) {
-    return wal_->Purge();
+  // Inline purge with hysteresis: a purge can only drop records whose
+  // chunks already reached level 0, so when most of the log is still
+  // live, purging at a fixed size threshold degenerates into rewriting
+  // the whole log on every append. Only purge once the log has doubled
+  // past the last purge's result; try_lock skips if a purge is running.
+  const uint64_t written = wal_->bytes_written();
+  if (written > options_.wal_purge_bytes &&
+      written > 2 * wal_post_purge_bytes_.load(std::memory_order_relaxed)) {
+    std::unique_lock<std::mutex> purge_lock(wal_purge_mu_, std::try_to_lock);
+    if (purge_lock.owns_lock()) {
+      TU_RETURN_IF_ERROR(wal_->Purge());
+      wal_post_purge_bytes_.store(wal_->bytes_written(),
+                                  std::memory_order_relaxed);
+    }
   }
   return Status::OK();
 }
@@ -138,17 +179,18 @@ Status TimeUnionDB::RecoverFromWal() {
 
   // Pass 2: rebuild registries, heads and unflushed samples. WAL logging
   // is suppressed during replay by temporarily detaching the writer.
+  // Replay is single-threaded (maintenance has not started), but takes the
+  // normal locks so the code stays valid under any future overlap.
   auto saved_wal = std::move(wal_);
   WalReplayStats replay_stats;
   Status replay_status =
       ReplayWal(&env_->fast(), "WAL", [&](const WalRecord& r) -> Status {
         switch (r.type) {
           case WalRecordType::kRegisterSeries: {
-            uint64_t ref = 0;
-            // Re-register without a sample: create the entry directly.
-            std::lock_guard<std::mutex> lock(mu_);
+            std::lock_guard<std::mutex> reg_lock(reg_mu_);
             const std::string key = index::LabelsKey(r.labels);
-            if (series_by_key_.count(key)) return Status::OK();
+            uint64_t existing = 0;
+            if (LookupSeriesRef(key, &existing)) return Status::OK();
             uint64_t tag_offset = 0;
             TU_RETURN_IF_ERROR(tag_store_->Append(r.labels, &tag_offset));
             TU_RETURN_IF_ERROR(index_->Add(r.id, r.labels));
@@ -157,16 +199,24 @@ Status TimeUnionDB::RecoverFromWal() {
                 r.id, tag_offset, series_chunks_.get(),
                 options_.samples_per_chunk);
             entry.labels = r.labels;
-            series_by_key_[key] = r.id;
-            series_.emplace(r.id, std::move(entry));
+            {
+              EntryShard& es = EntryShardFor(r.id);
+              std::unique_lock<std::shared_mutex> lock(es.mu);
+              es.series.emplace(r.id, std::move(entry));
+            }
+            {
+              KeyShard& ks = KeyShardFor(key);
+              std::unique_lock<std::shared_mutex> lock(ks.mu);
+              ks.series_by_key[key] = r.id;
+            }
             next_id_ = std::max(next_id_, r.id + 1);
-            (void)ref;
             return Status::OK();
           }
           case WalRecordType::kRegisterGroup: {
-            std::lock_guard<std::mutex> lock(mu_);
+            std::lock_guard<std::mutex> reg_lock(reg_mu_);
             const std::string key = index::LabelsKey(r.labels);
-            if (group_by_key_.count(key)) return Status::OK();
+            uint64_t existing = 0;
+            if (LookupGroupRef(key, &existing)) return Status::OK();
             uint64_t tag_offset = 0;
             TU_RETURN_IF_ERROR(tag_store_->Append(r.labels, &tag_offset));
             TU_RETURN_IF_ERROR(index_->Add(r.id, r.labels));
@@ -175,18 +225,29 @@ Status TimeUnionDB::RecoverFromWal() {
                 r.id, tag_offset, group_ts_chunks_.get(),
                 group_val_chunks_.get(), options_.samples_per_chunk);
             entry.group_labels = r.labels;
-            group_by_key_[key] = r.id;
-            groups_.emplace(r.id, std::move(entry));
+            {
+              EntryShard& es = EntryShardFor(r.id);
+              std::unique_lock<std::shared_mutex> lock(es.mu);
+              es.groups.emplace(r.id, std::move(entry));
+            }
+            {
+              KeyShard& ks = KeyShardFor(key);
+              std::unique_lock<std::shared_mutex> lock(ks.mu);
+              ks.group_by_key[key] = r.id;
+            }
             next_id_ = std::max(next_id_, r.id + 1);
             return Status::OK();
           }
           case WalRecordType::kRegisterMember: {
-            std::lock_guard<std::mutex> lock(mu_);
-            auto it = groups_.find(r.id);
-            if (it == groups_.end()) {
+            std::lock_guard<std::mutex> reg_lock(reg_mu_);
+            EntryShard& es = EntryShardFor(r.id);
+            std::shared_lock<std::shared_mutex> shard_lock(es.mu);
+            auto it = es.groups.find(r.id);
+            if (it == es.groups.end()) {
               return Status::Corruption("wal member before group");
             }
             GroupEntry& entry = it->second;
+            std::lock_guard<std::mutex> entry_lock(append_locks_.For(r.id));
             const std::string key = index::LabelsKey(r.labels);
             if (entry.head->FindMember(key) >= 0) return Status::OK();
             uint64_t tag_offset = 0;
@@ -202,21 +263,25 @@ Status TimeUnionDB::RecoverFromWal() {
           case WalRecordType::kSample: {
             auto it = flushed.find(r.id);
             if (it != flushed.end() && r.seq <= it->second) return Status::OK();
-            std::lock_guard<std::mutex> lock(mu_);
-            auto found = series_.find(r.id);
-            if (found == series_.end()) {
+            EntryShard& es = EntryShardFor(r.id);
+            std::shared_lock<std::shared_mutex> shard_lock(es.mu);
+            auto found = es.series.find(r.id);
+            if (found == es.series.end()) {
               return Status::Corruption("wal sample before register");
             }
+            std::lock_guard<std::mutex> entry_lock(append_locks_.For(r.id));
             return AppendToSeries(&found->second, r.ts, r.value);
           }
           case WalRecordType::kGroupSample: {
             auto it = flushed.find(r.id);
             if (it != flushed.end() && r.seq <= it->second) return Status::OK();
-            std::lock_guard<std::mutex> lock(mu_);
-            auto found = groups_.find(r.id);
-            if (found == groups_.end()) {
+            EntryShard& es = EntryShardFor(r.id);
+            std::shared_lock<std::shared_mutex> shard_lock(es.mu);
+            auto found = es.groups.find(r.id);
+            if (found == es.groups.end()) {
               return Status::Corruption("wal group sample before register");
             }
+            std::lock_guard<std::mutex> entry_lock(append_locks_.For(r.id));
             return AppendRowToGroup(&found->second, r.slots, r.ts, r.values);
           }
           case WalRecordType::kFlushMark:
@@ -245,6 +310,121 @@ Status TimeUnionDB::RecoverFromWal() {
 Status TimeUnionDB::SyncWal() {
   if (!wal_) return Status::OK();
   return wal_->Sync();
+}
+
+// ---------------------------------------------------------------------------
+// Registry lookups and slow-path registration
+// ---------------------------------------------------------------------------
+
+bool TimeUnionDB::LookupSeriesRef(const std::string& key,
+                                  uint64_t* ref) const {
+  KeyShard& ks = KeyShardFor(key);
+  std::shared_lock<std::shared_mutex> lock(ks.mu);
+  auto it = ks.series_by_key.find(key);
+  if (it == ks.series_by_key.end()) return false;
+  *ref = it->second;
+  return true;
+}
+
+bool TimeUnionDB::LookupGroupRef(const std::string& key, uint64_t* ref) const {
+  KeyShard& ks = KeyShardFor(key);
+  std::shared_lock<std::shared_mutex> lock(ks.mu);
+  auto it = ks.group_by_key.find(key);
+  if (it == ks.group_by_key.end()) return false;
+  *ref = it->second;
+  return true;
+}
+
+Status TimeUnionDB::RegisterSeriesSlow(const Labels& sorted,
+                                       const std::string& key,
+                                       uint64_t* series_ref) {
+  // Double-check under reg_mu_: another registrar may have won the race
+  // between the caller's lock-free lookup and this point.
+  if (LookupSeriesRef(key, series_ref)) return Status::OK();
+
+  const uint64_t id = next_id_++;
+  uint64_t tag_offset = 0;
+  TU_RETURN_IF_ERROR(tag_store_->Append(sorted, &tag_offset));
+  TU_RETURN_IF_ERROR(index_->Add(id, sorted));
+
+  SeriesEntry fresh;
+  fresh.head = std::make_unique<mem::SeriesHead>(
+      id, tag_offset, series_chunks_.get(), options_.samples_per_chunk);
+  fresh.labels = sorted;
+  // Publish the entry before the key mapping, so a ref resolved through
+  // the key map always finds its entry.
+  {
+    EntryShard& es = EntryShardFor(id);
+    std::unique_lock<std::shared_mutex> lock(es.mu);
+    es.series.emplace(id, std::move(fresh));
+  }
+  {
+    KeyShard& ks = KeyShardFor(key);
+    std::unique_lock<std::shared_mutex> lock(ks.mu);
+    ks.series_by_key[key] = id;
+  }
+  *series_ref = id;
+
+  const int64_t bytes =
+      static_cast<int64_t>(key.size() + sizeof(SeriesEntry) + 64);
+  registry_bytes_ += bytes;
+  MemoryTracker::Global().Add(MemCategory::kTags, bytes);
+
+  WalRecord reg;
+  reg.type = WalRecordType::kRegisterSeries;
+  reg.id = id;
+  reg.labels = sorted;
+  return MaybeLog(reg);
+}
+
+Status TimeUnionDB::RegisterGroupSlow(const Labels& sorted_group,
+                                      const std::string& group_key,
+                                      uint64_t* group_ref) {
+  if (LookupGroupRef(group_key, group_ref)) return Status::OK();
+
+  const uint64_t id = next_id_++;
+  uint64_t tag_offset = 0;
+  TU_RETURN_IF_ERROR(tag_store_->Append(sorted_group, &tag_offset));
+  // Group tags are indexed once with the group ID as postings ID (§3.1).
+  TU_RETURN_IF_ERROR(index_->Add(id, sorted_group));
+
+  GroupEntry fresh;
+  fresh.head = std::make_unique<mem::GroupHead>(
+      id, tag_offset, group_ts_chunks_.get(), group_val_chunks_.get(),
+      options_.samples_per_chunk);
+  fresh.group_labels = sorted_group;
+  {
+    EntryShard& es = EntryShardFor(id);
+    std::unique_lock<std::shared_mutex> lock(es.mu);
+    es.groups.emplace(id, std::move(fresh));
+  }
+  {
+    KeyShard& ks = KeyShardFor(group_key);
+    std::unique_lock<std::shared_mutex> lock(ks.mu);
+    ks.group_by_key[group_key] = id;
+  }
+  *group_ref = id;
+
+  const int64_t bytes =
+      static_cast<int64_t>(group_key.size() + sizeof(GroupEntry) + 64);
+  registry_bytes_ += bytes;
+  MemoryTracker::Global().Add(MemCategory::kTags, bytes);
+
+  WalRecord reg;
+  reg.type = WalRecordType::kRegisterGroup;
+  reg.id = id;
+  reg.labels = sorted_group;
+  return MaybeLog(reg);
+}
+
+Status TimeUnionDB::RegisterSeries(const Labels& labels,
+                                   uint64_t* series_ref) {
+  Labels sorted = labels;
+  index::SortLabels(&sorted);
+  const std::string key = index::LabelsKey(sorted);
+  if (LookupSeriesRef(key, series_ref)) return Status::OK();
+  std::lock_guard<std::mutex> reg_lock(reg_mu_);
+  return RegisterSeriesSlow(sorted, key, series_ref);
 }
 
 // ---------------------------------------------------------------------------
@@ -308,75 +488,17 @@ Status TimeUnionDB::AppendToSeries(SeriesEntry* entry, int64_t ts,
   return Status::Corruption("series append did not converge");
 }
 
-Status TimeUnionDB::RegisterSeries(const Labels& labels,
-                                   uint64_t* series_ref) {
-  std::lock_guard<std::mutex> lock(mu_);
-  SeriesEntry* entry = nullptr;
-  return RegisterSeriesLocked(labels, series_ref, &entry);
-}
-
-Status TimeUnionDB::RegisterSeriesLocked(const Labels& labels,
-                                         uint64_t* series_ref,
-                                         SeriesEntry** entry) {
-  Labels sorted = labels;
-  index::SortLabels(&sorted);
-  const std::string key = index::LabelsKey(sorted);
-
-  auto it = series_by_key_.find(key);
-  if (it != series_by_key_.end()) {
-    *series_ref = it->second;
-    *entry = &series_.at(it->second);
-    return Status::OK();
-  }
-  const uint64_t id = next_id_++;
-  uint64_t tag_offset = 0;
-  TU_RETURN_IF_ERROR(tag_store_->Append(sorted, &tag_offset));
-  TU_RETURN_IF_ERROR(index_->Add(id, sorted));
-
-  SeriesEntry fresh;
-  fresh.head = std::make_unique<mem::SeriesHead>(
-      id, tag_offset, series_chunks_.get(), options_.samples_per_chunk);
-  fresh.labels = sorted;
-  series_by_key_[key] = id;
-  *entry = &series_.emplace(id, std::move(fresh)).first->second;
-  *series_ref = id;
-
-  const int64_t bytes =
-      static_cast<int64_t>(key.size() + sizeof(SeriesEntry) + 64);
-  registry_bytes_ += bytes;
-  MemoryTracker::Global().Add(MemCategory::kTags, bytes);
-
-  WalRecord reg;
-  reg.type = WalRecordType::kRegisterSeries;
-  reg.id = id;
-  reg.labels = sorted;
-  return MaybeLog(reg);
-}
-
-Status TimeUnionDB::Insert(const Labels& labels, int64_t ts, double value,
-                           uint64_t* series_ref) {
-  std::lock_guard<std::mutex> lock(mu_);
-  SeriesEntry* entry = nullptr;
-  TU_RETURN_IF_ERROR(RegisterSeriesLocked(labels, series_ref, &entry));
-  TU_RETURN_IF_ERROR(AppendToSeries(entry, ts, value));
-  if (wal_) {
-    WalRecord rec;
-    rec.type = WalRecordType::kSample;
-    rec.id = *series_ref;
-    rec.seq = entry->head->seq_id();
-    rec.ts = ts;
-    rec.value = value;
-    TU_RETURN_IF_ERROR(MaybeLog(rec));
-  }
-  return Status::OK();
-}
-
-Status TimeUnionDB::InsertFast(uint64_t series_ref, int64_t ts, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = series_.find(series_ref);
-  if (it == series_.end()) {
+Status TimeUnionDB::AppendSampleByRef(uint64_t series_ref, int64_t ts,
+                                      double value) {
+  EntryShard& es = EntryShardFor(series_ref);
+  std::shared_lock<std::shared_mutex> shard_lock(es.mu);
+  auto it = es.series.find(series_ref);
+  if (it == es.series.end()) {
     return Status::NotFound("unknown series reference");
   }
+  // The entry lock serializes the head mutation and keeps the WAL record's
+  // seq consistent with the append it logs.
+  std::lock_guard<std::mutex> entry_lock(append_locks_.For(series_ref));
   TU_RETURN_IF_ERROR(AppendToSeries(&it->second, ts, value));
   if (wal_) {
     WalRecord rec;
@@ -388,6 +510,28 @@ Status TimeUnionDB::InsertFast(uint64_t series_ref, int64_t ts, double value) {
     TU_RETURN_IF_ERROR(MaybeLog(rec));
   }
   return Status::OK();
+}
+
+Status TimeUnionDB::Insert(const Labels& labels, int64_t ts, double value,
+                           uint64_t* series_ref) {
+  Labels sorted = labels;
+  index::SortLabels(&sorted);
+  const std::string key = index::LabelsKey(sorted);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!LookupSeriesRef(key, series_ref)) {
+      std::lock_guard<std::mutex> reg_lock(reg_mu_);
+      TU_RETURN_IF_ERROR(RegisterSeriesSlow(sorted, key, series_ref));
+    }
+    Status s = AppendSampleByRef(*series_ref, ts, value);
+    // NotFound: retention retired the entry between lookup and append (it
+    // removed the key mapping too) — re-register and retry once.
+    if (!s.IsNotFound()) return s;
+  }
+  return Status::NotFound("series retired during insert");
+}
+
+Status TimeUnionDB::InsertFast(uint64_t series_ref, int64_t ts, double value) {
+  return AppendSampleByRef(series_ref, ts, value);
 }
 
 Status TimeUnionDB::AppendRowToGroup(GroupEntry* entry,
@@ -446,39 +590,23 @@ Status TimeUnionDB::InsertGroup(const Labels& group_tags,
   index::SortLabels(&sorted_group);
   const std::string group_key = index::LabelsKey(sorted_group);
 
-  std::lock_guard<std::mutex> lock(mu_);
-  GroupEntry* entry;
-  auto it = group_by_key_.find(group_key);
-  if (it != group_by_key_.end()) {
-    *group_ref = it->second;
-    entry = &groups_.at(it->second);
-  } else {
-    const uint64_t id = next_id_++;
-    uint64_t tag_offset = 0;
-    TU_RETURN_IF_ERROR(tag_store_->Append(sorted_group, &tag_offset));
-    // Group tags are indexed once with the group ID as postings ID (§3.1).
-    TU_RETURN_IF_ERROR(index_->Add(id, sorted_group));
-
-    GroupEntry fresh;
-    fresh.head = std::make_unique<mem::GroupHead>(
-        id, tag_offset, group_ts_chunks_.get(), group_val_chunks_.get(),
-        options_.samples_per_chunk);
-    fresh.group_labels = sorted_group;
-    group_by_key_[group_key] = id;
-    entry = &groups_.emplace(id, std::move(fresh)).first->second;
-    *group_ref = id;
-
-    const int64_t bytes =
-        static_cast<int64_t>(group_key.size() + sizeof(GroupEntry) + 64);
-    registry_bytes_ += bytes;
-    MemoryTracker::Global().Add(MemCategory::kTags, bytes);
-
-    WalRecord reg;
-    reg.type = WalRecordType::kRegisterGroup;
-    reg.id = id;
-    reg.labels = sorted_group;
-    TU_RETURN_IF_ERROR(MaybeLog(reg));
+  // Member resolution may register new members (index/tag-store writes),
+  // so the whole slow path serializes behind the registration mutex; the
+  // fast path (InsertGroupFast) never takes it.
+  std::lock_guard<std::mutex> reg_lock(reg_mu_);
+  if (!LookupGroupRef(group_key, group_ref)) {
+    TU_RETURN_IF_ERROR(RegisterGroupSlow(sorted_group, group_key, group_ref));
   }
+
+  EntryShard& es = EntryShardFor(*group_ref);
+  std::shared_lock<std::shared_mutex> shard_lock(es.mu);
+  auto git = es.groups.find(*group_ref);
+  if (git == es.groups.end()) {
+    // Cannot happen while reg_mu_ is held (retention also serializes on it).
+    return Status::NotFound("group retired during insert");
+  }
+  GroupEntry* entry = &git->second;
+  std::lock_guard<std::mutex> entry_lock(append_locks_.For(*group_ref));
 
   // Resolve/append members (§3.4: an appending array ordered by first
   // insertion; lookups check whether the timeseries is already recorded).
@@ -533,11 +661,15 @@ Status TimeUnionDB::InsertGroupFast(uint64_t group_ref,
   if (slots.size() != values.size()) {
     return Status::InvalidArgument("slot/value count mismatch");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = groups_.find(group_ref);
-  if (it == groups_.end()) {
+  EntryShard& es = EntryShardFor(group_ref);
+  std::shared_lock<std::shared_mutex> shard_lock(es.mu);
+  auto it = es.groups.find(group_ref);
+  if (it == es.groups.end()) {
     return Status::NotFound("unknown group reference");
   }
+  // Slot validation under the entry lock: InsertGroup may grow the member
+  // array concurrently.
+  std::lock_guard<std::mutex> entry_lock(append_locks_.For(group_ref));
   for (uint32_t slot : slots) {
     if (slot >= it->second.head->num_members()) {
       return Status::InvalidArgument("member slot out of range");
@@ -603,10 +735,10 @@ bool MatcherMatches(const TagMatcher& m, const Labels& labels) {
 
 }  // namespace
 
-Status TimeUnionDB::CollectSeries(SeriesEntry* entry, int64_t t0, int64_t t1,
+Status TimeUnionDB::CollectSeries(uint64_t id, const std::vector<Sample>& open,
+                                  int64_t t0, int64_t t1,
                                   std::vector<Sample>* out) {
   SampleMerger merger;
-  const uint64_t id = entry->head->id();
 
   std::unique_ptr<lsm::Iterator> it;
   TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, &it));
@@ -630,20 +762,20 @@ Status TimeUnionDB::CollectSeries(SeriesEntry* entry, int64_t t0, int64_t t1,
   }
   TU_RETURN_IF_ERROR(it->status());
 
-  // The open chunk is the newest data.
-  std::vector<Sample> open;
-  TU_RETURN_IF_ERROR(entry->head->SnapshotOpen(&open));
+  // The open-chunk snapshot (taken before the LSM iterator was created) is
+  // the newest data; a chunk flushed in between appears in both sources
+  // and dedups here by timestamp.
   merger.AddChunk(UINT64_MAX, open, t0, t1);
 
   *out = merger.Finish();
   return Status::OK();
 }
 
-Status TimeUnionDB::CollectGroupMember(GroupEntry* entry, uint32_t slot,
+Status TimeUnionDB::CollectGroupMember(uint64_t id, uint32_t slot,
+                                       const std::vector<Sample>& open,
                                        int64_t t0, int64_t t1,
                                        std::vector<Sample>* out) {
   SampleMerger merger;
-  const uint64_t id = entry->head->id();
 
   std::unique_ptr<lsm::Iterator> it;
   TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, &it));
@@ -667,8 +799,6 @@ Status TimeUnionDB::CollectGroupMember(GroupEntry* entry, uint32_t slot,
   }
   TU_RETURN_IF_ERROR(it->status());
 
-  std::vector<Sample> open;
-  TU_RETURN_IF_ERROR(entry->head->SnapshotMember(slot, &open));
   merger.AddChunk(UINT64_MAX, open, t0, t1);
 
   *out = merger.Finish();
@@ -678,47 +808,82 @@ Status TimeUnionDB::CollectGroupMember(GroupEntry* entry, uint32_t slot,
 Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
                           int64_t t1, QueryResult* out) {
   out->clear();
-  std::lock_guard<std::mutex> lock(mu_);
 
   index::Postings ids;
   TU_RETURN_IF_ERROR(index_->Select(matchers, &ids));
 
+  /// One group member selected under the entry locks, collected after.
+  struct MemberSnapshot {
+    uint32_t slot = 0;
+    Labels labels;
+    std::vector<Sample> open;
+  };
+
   for (uint64_t id : ids) {
-    auto series_it = series_.find(id);
-    if (series_it != series_.end()) {
+    // Snapshot the entry under its shard/entry locks: labels plus the open
+    // chunk. The LSM collection below then runs without any DB lock —
+    // anything flushed before the snapshot is already in the LSM, and a
+    // flush racing us lands in both sources and dedups in the merger.
+    EntryShard& es = EntryShardFor(id);
+    bool is_series = false;
+    Labels series_labels;
+    std::vector<Sample> series_open;
+    std::vector<MemberSnapshot> members;
+    {
+      std::shared_lock<std::shared_mutex> shard_lock(es.mu);
+      auto series_it = es.series.find(id);
+      if (series_it != es.series.end()) {
+        is_series = true;
+        series_labels = series_it->second.labels;
+        std::lock_guard<std::mutex> entry_lock(append_locks_.For(id));
+        TU_RETURN_IF_ERROR(series_it->second.head->SnapshotOpen(&series_open));
+      } else {
+        auto group_it = es.groups.find(id);
+        if (group_it == es.groups.end()) continue;  // retired id
+
+        // Second level of indexing (§2.4 challenge 3): locate the members
+        // of this group that themselves satisfy every matcher against the
+        // union of group tags and member unique tags.
+        GroupEntry& entry = group_it->second;
+        std::lock_guard<std::mutex> entry_lock(append_locks_.For(id));
+        for (uint32_t slot = 0; slot < entry.head->num_members(); ++slot) {
+          Labels full = entry.group_labels;
+          full.insert(full.end(), entry.member_labels[slot].begin(),
+                      entry.member_labels[slot].end());
+          bool all_match = true;
+          for (const TagMatcher& m : matchers) {
+            if (!MatcherMatches(m, full)) {
+              all_match = false;
+              break;
+            }
+          }
+          if (!all_match) continue;
+          MemberSnapshot snap;
+          snap.slot = slot;
+          index::SortLabels(&full);
+          snap.labels = std::move(full);
+          TU_RETURN_IF_ERROR(
+              entry.head->SnapshotMember(slot, &snap.open));
+          members.push_back(std::move(snap));
+        }
+      }
+    }
+
+    if (is_series) {
       SeriesResult result;
       result.id = id;
-      result.labels = series_it->second.labels;
+      result.labels = std::move(series_labels);
       TU_RETURN_IF_ERROR(
-          CollectSeries(&series_it->second, t0, t1, &result.samples));
+          CollectSeries(id, series_open, t0, t1, &result.samples));
       if (!result.samples.empty()) out->push_back(std::move(result));
       continue;
     }
-    auto group_it = groups_.find(id);
-    if (group_it == groups_.end()) continue;  // retired id
-
-    // Second level of indexing (§2.4 challenge 3): locate the members of
-    // this group that themselves satisfy every matcher against the union
-    // of group tags and member unique tags.
-    GroupEntry& entry = group_it->second;
-    for (uint32_t slot = 0; slot < entry.head->num_members(); ++slot) {
-      Labels full = entry.group_labels;
-      full.insert(full.end(), entry.member_labels[slot].begin(),
-                  entry.member_labels[slot].end());
-      bool all_match = true;
-      for (const TagMatcher& m : matchers) {
-        if (!MatcherMatches(m, full)) {
-          all_match = false;
-          break;
-        }
-      }
-      if (!all_match) continue;
+    for (MemberSnapshot& snap : members) {
       SeriesResult result;
       result.id = id;
-      index::SortLabels(&full);
-      result.labels = std::move(full);
-      TU_RETURN_IF_ERROR(
-          CollectGroupMember(&entry, slot, t0, t1, &result.samples));
+      result.labels = std::move(snap.labels);
+      TU_RETURN_IF_ERROR(CollectGroupMember(id, snap.slot, snap.open, t0, t1,
+                                            &result.samples));
       if (!result.samples.empty()) out->push_back(std::move(result));
     }
   }
@@ -729,54 +894,68 @@ Status TimeUnionDB::QueryIterators(const std::vector<TagMatcher>& matchers,
                                    int64_t t0, int64_t t1,
                                    std::vector<SeriesIterResult>* out) {
   out->clear();
-  std::lock_guard<std::mutex> lock(mu_);
 
   index::Postings ids;
   TU_RETURN_IF_ERROR(index_->Select(matchers, &ids));
   const int64_t slack = options_.lsm.partition_upper_bound_ms;
 
+  struct IterSnapshot {
+    Labels labels;
+    std::vector<Sample> open;
+    int member_slot = -1;
+  };
+
   for (uint64_t id : ids) {
-    auto series_it = series_.find(id);
-    if (series_it != series_.end()) {
-      std::unique_ptr<lsm::Iterator> lsm_iter;
-      TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, &lsm_iter));
-      std::vector<Sample> head;
-      TU_RETURN_IF_ERROR(series_it->second.head->SnapshotOpen(&head));
-      SeriesIterResult result;
-      result.id = id;
-      result.labels = series_it->second.labels;
-      result.iter = std::make_unique<SampleIterator>(
-          id, t0, t1, std::move(lsm_iter), std::move(head),
-          /*member_slot=*/-1, slack);
-      out->push_back(std::move(result));
-      continue;
-    }
-    auto group_it = groups_.find(id);
-    if (group_it == groups_.end()) continue;
-    GroupEntry& entry = group_it->second;
-    for (uint32_t slot = 0; slot < entry.head->num_members(); ++slot) {
-      Labels full = entry.group_labels;
-      full.insert(full.end(), entry.member_labels[slot].begin(),
-                  entry.member_labels[slot].end());
-      bool all_match = true;
-      for (const TagMatcher& m : matchers) {
-        if (!MatcherMatches(m, full)) {
-          all_match = false;
-          break;
+    EntryShard& es = EntryShardFor(id);
+    std::vector<IterSnapshot> snaps;
+    {
+      std::shared_lock<std::shared_mutex> shard_lock(es.mu);
+      auto series_it = es.series.find(id);
+      if (series_it != es.series.end()) {
+        IterSnapshot snap;
+        snap.labels = series_it->second.labels;
+        std::lock_guard<std::mutex> entry_lock(append_locks_.For(id));
+        TU_RETURN_IF_ERROR(series_it->second.head->SnapshotOpen(&snap.open));
+        snaps.push_back(std::move(snap));
+      } else {
+        auto group_it = es.groups.find(id);
+        if (group_it == es.groups.end()) continue;
+        GroupEntry& entry = group_it->second;
+        std::lock_guard<std::mutex> entry_lock(append_locks_.For(id));
+        for (uint32_t slot = 0; slot < entry.head->num_members(); ++slot) {
+          Labels full = entry.group_labels;
+          full.insert(full.end(), entry.member_labels[slot].begin(),
+                      entry.member_labels[slot].end());
+          bool all_match = true;
+          for (const TagMatcher& m : matchers) {
+            if (!MatcherMatches(m, full)) {
+              all_match = false;
+              break;
+            }
+          }
+          if (!all_match) continue;
+          IterSnapshot snap;
+          index::SortLabels(&full);
+          snap.labels = std::move(full);
+          snap.member_slot = static_cast<int>(slot);
+          TU_RETURN_IF_ERROR(entry.head->SnapshotMember(slot, &snap.open));
+          snaps.push_back(std::move(snap));
         }
       }
-      if (!all_match) continue;
+    }
+
+    // Create the LSM iterators after the head snapshots: a chunk flushed
+    // in between is visible to the (younger) iterator and dedups against
+    // the snapshot inside SampleIterator.
+    for (IterSnapshot& snap : snaps) {
       std::unique_ptr<lsm::Iterator> lsm_iter;
       TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, &lsm_iter));
-      std::vector<Sample> head;
-      TU_RETURN_IF_ERROR(entry.head->SnapshotMember(slot, &head));
       SeriesIterResult result;
       result.id = id;
-      index::SortLabels(&full);
-      result.labels = std::move(full);
+      result.labels = std::move(snap.labels);
       result.iter = std::make_unique<SampleIterator>(
-          id, t0, t1, std::move(lsm_iter), std::move(head),
-          static_cast<int>(slot), slack);
+          id, t0, t1, std::move(lsm_iter), std::move(snap.open),
+          snap.member_slot, slack);
       out->push_back(std::move(result));
     }
   }
@@ -787,15 +966,29 @@ Status TimeUnionDB::QueryIterators(const std::vector<TagMatcher>& matchers,
 // Maintenance
 // ---------------------------------------------------------------------------
 
+Status TimeUnionDB::ListTagValues(const std::string& tag_name,
+                                  std::vector<std::string>* values) const {
+  // The index is internally synchronized, but a slow-path insert touches
+  // it once per label; serializing against registration gives this API an
+  // insert-atomic view of multi-label series.
+  std::lock_guard<std::mutex> reg_lock(reg_mu_);
+  return index_->TagValues(tag_name, values);
+}
+
 Status TimeUnionDB::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [id, entry] : series_) {
-    bool flushed = false;
-    TU_RETURN_IF_ERROR(FlushSeriesChunk(entry.head.get(), &flushed));
-  }
-  for (auto& [id, entry] : groups_) {
-    bool flushed = false;
-    TU_RETURN_IF_ERROR(FlushGroupChunk(&entry, &flushed));
+  for (uint32_t shard = 0; shard <= shard_mask_; ++shard) {
+    EntryShard& es = entry_shards_[shard];
+    std::shared_lock<std::shared_mutex> shard_lock(es.mu);
+    for (auto& [id, entry] : es.series) {
+      std::lock_guard<std::mutex> entry_lock(append_locks_.For(id));
+      bool flushed = false;
+      TU_RETURN_IF_ERROR(FlushSeriesChunk(entry.head.get(), &flushed));
+    }
+    for (auto& [id, entry] : es.groups) {
+      std::lock_guard<std::mutex> entry_lock(append_locks_.For(id));
+      bool flushed = false;
+      TU_RETURN_IF_ERROR(FlushGroupChunk(&entry, &flushed));
+    }
   }
   TU_RETURN_IF_ERROR(lsm_->FlushAll());
   if (wal_) {
@@ -805,50 +998,86 @@ Status TimeUnionDB::Flush() {
 }
 
 Status TimeUnionDB::ApplyRetention(int64_t watermark) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Retention unlinks registry entries and mutates the index, so it
+  // serializes with registration; appenders are only excluded per shard
+  // while that shard's dead entries are erased.
+  std::lock_guard<std::mutex> reg_lock(reg_mu_);
   TU_RETURN_IF_ERROR(lsm_->ApplyRetention(watermark));
 
   // Purge memory objects whose newest sample is older than the watermark
   // (§3.3 data retention).
-  for (auto it = series_.begin(); it != series_.end();) {
-    if (it->second.head->last_ts() < watermark) {
-      TU_RETURN_IF_ERROR(index_->Remove(it->first, it->second.labels));
-      series_by_key_.erase(index::LabelsKey(it->second.labels));
-      it = series_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  for (auto it = groups_.begin(); it != groups_.end();) {
-    if (it->second.head->last_ts() < watermark) {
-      TU_RETURN_IF_ERROR(index_->Remove(it->first, it->second.group_labels));
-      for (const Labels& member : it->second.member_labels) {
-        TU_RETURN_IF_ERROR(index_->Remove(it->first, member));
+  for (uint32_t shard = 0; shard <= shard_mask_; ++shard) {
+    EntryShard& es = entry_shards_[shard];
+    std::unique_lock<std::shared_mutex> shard_lock(es.mu);
+    for (auto it = es.series.begin(); it != es.series.end();) {
+      // Never-written heads report last_ts == INT64_MIN; skip them so a
+      // freshly registered ref can't be retired before its first append.
+      if (it->second.head->last_ts() != INT64_MIN &&
+          it->second.head->last_ts() < watermark) {
+        TU_RETURN_IF_ERROR(index_->Remove(it->first, it->second.labels));
+        const std::string key = index::LabelsKey(it->second.labels);
+        {
+          KeyShard& ks = KeyShardFor(key);
+          std::unique_lock<std::shared_mutex> key_lock(ks.mu);
+          ks.series_by_key.erase(key);
+        }
+        it = es.series.erase(it);
+      } else {
+        ++it;
       }
-      group_by_key_.erase(index::LabelsKey(it->second.group_labels));
-      it = groups_.erase(it);
-    } else {
-      ++it;
+    }
+    for (auto it = es.groups.begin(); it != es.groups.end();) {
+      if (it->second.head->last_ts() != INT64_MIN &&
+          it->second.head->last_ts() < watermark) {
+        TU_RETURN_IF_ERROR(index_->Remove(it->first, it->second.group_labels));
+        for (const Labels& member : it->second.member_labels) {
+          TU_RETURN_IF_ERROR(index_->Remove(it->first, member));
+        }
+        const std::string key = index::LabelsKey(it->second.group_labels);
+        {
+          KeyShard& ks = KeyShardFor(key);
+          std::unique_lock<std::shared_mutex> key_lock(ks.mu);
+          ks.group_by_key.erase(key);
+        }
+        it = es.groups.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   return Status::OK();
 }
 
 uint64_t TimeUnionDB::NumSeries() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return series_.size();
+  uint64_t total = 0;
+  for (uint32_t shard = 0; shard <= shard_mask_; ++shard) {
+    EntryShard& es = entry_shards_[shard];
+    std::shared_lock<std::shared_mutex> lock(es.mu);
+    total += es.series.size();
+  }
+  return total;
 }
 
 uint64_t TimeUnionDB::NumGroups() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return groups_.size();
+  uint64_t total = 0;
+  for (uint32_t shard = 0; shard <= shard_mask_; ++shard) {
+    EntryShard& es = entry_shards_[shard];
+    std::shared_lock<std::shared_mutex> lock(es.mu);
+    total += es.groups.size();
+  }
+  return total;
 }
 
 uint64_t TimeUnionDB::IndexMemoryUsage() const { return index_->MemoryUsage(); }
 
 void TimeUnionDB::AdviseMemoryRelease() {
   index_->AdviseDontNeed();
-  tag_store_->AdviseDontNeed();
+  {
+    // The tag store is externally synchronized by reg_mu_ (registration is
+    // its only writer).
+    std::lock_guard<std::mutex> reg_lock(reg_mu_);
+    tag_store_->AdviseDontNeed();
+  }
   series_chunks_->AdviseDontNeed();
   group_ts_chunks_->AdviseDontNeed();
   group_val_chunks_->AdviseDontNeed();

@@ -5,11 +5,22 @@
 //   Insert / InsertFast           — Put(Timeseries), slow/fast path
 //   InsertGroup / InsertGroupFast — Put(Group), slow/fast path
 //   Query                         — Get with time range + tag selectors
+//
+// Concurrency model (see DESIGN.md "Threading model"): the front door is
+// sharded, not globally locked. Key→ref and ref→entry registries are split
+// into power-of-two shards, each behind its own reader/writer lock, and
+// every head object is serialized by a striped per-entry append lock — so
+// fast-path inserts on different series proceed fully in parallel, while
+// slow-path registration (index/tag-store mutation, id allocation) and
+// retention serialize behind one registration mutex. All public methods
+// are safe to call from any thread.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +38,7 @@
 #include "core/maintenance.h"
 #include "core/sample_iterator.h"
 #include "core/wal.h"
+#include "util/striped_mutex.h"
 
 namespace tu::core {
 
@@ -51,6 +63,15 @@ struct DBOptions {
   lsm::LeveledLsmOptions leveled;  // used when backend == kLeveled
   size_t block_cache_bytes = 64 << 20;
   index::TrieOptions trie;
+
+  /// Registry shard count (rounded up to a power of two). Lookups on
+  /// series in different shards never contend; raise this for very high
+  /// writer-thread counts.
+  uint32_t registry_shards = 16;
+  /// Striped per-entry append locks (rounded up to a power of two). Two
+  /// series sharing a stripe serialize their appends — harmless, so this
+  /// only needs to be comfortably larger than the writer-thread count.
+  uint32_t append_lock_stripes = 256;
 
   /// §3.3 logging scheme. Off for pure benchmarks.
   bool enable_wal = false;
@@ -96,11 +117,14 @@ class TimeUnionDB {
 
   /// Slow path: resolves (or registers) the series identified by `labels`
   /// and appends one sample. Returns the series reference for the fast
-  /// path.
+  /// path. Only first-time registration serializes (registration mutex);
+  /// the steady-state resolve+append runs under shard/entry locks.
   Status Insert(const index::Labels& labels, int64_t ts, double value,
                 uint64_t* series_ref);
 
-  /// Fast path: appends by reference, skipping tag comparison.
+  /// Fast path: appends by reference, skipping tag comparison. Appends to
+  /// different series proceed in parallel; appends to one series serialize
+  /// on its entry lock.
   Status InsertFast(uint64_t series_ref, int64_t ts, double value);
 
   /// Resolves (or registers) a series without appending a sample — lets a
@@ -112,13 +136,16 @@ class TimeUnionDB {
   /// Slow path: registers/extends the group identified by `group_tags`,
   /// appends one shared-timestamp row with `values[i]` for the member
   /// identified by `member_tags[i]`. Returns the group reference and the
-  /// member slot indexes for the fast path.
+  /// member slot indexes for the fast path. Serializes on the registration
+  /// mutex (member resolution may mutate the index); use InsertGroupFast
+  /// for parallel steady-state ingest.
   Status InsertGroup(const index::Labels& group_tags,
                      const std::vector<index::Labels>& member_tags,
                      int64_t ts, const std::vector<double>& values,
                      uint64_t* group_ref, std::vector<uint32_t>* slots);
 
-  /// Fast path: appends a row by group reference + member slots.
+  /// Fast path: appends a row by group reference + member slots. Rows into
+  /// different groups proceed in parallel.
   Status InsertGroupFast(uint64_t group_ref,
                          const std::vector<uint32_t>& slots, int64_t ts,
                          const std::vector<double>& values);
@@ -127,7 +154,10 @@ class TimeUnionDB {
 
   /// Returns every timeseries matching all `matchers` restricted to
   /// [t0, t1] (inclusive), including group members located through the
-  /// two-level index.
+  /// two-level index. Runs without any global lock: each matched entry is
+  /// snapshotted under its shard/entry locks (labels + open chunk), then
+  /// the LSM is read lock-free. The result is a consistent point-in-time
+  /// view per series.
   Status Query(const std::vector<index::TagMatcher>& matchers, int64_t t0,
                int64_t t1, QueryResult* out);
 
@@ -145,15 +175,16 @@ class TimeUnionDB {
                         std::vector<SeriesIterResult>* out);
 
   /// Lists all values of a tag name across the index (label-values API).
+  /// Serialized against slow-path registration so multi-label inserts are
+  /// observed atomically.
   Status ListTagValues(const std::string& tag_name,
-                       std::vector<std::string>* values) const {
-    return index_->TagValues(tag_name, values);
-  }
+                       std::vector<std::string>* values) const;
 
   // -- Maintenance ----------------------------------------------------------
 
   /// Flushes all open chunks and memtables down the LSM (test/bench
-  /// boundary; production relies on chunk-full flushing).
+  /// boundary; production relies on chunk-full flushing). Walks the shards
+  /// one entry at a time; concurrent inserts are not blocked globally.
   Status Flush();
 
   /// Syncs the WAL to stable storage. A sample is only crash-durable
@@ -162,7 +193,8 @@ class TimeUnionDB {
   Status SyncWal();
 
   /// Drops data older than `watermark` and purges dead memory objects
-  /// (§3.3 data retention).
+  /// (§3.3 data retention). Serializes with registration; appenders are
+  /// only blocked shard-by-shard while dead entries are unlinked.
   Status ApplyRetention(int64_t watermark);
 
   // -- Introspection ---------------------------------------------------------
@@ -171,7 +203,8 @@ class TimeUnionDB {
   uint64_t NumGroups() const;
   /// What the Open-time recovery salvaged/dropped (see RecoveryReport).
   const RecoveryReport& recovery_report() const { return recovery_report_; }
-  /// Index memory (trie + postings), §3.2 accounting.
+  /// Index memory (trie + postings), §3.2 accounting. The index is
+  /// internally synchronized; safe from any thread.
   uint64_t IndexMemoryUsage() const;
   cloud::TieredEnv& env() { return *env_; }
   /// The time-partitioned tree; nullptr under the leveled backend.
@@ -200,23 +233,70 @@ class TimeUnionDB {
     std::vector<index::Labels> member_labels;  // unique tags per slot
   };
 
-  /// Flush a closed series chunk payload into the LSM + WAL mark.
+  /// Key→ref registries, sharded by key hash. Each shard's maps are
+  /// guarded by its `mu` (shared for lookups; exclusive for registration
+  /// inserts and retention erases — both of which also hold `reg_mu_`).
+  struct KeyShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, uint64_t> series_by_key;
+    std::unordered_map<std::string, uint64_t> group_by_key;
+  };
+  /// Ref→entry registries, sharded by ref. Shared lock for ref resolution
+  /// (appends, queries, flush); exclusive for registration inserts and
+  /// retention erases. Entry pointers are valid only while the shard lock
+  /// is held; mutating an entry's head additionally requires its striped
+  /// append lock.
+  struct EntryShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<uint64_t, SeriesEntry> series;
+    std::unordered_map<uint64_t, GroupEntry> groups;
+  };
+
+  KeyShard& KeyShardFor(const std::string& key) const {
+    return key_shards_[std::hash<std::string>{}(key)&shard_mask_];
+  }
+  EntryShard& EntryShardFor(uint64_t ref) const {
+    return entry_shards_[ref & shard_mask_];
+  }
+
+  bool LookupSeriesRef(const std::string& key, uint64_t* ref) const;
+  bool LookupGroupRef(const std::string& key, uint64_t* ref) const;
+
+  /// Registers a new series (or returns the existing ref). Caller holds
+  /// `reg_mu_`.
+  Status RegisterSeriesSlow(const index::Labels& sorted,
+                            const std::string& key, uint64_t* series_ref);
+  /// Registers a new, empty group (or returns the existing ref). Caller
+  /// holds `reg_mu_`.
+  Status RegisterGroupSlow(const index::Labels& sorted_group,
+                           const std::string& group_key, uint64_t* group_ref);
+
+  /// Shared fast-path body for Insert/InsertFast: resolves `series_ref` in
+  /// its entry shard, appends under the entry lock, logs to the WAL.
+  Status AppendSampleByRef(uint64_t series_ref, int64_t ts, double value);
+
+  /// Flush a closed series chunk payload into the LSM + WAL mark. Caller
+  /// holds the entry's append lock.
   Status FlushSeriesChunk(mem::SeriesHead* head, bool* flushed);
   Status FlushGroupChunk(GroupEntry* entry, bool* flushed);
 
-  Status RegisterSeriesLocked(const index::Labels& labels,
-                              uint64_t* series_ref, SeriesEntry** entry);
+  /// Caller holds the entry's append lock.
   Status AppendToSeries(SeriesEntry* entry, int64_t ts, double value);
   Status AppendRowToGroup(GroupEntry* entry,
                           const std::vector<uint32_t>& slots, int64_t ts,
                           const std::vector<double>& values);
 
-  /// Collects the samples of one individual series in [t0, t1].
-  Status CollectSeries(SeriesEntry* entry, int64_t t0, int64_t t1,
+  /// Collects the samples of one individual series in [t0, t1]. `open` is
+  /// the entry's open-chunk snapshot, taken under its locks before the
+  /// call; the LSM read itself runs lock-free (duplicates dedup by seq).
+  Status CollectSeries(uint64_t id, const std::vector<compress::Sample>& open,
+                       int64_t t0, int64_t t1,
                        std::vector<compress::Sample>* out);
   /// Collects the samples of one group member in [t0, t1].
-  Status CollectGroupMember(GroupEntry* entry, uint32_t slot, int64_t t0,
-                            int64_t t1, std::vector<compress::Sample>* out);
+  Status CollectGroupMember(uint64_t id, uint32_t slot,
+                            const std::vector<compress::Sample>& open,
+                            int64_t t0, int64_t t1,
+                            std::vector<compress::Sample>* out);
 
   Status MaybeLog(const WalRecord& record);
 
@@ -232,14 +312,24 @@ class TimeUnionDB {
   lsm::TimePartitionedLsm* time_lsm_ = nullptr;  // borrowed view of lsm_
   lsm::LeveledLsm* leveled_lsm_ = nullptr;       // borrowed view of lsm_
   std::unique_ptr<WalWriter> wal_;
+  /// Gates the inline WAL purge: log size after the last purge (hysteresis
+  /// baseline) and a try-lock so only one thread rewrites at a time.
+  std::mutex wal_purge_mu_;
+  std::atomic<uint64_t> wal_post_purge_bytes_{0};
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, uint64_t> series_by_key_;
-  std::unordered_map<std::string, uint64_t> group_by_key_;
-  std::unordered_map<uint64_t, SeriesEntry> series_;
-  std::unordered_map<uint64_t, GroupEntry> groups_;
-  uint64_t next_id_ = 1;
-  int64_t registry_bytes_ = 0;  // kTags accounting of the maps above
+  /// Lock hierarchy (acquire strictly in this order, release any order):
+  ///   reg_mu_ → shard mu (one at a time; EntryShard before KeyShard when
+  ///   nested) → striped append lock → component-internal locks (index,
+  ///   LSM, WAL, chunk arrays). See DESIGN.md "Threading model".
+  mutable std::mutex reg_mu_;
+
+  uint32_t shard_mask_ = 0;
+  std::unique_ptr<KeyShard[]> key_shards_;
+  std::unique_ptr<EntryShard[]> entry_shards_;
+  StripedMutexTable append_locks_;
+
+  uint64_t next_id_ = 1;        // guarded by reg_mu_
+  int64_t registry_bytes_ = 0;  // guarded by reg_mu_; kTags accounting
   RecoveryReport recovery_report_;
 
   // Declared last: its thread must stop before the members above die.

@@ -15,6 +15,7 @@
 //     kFlushMark:       varint id | varint seq
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -52,6 +53,11 @@ struct WalRecord {
 void EncodeWalRecord(const WalRecord& record, std::string* out);
 Status DecodeWalRecord(const Slice& payload, WalRecord* record);
 
+/// The WAL is the one serialized append point of the write path: inserts
+/// from any number of shards funnel into Append(), whose internal mutex
+/// orders records. Append/Sync/Purge are all thread-safe; bytes_written()
+/// reads an atomic and takes no lock (it feeds the purge-threshold check
+/// on the insert fast path).
 class WalWriter {
  public:
   WalWriter(cloud::BlockStore* store, std::string fname);
@@ -59,7 +65,9 @@ class WalWriter {
   Status Open();
   Status Append(const WalRecord& record);
   Status Sync();
-  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
 
   /// Rewrites the log keeping only records still needed: register records
   /// and samples with seq > the latest flush mark of their id (§3.3 "a
@@ -69,9 +77,9 @@ class WalWriter {
  private:
   cloud::BlockStore* store_;
   std::string fname_;
-  std::mutex mu_;  // Append may race with the LSM's background flush hook
+  std::mutex mu_;  // serializes Append/Sync/Purge across writer threads
   std::unique_ptr<cloud::WritableFile> file_;
-  uint64_t bytes_written_ = 0;
+  std::atomic<uint64_t> bytes_written_{0};
 };
 
 /// What a WAL replay salvaged and what it had to drop. A clean log ends

@@ -35,6 +35,13 @@ struct TagMatcher {
   }
 };
 
+/// Thread safety: fully internally synchronized — every public method
+/// (Add/Remove/Select/TagValues/MemoryUsage/AdviseDontNeed) takes the
+/// internal mutex, so readers and writers from any thread are safe.
+/// Writers are nevertheless expected to be serialized by the DB's
+/// registration mutex: a series registration performs several Add calls
+/// plus a tag-store append, and only external serialization makes that
+/// sequence atomic to concurrent readers.
 class InvertedIndex {
  public:
   /// Trie files go under `dir` with the `name` prefix.

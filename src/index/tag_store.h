@@ -1,6 +1,11 @@
 // TagStore: §3.2 "Timeseries tags" — per-series/group tag sets serialized
 // into growable mmap file arrays so millions of identifiers don't pin RAM.
 // Append-only; each Append returns a stable offset kept in the head object.
+//
+// Thread safety: NOT internally synchronized. TimeUnionDB serializes all
+// access behind its registration mutex (registration is the only writer;
+// Append may grow the backing file chain, which reallocates the internal
+// file table, so even Read must not race with it).
 #pragma once
 
 #include <cstdint>

@@ -267,10 +267,12 @@ Status TimePartitionedLsm::LoadManifest() {
   TU_RETURN_IF_ERROR(s);
   Slice in(contents);
   auto corrupt = [] { return Status::Corruption("bad lsm manifest"); };
-  if (!GetVarint64(&in, &next_table_id_) || !GetVarint64(&in, &next_seq_) ||
+  uint64_t next_seq = 0;
+  if (!GetVarint64(&in, &next_table_id_) || !GetVarint64(&in, &next_seq) ||
       in.size() < 16) {
     return corrupt();
   }
+  next_seq_ = next_seq;
   l0_len_ms_ = static_cast<int64_t>(DecodeFixed64(in.data()));
   l2_len_ms_ = static_cast<int64_t>(DecodeFixed64(in.data() + 8));
   in.remove_prefix(16);

@@ -229,7 +229,9 @@ class TimePartitionedLsm : public ChunkStore {
   std::atomic<int64_t> l2_len_ms_;
 
   uint64_t next_table_id_ = 1;
-  uint64_t next_seq_ = 1;
+  // Atomic: foreground Put stamps entries under mem_mu_ while background
+  // compaction re-stamps merged chunks under mu_.
+  std::atomic<uint64_t> next_seq_{1};
   int grow_votes_ = 0;  // Algorithm 1 growth hysteresis
 
   std::vector<QuarantinedTable> quarantined_;

@@ -37,6 +37,7 @@ Status ChunkArray::AddFile() {
 }
 
 Status ChunkArray::Allocate(uint64_t* slot) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t pass = 0; pass < files_.size(); ++pass) {
     const size_t fi = (alloc_hint_file_ + pass) % files_.size();
     const size_t bit = files_[fi].bitmap->FirstClear();
@@ -44,7 +45,7 @@ Status ChunkArray::Allocate(uint64_t* slot) {
       files_[fi].bitmap->Set(bit);
       alloc_hint_file_ = fi;
       *slot = fi * chunks_per_file_ + bit;
-      ++allocated_;
+      allocated_.fetch_add(1, std::memory_order_relaxed);
       MemoryTracker::Global().Add(MemCategory::kSamples,
                                   static_cast<int64_t>(chunk_size_));
       return Status::OK();
@@ -55,26 +56,34 @@ Status ChunkArray::Allocate(uint64_t* slot) {
   files_[fi].bitmap->Set(0);
   alloc_hint_file_ = fi;
   *slot = fi * chunks_per_file_;
-  ++allocated_;
+  allocated_.fetch_add(1, std::memory_order_relaxed);
   MemoryTracker::Global().Add(MemCategory::kSamples,
                               static_cast<int64_t>(chunk_size_));
   return Status::OK();
 }
 
 void ChunkArray::Free(uint64_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
   const size_t fi = slot / chunks_per_file_;
   const size_t bit = slot % chunks_per_file_;
   files_[fi].bitmap->Clear(bit);
-  memset(ChunkData(slot), 0, chunk_size_);
-  --allocated_;
+  memset(ChunkDataLocked(slot), 0, chunk_size_);
+  allocated_.fetch_sub(1, std::memory_order_relaxed);
   MemoryTracker::Global().Sub(MemCategory::kSamples,
                               static_cast<int64_t>(chunk_size_));
 }
 
-char* ChunkArray::ChunkData(uint64_t slot) {
+char* ChunkArray::ChunkDataLocked(uint64_t slot) const {
   const size_t fi = slot / chunks_per_file_;
   const size_t bit = slot % chunks_per_file_;
   return files_[fi].mmap->data() + header_bytes_ + bit * chunk_size_;
+}
+
+char* ChunkArray::ChunkData(uint64_t slot) {
+  // The lock protects the `files_` vector (growth reallocates it); the
+  // returned payload pointer itself is stable and may outlive the lock.
+  std::lock_guard<std::mutex> lock(mu_);
+  return ChunkDataLocked(slot);
 }
 
 const char* ChunkArray::ChunkData(uint64_t slot) const {
@@ -82,11 +91,13 @@ const char* ChunkArray::ChunkData(uint64_t slot) const {
 }
 
 Status ChunkArray::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& f : files_) TU_RETURN_IF_ERROR(f.mmap->Sync());
   return Status::OK();
 }
 
 void ChunkArray::AdviseDontNeed() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& f : files_) f.mmap->AdviseDontNeed();
 }
 

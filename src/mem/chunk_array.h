@@ -3,10 +3,19 @@
 // chunks holding compressed sample bytes. Freed areas are reused; the
 // arrays grow by mapping new files. Because the backing is file mmap, the
 // OS can swap these pages instead of OOM-killing the process (§3.2).
+//
+// Thread safety: all methods are safe to call concurrently. An internal
+// mutex guards the file table and allocation bitmaps (growth appends a
+// new mmap file, which reallocates `files_`). Chunk payload addresses are
+// stable for the lifetime of the array — each file's mapping never moves —
+// so callers may cache the pointer returned by ChunkData() and read/write
+// the payload under their own (per-head) synchronization.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,10 +48,12 @@ class ChunkArray {
   const char* ChunkData(uint64_t slot) const;
 
   size_t chunk_size() const { return chunk_size_; }
-  uint64_t allocated_chunks() const { return allocated_; }
+  uint64_t allocated_chunks() const {
+    return allocated_.load(std::memory_order_relaxed);
+  }
 
   /// Bytes of payload currently allocated (memory accounting).
-  uint64_t MemoryUsage() const { return allocated_ * chunk_size_; }
+  uint64_t MemoryUsage() const { return allocated_chunks() * chunk_size_; }
 
   Status Sync();
   void AdviseDontNeed();
@@ -53,15 +64,18 @@ class ChunkArray {
     std::unique_ptr<Bitmap> bitmap;  // borrows the mmap header
   };
 
-  Status AddFile();
+  Status AddFile();                           // requires mu_
+  char* ChunkDataLocked(uint64_t slot) const;  // requires mu_
 
   std::string dir_;
   std::string name_;
   size_t chunk_size_;
   size_t chunks_per_file_;
   size_t header_bytes_;
+
+  mutable std::mutex mu_;
   std::vector<File> files_;
-  uint64_t allocated_ = 0;
+  std::atomic<uint64_t> allocated_{0};
   size_t alloc_hint_file_ = 0;
 };
 

@@ -8,6 +8,13 @@
 // When an open chunk fills (or a partition boundary / early-flush event
 // closes it), the head serializes it into the key-value pair inserted into
 // the time-partitioned LSM-tree.
+//
+// Thread safety: heads are externally synchronized. TimeUnionDB guards
+// every head mutation AND read (Append/InsertRow, CloseChunk, Snapshot*,
+// seq_id/last_ts/num_members) with the per-entry striped append lock;
+// heads themselves hold no locks. The underlying ChunkArray is internally
+// synchronized and its payload pointers are stable, so two heads under
+// different entry locks may allocate/write chunks concurrently.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,49 @@
+// StripedMutexTable: a fixed, power-of-two table of mutexes indexed by an
+// integer key. Gives fine-grained per-object locking (one lock per series/
+// group head) without storing a mutex in every object: two keys contend
+// only when they hash to the same stripe, which is rare with a table much
+// larger than the writer-thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace tu {
+
+class StripedMutexTable {
+ public:
+  /// `stripes` is rounded up to a power of two (minimum 1).
+  explicit StripedMutexTable(size_t stripes = 256) {
+    size_t n = 1;
+    while (n < stripes) n <<= 1;
+    mask_ = n - 1;
+    mutexes_ = std::make_unique<std::mutex[]>(n);
+  }
+
+  StripedMutexTable(const StripedMutexTable&) = delete;
+  StripedMutexTable& operator=(const StripedMutexTable&) = delete;
+
+  /// The stripe for `key`. The same key always maps to the same mutex;
+  /// distinct keys may share one (callers must tolerate spurious
+  /// serialization, never rely on distinctness).
+  std::mutex& For(uint64_t key) const { return mutexes_[Mix(key) & mask_]; }
+
+  size_t stripes() const { return mask_ + 1; }
+
+ private:
+  /// splitmix64 finalizer — spreads sequential ids across stripes.
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  size_t mask_ = 0;
+  std::unique_ptr<std::mutex[]> mutexes_;
+};
+
+}  // namespace tu

@@ -10,18 +10,23 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   work_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::Schedule(std::function<void()> work) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;  // dropped: no workers remain to run it
     queue_.push_back(std::move(work));
   }
   work_cv_.notify_one();

@@ -19,11 +19,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `work` for execution on a worker thread.
+  /// Enqueues `work` for execution on a worker thread. After Shutdown()
+  /// (or during destruction) the work is silently dropped instead of
+  /// touching a dead queue.
   void Schedule(std::function<void()> work);
 
   /// Blocks until the queue is empty and all workers are idle.
   void WaitIdle();
+
+  /// Drains the queue, joins all workers, and marks the pool dead.
+  /// Idempotent; called by the destructor. Subsequent Schedule() calls
+  /// are no-ops.
+  void Shutdown();
 
   size_t pending() const;
 

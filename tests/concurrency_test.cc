@@ -139,6 +139,331 @@ TEST(ConcurrencyTest, ParallelInsertersThroughDb) {
   RemoveDirRecursive(opts.workspace);
 }
 
+// Checks one queried series: every expected timestamp present exactly once,
+// in strictly ascending order.
+void ExpectCompleteSeries(const core::QueryResult& result, size_t expected) {
+  ASSERT_EQ(result.size(), 1u);
+  ASSERT_EQ(result[0].samples.size(), expected);
+  for (size_t i = 0; i < result[0].samples.size(); ++i) {
+    ASSERT_EQ(result[0].samples[i].timestamp, static_cast<int64_t>(i) * kMin);
+    if (i > 0) {
+      ASSERT_GT(result[0].samples[i].timestamp,
+                result[0].samples[i - 1].timestamp);
+    }
+  }
+}
+
+// K writer threads, each owning a disjoint set of series: the sharded fast
+// path must lose no samples and keep per-series timestamps monotonic.
+TEST(ConcurrencyTest, MultiWriterDisjointSeriesLosesNothing) {
+  core::DBOptions opts;
+  opts.workspace = "/tmp/timeunion_test/conc_disjoint";
+  RemoveDirRecursive(opts.workspace);
+  opts.lsm.memtable_bytes = 32 << 10;
+  std::unique_ptr<core::TimeUnionDB> db;
+  ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+
+  const int kThreads = 8;
+  const int kSeriesPerThread = 4;
+  const int kSamples = 400;
+  std::vector<uint64_t> refs(kThreads * kSeriesPerThread);
+  for (size_t i = 0; i < refs.size(); ++i) {
+    ASSERT_TRUE(
+        db->RegisterSeries({{"d", std::to_string(i)}}, &refs[i]).ok());
+  }
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kSamples; ++i) {
+        for (int s = 0; s < kSeriesPerThread; ++s) {
+          if (!db->InsertFast(refs[t * kSeriesPerThread + s], i * kMin, t)
+                   .ok()) {
+            ++errors;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  ASSERT_TRUE(db->Flush().ok());
+
+  EXPECT_EQ(db->NumSeries(), refs.size());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    core::QueryResult result;
+    ASSERT_TRUE(db->Query({index::TagMatcher::Equal("d", std::to_string(i))},
+                          0, kSamples * kMin, &result)
+                    .ok());
+    ExpectCompleteSeries(result, kSamples);
+  }
+  RemoveDirRecursive(opts.workspace);
+}
+
+// All writers hammer the SAME series with interleaved timestamp ranges:
+// the per-entry lock serializes them, and out-of-order samples (relative
+// to whatever another thread just appended) take the too-old single-chunk
+// path — either way nothing is lost.
+TEST(ConcurrencyTest, MultiWriterSharedSeriesLosesNothing) {
+  core::DBOptions opts;
+  opts.workspace = "/tmp/timeunion_test/conc_shared";
+  RemoveDirRecursive(opts.workspace);
+  opts.lsm.memtable_bytes = 32 << 10;
+  std::unique_ptr<core::TimeUnionDB> db;
+  ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+
+  const int kThreads = 4;
+  const int kSamplesPerThread = 300;
+  uint64_t ref = 0;
+  ASSERT_TRUE(db->RegisterSeries({{"m", "shared"}}, &ref).ok());
+
+  // Thread t owns timestamps t, t+K, t+2K, ... — all threads interleave
+  // over one timeline, so appends constantly land out of order.
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kSamplesPerThread; ++i) {
+        const int64_t ts = (static_cast<int64_t>(i) * kThreads + t) * kMin;
+        if (!db->InsertFast(ref, ts, 1.0).ok()) ++errors;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  ASSERT_TRUE(db->Flush().ok());
+
+  core::QueryResult result;
+  const int total = kThreads * kSamplesPerThread;
+  ASSERT_TRUE(db->Query({index::TagMatcher::Equal("m", "shared")}, 0,
+                        static_cast<int64_t>(total) * kMin, &result)
+                  .ok());
+  ExpectCompleteSeries(result, total);
+  RemoveDirRecursive(opts.workspace);
+}
+
+// Readers + slow-path registrars at full tilt: Query and ListTagValues
+// must never error or see a key→ref mapping without its entry while new
+// series register concurrently.
+TEST(ConcurrencyTest, QueriesDuringSlowPathRegistration) {
+  core::DBOptions opts;
+  opts.workspace = "/tmp/timeunion_test/conc_register";
+  RemoveDirRecursive(opts.workspace);
+  opts.lsm.memtable_bytes = 32 << 10;
+  std::unique_ptr<core::TimeUnionDB> db;
+  ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+
+  const int kWriters = 4;
+  const int kSeriesPerWriter = 200;
+  std::atomic<int> errors{0};
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load()) {
+      core::QueryResult result;
+      if (!db->Query({index::TagMatcher::Equal("job", "ingest")}, 0,
+                     1'000'000, &result)
+               .ok()) {
+        ++errors;
+      }
+      for (const auto& series : result) {
+        if (series.samples.empty()) ++errors;
+      }
+      std::vector<std::string> values;
+      if (!db->ListTagValues("s", &values).ok()) ++errors;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kSeriesPerWriter; ++i) {
+        uint64_t ref = 0;
+        const std::string name = std::to_string(t) + "_" + std::to_string(i);
+        if (!db->Insert({{"job", "ingest"}, {"s", name}}, 60'000, 1.0, &ref)
+                 .ok()) {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(errors.load(), 0);
+
+  EXPECT_EQ(db->NumSeries(),
+            static_cast<uint64_t>(kWriters * kSeriesPerWriter));
+  std::vector<std::string> values;
+  ASSERT_TRUE(db->ListTagValues("s", &values).ok());
+  EXPECT_EQ(values.size(), static_cast<size_t>(kWriters * kSeriesPerWriter));
+  RemoveDirRecursive(opts.workspace);
+}
+
+// Writers + explicit Flush + retention ticks, all concurrent. Retention's
+// watermark sits below every inserted timestamp, so no sample may vanish.
+TEST(ConcurrencyTest, ConcurrentFlushAndRetentionTicks) {
+  core::DBOptions opts;
+  opts.workspace = "/tmp/timeunion_test/conc_flush";
+  RemoveDirRecursive(opts.workspace);
+  opts.lsm.memtable_bytes = 32 << 10;
+  std::unique_ptr<core::TimeUnionDB> db;
+  ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+
+  const int kThreads = 4;
+  const int kSeries = 8;
+  const int kSamples = 300;
+  std::vector<uint64_t> refs(kSeries);
+  for (int i = 0; i < kSeries; ++i) {
+    ASSERT_TRUE(db->RegisterSeries({{"f", std::to_string(i)}}, &refs[i]).ok());
+  }
+
+  std::atomic<int> errors{0};
+  std::atomic<bool> stop{false};
+  std::thread maintainer([&] {
+    while (!stop.load()) {
+      if (!db->Flush().ok()) ++errors;
+      // Watermark below all data: must retire nothing.
+      if (!db->ApplyRetention(-1).ok()) ++errors;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      // Thread t writes series where s % kThreads == t (disjoint).
+      for (int i = 0; i < kSamples; ++i) {
+        for (int s = t; s < kSeries; s += kThreads) {
+          if (!db->InsertFast(refs[s], i * kMin, t).ok()) ++errors;
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  maintainer.join();
+  EXPECT_EQ(errors.load(), 0);
+  ASSERT_TRUE(db->Flush().ok());
+
+  EXPECT_EQ(db->NumSeries(), static_cast<uint64_t>(kSeries));
+  for (int i = 0; i < kSeries; ++i) {
+    core::QueryResult result;
+    ASSERT_TRUE(db->Query({index::TagMatcher::Equal("f", std::to_string(i))},
+                          0, kSamples * kMin, &result)
+                    .ok());
+    ExpectCompleteSeries(result, kSamples);
+  }
+  RemoveDirRecursive(opts.workspace);
+}
+
+// Multi-writer with the WAL on: the serialized WAL append point must keep
+// per-series (id, seq) consistent so a reopen replays to the same state.
+TEST(ConcurrencyTest, MultiWriterWithWalSurvivesReopen) {
+  core::DBOptions opts;
+  opts.workspace = "/tmp/timeunion_test/conc_wal";
+  RemoveDirRecursive(opts.workspace);
+  opts.lsm.memtable_bytes = 32 << 10;
+  opts.enable_wal = true;
+  std::unique_ptr<core::TimeUnionDB> db;
+  ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+
+  const int kThreads = 4;
+  const int kSeriesPerThread = 2;
+  const int kSamples = 200;
+  std::vector<uint64_t> refs(kThreads * kSeriesPerThread);
+  for (size_t i = 0; i < refs.size(); ++i) {
+    ASSERT_TRUE(db->RegisterSeries({{"w", std::to_string(i)}}, &refs[i]).ok());
+  }
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kSamples; ++i) {
+        for (int s = 0; s < kSeriesPerThread; ++s) {
+          if (!db->InsertFast(refs[t * kSeriesPerThread + s], i * kMin, t)
+                   .ok()) {
+            ++errors;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  ASSERT_TRUE(db->SyncWal().ok());
+
+  // Drop the DB without Flush: everything lives in WAL + whatever the
+  // memtables spilled. Reopen must replay it all.
+  db.reset();
+  ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+  EXPECT_TRUE(db->recovery_report().wal.Clean());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    core::QueryResult result;
+    ASSERT_TRUE(db->Query({index::TagMatcher::Equal("w", std::to_string(i))},
+                          0, kSamples * kMin, &result)
+                    .ok());
+    ExpectCompleteSeries(result, kSamples);
+  }
+  db.reset();
+  RemoveDirRecursive(opts.workspace);
+}
+
+// Parallel group fast-path ingest on disjoint groups.
+TEST(ConcurrencyTest, MultiWriterGroupFastPath) {
+  core::DBOptions opts;
+  opts.workspace = "/tmp/timeunion_test/conc_group";
+  RemoveDirRecursive(opts.workspace);
+  opts.lsm.memtable_bytes = 32 << 10;
+  std::unique_ptr<core::TimeUnionDB> db;
+  ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+
+  const int kThreads = 4;
+  const int kMembers = 3;
+  const int kRows = 300;
+  std::vector<uint64_t> group_refs(kThreads);
+  std::vector<std::vector<uint32_t>> slots(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    std::vector<index::Labels> members;
+    std::vector<double> row;
+    for (int m = 0; m < kMembers; ++m) {
+      members.push_back({{"core", std::to_string(m)}});
+      row.push_back(m);
+    }
+    ASSERT_TRUE(db->InsertGroup({{"host", std::to_string(t)}}, members, 0,
+                                row, &group_refs[t], &slots[t])
+                    .ok());
+  }
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<double> row(kMembers, t);
+      for (int i = 1; i <= kRows; ++i) {
+        if (!db->InsertGroupFast(group_refs[t], slots[t], i * kMin, row)
+                 .ok()) {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  ASSERT_TRUE(db->Flush().ok());
+
+  for (int t = 0; t < kThreads; ++t) {
+    core::QueryResult result;
+    ASSERT_TRUE(
+        db->Query({index::TagMatcher::Equal("host", std::to_string(t))}, 0,
+                  (kRows + 1) * kMin, &result)
+            .ok());
+    ASSERT_EQ(result.size(), static_cast<size_t>(kMembers));
+    for (const auto& series : result) {
+      EXPECT_EQ(series.samples.size(), static_cast<size_t>(kRows + 1));
+    }
+  }
+  RemoveDirRecursive(opts.workspace);
+}
+
 TEST(FailureInjectionTest, CorruptedSlowTierObjectSurfacesError) {
   const std::string ws = "/tmp/timeunion_test/conc_corrupt";
   RemoveDirRecursive(ws);

@@ -80,8 +80,12 @@ TEST(DbMaintenanceTest, BackgroundRetentionPurgesOldData) {
   opts.background_maintenance = true;
   opts.maintenance_interval_ms = 10;
   opts.retention_ms = 6 * kHour;
-  // Virtual clock: "now" is hour 30 of the data's timeline.
-  opts.maintenance_clock = [] { return 30 * kHour; };
+  // Virtual clock: held at 0 during ingest (watermark -6h purges nothing,
+  // so a tick firing mid-loop can't retire the half-written series), then
+  // advanced to hour 30 of the data's timeline.
+  std::shared_ptr<std::atomic<int64_t>> now =
+      std::make_shared<std::atomic<int64_t>>(0);
+  opts.maintenance_clock = [now] { return now->load(); };
 
   std::unique_ptr<TimeUnionDB> db;
   ASSERT_TRUE(TimeUnionDB::Open(opts, &db).ok());
@@ -92,6 +96,7 @@ TEST(DbMaintenanceTest, BackgroundRetentionPurgesOldData) {
     ASSERT_TRUE(db->InsertFast(ref, i * 60'000LL, 1.0).ok());
   }
   ASSERT_TRUE(db->Flush().ok());
+  now->store(30 * kHour);
 
   // Wait for a few maintenance ticks to apply the retention watermark
   // (hour 24 = 30 - 6).

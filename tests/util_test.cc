@@ -215,6 +215,20 @@ TEST(ThreadPoolTest, RunsAllTasksAndWaitsIdle) {
   EXPECT_EQ(pool.pending(), 0u);
 }
 
+TEST(ThreadPoolTest, ScheduleAfterShutdownIsDropped) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  pool.Shutdown();
+  pool.Shutdown();  // idempotent
+  // Work scheduled after shutdown must be silently dropped (no workers
+  // remain to run it) — not crash or hang.
+  pool.Schedule([&counter] { counter.fetch_add(100); });
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
 TEST(RandomTest, DeterministicAndBounded) {
   Random a(42), b(42), c(43);
   EXPECT_EQ(a.Next64(), b.Next64());

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Builds the repo with ThreadSanitizer and runs the concurrency-labelled
-# test suites (ctest -L concurrency). Any data race in the sharded DB core
-# fails the run.
+# Builds the repo with ThreadSanitizer and runs the concurrency- and
+# fault-labelled test suites (ctest -L "fault|concurrency"). Any data race
+# in the sharded DB core or the degraded-operation machinery (circuit
+# breaker, deferred-upload drainer, admission control) fails the run.
 #
 # Usage: scripts/tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -11,8 +12,9 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DTU_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
-  concurrency_test util_test maintenance_test
+  concurrency_test util_test maintenance_test fault_injection_test
 
 # halt_on_error: make the first race fail the test instead of just logging.
+# -L takes a regex, so "fault|concurrency" ORs the two labels.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  ctest --test-dir "$BUILD_DIR" -L concurrency --output-on-failure
+  ctest --test-dir "$BUILD_DIR" -L "fault|concurrency" --output-on-failure

@@ -1,0 +1,147 @@
+#include "cloud/circuit_breaker.h"
+
+#include <chrono>
+
+#include "cloud/storage_sim.h"
+
+namespace tu::cloud {
+
+namespace {
+uint64_t SteadyNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options,
+                               TierCounters* counters)
+    : options_(std::move(options)), counters_(counters) {
+  outcome_ring_.assign(options_.window > 0 ? options_.window : 1, 0);
+}
+
+Status CircuitBreaker::Admit() {
+  if (!options_.enabled) return Status::OK();
+  const uint64_t now = options_.now_us ? options_.now_us() : SteadyNowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kOpen &&
+      now - opened_at_us_ >= options_.open_cooldown_us) {
+    state_ = BreakerState::kHalfOpen;
+    probes_inflight_ = 0;
+    probe_successes_ = 0;
+  }
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Status::OK();
+    case BreakerState::kHalfOpen:
+      if (probes_inflight_ < options_.half_open_max_probes) {
+        ++probes_inflight_;
+        return Status::OK();
+      }
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+  ++rejections_;
+  if (counters_ != nullptr) {
+    counters_->breaker_rejections.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Unavailable("slow tier circuit breaker open");
+}
+
+void CircuitBreaker::OnResult(const Status& s) {
+  if (!options_.enabled) return;
+  const bool failure = IsFailure(s);
+  const uint64_t now = options_.now_us ? options_.now_us() : SteadyNowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      RecordOutcomeLocked(failure);
+      if (consecutive_failures_ >= options_.consecutive_failures_to_open ||
+          (ring_count_ >= options_.min_samples &&
+           static_cast<double>(ring_failures_) >=
+               options_.failure_rate_to_open *
+                   static_cast<double>(ring_count_))) {
+        TripOpenLocked(now);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      if (probes_inflight_ > 0) --probes_inflight_;
+      if (failure) {
+        TripOpenLocked(now);
+      } else if (++probe_successes_ >= options_.half_open_successes_to_close) {
+        CloseLocked();
+      }
+      break;
+    case BreakerState::kOpen:
+      // A call admitted before the trip finished after it; its outcome no
+      // longer matters.
+      break;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  if (!options_.enabled) return BreakerState::kClosed;
+  const uint64_t now = options_.now_us ? options_.now_us() : SteadyNowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kOpen &&
+      now - opened_at_us_ >= options_.open_cooldown_us) {
+    return BreakerState::kHalfOpen;
+  }
+  return state_;
+}
+
+uint64_t CircuitBreaker::rejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejections_;
+}
+
+uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+void CircuitBreaker::TripOpenLocked(uint64_t now) {
+  state_ = BreakerState::kOpen;
+  opened_at_us_ = now;
+  ++opens_;
+  if (counters_ != nullptr) {
+    counters_->breaker_opens.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CircuitBreaker::CloseLocked() {
+  state_ = BreakerState::kClosed;
+  outcome_ring_.assign(outcome_ring_.size(), 0);
+  ring_next_ = 0;
+  ring_count_ = 0;
+  ring_failures_ = 0;
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::RecordOutcomeLocked(bool failure) {
+  if (ring_count_ == outcome_ring_.size()) {
+    ring_failures_ -= outcome_ring_[ring_next_];
+  } else {
+    ++ring_count_;
+  }
+  outcome_ring_[ring_next_] = failure ? 1 : 0;
+  ring_failures_ += failure ? 1 : 0;
+  ring_next_ = (ring_next_ + 1) % static_cast<uint32_t>(outcome_ring_.size());
+  consecutive_failures_ = failure ? consecutive_failures_ + 1 : 0;
+}
+
+}  // namespace tu::cloud

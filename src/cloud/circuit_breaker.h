@@ -1,0 +1,109 @@
+// Circuit breaker for the slow (object) tier: closed -> open -> half-open.
+//
+// During an outage every ObjectStore call otherwise pays its full
+// RunWithRetry backoff budget before failing; with hundreds of block
+// fetches per query that turns a dead tier into a latency storm. The
+// breaker watches a sliding window of recent outcomes, trips open when the
+// failure rate (or a consecutive-failure run) crosses the threshold, and
+// then rejects calls instantly with Status::Unavailable — which no retry
+// policy treats as retryable, so callers fall back (deferred uploads,
+// partial reads) immediately. After a cooldown it admits a small number of
+// probe requests; enough probe successes close it again.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tu::cloud {
+
+struct TierCounters;
+
+enum class BreakerState : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+const char* BreakerStateName(BreakerState s);
+
+struct CircuitBreakerOptions {
+  /// Disabled by default: unit-test tiers (Instant()) see every injected
+  /// fault verbatim. The realistic S3 sim and the degraded-operation tests
+  /// opt in.
+  bool enabled = false;
+  /// Sliding window of most recent call outcomes considered for the
+  /// failure-rate trip condition.
+  uint32_t window = 32;
+  /// Minimum outcomes in the window before the rate condition can trip.
+  uint32_t min_samples = 8;
+  double failure_rate_to_open = 0.5;
+  /// Fast-trip condition: this many failures in a row opens the breaker
+  /// regardless of the window rate (a hard outage should not need 16
+  /// samples to be recognized).
+  uint32_t consecutive_failures_to_open = 8;
+  /// How long an open breaker rejects before letting probes through.
+  uint64_t open_cooldown_us = 250'000;
+  /// Concurrent probe requests admitted while half-open.
+  uint32_t half_open_max_probes = 2;
+  /// Probe successes required to close; a single probe failure re-opens.
+  uint32_t half_open_successes_to_close = 2;
+  /// Injectable clock for tests; defaults to steady_clock.
+  std::function<uint64_t()> now_us;
+
+  static CircuitBreakerOptions Enabled() {
+    CircuitBreakerOptions o;
+    o.enabled = true;
+    return o;
+  }
+};
+
+/// Thread-safe; one instance per ObjectStore. When constructed with a
+/// TierCounters pointer, rejections and opens are mirrored into the tier's
+/// counter report alongside faults/retries.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(CircuitBreakerOptions options, TierCounters* counters);
+
+  /// OK to proceed, or Status::Unavailable when the breaker is open (or
+  /// half-open with all probe slots taken). Every admitted call must be
+  /// paired with exactly one OnResult().
+  Status Admit();
+
+  /// Record the outcome of an admitted call. IOError/Busy count as
+  /// failures; everything else (incl. NotFound) proves the tier is alive.
+  void OnResult(const Status& s);
+
+  static bool IsFailure(const Status& s) {
+    return s.IsIOError() || s.IsBusy();
+  }
+
+  bool enabled() const { return options_.enabled; }
+  /// Effective state: reports kHalfOpen once an open breaker's cooldown
+  /// has elapsed, even before the first probe arrives.
+  BreakerState state() const;
+  uint64_t rejections() const;
+  uint64_t opens() const;
+
+ private:
+  void TripOpenLocked(uint64_t now);
+  void CloseLocked();
+  void RecordOutcomeLocked(bool failure);
+
+  const CircuitBreakerOptions options_;
+  TierCounters* const counters_;  // may be null
+
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::vector<char> outcome_ring_;  // 1 = failure
+  uint32_t ring_next_ = 0;
+  uint32_t ring_count_ = 0;
+  uint32_t ring_failures_ = 0;
+  uint32_t consecutive_failures_ = 0;
+  uint64_t opened_at_us_ = 0;
+  uint32_t probes_inflight_ = 0;
+  uint32_t probe_successes_ = 0;
+  uint64_t rejections_ = 0;
+  uint64_t opens_ = 0;
+};
+
+}  // namespace tu::cloud

@@ -57,7 +57,9 @@ std::string DecodeKey(const std::string& name) {
 }  // namespace
 
 ObjectStore::ObjectStore(std::string root_dir, TierSimOptions sim)
-    : root_(std::move(root_dir)), sim_(sim) {
+    : root_(std::move(root_dir)),
+      sim_(sim),
+      breaker_(sim_.breaker, &counters_) {
   EnsureDir(root_);
 }
 
@@ -65,7 +67,46 @@ std::string ObjectStore::KeyPath(const std::string& key) const {
   return root_ + "/" + EncodeKey(key);
 }
 
+Status ObjectStore::Guarded(const std::function<Status()>& op) const {
+  Status admit = breaker_.Admit();
+  if (!admit.ok()) return admit;
+  Status s = op();
+  breaker_.OnResult(s);
+  return s;
+}
+
 Status ObjectStore::PutObject(const std::string& key, const Slice& data) {
+  return Guarded([&] { return PutObjectImpl(key, data); });
+}
+
+Status ObjectStore::DeleteObject(const std::string& key) {
+  return Guarded([&] { return DeleteObjectImpl(key); });
+}
+
+Status ObjectStore::ObjectExists(const std::string& key) const {
+  return Guarded([&] { return ObjectExistsImpl(key); });
+}
+
+Status ObjectStore::ObjectSize(const std::string& key, uint64_t* size) const {
+  return Guarded([&] { return ObjectSizeImpl(key, size); });
+}
+
+Status ObjectStore::RenameObject(const std::string& src,
+                                 const std::string& dst) {
+  return Guarded([&] { return RenameObjectImpl(src, dst); });
+}
+
+Status ObjectStore::ListObjects(const std::string& prefix,
+                                std::vector<std::string>* keys) const {
+  return Guarded([&] { return ListObjectsImpl(prefix, keys); });
+}
+
+Status ObjectStore::GetRange(const std::string& key, uint64_t offset, size_t n,
+                             std::string* out) {
+  return Guarded([&] { return GetRangeImpl(key, offset, n, out); });
+}
+
+Status ObjectStore::PutObjectImpl(const std::string& key, const Slice& data) {
   size_t write_bytes = data.size();
   Status injected;
   if (sim_.fault != nullptr) {
@@ -107,14 +148,16 @@ Status ObjectStore::PutObject(const std::string& key, const Slice& data) {
   return injected;
 }
 
+// Composite of ObjectSize + GetRange; both legs are individually guarded,
+// so no breaker wrapper here (it would double-count probe slots).
 Status ObjectStore::GetObject(const std::string& key, std::string* out) {
   uint64_t size = 0;
   TU_RETURN_IF_ERROR(ObjectSize(key, &size));
   return GetRange(key, 0, size, out);
 }
 
-Status ObjectStore::GetRange(const std::string& key, uint64_t offset, size_t n,
-                             std::string* out) {
+Status ObjectStore::GetRangeImpl(const std::string& key, uint64_t offset,
+                                 size_t n, std::string* out) {
   if (sim_.fault != nullptr) {
     Status injected = sim_.fault->Intercept(FaultOp::kGet, key);
     if (!injected.ok()) {
@@ -150,7 +193,7 @@ Status ObjectStore::GetRange(const std::string& key, uint64_t offset, size_t n,
   return Status::OK();
 }
 
-Status ObjectStore::DeleteObject(const std::string& key) {
+Status ObjectStore::DeleteObjectImpl(const std::string& key) {
   if (sim_.fault != nullptr) {
     Status injected = sim_.fault->Intercept(FaultOp::kDelete, key);
     if (!injected.ok()) {
@@ -166,7 +209,7 @@ Status ObjectStore::DeleteObject(const std::string& key) {
   return Status::OK();
 }
 
-Status ObjectStore::ObjectExists(const std::string& key) const {
+Status ObjectStore::ObjectExistsImpl(const std::string& key) const {
   if (sim_.fault != nullptr) {
     Status injected = sim_.fault->Intercept(FaultOp::kStat, key);
     if (!injected.ok()) {
@@ -179,7 +222,8 @@ Status ObjectStore::ObjectExists(const std::string& key) const {
   return Status::OK();
 }
 
-Status ObjectStore::ObjectSize(const std::string& key, uint64_t* size) const {
+Status ObjectStore::ObjectSizeImpl(const std::string& key,
+                                   uint64_t* size) const {
   if (sim_.fault != nullptr) {
     Status injected = sim_.fault->Intercept(FaultOp::kStat, key);
     if (!injected.ok()) {
@@ -193,8 +237,8 @@ Status ObjectStore::ObjectSize(const std::string& key, uint64_t* size) const {
   return Status::OK();
 }
 
-Status ObjectStore::RenameObject(const std::string& src,
-                                 const std::string& dst) {
+Status ObjectStore::RenameObjectImpl(const std::string& src,
+                                     const std::string& dst) {
   if (sim_.fault != nullptr) {
     Status injected = sim_.fault->Intercept(FaultOp::kRename, src);
     if (!injected.ok()) {
@@ -213,8 +257,8 @@ Status ObjectStore::RenameObject(const std::string& src,
   return Status::OK();
 }
 
-Status ObjectStore::ListObjects(const std::string& prefix,
-                                std::vector<std::string>* keys) const {
+Status ObjectStore::ListObjectsImpl(const std::string& prefix,
+                                    std::vector<std::string>* keys) const {
   if (sim_.fault != nullptr) {
     Status injected = sim_.fault->Intercept(FaultOp::kList, prefix);
     if (!injected.ok()) {

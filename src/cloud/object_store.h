@@ -4,11 +4,13 @@
 // API shape is MinIO/S3-compatible so a real client could be dropped in.
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "cloud/circuit_breaker.h"
 #include "cloud/storage_sim.h"
 #include "util/slice.h"
 #include "util/status.h"
@@ -50,15 +52,31 @@ class ObjectStore {
   const TierSimOptions& sim() const { return sim_; }
   /// The scripted failure model for this tier, or null.
   FaultInjector* fault() const { return sim_.fault.get(); }
+  /// Circuit breaker guarding this tier (no-op unless sim.breaker.enabled).
+  CircuitBreaker& breaker() const { return breaker_; }
 
  private:
   std::string KeyPath(const std::string& key) const;
   bool MarkRead(const std::string& key);
+  /// Runs `op` behind the breaker: rejected with Unavailable while open,
+  /// otherwise executed with its outcome fed back to the state machine.
+  Status Guarded(const std::function<Status()>& op) const;
+
+  Status PutObjectImpl(const std::string& key, const Slice& data);
+  Status GetRangeImpl(const std::string& key, uint64_t offset, size_t n,
+                      std::string* out);
+  Status DeleteObjectImpl(const std::string& key);
+  Status ObjectExistsImpl(const std::string& key) const;
+  Status ObjectSizeImpl(const std::string& key, uint64_t* size) const;
+  Status RenameObjectImpl(const std::string& src, const std::string& dst);
+  Status ListObjectsImpl(const std::string& prefix,
+                         std::vector<std::string>* keys) const;
 
   std::string root_;
   TierSimOptions sim_;
   // Mutable: const probes (Exists/Size/List) still count injected faults.
   mutable TierCounters counters_;
+  mutable CircuitBreaker breaker_;
 
   mutable std::mutex mu_;
   std::unordered_set<std::string> read_before_;

@@ -10,8 +10,30 @@
 
 namespace tu::cloud {
 
+namespace {
+
+// Sleep in ~1 ms slices so a teardown-time cancel flag interrupts the
+// backoff promptly instead of after the full (possibly multi-second) wait.
+// Returns false if cancelled mid-sleep.
+bool InterruptibleSleep(uint64_t sleep_us, const std::atomic<bool>* cancel) {
+  constexpr uint64_t kSliceUs = 1000;
+  while (sleep_us > 0) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+      return false;
+    }
+    const uint64_t chunk = cancel != nullptr ? std::min(sleep_us, kSliceUs)
+                                             : sleep_us;
+    std::this_thread::sleep_for(std::chrono::microseconds(chunk));
+    sleep_us -= chunk;
+  }
+  return cancel == nullptr || !cancel->load(std::memory_order_acquire);
+}
+
+}  // namespace
+
 Status RunWithRetry(const RetryPolicy& policy, TierCounters* counters,
-                    std::string_view what, const std::function<Status()>& op) {
+                    std::string_view what, const std::function<Status()>& op,
+                    const std::atomic<bool>* cancel) {
   // Seed per call site from the address of `what` + a process-wide counter,
   // so concurrent retry loops don't sleep in lockstep.
   static std::atomic<uint64_t> call_seq{0};
@@ -21,6 +43,10 @@ Status RunWithRetry(const RetryPolicy& policy, TierCounters* counters,
   uint64_t slept_us = 0;
   Status s;
   for (int attempt = 1;; ++attempt) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+      return Status::IOError("retry of " + std::string(what) +
+                             " cancelled by shutdown");
+    }
     s = op();
     if (s.ok() || !policy.ShouldRetry(s)) return s;
     const bool budget_spent =
@@ -43,7 +69,10 @@ Status RunWithRetry(const RetryPolicy& policy, TierCounters* counters,
       sleep_us = std::min(sleep_us, policy.total_budget_us - slept_us);
     }
     if (policy.real_sleep && sleep_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      if (!InterruptibleSleep(sleep_us, cancel)) {
+        return Status::IOError("retry of " + std::string(what) +
+                               " cancelled by shutdown");
+      }
     }
     slept_us += sleep_us;
     backoff_us = std::min(

@@ -5,6 +5,7 @@
 // surfacing to compaction or queries.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -48,7 +49,13 @@ struct RetryPolicy {
 /// attempt/time budget is exhausted. Each retry bumps counters->retries;
 /// exhausting the budget on a retryable error bumps counters->retry_give_ups.
 /// `what` labels the operation in give-up messages. `counters` may be null.
+///
+/// When `cancel` is non-null, backoff sleeps are sliced and the loop bails
+/// out (without further attempts and without counting a give-up) as soon
+/// as the flag becomes true — so a DB tearing down under active fault
+/// rules never sits in a multi-second backoff.
 Status RunWithRetry(const RetryPolicy& policy, TierCounters* counters,
-                    std::string_view what, const std::function<Status()>& op);
+                    std::string_view what, const std::function<Status()>& op,
+                    const std::atomic<bool>* cancel = nullptr);
 
 }  // namespace tu::cloud

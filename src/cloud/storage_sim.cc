@@ -23,6 +23,9 @@ TierSimOptions TierSimOptions::S3Defaults() {
   o.first_read_penalty = 1.71;
   o.real_sleep = true;
   o.sleep_scale = 0.1;
+  // The realistic S3 sim gets the breaker by default: without faults it
+  // never trips, and under an outage it is the behavior we want to model.
+  o.breaker.enabled = true;
   return o;
 }
 
@@ -44,6 +47,8 @@ void TierCounters::Reset() {
   faults_injected = 0;
   retries = 0;
   retry_give_ups = 0;
+  breaker_rejections = 0;
+  breaker_opens = 0;
 }
 
 std::string TierCounters::Report(const std::string& tier_name) const {
@@ -53,7 +58,9 @@ std::string TierCounters::Report(const std::string& tier_name) const {
      << " written_bytes=" << bytes_written.load()
      << " charged_ms=" << charged_us.load() / 1000
      << " faults=" << faults_injected.load() << " retries=" << retries.load()
-     << " give_ups=" << retry_give_ups.load();
+     << " give_ups=" << retry_give_ups.load()
+     << " breaker_rejections=" << breaker_rejections.load()
+     << " breaker_opens=" << breaker_opens.load();
   return os.str();
 }
 

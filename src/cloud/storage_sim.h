@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "cloud/circuit_breaker.h"
 #include "cloud/retry_policy.h"
 
 namespace tu::cloud {
@@ -40,6 +41,12 @@ struct TierSimOptions {
   /// Backoff policy the engine's call sites apply to this tier's
   /// retryable (transient) errors.
   RetryPolicy retry;
+
+  /// Circuit breaker guarding every operation against this tier (only the
+  /// object store consults it; the fast tier is assumed local and
+  /// reliable). Disabled by default for unit-test tiers; S3Defaults()
+  /// enables it.
+  CircuitBreakerOptions breaker;
 
   /// AWS EBS gp2-like defaults, calibrated against Fig. 1: ~0.1 ms/op,
   /// ~250 MB/s, first read 1.8x slower.
@@ -72,6 +79,10 @@ struct TierCounters {
   std::atomic<uint64_t> retries{0};
   /// Retry loops that exhausted their attempt/time budget.
   std::atomic<uint64_t> retry_give_ups{0};
+  /// Calls rejected up front because the circuit breaker was open.
+  std::atomic<uint64_t> breaker_rejections{0};
+  /// Closed/half-open -> open transitions of the circuit breaker.
+  std::atomic<uint64_t> breaker_opens{0};
 
   void Reset();
   std::string Report(const std::string& tier_name) const;

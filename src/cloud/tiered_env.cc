@@ -13,8 +13,13 @@ TieredEnv::TieredEnv(const std::string& workspace, TieredEnvOptions options)
 }
 
 std::string TieredEnv::CountersReport() const {
-  return fast_->counters().Report("fast(EBS)") + "\n" +
-         slow_->counters().Report("slow(S3)");
+  std::string out = fast_->counters().Report("fast(EBS)") + "\n" +
+                    slow_->counters().Report("slow(S3)");
+  if (slow_->breaker().enabled()) {
+    out += " breaker=";
+    out += BreakerStateName(slow_->breaker().state());
+  }
+  return out;
 }
 
 }  // namespace tu::cloud

@@ -5,7 +5,11 @@
 #include <map>
 #include <regex>
 
+#include <chrono>
+#include <thread>
+
 #include "lsm/key_format.h"
+#include "util/interval_set.h"
 #include "util/memory_tracker.h"
 #include "util/mmap_file.h"
 
@@ -133,6 +137,11 @@ Status TimeUnionDB::StartMaintenance() {
   maintenance_ = std::make_unique<MaintenanceWorker>(
       std::move(mopts), [this](int64_t watermark) {
         if (watermark != INT64_MIN) ApplyRetention(watermark);
+        // Heal after a slow-tier outage: upload deferred L2 tables parked
+        // on the fast tier. Cheap when nothing is deferred or the breaker
+        // is still open; its first attempt doubles as the breaker's
+        // half-open probe, so recovery needs no operator action.
+        if (time_lsm_) time_lsm_->DrainDeferredUploads();
         if (wal_) wal_->Purge();
         AdviseMemoryRelease();
       });
@@ -488,8 +497,50 @@ Status TimeUnionDB::AppendToSeries(SeriesEntry* entry, int64_t ts,
   return Status::Corruption("series append did not converge");
 }
 
+Status TimeUnionDB::AdmitWrite() {
+  const DBOptions::AdmissionControl& ac = options_.admission;
+  if (!ac.enabled || time_lsm_ == nullptr) return Status::OK();
+  const uint64_t limit = options_.lsm.fast_storage_limit_bytes;
+  if (limit == 0) return Status::OK();
+
+  // One relaxed load per write; the gauge itself is re-read only every
+  // refresh_every_ops admissions so pressure transitions lag by at most
+  // one small batch.
+  const uint64_t op = admission_ops_.fetch_add(1, std::memory_order_relaxed);
+  if (ac.refresh_every_ops <= 1 || op % ac.refresh_every_ops == 0) {
+    const uint64_t fast_bytes = time_lsm_->FastBytesGauge();
+    const auto hard =
+        static_cast<uint64_t>(ac.hard_watermark * static_cast<double>(limit));
+    const auto soft =
+        static_cast<uint64_t>(ac.soft_watermark * static_cast<double>(limit));
+    int level = 0;
+    if (fast_bytes >= hard) {
+      level = 2;
+    } else if (fast_bytes >= soft) {
+      level = 1;
+    }
+    admission_level_.store(level, std::memory_order_relaxed);
+  }
+
+  switch (admission_level_.load(std::memory_order_relaxed)) {
+    case 2:
+      writes_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "fast tier over hard watermark; write rejected");
+    case 1:
+      // Bounded delay, not a queue: the writer eats a fixed pause so
+      // ingest slows toward the drain rate without unbounded blocking.
+      writers_delayed_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(ac.soft_delay_us));
+      return Status::OK();
+    default:
+      return Status::OK();
+  }
+}
+
 Status TimeUnionDB::AppendSampleByRef(uint64_t series_ref, int64_t ts,
                                       double value) {
+  TU_RETURN_IF_ERROR(AdmitWrite());
   EntryShard& es = EntryShardFor(series_ref);
   std::shared_lock<std::shared_mutex> shard_lock(es.mu);
   auto it = es.series.find(series_ref);
@@ -586,6 +637,7 @@ Status TimeUnionDB::InsertGroup(const Labels& group_tags,
   if (member_tags.size() != values.size()) {
     return Status::InvalidArgument("member/value count mismatch");
   }
+  TU_RETURN_IF_ERROR(AdmitWrite());
   Labels sorted_group = group_tags;
   index::SortLabels(&sorted_group);
   const std::string group_key = index::LabelsKey(sorted_group);
@@ -661,6 +713,7 @@ Status TimeUnionDB::InsertGroupFast(uint64_t group_ref,
   if (slots.size() != values.size()) {
     return Status::InvalidArgument("slot/value count mismatch");
   }
+  TU_RETURN_IF_ERROR(AdmitWrite());
   EntryShard& es = EntryShardFor(group_ref);
   std::shared_lock<std::shared_mutex> shard_lock(es.mu);
   auto it = es.groups.find(group_ref);
@@ -735,13 +788,17 @@ bool MatcherMatches(const TagMatcher& m, const Labels& labels) {
 
 }  // namespace
 
-Status TimeUnionDB::CollectSeries(uint64_t id, const std::vector<Sample>& open,
-                                  int64_t t0, int64_t t1,
-                                  std::vector<Sample>* out) {
+Status TimeUnionDB::CollectSeries(
+    uint64_t id, const std::vector<Sample>& open, int64_t t0, int64_t t1,
+    std::vector<Sample>* out,
+    std::vector<std::pair<int64_t, int64_t>>* missing) {
   SampleMerger merger;
 
+  lsm::ReadScope scope;
+  scope.allow_partial = (missing != nullptr);
+  scope.missing = missing;
   std::unique_ptr<lsm::Iterator> it;
-  TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, &it));
+  TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, scope, &it));
   // Seek to this series' chunks (its key prefix gathers them together —
   // the §3.3 data-locality design). A chunk starting before t0 can still
   // contain samples >= t0, but its span is bounded by one partition
@@ -771,14 +828,17 @@ Status TimeUnionDB::CollectSeries(uint64_t id, const std::vector<Sample>& open,
   return Status::OK();
 }
 
-Status TimeUnionDB::CollectGroupMember(uint64_t id, uint32_t slot,
-                                       const std::vector<Sample>& open,
-                                       int64_t t0, int64_t t1,
-                                       std::vector<Sample>* out) {
+Status TimeUnionDB::CollectGroupMember(
+    uint64_t id, uint32_t slot, const std::vector<Sample>& open, int64_t t0,
+    int64_t t1, std::vector<Sample>* out,
+    std::vector<std::pair<int64_t, int64_t>>* missing) {
   SampleMerger merger;
 
+  lsm::ReadScope scope;
+  scope.allow_partial = (missing != nullptr);
+  scope.missing = missing;
   std::unique_ptr<lsm::Iterator> it;
-  TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, &it));
+  TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, scope, &it));
   const int64_t slack = options_.lsm.partition_upper_bound_ms;
   const int64_t seek_ts = (t0 < INT64_MIN + slack) ? INT64_MIN : t0 - slack;
   for (it->Seek(lsm::MakeChunkKey(id, seek_ts)); it->Valid(); it->Next()) {
@@ -811,6 +871,11 @@ Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
 
   index::Postings ids;
   TU_RETURN_IF_ERROR(index_->Select(matchers, &ids));
+
+  // Degraded reads: unless strict, collect what is reachable and report
+  // the spans that may be missing (merged + clamped below).
+  std::vector<std::pair<int64_t, int64_t>> missing;
+  auto* missing_sink = options_.strict_reads ? nullptr : &missing;
 
   /// One group member selected under the entry locks, collected after.
   struct MemberSnapshot {
@@ -873,8 +938,8 @@ Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
       SeriesResult result;
       result.id = id;
       result.labels = std::move(series_labels);
-      TU_RETURN_IF_ERROR(
-          CollectSeries(id, series_open, t0, t1, &result.samples));
+      TU_RETURN_IF_ERROR(CollectSeries(id, series_open, t0, t1,
+                                       &result.samples, missing_sink));
       if (!result.samples.empty()) out->push_back(std::move(result));
       continue;
     }
@@ -883,8 +948,22 @@ Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
       result.id = id;
       result.labels = std::move(snap.labels);
       TU_RETURN_IF_ERROR(CollectGroupMember(id, snap.slot, snap.open, t0, t1,
-                                            &result.samples));
+                                            &result.samples, missing_sink));
       if (!result.samples.empty()) out->push_back(std::move(result));
+    }
+  }
+
+  if (!missing.empty()) {
+    // Per-table spans are unclamped and overlap across series; merge and
+    // clamp them into the caller-facing gap list.
+    for (auto& iv : missing) {
+      iv.first = std::max(iv.first, t0);
+      iv.second = std::min(iv.second, t1);
+    }
+    util::MergeIntervals(&missing);
+    if (!missing.empty()) {
+      out->complete = false;
+      out->missing_ranges = std::move(missing);
     }
   }
   return Status::OK();
@@ -948,14 +1027,31 @@ Status TimeUnionDB::QueryIterators(const std::vector<TagMatcher>& matchers,
     // in between is visible to the (younger) iterator and dedups against
     // the snapshot inside SampleIterator.
     for (IterSnapshot& snap : snaps) {
+      // Degraded reads: each iterator reports its own gap spans, clamped
+      // and merged, so streaming consumers know what the stream may lack.
+      std::vector<std::pair<int64_t, int64_t>> missing;
+      lsm::ReadScope scope;
+      scope.allow_partial = !options_.strict_reads;
+      scope.missing = options_.strict_reads ? nullptr : &missing;
       std::unique_ptr<lsm::Iterator> lsm_iter;
-      TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, &lsm_iter));
+      TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, scope, &lsm_iter));
       SeriesIterResult result;
       result.id = id;
       result.labels = std::move(snap.labels);
       result.iter = std::make_unique<SampleIterator>(
           id, t0, t1, std::move(lsm_iter), std::move(snap.open),
           snap.member_slot, slack);
+      if (!missing.empty()) {
+        for (auto& iv : missing) {
+          iv.first = std::max(iv.first, t0);
+          iv.second = std::min(iv.second, t1);
+        }
+        util::MergeIntervals(&missing);
+        if (!missing.empty()) {
+          result.complete = false;
+          result.missing_ranges = std::move(missing);
+        }
+      }
       out->push_back(std::move(result));
     }
   }
@@ -1069,6 +1165,28 @@ uint64_t TimeUnionDB::NumGroups() const {
 }
 
 uint64_t TimeUnionDB::IndexMemoryUsage() const { return index_->MemoryUsage(); }
+
+core::HealthReport TimeUnionDB::HealthReport() const {
+  core::HealthReport r;
+  const cloud::ObjectStore& slow = env_->slow();
+  const cloud::CircuitBreaker& breaker = slow.breaker();
+  r.breaker_enabled = breaker.enabled();
+  r.slow_breaker = breaker.state();
+  r.breaker_rejections = breaker.rejections();
+  r.breaker_opens = breaker.opens();
+  if (time_lsm_ != nullptr) {
+    r.deferred_tables = time_lsm_->NumDeferredTables();
+    r.deferred_bytes = time_lsm_->DeferredBytes();
+    r.deferred_uploads_drained = time_lsm_->stats().deferred_uploads_drained
+                                     .load(std::memory_order_relaxed);
+    r.fast_bytes = time_lsm_->FastBytesGauge();
+    r.fast_limit_bytes = options_.lsm.fast_storage_limit_bytes;
+    r.last_background_error = time_lsm_->last_background_error();
+  }
+  r.writers_delayed = writers_delayed_.load(std::memory_order_relaxed);
+  r.writes_rejected = writes_rejected_.load(std::memory_order_relaxed);
+  return r;
+}
 
 void TimeUnionDB::AdviseMemoryRelease() {
   index_->AdviseDontNeed();

@@ -78,6 +78,32 @@ struct DBOptions {
   /// Purge the WAL when it exceeds this size.
   uint64_t wal_purge_bytes = 16 << 20;
 
+  /// Degraded reads: when false (the default), Query / QueryIterators keep
+  /// working through a slow-tier outage by skipping unreachable L2 tables
+  /// and reporting `QueryResult::complete = false` with the merged
+  /// `missing_ranges`. When true, the first unreachable table fails the
+  /// query (fail-fast semantics for callers that cannot use partial data).
+  bool strict_reads = false;
+
+  /// Fast-tier budget backpressure. During a slow-tier outage deferred L2
+  /// uploads park on the fast tier, so unbounded ingest would eventually
+  /// fill it. Watermarks are fractions of `lsm.fast_storage_limit_bytes`:
+  /// below soft the write path is untouched; between soft and hard each
+  /// admitted write eats a bounded delay (`soft_delay_us`); at hard the
+  /// write is rejected with ResourceExhausted. Off by default — it only
+  /// makes sense with a fast-storage budget configured.
+  struct AdmissionControl {
+    bool enabled = false;
+    double soft_watermark = 1.0;  ///< × lsm.fast_storage_limit_bytes
+    double hard_watermark = 2.0;  ///< × lsm.fast_storage_limit_bytes
+    uint64_t soft_delay_us = 2000;
+    /// The fast-bytes gauge is re-read every this many admitted writes
+    /// (per thread, approximately); keeps the hot path at one relaxed
+    /// atomic load.
+    uint32_t refresh_every_ops = 64;
+  };
+  AdmissionControl admission;
+
   /// Data retention window (0 = keep everything); see ApplyRetention.
   int64_t retention_ms = 0;
   /// Run the §3.3 background maintenance worker (periodic retention,
@@ -103,7 +129,57 @@ struct SeriesResult {
   std::vector<compress::Sample> samples;  // ascending timestamps
 };
 
-using QueryResult = std::vector<SeriesResult>;
+/// Query output: the matched series plus a completeness marker for
+/// degraded reads. Exposes the vector interface of its `series` member so
+/// result-consuming code can keep treating it as a container.
+struct QueryResult {
+  std::vector<SeriesResult> series;
+  /// False when the slow tier was unreachable and the query skipped L2
+  /// tables (DBOptions::strict_reads == false); `missing_ranges` then
+  /// holds the merged, query-range-clamped [lo, hi] timestamp spans whose
+  /// data may be absent from `series`.
+  bool complete = true;
+  std::vector<std::pair<int64_t, int64_t>> missing_ranges;
+
+  size_t size() const { return series.size(); }
+  bool empty() const { return series.empty(); }
+  SeriesResult& operator[](size_t i) { return series[i]; }
+  const SeriesResult& operator[](size_t i) const { return series[i]; }
+  auto begin() { return series.begin(); }
+  auto end() { return series.end(); }
+  auto begin() const { return series.begin(); }
+  auto end() const { return series.end(); }
+  void push_back(SeriesResult r) { series.push_back(std::move(r)); }
+  void clear() {
+    series.clear();
+    complete = true;
+    missing_ranges.clear();
+  }
+};
+
+/// Point-in-time health snapshot (see DESIGN.md "Degraded operation"):
+/// slow-tier breaker state, deferred-upload backlog, fast-tier pressure
+/// and the latest background error. All counters are cumulative since
+/// Open.
+struct HealthReport {
+  /// Slow-tier circuit breaker (kClosed when the breaker is disabled).
+  cloud::BreakerState slow_breaker = cloud::BreakerState::kClosed;
+  bool breaker_enabled = false;
+  uint64_t breaker_rejections = 0;
+  uint64_t breaker_opens = 0;
+  /// L2-logical tables currently parked on the fast tier.
+  size_t deferred_tables = 0;
+  uint64_t deferred_bytes = 0;
+  uint64_t deferred_uploads_drained = 0;
+  /// Fast-tier occupancy vs the Algorithm-1 budget (limit 0 = unbounded).
+  uint64_t fast_bytes = 0;
+  uint64_t fast_limit_bytes = 0;
+  /// Admission-control outcomes (always 0 unless admission.enabled).
+  uint64_t writers_delayed = 0;
+  uint64_t writes_rejected = 0;
+  /// Sticky background flush/maintenance error; OK when healthy.
+  Status last_background_error;
+};
 
 class TimeUnionDB {
  public:
@@ -169,6 +245,11 @@ class TimeUnionDB {
     uint64_t id = 0;
     index::Labels labels;
     std::unique_ptr<SampleIterator> iter;
+    /// Degraded reads (DBOptions::strict_reads == false): false when this
+    /// iterator skipped unreachable slow-tier tables; the merged, clamped
+    /// spans possibly missing from the stream are in `missing_ranges`.
+    bool complete = true;
+    std::vector<std::pair<int64_t, int64_t>> missing_ranges;
   };
   Status QueryIterators(const std::vector<index::TagMatcher>& matchers,
                         int64_t t0, int64_t t1,
@@ -203,6 +284,10 @@ class TimeUnionDB {
   uint64_t NumGroups() const;
   /// What the Open-time recovery salvaged/dropped (see RecoveryReport).
   const RecoveryReport& recovery_report() const { return recovery_report_; }
+  /// Degraded-operation snapshot: breaker state, deferred-upload backlog,
+  /// fast-tier pressure, admission outcomes, sticky background error.
+  /// Safe from any thread; counters are relaxed reads.
+  core::HealthReport HealthReport() const;
   /// Index memory (trie + postings), §3.2 accounting. The index is
   /// internally synchronized; safe from any thread.
   uint64_t IndexMemoryUsage() const;
@@ -289,14 +374,24 @@ class TimeUnionDB {
   /// Collects the samples of one individual series in [t0, t1]. `open` is
   /// the entry's open-chunk snapshot, taken under its locks before the
   /// call; the LSM read itself runs lock-free (duplicates dedup by seq).
+  /// `missing` (nullable) enables partial reads: spans of skipped
+  /// unreachable tables are appended to it, unclamped and unmerged.
   Status CollectSeries(uint64_t id, const std::vector<compress::Sample>& open,
                        int64_t t0, int64_t t1,
-                       std::vector<compress::Sample>* out);
+                       std::vector<compress::Sample>* out,
+                       std::vector<std::pair<int64_t, int64_t>>* missing);
   /// Collects the samples of one group member in [t0, t1].
   Status CollectGroupMember(uint64_t id, uint32_t slot,
                             const std::vector<compress::Sample>& open,
                             int64_t t0, int64_t t1,
-                            std::vector<compress::Sample>* out);
+                            std::vector<compress::Sample>* out,
+                            std::vector<std::pair<int64_t, int64_t>>* missing);
+
+  /// Write-path backpressure (DBOptions::AdmissionControl): checks the
+  /// LSM's fast-bytes gauge against the watermarks — OK below soft,
+  /// bounded delay between soft and hard, ResourceExhausted at hard. WAL
+  /// replay bypasses this (it appends through AppendToSeries directly).
+  Status AdmitWrite();
 
   Status MaybeLog(const WalRecord& record);
 
@@ -331,6 +426,14 @@ class TimeUnionDB {
   uint64_t next_id_ = 1;        // guarded by reg_mu_
   int64_t registry_bytes_ = 0;  // guarded by reg_mu_; kTags accounting
   RecoveryReport recovery_report_;
+
+  /// Admission-control state: a write counter that paces gauge refreshes,
+  /// the last observed pressure level (0 healthy / 1 soft / 2 hard), and
+  /// the outcome counters surfaced by HealthReport().
+  std::atomic<uint64_t> admission_ops_{0};
+  std::atomic<int> admission_level_{0};
+  std::atomic<uint64_t> writers_delayed_{0};
+  std::atomic<uint64_t> writes_rejected_{0};
 
   // Declared last: its thread must stop before the members above die.
   std::unique_ptr<MaintenanceWorker> maintenance_;

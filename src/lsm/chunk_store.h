@@ -6,12 +6,25 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "lsm/iterator.h"
 #include "util/slice.h"
 #include "util/status.h"
 
 namespace tu::lsm {
+
+/// How a read should behave when part of the store is unreachable (slow
+/// tier down, circuit breaker open). With `allow_partial`, stores skip
+/// slow-tier tables they cannot open and record the closed timestamp span
+/// each skipped table may have covered in `*missing` (unclamped entries
+/// are fine — callers merge and clamp); without it, the first unreachable
+/// table fails the read.
+struct ReadScope {
+  bool allow_partial = false;
+  std::vector<std::pair<int64_t, int64_t>>* missing = nullptr;
+};
 
 class ChunkStore {
  public:
@@ -24,7 +37,13 @@ class ChunkStore {
   virtual Status FlushAll() = 0;
   /// Iterator over all chunks of `id` intersecting [t0, t1].
   virtual Status NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
+                                  const ReadScope& scope,
                                   std::unique_ptr<Iterator>* out) = 0;
+  /// Strict-read convenience: any unreachable table fails the call.
+  Status NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
+                          std::unique_ptr<Iterator>* out) {
+    return NewIteratorForId(id, t0, t1, ReadScope{}, out);
+  }
   /// Drops data entirely older than `watermark` (best effort).
   virtual Status ApplyRetention(int64_t watermark) {
     (void)watermark;

@@ -300,10 +300,18 @@ Status LeveledLsm::CompactLevel(int level) {
 }
 
 Status LeveledLsm::NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
+                                    const ReadScope& scope,
                                     std::unique_ptr<Iterator>* out) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::string lo = MakeChunkKey(id, t0);
   const std::string hi = MakeChunkKey(id, t1);
+
+  // Breaker open: skip slow-level tables without touching them — a cached
+  // reader would still fail its lazy per-block Gets mid-iteration.
+  const cloud::CircuitBreaker& slow_breaker = env_->slow().breaker();
+  const bool slow_tier_down =
+      slow_breaker.enabled() &&
+      slow_breaker.state() == cloud::BreakerState::kOpen;
 
   std::vector<std::unique_ptr<Iterator>> children;
   children.push_back(mem_->NewIterator());
@@ -317,7 +325,28 @@ Status LeveledLsm::NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
       if (handle.meta.min_series_id > id || handle.meta.max_series_id < id) {
         continue;
       }
-      TU_RETURN_IF_ERROR(OpenReader(&handle));
+      if (scope.allow_partial && handle.on_slow && slow_tier_down) {
+        const int64_t lo_ts = std::max(handle.meta.min_ts, t0);
+        if (scope.missing != nullptr && lo_ts <= t1) {
+          scope.missing->emplace_back(lo_ts, t1);
+        }
+        continue;
+      }
+      Status s = OpenReader(&handle);
+      if (!s.ok()) {
+        // Without time partitioning a chunk can extend arbitrarily past
+        // its start timestamp, so the missing span is conservative: from
+        // the table's first chunk start to the end of the query range.
+        if (scope.allow_partial && handle.on_slow &&
+            (s.IsUnavailable() || s.IsIOError() || s.IsBusy())) {
+          const int64_t lo_ts = std::max(handle.meta.min_ts, t0);
+          if (scope.missing != nullptr && lo_ts <= t1) {
+            scope.missing->emplace_back(lo_ts, t1);
+          }
+          continue;
+        }
+        return s;
+      }
       if (!handle.reader->MayContainId(id)) continue;
       children.push_back(handle.reader->NewIterator());
     }

@@ -74,8 +74,12 @@ class LeveledLsm : public ChunkStore {
 
   /// Iterator over the full store for series `id` in [t0, t1]: children are
   /// the memtable plus every table possibly containing the id/range,
-  /// newest-first at equal keys.
+  /// newest-first at equal keys. With scope.allow_partial, unreachable
+  /// slow-level tables are skipped; without time partitioning the missing
+  /// span is conservative ([min_ts, t1]).
+  using ChunkStore::NewIteratorForId;
   Status NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
+                          const ReadScope& scope,
                           std::unique_ptr<Iterator>* out) override;
 
   /// No time partitioning: chunks close on sample count only.

@@ -62,6 +62,10 @@ TimePartitionedLsm::TimePartitionedLsm(cloud::TieredEnv* env, std::string name,
       l2_len_ms_(options.l2_partition_ms) {}
 
 TimePartitionedLsm::~TimePartitionedLsm() {
+  // Cancel in-flight retry backoffs before waiting: a flush worker stuck
+  // in RunWithRetry against a dead tier would otherwise hold WaitIdle for
+  // the full backoff budget.
+  shutting_down_.store(true, std::memory_order_release);
   if (flush_pool_) flush_pool_->WaitIdle();
   if (mem_) {
     MemoryTracker::Global().Sub(
@@ -103,31 +107,47 @@ Status TimePartitionedLsm::RecoverStorageState() {
   // Pass 1: verify every manifest-referenced table is present with the
   // recorded size; quarantine the rest. A quarantined L2 base leaves its
   // patches behind as standalone entries (they still carry valid data).
+  //
+  // Quarantine needs definitive evidence: a missing object (NotFound) or a
+  // wrong size. A transient/tier-down probe error (Busy, IOError,
+  // breaker-open Unavailable) proves nothing about the table — dropping
+  // live L2 data because the store reopened during an outage would turn a
+  // temporary failure into permanent loss, so such tables are kept
+  // optimistically.
+  enum class Verify { kOk, kBad, kUnknown };
   bool changed = false;
-  auto verify = [&](const TableHandle& t, bool on_slow,
-                    std::string* reason) -> bool {
+  auto verify = [&](const TableHandle& t, std::string* reason) -> Verify {
     uint64_t size = 0;
-    Status s = on_slow ? env_->slow().ObjectSize(SlowKey(t.meta.table_id), &size)
-                       : env_->fast().GetFileSize(FastName(t.meta.table_id), &size);
-    if (!s.ok()) {
+    Status s = t.on_slow
+                   ? env_->slow().ObjectSize(SlowKey(t.meta.table_id), &size)
+                   : env_->fast().GetFileSize(FastName(t.meta.table_id), &size);
+    if (s.IsNotFound()) {
       *reason = s.ToString();
-      return false;
+      return Verify::kBad;
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr,
+                   "[time_lsm] cannot verify table %llu at open (%s); "
+                   "keeping it: %s\n",
+                   static_cast<unsigned long long>(t.meta.table_id),
+                   t.on_slow ? "slow tier" : "fast tier",
+                   s.ToString().c_str());
+      return Verify::kUnknown;
     }
     if (size != t.meta.file_size) {
       *reason = "size " + std::to_string(size) + " != manifest " +
                 std::to_string(t.meta.file_size);
-      return false;
+      return Verify::kBad;
     }
-    return true;
+    return Verify::kOk;
   };
-  auto quarantine = [&](const TableHandle& t, bool on_slow,
-                        std::string reason) {
+  auto quarantine = [&](const TableHandle& t, std::string reason) {
     std::fprintf(stderr,
                  "[time_lsm] quarantining table %llu (%s tier): %s\n",
                  static_cast<unsigned long long>(t.meta.table_id),
-                 on_slow ? "slow" : "fast", reason.c_str());
+                 t.on_slow ? "slow" : "fast", reason.c_str());
     quarantined_.push_back(
-        QuarantinedTable{t.meta.table_id, on_slow, std::move(reason)});
+        QuarantinedTable{t.meta.table_id, t.on_slow, std::move(reason)});
     stats_.tables_quarantined.fetch_add(1, std::memory_order_relaxed);
     changed = true;
   };
@@ -136,11 +156,11 @@ Status TimePartitionedLsm::RecoverStorageState() {
     for (Partition& p : *level) {
       for (auto it = p.tables.begin(); it != p.tables.end();) {
         std::string reason;
-        if (verify(*it, /*on_slow=*/false, &reason)) {
-          ++it;
-        } else {
-          quarantine(*it, /*on_slow=*/false, std::move(reason));
+        if (verify(*it, &reason) == Verify::kBad) {
+          quarantine(*it, std::move(reason));
           it = p.tables.erase(it);
+        } else {
+          ++it;
         }
       }
     }
@@ -155,12 +175,12 @@ Status TimePartitionedLsm::RecoverStorageState() {
       std::vector<TableHandle> patches = std::move(e.patches);
       e.patches.clear();
       std::string reason;
-      const bool base_ok = verify(e.base, /*on_slow=*/true, &reason);
-      if (!base_ok) quarantine(e.base, /*on_slow=*/true, std::move(reason));
+      const bool base_ok = verify(e.base, &reason) != Verify::kBad;
+      if (!base_ok) quarantine(e.base, std::move(reason));
       for (TableHandle& t : patches) {
         std::string patch_reason;
-        if (!verify(t, /*on_slow=*/true, &patch_reason)) {
-          quarantine(t, /*on_slow=*/true, std::move(patch_reason));
+        if (verify(t, &patch_reason) == Verify::kBad) {
+          quarantine(t, std::move(patch_reason));
         } else if (base_ok) {
           e.patches.push_back(std::move(t));
         } else {
@@ -181,21 +201,29 @@ Status TimePartitionedLsm::RecoverStorageState() {
 
   // Pass 2: sweep files neither tier should hold — `.tmp`/`.upload`
   // leftovers of interrupted uploads and table files the (authoritative)
-  // manifest no longer references.
-  std::unordered_set<uint64_t> live;
+  // manifest no longer references. The live sets are per tier: a deferred
+  // L2 table is live on the FAST tier only, so a crash between a drain's
+  // manifest flip and its fast-file unlink leaves a fast orphan this sweep
+  // removes (and vice versa for a crash between upload and flip).
+  std::unordered_set<uint64_t> live_fast;
+  std::unordered_set<uint64_t> live_slow;
+  auto mark_live = [&](const TableHandle& t) {
+    (t.on_slow ? live_slow : live_fast).insert(t.meta.table_id);
+  };
   for (const Partition& p : l0_) {
-    for (const TableHandle& t : p.tables) live.insert(t.meta.table_id);
+    for (const TableHandle& t : p.tables) mark_live(t);
   }
   for (const Partition& p : l1_) {
-    for (const TableHandle& t : p.tables) live.insert(t.meta.table_id);
+    for (const TableHandle& t : p.tables) mark_live(t);
   }
   for (const L2Partition& p : l2_) {
     for (const L2Entry& e : p.entries) {
-      live.insert(e.base.meta.table_id);
-      for (const TableHandle& t : e.patches) live.insert(t.meta.table_id);
+      mark_live(e.base);
+      for (const TableHandle& t : e.patches) mark_live(t);
     }
   }
-  auto sweepable = [&](const std::string& name) {
+  auto sweepable = [](const std::unordered_set<uint64_t>& live,
+                      const std::string& name) {
     if (name.ends_with(".tmp") || name.ends_with(".upload")) return true;
     uint64_t id = 0;
     return ParseTableFileName(name, &id) && !live.contains(id);
@@ -205,7 +233,7 @@ Status TimePartitionedLsm::RecoverStorageState() {
   Status s = env_->fast().ListDir(name_, &names);
   if (s.ok()) {
     for (const std::string& name : names) {
-      if (name == "MANIFEST" || !sweepable(name)) continue;
+      if (name == "MANIFEST" || !sweepable(live_fast, name)) continue;
       if (env_->fast().DeleteFile(name_ + "/" + name).ok()) {
         stats_.orphans_swept.fetch_add(1, std::memory_order_relaxed);
       }
@@ -216,7 +244,7 @@ Status TimePartitionedLsm::RecoverStorageState() {
   if (s.ok()) {
     for (const std::string& key : keys) {
       const std::string name = key.substr(name_.size() + 1);
-      if (!sweepable(name)) continue;
+      if (!sweepable(live_slow, name)) continue;
       if (env_->slow().DeleteObject(key).ok()) {
         stats_.orphans_swept.fetch_add(1, std::memory_order_relaxed);
       }
@@ -228,6 +256,9 @@ Status TimePartitionedLsm::RecoverStorageState() {
 }
 
 Status TimePartitionedLsm::SaveManifest() {
+  // Every manifest mutation passes through here (under mu_), so this is
+  // the one place the admission gauge needs refreshing.
+  UpdateFastResidentGaugeLocked();
   if (!options_.persist_manifest) return Status::OK();
   std::string out;
   PutVarint64(&out, next_table_id_);
@@ -246,15 +277,22 @@ Status TimePartitionedLsm::SaveManifest() {
   };
   encode_level(l0_);
   encode_level(l1_);
+  // Each L2 table carries a flags varint (bit 0: on_slow). A deferred
+  // table — parked on the fast tier during an outage — thus survives a
+  // crash/reopen still marked deferred, which is the queue's persistence.
+  auto encode_l2_table = [&out](const TableHandle& t) {
+    t.meta.EncodeTo(&out);
+    PutVarint32(&out, t.on_slow ? 1 : 0);
+  };
   PutVarint32(&out, static_cast<uint32_t>(l2_.size()));
   for (const L2Partition& p : l2_) {
     PutFixed64(&out, static_cast<uint64_t>(p.start));
     PutFixed64(&out, static_cast<uint64_t>(p.end));
     PutVarint32(&out, static_cast<uint32_t>(p.entries.size()));
     for (const L2Entry& e : p.entries) {
-      e.base.meta.EncodeTo(&out);
+      encode_l2_table(e.base);
       PutVarint32(&out, static_cast<uint32_t>(e.patches.size()));
-      for (const TableHandle& t : e.patches) t.meta.EncodeTo(&out);
+      for (const TableHandle& t : e.patches) encode_l2_table(t);
     }
   }
   return env_->fast().WriteStringToFile(name_ + "/MANIFEST", out);
@@ -280,6 +318,12 @@ Status TimePartitionedLsm::LoadManifest() {
   auto decode_table = [&](TableHandle* t, bool on_slow) -> bool {
     if (!t->meta.DecodeFrom(&in)) return false;
     t->on_slow = on_slow;
+    return true;
+  };
+  auto decode_l2_table = [&](TableHandle* t) -> bool {
+    uint32_t flags = 0;
+    if (!t->meta.DecodeFrom(&in) || !GetVarint32(&in, &flags)) return false;
+    t->on_slow = (flags & 1) != 0;
     return true;
   };
   auto decode_level = [&](std::vector<Partition>* level) -> bool {
@@ -317,18 +361,19 @@ Status TimePartitionedLsm::LoadManifest() {
     if (!GetVarint32(&in, &entries)) return corrupt();
     for (uint32_t j = 0; j < entries; ++j) {
       L2Entry e;
-      if (!decode_table(&e.base, true)) return corrupt();
+      if (!decode_l2_table(&e.base)) return corrupt();
       uint32_t patches = 0;
       if (!GetVarint32(&in, &patches)) return corrupt();
       for (uint32_t k = 0; k < patches; ++k) {
         TableHandle t;
-        if (!decode_table(&t, true)) return corrupt();
+        if (!decode_l2_table(&t)) return corrupt();
         e.patches.push_back(std::move(t));
       }
       p.entries.push_back(std::move(e));
     }
     l2_.push_back(std::move(p));
   }
+  UpdateFastResidentGaugeLocked();
   return Status::OK();
 }
 
@@ -367,12 +412,15 @@ Status TimePartitionedLsm::Put(const Slice& user_key, const Slice& value) {
         if (immutables_.empty()) return;
         target = immutables_.front();
       }
+      Status s;
       {
         std::lock_guard<std::mutex> manifest_lock(mu_);
-        Status s = FlushMemTable(target.get());
+        s = FlushMemTable(target.get());
         if (s.ok()) s = MaybeMaintain();
-        (void)s;  // background failures surface via stats/queries
       }
+      // Background failures don't reach a caller; latch them so the DB's
+      // health report (and the on_background_error callback) sees them.
+      if (!s.ok()) RecordBackgroundError(s);
       std::lock_guard<std::mutex> lock(mem_mu_);
       if (!immutables_.empty() && immutables_.front() == target) {
         immutables_.pop_front();
@@ -428,42 +476,26 @@ Status TimePartitionedLsm::WriteTable(
   TU_RETURN_IF_ERROR(sink->Close());
   if (to_slow) {
     auto* buf = static_cast<BufferTableSink*>(sink.get());
-    // Atomic upload protocol: land the bytes under a .tmp key, verify the
-    // object (size, optionally CRC), then commit with a rename. A crash at
-    // any point leaves either nothing at the final key or the complete
-    // table — never a torn one; .tmp leftovers are swept at open.
-    cloud::ObjectStore& slow = env_->slow();
-    const std::string key = SlowKey(table_id);
-    const std::string tmp = key + ".tmp";
-    cloud::CrashPoint(slow.fault(), "l2.upload.pre_put");
-    TU_RETURN_IF_ERROR(cloud::RunWithRetry(
-        slow.sim().retry, &slow.counters(), "upload " + tmp, [&]() -> Status {
-          TU_RETURN_IF_ERROR(slow.PutObject(tmp, buf->buffer()));
-          uint64_t uploaded = 0;
-          TU_RETURN_IF_ERROR(slow.ObjectSize(tmp, &uploaded));
-          if (uploaded != buf->buffer().size()) {
-            return Status::Busy("torn upload: " + std::to_string(uploaded) +
-                                " of " + std::to_string(buf->buffer().size()) +
-                                " bytes at " + tmp);
-          }
-          if (options_.verify_upload_crc) {
-            std::string back;
-            TU_RETURN_IF_ERROR(slow.GetObject(tmp, &back));
-            if (crc32c::Value(back.data(), back.size()) !=
-                crc32c::Value(buf->buffer().data(), buf->buffer().size())) {
-              return Status::Busy("upload crc mismatch at " + tmp);
-            }
-          }
-          return Status::OK();
-        }));
-    cloud::CrashPoint(slow.fault(), "l2.upload.pre_commit");
-    TU_RETURN_IF_ERROR(cloud::RunWithRetry(
-        slow.sim().retry, &slow.counters(), "commit " + key,
-        [&] { return slow.RenameObject(tmp, key); }));
-    cloud::CrashPoint(slow.fault(), "l2.upload.post_commit");
-    stats_.slow_bytes_written.fetch_add(buf->buffer().size(),
-                                        std::memory_order_relaxed);
-    out->on_slow = true;
+    Status up = UploadBufferToSlow(table_id, buf->buffer());
+    if (up.ok()) {
+      stats_.slow_bytes_written.fetch_add(buf->buffer().size(),
+                                          std::memory_order_relaxed);
+      out->on_slow = true;
+    } else if (up.IsUnavailable() || up.IsIOError() || up.IsBusy()) {
+      // Slow tier unreachable (breaker open / retries exhausted): park the
+      // table on the fast tier instead of failing the compaction. The
+      // handle installs with on_slow=false, so queries read it
+      // transparently and the manifest records the deferral — the drainer
+      // uploads and flips it once the tier heals.
+      TU_RETURN_IF_ERROR(
+          env_->fast().WriteStringToFile(FastName(table_id), buf->buffer()));
+      stats_.deferred_tables_created.fetch_add(1, std::memory_order_relaxed);
+      stats_.fast_bytes_written.fetch_add(buf->buffer().size(),
+                                          std::memory_order_relaxed);
+      out->on_slow = false;
+    } else {
+      return up;  // Corruption etc.: not an outage, surface it
+    }
   } else {
     stats_.fast_bytes_written.fetch_add(out->meta.file_size,
                                         std::memory_order_relaxed);
@@ -473,17 +505,58 @@ Status TimePartitionedLsm::WriteTable(
   return Status::OK();
 }
 
-Status TimePartitionedLsm::DeleteTable(const TableHandle& handle,
-                                       bool on_slow) {
+Status TimePartitionedLsm::UploadBufferToSlow(uint64_t table_id,
+                                              const Slice& data) {
+  // Atomic upload protocol: land the bytes under a .tmp key, verify the
+  // object (size, optionally CRC), then commit with a rename. A crash at
+  // any point leaves either nothing at the final key or the complete
+  // table — never a torn one; .tmp leftovers are swept at open.
+  cloud::ObjectStore& slow = env_->slow();
+  const std::string key = SlowKey(table_id);
+  const std::string tmp = key + ".tmp";
+  cloud::CrashPoint(slow.fault(), "l2.upload.pre_put");
+  TU_RETURN_IF_ERROR(cloud::RunWithRetry(
+      slow.sim().retry, &slow.counters(), "upload " + tmp,
+      [&]() -> Status {
+        TU_RETURN_IF_ERROR(slow.PutObject(tmp, data));
+        uint64_t uploaded = 0;
+        TU_RETURN_IF_ERROR(slow.ObjectSize(tmp, &uploaded));
+        if (uploaded != data.size()) {
+          return Status::Busy("torn upload: " + std::to_string(uploaded) +
+                              " of " + std::to_string(data.size()) +
+                              " bytes at " + tmp);
+        }
+        if (options_.verify_upload_crc) {
+          std::string back;
+          TU_RETURN_IF_ERROR(slow.GetObject(tmp, &back));
+          if (crc32c::Value(back.data(), back.size()) !=
+              crc32c::Value(data.data(), data.size())) {
+            return Status::Busy("upload crc mismatch at " + tmp);
+          }
+        }
+        return Status::OK();
+      },
+      &shutting_down_));
+  cloud::CrashPoint(slow.fault(), "l2.upload.pre_commit");
+  TU_RETURN_IF_ERROR(cloud::RunWithRetry(
+      slow.sim().retry, &slow.counters(), "commit " + key,
+      [&] { return slow.RenameObject(tmp, key); }, &shutting_down_));
+  cloud::CrashPoint(slow.fault(), "l2.upload.post_commit");
+  return Status::OK();
+}
+
+Status TimePartitionedLsm::DeleteTable(const TableHandle& handle) {
   // Deletes run only after the manifest stopped referencing the table, so
   // they are idempotent (NotFound is fine) and may fail without harm — a
-  // missed delete is an orphan the next open sweeps.
+  // missed delete is an orphan the next open sweeps. The tier comes from
+  // the handle itself: a deferred L2 table still lives on the fast tier.
   Status s;
-  if (on_slow) {
+  if (handle.on_slow) {
     cloud::ObjectStore& slow = env_->slow();
     s = cloud::RunWithRetry(
         slow.sim().retry, &slow.counters(), "delete table",
-        [&] { return slow.DeleteObject(SlowKey(handle.meta.table_id)); });
+        [&] { return slow.DeleteObject(SlowKey(handle.meta.table_id)); },
+        &shutting_down_);
   } else {
     s = env_->fast().DeleteFile(FastName(handle.meta.table_id));
   }
@@ -738,11 +811,11 @@ Status TimePartitionedLsm::CompactOldestL0() {
   // tolerated for the same reason.
   TU_RETURN_IF_ERROR(SaveManifest());
   for (const TableHandle& t : victim.tables) {
-    (void)DeleteTable(t, /*on_slow=*/false);
+    (void)DeleteTable(t);
   }
   for (const Partition& p : l1_inputs) {
     for (const TableHandle& t : p.tables) {
-      (void)DeleteTable(t, /*on_slow=*/false);
+      (void)DeleteTable(t);
     }
   }
 
@@ -890,7 +963,7 @@ Status TimePartitionedLsm::CompactL1WindowToL2(int64_t w_start, int64_t w_end,
   TU_RETURN_IF_ERROR(SaveManifest());
   for (const Partition& p : inputs) {
     for (const TableHandle& t : p.tables) {
-      (void)DeleteTable(t, /*on_slow=*/false);
+      (void)DeleteTable(t);
     }
   }
   stats_.l1_to_l2_compactions.fetch_add(1, std::memory_order_relaxed);
@@ -938,9 +1011,9 @@ Status TimePartitionedLsm::MergeEntryPatches(L2Partition* partition,
             });
 
   TU_RETURN_IF_ERROR(SaveManifest());
-  (void)DeleteTable(entry.base, /*on_slow=*/true);
+  (void)DeleteTable(entry.base);
   for (const TableHandle& t : entry.patches) {
-    (void)DeleteTable(t, /*on_slow=*/true);
+    (void)DeleteTable(t);
   }
   stats_.patch_merges.fetch_add(1, std::memory_order_relaxed);
   stats_.compaction_us.fetch_add(NowUs() - start_us,
@@ -1010,12 +1083,12 @@ Status TimePartitionedLsm::ApplyRetention(int64_t watermark) {
   std::lock_guard<std::mutex> lock(mu_);
   // Unreference first, unlink after the manifest is durable: a crash
   // mid-retention then leaves orphans (swept at open), not dangling refs.
-  std::vector<std::pair<TableHandle, bool>> doomed;
+  std::vector<TableHandle> doomed;
   auto retire_partitions = [&](std::vector<Partition>* level) {
     for (auto it = level->begin(); it != level->end();) {
       if (it->end <= watermark) {
         for (TableHandle& t : it->tables) {
-          doomed.emplace_back(std::move(t), /*on_slow=*/false);
+          doomed.push_back(std::move(t));
         }
         stats_.partitions_retired.fetch_add(1, std::memory_order_relaxed);
         it = level->erase(it);
@@ -1029,9 +1102,9 @@ Status TimePartitionedLsm::ApplyRetention(int64_t watermark) {
   for (auto it = l2_.begin(); it != l2_.end();) {
     if (it->end <= watermark) {
       for (L2Entry& e : it->entries) {
-        doomed.emplace_back(std::move(e.base), /*on_slow=*/true);
+        doomed.push_back(std::move(e.base));
         for (TableHandle& t : e.patches) {
-          doomed.emplace_back(std::move(t), /*on_slow=*/true);
+          doomed.push_back(std::move(t));
         }
       }
       stats_.partitions_retired.fetch_add(1, std::memory_order_relaxed);
@@ -1041,14 +1114,15 @@ Status TimePartitionedLsm::ApplyRetention(int64_t watermark) {
     }
   }
   TU_RETURN_IF_ERROR(SaveManifest());
-  for (const auto& [handle, on_slow] : doomed) {
-    (void)DeleteTable(handle, on_slow);
+  for (const TableHandle& handle : doomed) {
+    (void)DeleteTable(handle);
   }
   return Status::OK();
 }
 
 Status TimePartitionedLsm::NewIteratorForId(uint64_t id, int64_t t0,
                                             int64_t t1,
+                                            const ReadScope& scope,
                                             std::unique_ptr<Iterator>* out) {
   // Chunks can overhang their partition end by at most one (pre-shrink)
   // partition length, so widen the selection window on the left.
@@ -1068,14 +1142,54 @@ Status TimePartitionedLsm::NewIteratorForId(uint64_t id, int64_t t0,
   }
   std::lock_guard<std::mutex> lock(mu_);
 
-  auto consider_table = [&](TableHandle& handle) -> Status {
+  // `max_data_ts` bounds the last sample a table can hold: L2 compaction
+  // splits merged chunks at partition boundaries, so an L2 table's data
+  // ends before its partition does — that bound makes the missing span of
+  // a skipped (unreachable) table tight.
+  // While the slow-tier breaker is open, don't touch slow tables at all:
+  // an already-open reader would still fail (or half-succeed off the block
+  // cache) on its lazy per-block Gets, and query reads would eat the
+  // half-open probe budget the upload drainer needs to heal.
+  const cloud::CircuitBreaker& slow_breaker = env_->slow().breaker();
+  const bool slow_tier_down =
+      slow_breaker.enabled() &&
+      slow_breaker.state() == cloud::BreakerState::kOpen;
+
+  auto consider_table = [&](TableHandle& handle,
+                            int64_t max_data_ts) -> Status {
     if (handle.meta.min_series_id > id || handle.meta.max_series_id < id) {
       return Status::OK();
     }
     if (handle.meta.min_ts > t1 || handle.meta.max_ts < t0 - overhang) {
       return Status::OK();
     }
-    TU_RETURN_IF_ERROR(OpenReader(&handle));
+    if (scope.allow_partial && handle.on_slow && slow_tier_down) {
+      const int64_t lo = std::max(handle.meta.min_ts, t0);
+      const int64_t hi = std::min(max_data_ts, t1);
+      if (scope.missing != nullptr && lo <= hi) {
+        scope.missing->emplace_back(lo, hi);
+      }
+      stats_.partial_read_skips.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    Status s = OpenReader(&handle);
+    if (!s.ok()) {
+      // Partial read: an unreachable slow-tier table is skipped and its
+      // possible [min_ts, max_data_ts] span reported missing. Fast-tier
+      // failures (including deferred tables, which live there) and
+      // definitive errors still fail the read.
+      if (scope.allow_partial && handle.on_slow &&
+          (s.IsUnavailable() || s.IsIOError() || s.IsBusy())) {
+        const int64_t lo = std::max(handle.meta.min_ts, t0);
+        const int64_t hi = std::min(max_data_ts, t1);
+        if (scope.missing != nullptr && lo <= hi) {
+          scope.missing->emplace_back(lo, hi);
+        }
+        stats_.partial_read_skips.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      }
+      return s;
+    }
     if (!handle.reader->MayContainId(id)) return Status::OK();
     children.push_back(handle.reader->NewIterator());
     reader_pins.push_back(handle.reader);
@@ -1086,7 +1200,7 @@ Status TimePartitionedLsm::NewIteratorForId(uint64_t id, int64_t t0,
     for (Partition& p : level) {
       if (p.start > t1 || p.end + overhang <= t0) continue;
       for (TableHandle& t : p.tables) {
-        TU_RETURN_IF_ERROR(consider_table(t));
+        TU_RETURN_IF_ERROR(consider_table(t, t.meta.max_ts + overhang));
       }
     }
     return Status::OK();
@@ -1097,9 +1211,9 @@ Status TimePartitionedLsm::NewIteratorForId(uint64_t id, int64_t t0,
   for (L2Partition& p : l2_) {
     if (p.start > t1 || p.end + overhang <= t0) continue;
     for (L2Entry& e : p.entries) {
-      TU_RETURN_IF_ERROR(consider_table(e.base));
+      TU_RETURN_IF_ERROR(consider_table(e.base, p.end - 1));
       for (TableHandle& t : e.patches) {
-        TU_RETURN_IF_ERROR(consider_table(t));
+        TU_RETURN_IF_ERROR(consider_table(t, p.end - 1));
       }
     }
   }
@@ -1119,7 +1233,35 @@ uint64_t TimePartitionedLsm::FastBytesUsed() const {
   for (const Partition& p : l1_) {
     for (const TableHandle& t : p.tables) total += t.meta.file_size;
   }
+  // Deferred L2 tables occupy the same budget until they drain.
+  for (const L2Partition& p : l2_) {
+    for (const L2Entry& e : p.entries) {
+      if (!e.base.on_slow) total += e.base.meta.file_size;
+      for (const TableHandle& t : e.patches) {
+        if (!t.on_slow) total += t.meta.file_size;
+      }
+    }
+  }
   return total;
+}
+
+void TimePartitionedLsm::UpdateFastResidentGaugeLocked() {
+  uint64_t total = 0;
+  for (const Partition& p : l0_) {
+    for (const TableHandle& t : p.tables) total += t.meta.file_size;
+  }
+  for (const Partition& p : l1_) {
+    for (const TableHandle& t : p.tables) total += t.meta.file_size;
+  }
+  for (const L2Partition& p : l2_) {
+    for (const L2Entry& e : p.entries) {
+      if (!e.base.on_slow) total += e.base.meta.file_size;
+      for (const TableHandle& t : e.patches) {
+        if (!t.on_slow) total += t.meta.file_size;
+      }
+    }
+  }
+  fast_resident_bytes_.store(total, std::memory_order_relaxed);
 }
 
 uint64_t TimePartitionedLsm::SlowBytesUsed() const {
@@ -1156,6 +1298,145 @@ size_t TimePartitionedLsm::NumL2Patches() const {
     for (const L2Entry& e : p.entries) total += e.patches.size();
   }
   return total;
+}
+
+size_t TimePartitionedLsm::NumDeferredTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const L2Partition& p : l2_) {
+    for (const L2Entry& e : p.entries) {
+      if (!e.base.on_slow) ++total;
+      for (const TableHandle& t : e.patches) {
+        if (!t.on_slow) ++total;
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t TimePartitionedLsm::DeferredBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const L2Partition& p : l2_) {
+    for (const L2Entry& e : p.entries) {
+      if (!e.base.on_slow) total += e.base.meta.file_size;
+      for (const TableHandle& t : e.patches) {
+        if (!t.on_slow) total += t.meta.file_size;
+      }
+    }
+  }
+  return total;
+}
+
+Status TimePartitionedLsm::DrainDeferredUploads(size_t* drained) {
+  if (drained != nullptr) *drained = 0;
+  // One drain pass at a time; a tick overlapping an explicit call just
+  // skips (the other pass is doing the work).
+  std::unique_lock<std::mutex> drain_lock(drain_mu_, std::try_to_lock);
+  if (!drain_lock.owns_lock()) return Status::OK();
+
+  // While the breaker is firmly open, don't even attempt: the cooldown
+  // hasn't elapsed, so every upload would be rejected up front. Once it
+  // reports half-open, the first upload below IS the probe.
+  if (env_->slow().breaker().enabled() &&
+      env_->slow().breaker().state() == cloud::BreakerState::kOpen) {
+    return Status::OK();
+  }
+
+  size_t done = 0;
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    // Pick the oldest deferred table under the manifest lock...
+    uint64_t table_id = 0;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const L2Partition& p : l2_) {
+        for (const L2Entry& e : p.entries) {
+          if (!e.base.on_slow) {
+            table_id = e.base.meta.table_id;
+            found = true;
+            break;
+          }
+          for (const TableHandle& t : e.patches) {
+            if (!t.on_slow) {
+              table_id = t.meta.table_id;
+              found = true;
+              break;
+            }
+          }
+          if (found) break;
+        }
+        if (found) break;
+      }
+    }
+    if (!found) break;
+
+    // ...then upload outside it (the slow tier sleeps; holding mu_ through
+    // that would stall every flush and query).
+    std::string data;
+    Status s = env_->fast().ReadFileToString(FastName(table_id), &data);
+    if (s.ok()) s = UploadBufferToSlow(table_id, data);
+    if (!s.ok()) {
+      // Outage persists (or re-tripped mid-drain): stop quietly, the next
+      // tick retries. Anything already drained stays drained.
+      stats_.deferred_drain_failures.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+
+    // Flip the handle and commit the manifest; only then unlink the fast
+    // copy (crash in between leaves a fast orphan for the open-time sweep,
+    // never a manifest entry without bytes).
+    bool flipped = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (L2Partition& p : l2_) {
+        for (L2Entry& e : p.entries) {
+          auto flip = [&](TableHandle& t) {
+            if (t.meta.table_id == table_id && !t.on_slow) {
+              t.on_slow = true;
+              t.reader.reset();  // readers reopen against the slow tier
+              flipped = true;
+            }
+          };
+          flip(e.base);
+          for (TableHandle& t : e.patches) flip(t);
+        }
+      }
+      if (flipped) {
+        Status ms = SaveManifest();
+        if (!ms.ok()) return ms;
+      }
+    }
+    if (!flipped) {
+      // The table vanished while we uploaded (retention / patch merge):
+      // remove the now-orphaned object, best effort.
+      (void)env_->slow().DeleteObject(SlowKey(table_id));
+      continue;
+    }
+    (void)env_->fast().DeleteFile(FastName(table_id));
+    stats_.deferred_uploads_drained.fetch_add(1, std::memory_order_relaxed);
+    ++done;
+  }
+  if (drained != nullptr) *drained = done;
+  return Status::OK();
+}
+
+Status TimePartitionedLsm::last_background_error() const {
+  std::lock_guard<std::mutex> lock(bg_err_mu_);
+  return last_bg_error_;
+}
+
+void TimePartitionedLsm::ClearBackgroundError() {
+  std::lock_guard<std::mutex> lock(bg_err_mu_);
+  last_bg_error_ = Status::OK();
+}
+
+void TimePartitionedLsm::RecordBackgroundError(const Status& s) {
+  {
+    std::lock_guard<std::mutex> lock(bg_err_mu_);
+    last_bg_error_ = s;
+  }
+  if (options_.on_background_error) options_.on_background_error(s);
 }
 
 }  // namespace tu::lsm

@@ -62,6 +62,10 @@ struct TimeLsmOptions {
   /// Invoked for every key-value pair as it reaches level 0 — the hook the
   /// §3.3 logging scheme uses to write flush-mark records.
   std::function<void(const Slice& user_key, const Slice& value)> on_flush;
+  /// Invoked (from the failing thread, no LSM locks held) whenever a
+  /// background flush or maintenance pass fails; the same error is also
+  /// latched in last_background_error().
+  std::function<void(const Status&)> on_background_error;
   /// Persist the level manifest to the fast tier after each mutation so a
   /// reopen recovers the tree.
   bool persist_manifest = false;
@@ -86,6 +90,15 @@ struct TimeLsmStats {
   std::atomic<uint64_t> tables_quarantined{0};
   /// Unreferenced table/.tmp files removed by the open-time sweep.
   std::atomic<uint64_t> orphans_swept{0};
+  /// L2-logical tables parked on the fast tier because the upload failed
+  /// (slow tier down / breaker open).
+  std::atomic<uint64_t> deferred_tables_created{0};
+  /// Deferred tables later uploaded and flipped to the slow tier.
+  std::atomic<uint64_t> deferred_uploads_drained{0};
+  /// Drain passes that stopped early on an upload failure.
+  std::atomic<uint64_t> deferred_drain_failures{0};
+  /// Slow-tier tables skipped by partial (allow_partial) reads.
+  std::atomic<uint64_t> partial_read_skips{0};
 };
 
 /// A table the open-time scan found unreadable. The table is dropped from
@@ -111,11 +124,30 @@ class TimePartitionedLsm : public ChunkStore {
   Status FlushAll() override;
 
   /// Iterator over all data of series/group `id` intersecting [t0, t1].
+  /// With scope.allow_partial, unreachable slow-tier tables are skipped
+  /// and their possible data span recorded in scope.missing.
+  using ChunkStore::NewIteratorForId;
   Status NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
+                          const ReadScope& scope,
                           std::unique_ptr<Iterator>* out) override;
 
   /// Drops every partition whose data is entirely older than `watermark`.
   Status ApplyRetention(int64_t watermark) override;
+
+  /// Uploads deferred L2 tables (parked on the fast tier during a slow-tier
+  /// outage) and flips them to the slow tier, one manifest commit per
+  /// table. Stops at the first upload failure (the outage persists) — the
+  /// first attempt doubles as the breaker's half-open probe. Skips cheaply
+  /// when nothing is deferred or the breaker is still open. Safe to call
+  /// from the maintenance worker; never fails the caller.
+  Status DrainDeferredUploads(size_t* drained = nullptr);
+  size_t NumDeferredTables() const;
+  uint64_t DeferredBytes() const;
+
+  /// Sticky error from background flush/maintenance work (background_flush
+  /// mode swallows per-operation statuses; this is how they surface).
+  Status last_background_error() const;
+  void ClearBackgroundError();
 
   // -- Introspection for benches/tests ------------------------------------
   const TimeLsmStats& stats() const { return stats_; }
@@ -130,8 +162,14 @@ class TimePartitionedLsm : public ChunkStore {
   int64_t l2_partition_ms() const {
     return l2_len_ms_.load(std::memory_order_relaxed);
   }
-  /// Bytes of L0+L1 tables (the EBS usage Algorithm 1 controls).
+  /// Bytes resident on the fast tier: L0+L1 tables plus deferred L2 tables
+  /// parked there during an outage.
   uint64_t FastBytesUsed() const;
+  /// Lock-free snapshot of FastBytesUsed, refreshed after every manifest
+  /// mutation — cheap enough for per-write admission checks.
+  uint64_t FastBytesGauge() const {
+    return fast_resident_bytes_.load(std::memory_order_relaxed);
+  }
   uint64_t SlowBytesUsed() const;
   size_t NumL0Partitions() const;
   size_t NumL1Partitions() const;
@@ -202,7 +240,13 @@ class TimePartitionedLsm : public ChunkStore {
   Status WriteTable(
       const std::vector<std::pair<std::string, std::string>>& entries,
       bool to_slow, TableHandle* out);
-  Status DeleteTable(const TableHandle& handle, bool on_slow);
+  /// The atomic .tmp -> verify -> rename upload protocol; used by both
+  /// WriteTable and the deferred-upload drainer.
+  Status UploadBufferToSlow(uint64_t table_id, const Slice& data);
+  Status DeleteTable(const TableHandle& handle);
+  void RecordBackgroundError(const Status& s);
+  /// Recomputes fast_resident_bytes_ from the levels; caller holds mu_.
+  void UpdateFastResidentGaugeLocked();
   std::string FastName(uint64_t table_id) const;
   std::string SlowKey(uint64_t table_id) const;
 
@@ -236,6 +280,17 @@ class TimePartitionedLsm : public ChunkStore {
 
   std::vector<QuarantinedTable> quarantined_;
   TimeLsmStats stats_;
+
+  /// Set by the destructor before waiting on the flush pool; cancels
+  /// in-flight RunWithRetry backoffs so teardown never waits out a
+  /// multi-second retry budget.
+  std::atomic<bool> shutting_down_{false};
+  /// See FastBytesGauge(); written under mu_ (UpdateFastResidentGaugeLocked).
+  std::atomic<uint64_t> fast_resident_bytes_{0};
+  /// Serializes drain passes (maintenance tick vs explicit calls).
+  std::mutex drain_mu_;
+  mutable std::mutex bg_err_mu_;
+  Status last_bg_error_;  // guarded by bg_err_mu_
 };
 
 }  // namespace tu::lsm

@@ -1,0 +1,34 @@
+#include "util/interval_set.h"
+
+#include <algorithm>
+
+namespace tu::util {
+
+void MergeIntervals(std::vector<TimeInterval>* intervals) {
+  auto& iv = *intervals;
+  iv.erase(std::remove_if(iv.begin(), iv.end(),
+                          [](const TimeInterval& i) { return i.second < i.first; }),
+           iv.end());
+  if (iv.size() <= 1) return;
+  std::sort(iv.begin(), iv.end());
+  size_t out = 0;
+  for (size_t i = 1; i < iv.size(); ++i) {
+    // Closed intervals over integer ms: [0,9] and [10,19] are adjacent and
+    // merge into [0,19]; guard the +1 against INT64_MAX sentinels.
+    if (iv[out].second == INT64_MAX || iv[i].first <= iv[out].second + 1) {
+      iv[out].second = std::max(iv[out].second, iv[i].second);
+    } else {
+      iv[++out] = iv[i];
+    }
+  }
+  iv.resize(out + 1);
+}
+
+bool IntervalsContain(const std::vector<TimeInterval>& intervals, int64_t ts) {
+  for (const auto& i : intervals) {
+    if (ts >= i.first && ts <= i.second) return true;
+  }
+  return false;
+}
+
+}  // namespace tu::util

@@ -1,0 +1,24 @@
+// Closed-interval merge helper used by the partial-result query path: the
+// per-table missing spans collected while a slow-tier outage is in effect
+// overlap heavily (one span per unreachable table per series), and the
+// query surface promises a minimal sorted list.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tu::util {
+
+/// A closed timestamp interval [first, second] in ms, first <= second.
+using TimeInterval = std::pair<int64_t, int64_t>;
+
+/// Sorts `*intervals` and coalesces overlapping or adjacent entries
+/// (adjacent = next.first <= cur.second + 1, since intervals are closed
+/// over integer milliseconds). Empty/inverted entries are dropped.
+void MergeIntervals(std::vector<TimeInterval>* intervals);
+
+/// True if ts lies inside one of the (merged or unmerged) intervals.
+bool IntervalsContain(const std::vector<TimeInterval>& intervals, int64_t ts);
+
+}  // namespace tu::util

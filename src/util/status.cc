@@ -28,6 +28,12 @@ std::string Status::ToString() const {
     case Code::kOutOfSpace:
       name = "OutOfSpace";
       break;
+    case Code::kUnavailable:
+      name = "Unavailable";
+      break;
+    case Code::kResourceExhausted:
+      name = "ResourceExhausted";
+      break;
   }
   std::string out(name);
   if (!msg_.empty()) {

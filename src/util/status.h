@@ -21,6 +21,8 @@ class Status {
     kIOError,
     kBusy,
     kOutOfSpace,
+    kUnavailable,
+    kResourceExhausted,
   };
 
   Status() = default;
@@ -45,6 +47,12 @@ class Status {
   static Status OutOfSpace(std::string_view msg = {}) {
     return Status(Code::kOutOfSpace, msg);
   }
+  static Status Unavailable(std::string_view msg = {}) {
+    return Status(Code::kUnavailable, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg = {}) {
+    return Status(Code::kResourceExhausted, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -54,6 +62,10 @@ class Status {
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsBusy() const { return code_ == Code::kBusy; }
   bool IsOutOfSpace() const { return code_ == Code::kOutOfSpace; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

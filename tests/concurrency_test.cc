@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
+#include "cloud/fault_injector.h"
 #include "compress/chunk.h"
 #include "core/timeunion_db.h"
 #include "lsm/key_format.h"
@@ -459,6 +461,106 @@ TEST(ConcurrencyTest, MultiWriterGroupFastPath) {
     ASSERT_EQ(result.size(), static_cast<size_t>(kMembers));
     for (const auto& series : result) {
       EXPECT_EQ(series.samples.size(), static_cast<size_t>(kRows + 1));
+    }
+  }
+  RemoveDirRecursive(opts.workspace);
+}
+
+// Eight writers under a 10% transient slow-tier fault rate: every write
+// must succeed (retries + deferred uploads absorb the churn) and the
+// fault/retry/breaker/deferred counter families must stay mutually
+// consistent despite concurrent updates. Runs under TSan via
+// scripts/tsan.sh.
+TEST(ConcurrencyTest, FaultCountersConsistentUnderConcurrentWriters) {
+  core::DBOptions opts;
+  opts.workspace = "/tmp/timeunion_test/conc_fault_counters";
+  RemoveDirRecursive(opts.workspace);
+  auto fi = std::make_shared<cloud::FaultInjector>(17);
+  fi->AddRule(cloud::FaultRule::Transient(cloud::kAllFaultOps, 0.10));
+  opts.env_options.slow_sim.fault = fi;
+  opts.env_options.slow_sim.retry.max_attempts = 8;
+  opts.env_options.slow_sim.retry.real_sleep = false;
+  opts.env_options.slow_sim.breaker.enabled = true;
+  // Tiny partitions so writers drive L2 uploads while the faults fire.
+  opts.samples_per_chunk = 4;
+  opts.lsm.memtable_bytes = 8 << 10;
+  opts.lsm.l0_partition_ms = 1000;
+  opts.lsm.l2_partition_ms = 4000;
+  opts.lsm.partition_lower_bound_ms = 1000;
+  opts.lsm.l0_partition_trigger = 1;
+
+  std::unique_ptr<core::TimeUnionDB> db;
+  ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+
+  const int kThreads = 8;
+  const int kSamples = 400;
+  std::vector<uint64_t> refs(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(
+        db->RegisterSeries({{"w", std::to_string(t)}}, &refs[t]).ok());
+  }
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kSamples; ++i) {
+        if (!db->InsertFast(refs[t], i * 250LL, 1.0 * i).ok()) ++errors;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  ASSERT_TRUE(db->Flush().ok());
+
+  // Counter consistency: every retry and every give-up was caused by an
+  // injected fault (breaker rejections are separate — they are refusals,
+  // not faults), and rejections can only exist once the breaker opened.
+  const cloud::TierCounters& slow = db->env().slow().counters();
+  EXPECT_GT(slow.faults_injected.load(), 0u);
+  EXPECT_GT(slow.retries.load(), 0u);
+  EXPECT_LE(slow.retries.load() + slow.retry_give_ups.load(),
+            slow.faults_injected.load());
+  EXPECT_EQ(fi->faults_injected(), slow.faults_injected.load());
+  if (slow.breaker_rejections.load() > 0) {
+    EXPECT_GT(slow.breaker_opens.load(), 0u);
+  }
+  EXPECT_EQ(slow.breaker_opens.load(), db->env().slow().breaker().opens());
+
+  // Give-ups park L2 tables on the fast tier; once the faults stop, the
+  // drainer uploads them all and the deferred counters reconcile. The loop
+  // tolerates a pass skipped by the maintenance tick holding the drain
+  // lock or by a breaker cooldown still running down.
+  const auto& stats = db->time_lsm()->stats();
+  EXPECT_GE(stats.deferred_tables_created.load(),
+            stats.deferred_uploads_drained.load());
+  fi->Clear();
+  for (int i = 0; i < 400 && db->time_lsm()->NumDeferredTables() > 0; ++i) {
+    ASSERT_TRUE(db->time_lsm()->DrainDeferredUploads().ok());
+    if (db->time_lsm()->NumDeferredTables() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_EQ(db->time_lsm()->NumDeferredTables(), 0u);
+  EXPECT_EQ(stats.deferred_tables_created.load(),
+            stats.deferred_uploads_drained.load());
+
+  // Admission control is off: the health report must show no outcomes.
+  core::HealthReport health = db->HealthReport();
+  EXPECT_EQ(health.writers_delayed, 0u);
+  EXPECT_EQ(health.writes_rejected, 0u);
+  EXPECT_TRUE(health.last_background_error.ok());
+
+  // With the backlog drained every write is durable and fully readable.
+  for (int t = 0; t < kThreads; ++t) {
+    core::QueryResult result;
+    ASSERT_TRUE(db->Query({index::TagMatcher::Equal("w", std::to_string(t))},
+                          0, kSamples * 250LL, &result)
+                    .ok());
+    EXPECT_TRUE(result.complete);
+    ASSERT_EQ(result.size(), 1u) << t;
+    ASSERT_EQ(result[0].samples.size(), static_cast<size_t>(kSamples)) << t;
+    for (int i = 0; i < kSamples; ++i) {
+      ASSERT_EQ(result[0].samples[i].timestamp, i * 250LL) << t;
     }
   }
   RemoveDirRecursive(opts.workspace);

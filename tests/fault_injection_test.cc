@@ -11,18 +11,23 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
+#include "cloud/circuit_breaker.h"
 #include "cloud/fault_injector.h"
 #include "cloud/object_store.h"
 #include "cloud/retry_policy.h"
 #include "cloud/tiered_env.h"
 #include "core/timeunion_db.h"
+#include "util/interval_set.h"
 #include "util/mmap_file.h"
 
 namespace tu {
@@ -145,6 +150,106 @@ TEST(RetryPolicyTest, ExhaustedAttemptsCountAsGiveUp) {
   EXPECT_EQ(counters.retry_give_ups.load(), 1u);
 }
 
+// -- Circuit breaker state machine -------------------------------------------
+
+cloud::CircuitBreakerOptions TestBreakerOptions(uint64_t* fake_now) {
+  cloud::CircuitBreakerOptions o;
+  o.enabled = true;
+  o.window = 8;
+  o.min_samples = 4;
+  o.failure_rate_to_open = 0.5;
+  o.consecutive_failures_to_open = 3;
+  o.open_cooldown_us = 1000;
+  o.half_open_max_probes = 2;
+  o.half_open_successes_to_close = 2;
+  o.now_us = [fake_now] { return *fake_now; };
+  return o;
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerAdmitsEverything) {
+  uint64_t now = 0;
+  cloud::CircuitBreakerOptions o = TestBreakerOptions(&now);
+  o.enabled = false;
+  cloud::CircuitBreaker breaker(o, nullptr);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(breaker.Admit().ok());
+    breaker.OnResult(Status::IOError("down"));
+  }
+  EXPECT_EQ(breaker.state(), cloud::BreakerState::kClosed);
+  EXPECT_EQ(breaker.rejections(), 0u);
+}
+
+TEST(CircuitBreakerTest, ConsecutiveFailuresTripAndCooldownProbesClose) {
+  uint64_t now = 0;
+  cloud::TierCounters counters;
+  cloud::CircuitBreaker breaker(TestBreakerOptions(&now), &counters);
+
+  // Three consecutive failures trip the fast condition.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.Admit().ok());
+    breaker.OnResult(Status::IOError("down"));
+  }
+  EXPECT_EQ(breaker.state(), cloud::BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+
+  // While open (cooldown pending) every call is rejected instantly with
+  // the non-retryable class, and the rejections mirror into the tier
+  // counters.
+  Status rejected = breaker.Admit();
+  EXPECT_TRUE(rejected.IsUnavailable());
+  EXPECT_GT(breaker.rejections(), 0u);
+  EXPECT_EQ(counters.breaker_rejections.load(), breaker.rejections());
+  EXPECT_EQ(counters.breaker_opens.load(), 1u);
+
+  // Cooldown elapses -> half-open: at most two concurrent probes admitted.
+  now += 1001;
+  EXPECT_EQ(breaker.state(), cloud::BreakerState::kHalfOpen);
+  ASSERT_TRUE(breaker.Admit().ok());
+  ASSERT_TRUE(breaker.Admit().ok());
+  EXPECT_TRUE(breaker.Admit().IsUnavailable());  // probe slots exhausted
+  breaker.OnResult(Status::OK());
+  breaker.OnResult(Status::OK());
+  EXPECT_EQ(breaker.state(), cloud::BreakerState::kClosed);
+
+  // Closed again: admissions flow freely.
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.OnResult(Status::OK());
+}
+
+TEST(CircuitBreakerTest, FailureRateTripsAndProbeFailureReopens) {
+  uint64_t now = 0;
+  cloud::CircuitBreakerOptions o = TestBreakerOptions(&now);
+  o.consecutive_failures_to_open = 100;  // isolate the rate condition
+  cloud::CircuitBreaker breaker(o, nullptr);
+
+  // Alternate success/failure: 50% failure rate over >= min_samples.
+  for (int i = 0; i < 4 && breaker.state() == cloud::BreakerState::kClosed;
+       ++i) {
+    ASSERT_TRUE(breaker.Admit().ok());
+    breaker.OnResult(Status::OK());
+    if (breaker.Admit().ok()) breaker.OnResult(Status::Busy("throttle"));
+  }
+  EXPECT_EQ(breaker.state(), cloud::BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+
+  // A failed half-open probe re-opens immediately and restarts cooldown.
+  now += 1001;
+  ASSERT_TRUE(breaker.Admit().ok());
+  breaker.OnResult(Status::IOError("still down"));
+  EXPECT_EQ(breaker.state(), cloud::BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_TRUE(breaker.Admit().IsUnavailable());
+
+  // NotFound is evidence of liveness, not failure: probes that hit missing
+  // keys still close the breaker.
+  now += 1001;
+  ASSERT_TRUE(breaker.Admit().ok());
+  breaker.OnResult(Status::NotFound("no such key"));
+  ASSERT_TRUE(breaker.Admit().ok());
+  breaker.OnResult(Status::NotFound("no such key"));
+  EXPECT_EQ(breaker.state(), cloud::BreakerState::kClosed);
+}
+
 // -- Acceptance workload: 10% transient slow-tier faults ---------------------
 
 TEST(FaultInjectionDbTest, TransientSlowTierFaultsAbsorbedByRetries) {
@@ -195,6 +300,386 @@ TEST(FaultInjectionDbTest, TransientSlowTierFaultsAbsorbedByRetries) {
   const std::string report = db->env().CountersReport();
   EXPECT_NE(report.find("retries="), std::string::npos);
   EXPECT_NE(report.find("give_ups="), std::string::npos);
+
+  db.reset();
+  RemoveDirRecursive(ws);
+}
+
+// -- Degraded operation: full outage lifecycle -------------------------------
+
+// Tiny-partition workload options shared by the control and outage DBs.
+// The outage DB additionally gets the fault injector and a breaker driven
+// by a fake clock (so "open" holds exactly until the test advances time).
+core::DBOptions OutageWorkloadOptions(const std::string& ws) {
+  core::DBOptions opts;
+  opts.workspace = ws;
+  opts.env_options = cloud::TieredEnvOptions::Instant();
+  opts.enable_wal = true;
+  opts.samples_per_chunk = 4;
+  opts.lsm.memtable_bytes = 8 << 10;
+  opts.lsm.l0_partition_ms = 1000;
+  opts.lsm.l2_partition_ms = 4000;
+  opts.lsm.partition_lower_bound_ms = 1000;
+  opts.lsm.l0_partition_trigger = 1;
+  return opts;
+}
+
+void ArmOutageBreaker(core::DBOptions* opts,
+                      std::shared_ptr<std::atomic<uint64_t>> clock) {
+  opts->env_options.slow_sim.retry.max_attempts = 2;
+  opts->env_options.slow_sim.retry.real_sleep = false;
+  cloud::CircuitBreakerOptions& b = opts->env_options.slow_sim.breaker;
+  b.enabled = true;
+  b.window = 8;
+  b.min_samples = 4;
+  b.consecutive_failures_to_open = 3;
+  b.open_cooldown_us = 1000;
+  b.half_open_max_probes = 2;
+  b.half_open_successes_to_close = 2;
+  b.now_us = [clock] { return clock->load(); };
+}
+
+FaultRule TotalSlowTierOutage() {
+  FaultRule rule;
+  rule.ops = cloud::kAllFaultOps;
+  rule.probability = 1.0;
+  rule.kind = FaultRule::Kind::kPermanent;
+  return rule;
+}
+
+// Failed writes trip the breaker implicitly; this makes it deterministic
+// before a partial query depends on the open state.
+void TripBreakerHard(core::TimeUnionDB* db) {
+  cloud::ObjectStore& slow = db->env().slow();
+  for (int i = 0; i < 20 && slow.breaker().state() != cloud::BreakerState::kOpen;
+       ++i) {
+    (void)slow.PutObject("breaker_probe", "x");
+  }
+  ASSERT_EQ(slow.breaker().state(), cloud::BreakerState::kOpen);
+}
+
+TEST(OutageLifecycleTest, IngestQueryDeferDrainAcrossSlowTierOutage) {
+  const std::string ws = "/tmp/timeunion_test/outage_lifecycle";
+  const std::string control_ws = ws + "_control";
+  RemoveDirRecursive(ws);
+  RemoveDirRecursive(control_ws);
+
+  constexpr int kPreOutage = 1000;
+  constexpr int kTotal = 2000;
+  constexpr int64_t kStepMs = 250;
+  const auto matcher = index::TagMatcher::Equal("metric", "cpu");
+
+  // Control run: identical workload, healthy slow tier throughout.
+  std::unique_ptr<core::TimeUnionDB> control;
+  ASSERT_TRUE(
+      core::TimeUnionDB::Open(OutageWorkloadOptions(control_ws), &control)
+          .ok());
+
+  auto fi = std::make_shared<FaultInjector>(11);
+  auto clock = std::make_shared<std::atomic<uint64_t>>(0);
+  core::DBOptions opts = OutageWorkloadOptions(ws);
+  opts.env_options.slow_sim.fault = fi;
+  ArmOutageBreaker(&opts, clock);
+  std::unique_ptr<core::TimeUnionDB> db;
+  ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+
+  uint64_t ref = 0, control_ref = 0;
+  auto ingest = [&](core::TimeUnionDB* target, uint64_t* r, int from,
+                    int to) {
+    for (int i = from; i < to; ++i) {
+      Status s = (i == 0) ? target->Insert({{"metric", "cpu"}}, 0, 0.0, r)
+                          : target->InsertFast(*r, i * kStepMs, 1.0 * i);
+      ASSERT_TRUE(s.ok()) << "sample " << i << ": " << s.ToString();
+    }
+  };
+
+  // Phase 1 (healthy): both DBs ingest and flush; data reaches L2.
+  ingest(control.get(), &control_ref, 0, kPreOutage);
+  ingest(db.get(), &ref, 0, kPreOutage);
+  ASSERT_TRUE(control->Flush().ok());
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_GT(db->time_lsm()->NumL2Partitions(), 0u);
+  ASSERT_EQ(db->time_lsm()->NumDeferredTables(), 0u);
+
+  // Phase 2: total slow-tier outage. Ingest must continue error-free;
+  // L1->L2 compaction parks its outputs on the fast tier.
+  fi->AddRule(TotalSlowTierOutage());
+  TripBreakerHard(db.get());
+  ingest(control.get(), &control_ref, kPreOutage, kTotal);
+  ingest(db.get(), &ref, kPreOutage, kTotal);
+  ASSERT_TRUE(control->Flush().ok());
+  ASSERT_TRUE(db->Flush().ok());
+
+  core::HealthReport health = db->HealthReport();
+  EXPECT_EQ(health.slow_breaker, cloud::BreakerState::kOpen);
+  EXPECT_GT(health.breaker_opens, 0u);
+  EXPECT_GT(health.breaker_rejections, 0u);
+  EXPECT_GT(health.deferred_tables, 0u);
+  EXPECT_GT(health.deferred_bytes, 0u);
+  EXPECT_TRUE(health.last_background_error.ok())
+      << health.last_background_error.ToString();
+
+  // Mid-outage query: answers from the fast tier, flags the L2 gap.
+  core::QueryResult control_result;
+  ASSERT_TRUE(
+      control->Query({matcher}, 0, kTotal * kStepMs, &control_result).ok());
+  ASSERT_EQ(control_result.size(), 1u);
+  ASSERT_EQ(control_result[0].samples.size(), static_cast<size_t>(kTotal));
+
+  auto check_partial = [&](core::TimeUnionDB* target) {
+    core::QueryResult partial;
+    ASSERT_TRUE(target->Query({matcher}, 0, kTotal * kStepMs, &partial).ok());
+    EXPECT_FALSE(partial.complete);
+    ASSERT_FALSE(partial.missing_ranges.empty());
+    ASSERT_EQ(partial.size(), 1u);
+    EXPECT_LT(partial[0].samples.size(), static_cast<size_t>(kTotal));
+    // Returned samples match the control bit-for-bit; absent ones lie
+    // inside the reported gaps.
+    std::map<int64_t, double> got;
+    for (const auto& s : partial[0].samples) got[s.timestamp] = s.value;
+    for (const auto& s : control_result[0].samples) {
+      auto it = got.find(s.timestamp);
+      if (it != got.end()) {
+        EXPECT_EQ(it->second, s.value) << "ts " << s.timestamp;
+      } else {
+        EXPECT_TRUE(
+            util::IntervalsContain(partial.missing_ranges, s.timestamp))
+            << "lost sample at ts " << s.timestamp
+            << " not covered by missing_ranges";
+      }
+    }
+    // The streaming path reports the same degradation.
+    std::vector<core::TimeUnionDB::SeriesIterResult> iters;
+    ASSERT_TRUE(
+        target->QueryIterators({matcher}, 0, kTotal * kStepMs, &iters).ok());
+    ASSERT_EQ(iters.size(), 1u);
+    EXPECT_FALSE(iters[0].complete);
+    EXPECT_FALSE(iters[0].missing_ranges.empty());
+  };
+  check_partial(db.get());
+
+  // Phase 3: reopen mid-outage. The deferred queue is manifest-recorded,
+  // and recovery must not quarantine slow-tier tables it merely cannot
+  // verify while the tier is down.
+  const size_t deferred_before = db->time_lsm()->NumDeferredTables();
+  ASSERT_GT(deferred_before, 0u);
+  db.reset();
+  ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+  EXPECT_EQ(db->recovery_report().tables_quarantined, 0u);
+  // Replay-triggered compactions may park additional tables, but nothing
+  // deferred may be lost across the reopen.
+  const size_t deferred_after_reopen = db->time_lsm()->NumDeferredTables();
+  EXPECT_GE(deferred_after_reopen, deferred_before);
+  TripBreakerHard(db.get());
+  check_partial(db.get());
+
+  // Phase 4: outage ends. The breaker's cooldown elapses, half-open
+  // probes succeed, and the drainer uploads every parked table.
+  fi->Clear();
+  clock->fetch_add(10'000);
+  size_t drained = 0;
+  ASSERT_TRUE(db->time_lsm()->DrainDeferredUploads(&drained).ok());
+  EXPECT_EQ(drained, deferred_after_reopen);
+  EXPECT_EQ(db->time_lsm()->NumDeferredTables(), 0u);
+  EXPECT_EQ(db->env().slow().breaker().state(), cloud::BreakerState::kClosed);
+  health = db->HealthReport();
+  EXPECT_EQ(health.deferred_tables, 0u);
+  EXPECT_EQ(health.deferred_uploads_drained, deferred_after_reopen);
+
+  // Post-outage query: complete again, identical to the no-fault control.
+  core::QueryResult final_result;
+  ASSERT_TRUE(
+      db->Query({matcher}, 0, kTotal * kStepMs, &final_result).ok());
+  EXPECT_TRUE(final_result.complete);
+  EXPECT_TRUE(final_result.missing_ranges.empty());
+  ASSERT_EQ(final_result.size(), 1u);
+  ASSERT_EQ(final_result[0].samples.size(),
+            control_result[0].samples.size());
+  for (size_t i = 0; i < final_result[0].samples.size(); ++i) {
+    EXPECT_EQ(final_result[0].samples[i].timestamp,
+              control_result[0].samples[i].timestamp);
+    EXPECT_EQ(final_result[0].samples[i].value,
+              control_result[0].samples[i].value);
+  }
+
+  db.reset();
+  control.reset();
+  RemoveDirRecursive(ws);
+  RemoveDirRecursive(control_ws);
+}
+
+// -- Degraded operation: teardown, sticky errors, admission ------------------
+
+TEST(FaultInjectionDbTest, TeardownDuringOutageDoesNotWaitOutBackoffs) {
+  const std::string ws = "/tmp/timeunion_test/fault_teardown";
+  RemoveDirRecursive(ws);
+
+  auto fi = std::make_shared<FaultInjector>(3);
+  fi->AddRule(TotalSlowTierOutage());
+  core::DBOptions opts = OutageWorkloadOptions(ws);
+  opts.enable_wal = false;
+  opts.env_options.slow_sim.fault = fi;
+  // Real, slow backoffs with an unlimited budget: an uncancelled upload
+  // would sleep for many seconds inside RunWithRetry. No breaker — this
+  // exercises the retry cancellation path alone.
+  opts.env_options.slow_sim.retry.max_attempts = 10;
+  opts.env_options.slow_sim.retry.initial_backoff_us = 200'000;
+  opts.env_options.slow_sim.retry.max_backoff_us = 2'000'000;
+  opts.env_options.slow_sim.retry.total_budget_us = 0;
+  opts.env_options.slow_sim.retry.real_sleep = true;
+  opts.lsm.background_flush = true;
+
+  std::unique_ptr<core::TimeUnionDB> db;
+  ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+  uint64_t ref = 0;
+  ASSERT_TRUE(db->Insert({{"metric", "cpu"}}, 0, 0.0, &ref).ok());
+  for (int i = 1; i < 2000; ++i) {
+    ASSERT_TRUE(db->InsertFast(ref, i * 250LL, 1.0 * i).ok());
+  }
+  // Wait until a background upload attempt has actually hit the outage
+  // (so teardown races an in-flight retry loop, not an idle pool).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (db->env().slow().counters().faults_injected.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(db->env().slow().counters().faults_injected.load(), 0u);
+
+  const auto start = std::chrono::steady_clock::now();
+  db.reset();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Cancellation slices sleeps at ~1ms; with an unlimited retry budget an
+  // uncancelled backoff ladder would never finish at all, so any finite
+  // bound proves cancellation — keep it tight enough to catch a single
+  // full ladder slipping through. Sanitizer instrumentation slows wall
+  // clock severalfold, so scale the bound there.
+  int64_t bound_ms = 2000;
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  bound_ms *= 10;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+  bound_ms *= 10;
+#endif
+#endif
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            bound_ms);
+  RemoveDirRecursive(ws);
+}
+
+TEST(FaultInjectionDbTest, BackgroundFlushErrorIsStickyAndObservable) {
+  const std::string ws = "/tmp/timeunion_test/fault_bg_error";
+  RemoveDirRecursive(ws);
+
+  // Permanent faults on fast-tier LSM file appends: every background
+  // memtable flush fails at the table write. (WAL off so the injector
+  // only sees LSM files; BlockStore writes go through kAppend, not kPut.)
+  auto fi = std::make_shared<FaultInjector>(5);
+  FaultRule rule;
+  rule.ops = FaultOpMask(FaultOp::kAppend);
+  rule.key_prefix = "lsm/";
+  rule.probability = 1.0;
+  rule.kind = FaultRule::Kind::kPermanent;
+  fi->AddRule(rule);
+
+  core::DBOptions opts = OutageWorkloadOptions(ws);
+  opts.enable_wal = false;
+  opts.env_options.fast_sim.fault = fi;
+  opts.lsm.background_flush = true;
+  opts.lsm.memtable_bytes = 4 << 10;
+  std::atomic<int> callbacks{0};
+  opts.lsm.on_background_error = [&callbacks](const Status& s) {
+    EXPECT_FALSE(s.ok());
+    callbacks.fetch_add(1);
+  };
+
+  std::unique_ptr<core::TimeUnionDB> db;
+  ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+  uint64_t ref = 0;
+  ASSERT_TRUE(db->Insert({{"metric", "cpu"}}, 0, 0.0, &ref).ok());
+  // 1 ms steps and a hard iteration cap keep the virtual time span (and
+  // thus the partition/flush backlog teardown must chew through) small
+  // even if the callback never fires and the test fails.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  int i = 1;
+  while (callbacks.load() == 0 && i < 100'000 &&
+         std::chrono::steady_clock::now() < deadline) {
+    ASSERT_TRUE(db->InsertFast(ref, i, 1.0 * i).ok());
+    ++i;
+  }
+  ASSERT_GT(callbacks.load(), 0) << "background flush error never surfaced";
+
+  // The same error is latched for polling callers and in HealthReport.
+  EXPECT_FALSE(db->time_lsm()->last_background_error().ok());
+  EXPECT_FALSE(db->HealthReport().last_background_error.ok());
+  db->time_lsm()->ClearBackgroundError();
+  EXPECT_TRUE(db->time_lsm()->last_background_error().ok());
+  EXPECT_TRUE(db->HealthReport().last_background_error.ok());
+
+  fi->Clear();  // let teardown's final flush succeed
+  db.reset();
+  RemoveDirRecursive(ws);
+}
+
+TEST(FaultInjectionDbTest, AdmissionControlDelaysThenRejectsWrites) {
+  const std::string ws = "/tmp/timeunion_test/fault_admission";
+
+  // Phase A: soft watermark only (hard unreachable) — writes are delayed
+  // but all admitted.
+  RemoveDirRecursive(ws);
+  core::DBOptions opts = OutageWorkloadOptions(ws);
+  opts.enable_wal = false;
+  opts.lsm.fast_storage_limit_bytes = 1;  // any resident table exceeds it
+  opts.admission.enabled = true;
+  opts.admission.soft_watermark = 1.0;
+  opts.admission.hard_watermark = 1e15;
+  opts.admission.soft_delay_us = 0;  // count delays without slowing the test
+  opts.admission.refresh_every_ops = 1;
+  {
+    std::unique_ptr<core::TimeUnionDB> db;
+    ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+    uint64_t ref = 0;
+    ASSERT_TRUE(db->Insert({{"metric", "cpu"}}, 0, 0.0, &ref).ok());
+    for (int i = 1; i < 200; ++i) {
+      ASSERT_TRUE(db->InsertFast(ref, i * 250LL, 1.0 * i).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());  // something now lives on the fast tier
+    for (int i = 200; i < 400; ++i) {
+      ASSERT_TRUE(db->InsertFast(ref, i * 250LL, 1.0 * i).ok());
+    }
+    core::HealthReport health = db->HealthReport();
+    EXPECT_GT(health.writers_delayed, 0u);
+    EXPECT_EQ(health.writes_rejected, 0u);
+    db.reset();
+  }
+
+  // Phase B: hard watermark at the soft level — the same pressure now
+  // rejects with the dedicated status code. Writes are admitted until the
+  // first flush parks a table on the fast tier (memtables also rotate at
+  // partition boundaries on their own, so rejection can arrive before the
+  // explicit Flush); after that the refreshed gauge trips the watermark.
+  RemoveDirRecursive(ws);
+  opts.admission.hard_watermark = 1.0;
+  std::unique_ptr<core::TimeUnionDB> db;
+  ASSERT_TRUE(core::TimeUnionDB::Open(opts, &db).ok());
+  uint64_t ref = 0;
+  ASSERT_TRUE(db->Insert({{"metric", "cpu"}}, 0, 0.0, &ref).ok());
+  Status rejected;
+  for (int i = 1; i < 400 && rejected.ok(); ++i) {
+    Status s = db->InsertFast(ref, i * 250LL, 1.0 * i);
+    if (s.IsResourceExhausted()) {
+      rejected = s;
+      break;
+    }
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    if (i == 100) {
+      ASSERT_TRUE(db->Flush().ok());
+    }
+  }
+  EXPECT_TRUE(rejected.IsResourceExhausted()) << rejected.ToString();
+  EXPECT_GT(db->HealthReport().writes_rejected, 0u);
 
   db.reset();
   RemoveDirRecursive(ws);

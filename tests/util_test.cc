@@ -9,6 +9,7 @@
 #include "util/coding.h"
 #include "util/crc32c.h"
 #include "util/histogram.h"
+#include "util/interval_set.h"
 #include "util/lru_cache.h"
 #include "util/memory_tracker.h"
 #include "util/random.h"
@@ -243,6 +244,47 @@ TEST(RandomTest, DeterministicAndBounded) {
   double sum = 0;
   for (int i = 0; i < 10000; ++i) sum += a.NextGaussian(5, 1);
   EXPECT_NEAR(sum / 10000, 5.0, 0.1);
+}
+
+TEST(IntervalSetTest, MergesOverlappingAndAdjacent) {
+  std::vector<util::TimeInterval> iv = {
+      {10, 20}, {15, 25}, {26, 30},  // overlap + adjacent (closed intervals)
+      {50, 60}, {40, 45},            // out of order, disjoint
+  };
+  util::MergeIntervals(&iv);
+  ASSERT_EQ(iv.size(), 3u);
+  EXPECT_EQ(iv[0], util::TimeInterval(10, 30));
+  EXPECT_EQ(iv[1], util::TimeInterval(40, 45));
+  EXPECT_EQ(iv[2], util::TimeInterval(50, 60));
+}
+
+TEST(IntervalSetTest, DropsInvertedKeepsPointsHandlesExtremes) {
+  std::vector<util::TimeInterval> iv = {
+      {30, 10},                    // inverted: dropped
+      {5, 5},                      // single point survives
+      {INT64_MAX - 1, INT64_MAX},  // no +1 overflow on the adjacency test
+      {INT64_MIN, INT64_MIN + 5},
+  };
+  util::MergeIntervals(&iv);
+  ASSERT_EQ(iv.size(), 3u);
+  EXPECT_EQ(iv[0].first, INT64_MIN);
+  EXPECT_EQ(iv[1], util::TimeInterval(5, 5));
+  EXPECT_EQ(iv[2].second, INT64_MAX);
+
+  std::vector<util::TimeInterval> empty;
+  util::MergeIntervals(&empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(IntervalSetTest, ContainmentProbesClosedBounds) {
+  const std::vector<util::TimeInterval> iv = {{10, 20}, {40, 40}};
+  EXPECT_TRUE(util::IntervalsContain(iv, 10));
+  EXPECT_TRUE(util::IntervalsContain(iv, 20));
+  EXPECT_TRUE(util::IntervalsContain(iv, 40));
+  EXPECT_FALSE(util::IntervalsContain(iv, 9));
+  EXPECT_FALSE(util::IntervalsContain(iv, 21));
+  EXPECT_FALSE(util::IntervalsContain(iv, 39));
+  EXPECT_FALSE(util::IntervalsContain({}, 0));
 }
 
 }  // namespace

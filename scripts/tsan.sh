@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Builds the repo with ThreadSanitizer and runs the concurrency- and
-# fault-labelled test suites (ctest -L "fault|concurrency"). Any data race
-# in the sharded DB core or the degraded-operation machinery (circuit
-# breaker, deferred-upload drainer, admission control) fails the run.
+# Builds the repo with ThreadSanitizer and runs the concurrency-, fault-
+# and query-labelled test suites (ctest -L "fault|concurrency|query"). Any
+# data race in the sharded DB core, the degraded-operation machinery
+# (circuit breaker, deferred-upload drainer, admission control) or the
+# query pipeline (shared readers, block cache counters) fails the run.
 #
 # Usage: scripts/tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -12,9 +13,10 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DTU_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
-  concurrency_test util_test maintenance_test fault_injection_test
+  concurrency_test util_test maintenance_test fault_injection_test \
+  query_pipeline_test
 
 # halt_on_error: make the first race fail the test instead of just logging.
-# -L takes a regex, so "fault|concurrency" ORs the two labels.
+# -L takes a regex, so "fault|concurrency|query" ORs the labels.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  ctest --test-dir "$BUILD_DIR" -L "fault|concurrency" --output-on-failure
+  ctest --test-dir "$BUILD_DIR" -L "fault|concurrency|query" --output-on-failure

@@ -1,65 +1,13 @@
-// Streaming query results (§3.4): "users can obtain its iterator to
-// iteratively get its data samples with a merge iterator which connects
-// the individual iterators of all related MemTables and SSTables".
-//
-// SampleIterator yields one series' samples in ascending timestamp order
-// with newest-chunk-wins deduplication, decoding chunks lazily as the
-// underlying LSM merge iterator advances — no materialized vectors, so a
-// long-range scan holds O(chunk) memory.
+// Forwarding header: the streaming sample merge moved into the unified
+// query layer as query::MergedSeriesIterator (one read pipeline from head
+// chunks to slow-tier blocks). Kept so core-level callers and the public
+// SeriesIterResult type keep their historical spelling.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <vector>
-
-#include "compress/chunk.h"
-#include "lsm/iterator.h"
-#include "util/status.h"
+#include "query/merged_series_iterator.h"
 
 namespace tu::core {
 
-class SampleIterator {
- public:
-  /// `lsm_iter` positioned anywhere; the iterator seeks it to `id` itself.
-  /// `head_samples` are the open-chunk samples (always newest).
-  /// `member_slot` >= 0 selects a group member column; -1 = individual
-  /// series chunks.
-  SampleIterator(uint64_t id, int64_t t0, int64_t t1,
-                 std::unique_ptr<lsm::Iterator> lsm_iter,
-                 std::vector<compress::Sample> head_samples, int member_slot,
-                 int64_t seek_slack_ms);
-
-  bool Valid() const { return valid_; }
-  const compress::Sample& value() const { return current_; }
-  void Next();
-  Status status() const { return status_; }
-
- private:
-  /// Loads the next chunk's samples into the staging buffer.
-  void FillBuffer();
-  /// Pops the smallest pending timestamp into current_.
-  void Advance();
-
-  uint64_t id_;
-  int64_t t0_;
-  int64_t t1_;
-  int member_slot_;
-  std::unique_ptr<lsm::Iterator> lsm_iter_;
-  bool lsm_done_ = false;
-
-  // Pending samples keyed by timestamp; value carries (seq, sample value)
-  // so overlapping chunks resolve newest-wins. Bounded by the overlap of
-  // in-flight chunks, not by the query span.
-  std::map<int64_t, std::pair<uint64_t, double>> pending_;
-  // Head samples behave as an infinitely-new chunk.
-  std::vector<compress::Sample> head_samples_;
-  size_t head_pos_ = 0;
-  int64_t max_buffered_ts_ = INT64_MIN;
-
-  compress::Sample current_;
-  bool valid_ = false;
-  Status status_;
-};
+using SampleIterator = query::MergedSeriesIterator;
 
 }  // namespace tu::core

@@ -63,7 +63,12 @@ Status TimeUnionDB::Open(DBOptions options, std::unique_ptr<TimeUnionDB>* db) {
 Status TimeUnionDB::Init() {
   env_ = std::make_unique<cloud::TieredEnv>(options_.workspace,
                                             options_.env_options);
-  block_cache_ = std::make_unique<lsm::BlockCache>(options_.block_cache_bytes);
+  // block_cache_bytes == 0 disables caching outright (readers tolerate a
+  // null cache) instead of running a sharded cache that evicts every block.
+  if (options_.block_cache_bytes > 0) {
+    block_cache_ =
+        std::make_unique<lsm::BlockCache>(options_.block_cache_bytes);
+  }
 
   // Mmap-backed structures are working storage; recovery rebuilds them from
   // the WAL, so a fresh open starts them clean.
@@ -748,31 +753,6 @@ Status TimeUnionDB::InsertGroupFast(uint64_t group_ref,
 
 namespace {
 
-/// Sample accumulator with newest-chunk-wins per timestamp.
-class SampleMerger {
- public:
-  void AddChunk(uint64_t seq, const std::vector<Sample>& samples, int64_t t0,
-                int64_t t1) {
-    for (const Sample& s : samples) {
-      if (s.timestamp < t0 || s.timestamp > t1) continue;
-      auto it = best_.find(s.timestamp);
-      if (it == best_.end() || seq >= it->second.first) {
-        best_[s.timestamp] = {seq, s.value};
-      }
-    }
-  }
-
-  std::vector<Sample> Finish() const {
-    std::vector<Sample> out;
-    out.reserve(best_.size());
-    for (const auto& [ts, sv] : best_) out.push_back(Sample{ts, sv.second});
-    return out;
-  }
-
- private:
-  std::map<int64_t, std::pair<uint64_t, double>> best_;
-};
-
 bool MatcherMatches(const TagMatcher& m, const Labels& labels) {
   for (const Label& l : labels) {
     if (l.name != m.name) continue;
@@ -786,122 +766,63 @@ bool MatcherMatches(const TagMatcher& m, const Labels& labels) {
   return false;
 }
 
+/// Shared input validation of the two public query entry points.
+Status ValidateQueryArgs(const std::vector<TagMatcher>& matchers, int64_t t0,
+                         int64_t t1) {
+  if (t0 > t1) return Status::InvalidArgument("query time range: t0 > t1");
+  if (matchers.empty()) {
+    return Status::InvalidArgument("query requires at least one tag matcher");
+  }
+  return Status::OK();
+}
+
+/// Clamps per-table gap spans to [t0, t1] and coalesces overlaps into the
+/// caller-facing missing-range list.
+void FinalizeMissing(int64_t t0, int64_t t1,
+                     std::vector<std::pair<int64_t, int64_t>>* missing) {
+  for (auto& iv : *missing) {
+    iv.first = std::max(iv.first, t0);
+    iv.second = std::min(iv.second, t1);
+  }
+  util::MergeIntervals(missing);
+}
+
 }  // namespace
 
-Status TimeUnionDB::CollectSeries(
-    uint64_t id, const std::vector<Sample>& open, int64_t t0, int64_t t1,
-    std::vector<Sample>* out,
-    std::vector<std::pair<int64_t, int64_t>>* missing) {
-  SampleMerger merger;
-
-  lsm::ReadScope scope;
-  scope.allow_partial = (missing != nullptr);
-  scope.missing = missing;
-  std::unique_ptr<lsm::Iterator> it;
-  TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, scope, &it));
-  // Seek to this series' chunks (its key prefix gathers them together —
-  // the §3.3 data-locality design). A chunk starting before t0 can still
-  // contain samples >= t0, but its span is bounded by one partition
-  // length, so back off by the partition upper bound.
-  const int64_t slack = options_.lsm.partition_upper_bound_ms;
-  const int64_t seek_ts = (t0 < INT64_MIN + slack) ? INT64_MIN : t0 - slack;
-  for (it->Seek(lsm::MakeChunkKey(id, seek_ts)); it->Valid(); it->Next()) {
-    const Slice user_key = lsm::InternalKeyUserKey(it->key());
-    if (lsm::ChunkKeyId(user_key) != id ||
-        lsm::ChunkKeyTimestamp(user_key) > t1) {
-      break;
-    }
-    uint64_t seq = 0;
-    std::vector<Sample> samples;
-    TU_RETURN_IF_ERROR(compress::DecodeSeriesChunk(
-        lsm::ChunkValuePayload(it->value()), &seq, &samples));
-    merger.AddChunk(seq, samples, t0, t1);
-  }
-  TU_RETURN_IF_ERROR(it->status());
-
-  // The open-chunk snapshot (taken before the LSM iterator was created) is
-  // the newest data; a chunk flushed in between appears in both sources
-  // and dedups here by timestamp.
-  merger.AddChunk(UINT64_MAX, open, t0, t1);
-
-  *out = merger.Finish();
-  return Status::OK();
-}
-
-Status TimeUnionDB::CollectGroupMember(
-    uint64_t id, uint32_t slot, const std::vector<Sample>& open, int64_t t0,
-    int64_t t1, std::vector<Sample>* out,
-    std::vector<std::pair<int64_t, int64_t>>* missing) {
-  SampleMerger merger;
-
-  lsm::ReadScope scope;
-  scope.allow_partial = (missing != nullptr);
-  scope.missing = missing;
-  std::unique_ptr<lsm::Iterator> it;
-  TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, scope, &it));
-  const int64_t slack = options_.lsm.partition_upper_bound_ms;
-  const int64_t seek_ts = (t0 < INT64_MIN + slack) ? INT64_MIN : t0 - slack;
-  for (it->Seek(lsm::MakeChunkKey(id, seek_ts)); it->Valid(); it->Next()) {
-    const Slice user_key = lsm::InternalKeyUserKey(it->key());
-    if (lsm::ChunkKeyId(user_key) != id ||
-        lsm::ChunkKeyTimestamp(user_key) > t1) {
-      break;
-    }
-    const Slice payload = lsm::ChunkValuePayload(it->value());
-    uint64_t seq = 0;
-    {
-      Slice peek = payload;
-      GetVarint64(&peek, &seq);
-    }
-    std::vector<Sample> samples;
-    TU_RETURN_IF_ERROR(compress::DecodeGroupMember(payload, slot, &samples));
-    merger.AddChunk(seq, samples, t0, t1);
-  }
-  TU_RETURN_IF_ERROR(it->status());
-
-  merger.AddChunk(UINT64_MAX, open, t0, t1);
-
-  *out = merger.Finish();
-  return Status::OK();
-}
-
-Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
-                          int64_t t1, QueryResult* out) {
+Status TimeUnionDB::QueryIteratorsImpl(const std::vector<TagMatcher>& matchers,
+                                       int64_t t0, int64_t t1,
+                                       std::vector<SeriesIterResult>* out,
+                                       query::QueryStats* stats) {
   out->clear();
 
   index::Postings ids;
   TU_RETURN_IF_ERROR(index_->Select(matchers, &ids));
+  const int64_t slack = options_.lsm.partition_upper_bound_ms;
 
-  // Degraded reads: unless strict, collect what is reachable and report
-  // the spans that may be missing (merged + clamped below).
-  std::vector<std::pair<int64_t, int64_t>> missing;
-  auto* missing_sink = options_.strict_reads ? nullptr : &missing;
-
-  /// One group member selected under the entry locks, collected after.
-  struct MemberSnapshot {
-    uint32_t slot = 0;
+  struct IterSnapshot {
     Labels labels;
     std::vector<Sample> open;
+    int member_slot = -1;
   };
 
   for (uint64_t id : ids) {
-    // Snapshot the entry under its shard/entry locks: labels plus the open
-    // chunk. The LSM collection below then runs without any DB lock —
-    // anything flushed before the snapshot is already in the LSM, and a
-    // flush racing us lands in both sources and dedups in the merger.
+    // Snapshot the entry under its shard/entry locks: labels plus the
+    // range-filtered open chunk. The LSM read below then runs without any
+    // DB lock — anything flushed before the snapshot is already in the
+    // LSM, and a flush racing us lands in both sources and dedups by seq
+    // inside MergedSeriesIterator.
     EntryShard& es = EntryShardFor(id);
-    bool is_series = false;
-    Labels series_labels;
-    std::vector<Sample> series_open;
-    std::vector<MemberSnapshot> members;
+    std::vector<IterSnapshot> snaps;
     {
       std::shared_lock<std::shared_mutex> shard_lock(es.mu);
       auto series_it = es.series.find(id);
       if (series_it != es.series.end()) {
-        is_series = true;
-        series_labels = series_it->second.labels;
+        IterSnapshot snap;
+        snap.labels = series_it->second.labels;
         std::lock_guard<std::mutex> entry_lock(append_locks_.For(id));
-        TU_RETURN_IF_ERROR(series_it->second.head->SnapshotOpen(&series_open));
+        TU_RETURN_IF_ERROR(
+            series_it->second.head->SnapshotOpen(t0, t1, &snap.open));
+        snaps.push_back(std::move(snap));
       } else {
         auto group_it = es.groups.find(id);
         if (group_it == es.groups.end()) continue;  // retired id
@@ -923,101 +844,12 @@ Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
             }
           }
           if (!all_match) continue;
-          MemberSnapshot snap;
-          snap.slot = slot;
-          index::SortLabels(&full);
-          snap.labels = std::move(full);
-          TU_RETURN_IF_ERROR(
-              entry.head->SnapshotMember(slot, &snap.open));
-          members.push_back(std::move(snap));
-        }
-      }
-    }
-
-    if (is_series) {
-      SeriesResult result;
-      result.id = id;
-      result.labels = std::move(series_labels);
-      TU_RETURN_IF_ERROR(CollectSeries(id, series_open, t0, t1,
-                                       &result.samples, missing_sink));
-      if (!result.samples.empty()) out->push_back(std::move(result));
-      continue;
-    }
-    for (MemberSnapshot& snap : members) {
-      SeriesResult result;
-      result.id = id;
-      result.labels = std::move(snap.labels);
-      TU_RETURN_IF_ERROR(CollectGroupMember(id, snap.slot, snap.open, t0, t1,
-                                            &result.samples, missing_sink));
-      if (!result.samples.empty()) out->push_back(std::move(result));
-    }
-  }
-
-  if (!missing.empty()) {
-    // Per-table spans are unclamped and overlap across series; merge and
-    // clamp them into the caller-facing gap list.
-    for (auto& iv : missing) {
-      iv.first = std::max(iv.first, t0);
-      iv.second = std::min(iv.second, t1);
-    }
-    util::MergeIntervals(&missing);
-    if (!missing.empty()) {
-      out->complete = false;
-      out->missing_ranges = std::move(missing);
-    }
-  }
-  return Status::OK();
-}
-
-Status TimeUnionDB::QueryIterators(const std::vector<TagMatcher>& matchers,
-                                   int64_t t0, int64_t t1,
-                                   std::vector<SeriesIterResult>* out) {
-  out->clear();
-
-  index::Postings ids;
-  TU_RETURN_IF_ERROR(index_->Select(matchers, &ids));
-  const int64_t slack = options_.lsm.partition_upper_bound_ms;
-
-  struct IterSnapshot {
-    Labels labels;
-    std::vector<Sample> open;
-    int member_slot = -1;
-  };
-
-  for (uint64_t id : ids) {
-    EntryShard& es = EntryShardFor(id);
-    std::vector<IterSnapshot> snaps;
-    {
-      std::shared_lock<std::shared_mutex> shard_lock(es.mu);
-      auto series_it = es.series.find(id);
-      if (series_it != es.series.end()) {
-        IterSnapshot snap;
-        snap.labels = series_it->second.labels;
-        std::lock_guard<std::mutex> entry_lock(append_locks_.For(id));
-        TU_RETURN_IF_ERROR(series_it->second.head->SnapshotOpen(&snap.open));
-        snaps.push_back(std::move(snap));
-      } else {
-        auto group_it = es.groups.find(id);
-        if (group_it == es.groups.end()) continue;
-        GroupEntry& entry = group_it->second;
-        std::lock_guard<std::mutex> entry_lock(append_locks_.For(id));
-        for (uint32_t slot = 0; slot < entry.head->num_members(); ++slot) {
-          Labels full = entry.group_labels;
-          full.insert(full.end(), entry.member_labels[slot].begin(),
-                      entry.member_labels[slot].end());
-          bool all_match = true;
-          for (const TagMatcher& m : matchers) {
-            if (!MatcherMatches(m, full)) {
-              all_match = false;
-              break;
-            }
-          }
-          if (!all_match) continue;
           IterSnapshot snap;
           index::SortLabels(&full);
           snap.labels = std::move(full);
           snap.member_slot = static_cast<int>(slot);
-          TU_RETURN_IF_ERROR(entry.head->SnapshotMember(slot, &snap.open));
+          TU_RETURN_IF_ERROR(
+              entry.head->SnapshotMember(slot, t0, t1, &snap.open));
           snaps.push_back(std::move(snap));
         }
       }
@@ -1025,28 +857,28 @@ Status TimeUnionDB::QueryIterators(const std::vector<TagMatcher>& matchers,
 
     // Create the LSM iterators after the head snapshots: a chunk flushed
     // in between is visible to the (younger) iterator and dedups against
-    // the snapshot inside SampleIterator.
+    // the snapshot inside MergedSeriesIterator.
     for (IterSnapshot& snap : snaps) {
       // Degraded reads: each iterator reports its own gap spans, clamped
       // and merged, so streaming consumers know what the stream may lack.
       std::vector<std::pair<int64_t, int64_t>> missing;
-      lsm::ReadScope scope;
-      scope.allow_partial = !options_.strict_reads;
-      scope.missing = options_.strict_reads ? nullptr : &missing;
+      query::ReadContext ctx;
+      ctx.t0 = t0;
+      ctx.t1 = t1;
+      ctx.matchers = &matchers;
+      ctx.scope.allow_partial = !options_.strict_reads;
+      ctx.scope.missing = options_.strict_reads ? nullptr : &missing;
+      ctx.stats = stats;
       std::unique_ptr<lsm::Iterator> lsm_iter;
-      TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, t0, t1, scope, &lsm_iter));
+      TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, ctx, &lsm_iter));
       SeriesIterResult result;
       result.id = id;
       result.labels = std::move(snap.labels);
       result.iter = std::make_unique<SampleIterator>(
-          id, t0, t1, std::move(lsm_iter), std::move(snap.open),
+          id, ctx, std::move(lsm_iter), std::move(snap.open),
           snap.member_slot, slack);
       if (!missing.empty()) {
-        for (auto& iv : missing) {
-          iv.first = std::max(iv.first, t0);
-          iv.second = std::min(iv.second, t1);
-        }
-        util::MergeIntervals(&missing);
+        FinalizeMissing(t0, t1, &missing);
         if (!missing.empty()) {
           result.complete = false;
           result.missing_ranges = std::move(missing);
@@ -1055,6 +887,67 @@ Status TimeUnionDB::QueryIterators(const std::vector<TagMatcher>& matchers,
       out->push_back(std::move(result));
     }
   }
+  return Status::OK();
+}
+
+void TimeUnionDB::AddQueryTotals(const query::QueryStats& stats) {
+  std::lock_guard<std::mutex> lock(query_totals_mu_);
+  query_totals_.Add(stats);
+  ++queries_run_;
+}
+
+Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
+                          int64_t t1, QueryResult* out) {
+  out->clear();
+  TU_RETURN_IF_ERROR(ValidateQueryArgs(matchers, t0, t1));
+
+  // Query is a thin materializer over the iterator pipeline: build the
+  // per-series merged streams, drain each into a vector, union the gap
+  // spans. `out->stats` outlives the iterators (both are scoped here), so
+  // drain-time counters (block reads, cache hits, decodes) land in it too.
+  std::vector<SeriesIterResult> iters;
+  TU_RETURN_IF_ERROR(
+      QueryIteratorsImpl(matchers, t0, t1, &iters, &out->stats));
+
+  std::vector<std::pair<int64_t, int64_t>> missing;
+  for (SeriesIterResult& r : iters) {
+    SeriesResult result;
+    result.id = r.id;
+    result.labels = std::move(r.labels);
+    for (SampleIterator* it = r.iter.get(); it->Valid(); it->Next()) {
+      result.samples.push_back(it->value());
+    }
+    TU_RETURN_IF_ERROR(r.iter->status());
+    if (!r.complete) {
+      missing.insert(missing.end(), r.missing_ranges.begin(),
+                     r.missing_ranges.end());
+    }
+    if (!result.samples.empty()) out->push_back(std::move(result));
+  }
+
+  if (!missing.empty()) {
+    // Per-iterator spans are already clamped; a second merge unions them
+    // across series.
+    util::MergeIntervals(&missing);
+    if (!missing.empty()) {
+      out->complete = false;
+      out->missing_ranges = std::move(missing);
+    }
+  }
+  AddQueryTotals(out->stats);
+  return Status::OK();
+}
+
+Status TimeUnionDB::QueryIterators(const std::vector<TagMatcher>& matchers,
+                                   int64_t t0, int64_t t1,
+                                   std::vector<SeriesIterResult>* out,
+                                   query::QueryStats* stats) {
+  TU_RETURN_IF_ERROR(ValidateQueryArgs(matchers, t0, t1));
+  TU_RETURN_IF_ERROR(QueryIteratorsImpl(matchers, t0, t1, out, stats));
+  // DB-lifetime totals for streaming queries capture the creation-time
+  // counters (table/partition pruning); counters that accrue while the
+  // caller drains the lazy iterators land only in `stats`.
+  AddQueryTotals(stats != nullptr ? *stats : query::QueryStats());
   return Status::OK();
 }
 
@@ -1185,7 +1078,39 @@ core::HealthReport TimeUnionDB::HealthReport() const {
   }
   r.writers_delayed = writers_delayed_.load(std::memory_order_relaxed);
   r.writes_rejected = writes_rejected_.load(std::memory_order_relaxed);
+  if (block_cache_ != nullptr) {
+    r.block_cache_enabled = true;
+    r.block_cache_usage = block_cache_->usage();
+    r.block_cache_hits = block_cache_->hits();
+    r.block_cache_misses = block_cache_->misses();
+    r.block_cache_evictions = block_cache_->evictions();
+  }
   return r;
+}
+
+std::string TimeUnionDB::CountersReport() const {
+  std::string report = env_->CountersReport();
+  char buf[512];
+  if (block_cache_ != nullptr) {
+    std::snprintf(buf, sizeof(buf),
+                  "\nblock_cache: hits=%llu misses=%llu evictions=%llu "
+                  "usage=%zu",
+                  static_cast<unsigned long long>(block_cache_->hits()),
+                  static_cast<unsigned long long>(block_cache_->misses()),
+                  static_cast<unsigned long long>(block_cache_->evictions()),
+                  block_cache_->usage());
+  } else {
+    std::snprintf(buf, sizeof(buf), "\nblock_cache: disabled");
+  }
+  report += buf;
+  {
+    std::lock_guard<std::mutex> lock(query_totals_mu_);
+    std::snprintf(buf, sizeof(buf), "\nqueries: run=%llu ",
+                  static_cast<unsigned long long>(queries_run_));
+    report += buf;
+    report += query_totals_.ToString();
+  }
+  return report;
 }
 
 void TimeUnionDB::AdviseMemoryRelease() {

@@ -38,6 +38,7 @@
 #include "core/maintenance.h"
 #include "core/sample_iterator.h"
 #include "core/wal.h"
+#include "query/read_context.h"
 #include "util/striped_mutex.h"
 
 namespace tu::core {
@@ -140,6 +141,9 @@ struct QueryResult {
   /// data may be absent from `series`.
   bool complete = true;
   std::vector<std::pair<int64_t, int64_t>> missing_ranges;
+  /// Per-query read-pipeline statistics: pruning decisions, block cache
+  /// hits/misses, slow-tier fetches, decode volume (see query::QueryStats).
+  query::QueryStats stats;
 
   size_t size() const { return series.size(); }
   bool empty() const { return series.empty(); }
@@ -154,6 +158,7 @@ struct QueryResult {
     series.clear();
     complete = true;
     missing_ranges.clear();
+    stats = query::QueryStats();
   }
 };
 
@@ -177,6 +182,14 @@ struct HealthReport {
   /// Admission-control outcomes (always 0 unless admission.enabled).
   uint64_t writers_delayed = 0;
   uint64_t writes_rejected = 0;
+  /// Block cache occupancy and cumulative hit/miss/eviction counts.
+  /// `block_cache_enabled` is false when DBOptions::block_cache_bytes == 0
+  /// (caching disabled; the counters stay 0).
+  bool block_cache_enabled = false;
+  uint64_t block_cache_usage = 0;
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+  uint64_t block_cache_evictions = 0;
   /// Sticky background flush/maintenance error; OK when healthy.
   Status last_background_error;
 };
@@ -234,6 +247,12 @@ class TimeUnionDB {
   /// snapshotted under its shard/entry locks (labels + open chunk), then
   /// the LSM is read lock-free. The result is a consistent point-in-time
   /// view per series.
+  ///
+  /// Implemented as a thin materializer over QueryIterators — there is
+  /// exactly one read pipeline (head snapshot → LSM iterators → merged
+  /// dedup stream); Query just drains it into vectors and fills
+  /// `out->stats`. Returns InvalidArgument when t0 > t1 or `matchers` is
+  /// empty.
   Status Query(const std::vector<index::TagMatcher>& matchers, int64_t t0,
                int64_t t1, QueryResult* out);
 
@@ -251,9 +270,14 @@ class TimeUnionDB {
     bool complete = true;
     std::vector<std::pair<int64_t, int64_t>> missing_ranges;
   };
+  /// Returns InvalidArgument when t0 > t1 or `matchers` is empty. `stats`
+  /// (nullable) receives pruning/cache counters; the pointed-to object
+  /// must outlive every returned iterator — lazy iterators keep counting
+  /// while they are drained.
   Status QueryIterators(const std::vector<index::TagMatcher>& matchers,
                         int64_t t0, int64_t t1,
-                        std::vector<SeriesIterResult>* out);
+                        std::vector<SeriesIterResult>* out,
+                        query::QueryStats* stats = nullptr);
 
   /// Lists all values of a tag name across the index (label-values API).
   /// Serialized against slow-path registration so multi-label inserts are
@@ -285,9 +309,13 @@ class TimeUnionDB {
   /// What the Open-time recovery salvaged/dropped (see RecoveryReport).
   const RecoveryReport& recovery_report() const { return recovery_report_; }
   /// Degraded-operation snapshot: breaker state, deferred-upload backlog,
-  /// fast-tier pressure, admission outcomes, sticky background error.
-  /// Safe from any thread; counters are relaxed reads.
+  /// fast-tier pressure, admission outcomes, block cache counters, sticky
+  /// background error. Safe from any thread; counters are relaxed reads.
   core::HealthReport HealthReport() const;
+  /// Human-readable counters: tiered-env I/O + breaker state, block cache
+  /// hit/miss/eviction/usage, and read-pipeline totals aggregated across
+  /// every Query/QueryIterators since Open. Safe from any thread.
+  std::string CountersReport() const;
   /// Index memory (trie + postings), §3.2 accounting. The index is
   /// internally synchronized; safe from any thread.
   uint64_t IndexMemoryUsage() const;
@@ -371,21 +399,19 @@ class TimeUnionDB {
                           const std::vector<uint32_t>& slots, int64_t ts,
                           const std::vector<double>& values);
 
-  /// Collects the samples of one individual series in [t0, t1]. `open` is
-  /// the entry's open-chunk snapshot, taken under its locks before the
-  /// call; the LSM read itself runs lock-free (duplicates dedup by seq).
-  /// `missing` (nullable) enables partial reads: spans of skipped
-  /// unreachable tables are appended to it, unclamped and unmerged.
-  Status CollectSeries(uint64_t id, const std::vector<compress::Sample>& open,
-                       int64_t t0, int64_t t1,
-                       std::vector<compress::Sample>* out,
-                       std::vector<std::pair<int64_t, int64_t>>* missing);
-  /// Collects the samples of one group member in [t0, t1].
-  Status CollectGroupMember(uint64_t id, uint32_t slot,
-                            const std::vector<compress::Sample>& open,
+  /// The one read pipeline both Query and QueryIterators sit on: index
+  /// select → per-entry snapshot (labels + range-filtered open chunk)
+  /// under shard/entry locks → per-series LSM iterator via ReadContext →
+  /// MergedSeriesIterator. Performs no input validation and no stats
+  /// aggregation; `stats` (nullable) is wired into every iterator and
+  /// must outlive them.
+  Status QueryIteratorsImpl(const std::vector<index::TagMatcher>& matchers,
                             int64_t t0, int64_t t1,
-                            std::vector<compress::Sample>* out,
-                            std::vector<std::pair<int64_t, int64_t>>* missing);
+                            std::vector<SeriesIterResult>* out,
+                            query::QueryStats* stats);
+  /// Folds one finished query's stats into the DB-lifetime totals
+  /// surfaced by CountersReport().
+  void AddQueryTotals(const query::QueryStats& stats);
 
   /// Write-path backpressure (DBOptions::AdmissionControl): checks the
   /// LSM's fast-bytes gauge against the watermarks — OK below soft,
@@ -434,6 +460,12 @@ class TimeUnionDB {
   std::atomic<int> admission_level_{0};
   std::atomic<uint64_t> writers_delayed_{0};
   std::atomic<uint64_t> writes_rejected_{0};
+
+  /// DB-lifetime read-pipeline totals (CountersReport). A plain mutex is
+  /// fine: queries fold their stats in once, at the end.
+  mutable std::mutex query_totals_mu_;
+  query::QueryStats query_totals_;  // guarded by query_totals_mu_
+  uint64_t queries_run_ = 0;        // guarded by query_totals_mu_
 
   // Declared last: its thread must stop before the members above die.
   std::unique_ptr<MaintenanceWorker> maintenance_;

@@ -10,21 +10,18 @@
 #include <vector>
 
 #include "lsm/iterator.h"
+#include "query/read_context.h"
 #include "util/slice.h"
 #include "util/status.h"
 
 namespace tu::lsm {
 
-/// How a read should behave when part of the store is unreachable (slow
-/// tier down, circuit breaker open). With `allow_partial`, stores skip
-/// slow-tier tables they cannot open and record the closed timestamp span
-/// each skipped table may have covered in `*missing` (unclamped entries
-/// are fine — callers merge and clamp); without it, the first unreachable
-/// table fails the read.
-struct ReadScope {
-  bool allow_partial = false;
-  std::vector<std::pair<int64_t, int64_t>>* missing = nullptr;
-};
+// The per-query read parameters (time range, degraded-read scope, cache
+// policy, stats accumulator) live in the query layer and thread through
+// every ChunkStore unchanged; re-exported here under their historical
+// lsm:: spellings.
+using query::ReadContext;
+using query::ReadScope;
 
 class ChunkStore {
  public:
@@ -35,14 +32,18 @@ class ChunkStore {
   virtual Status Put(const Slice& user_key, const Slice& value) = 0;
   /// Flushes memtables and drains pending maintenance.
   virtual Status FlushAll() = 0;
-  /// Iterator over all chunks of `id` intersecting [t0, t1].
-  virtual Status NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
-                                  const ReadScope& scope,
+  /// Iterator over all chunks of `id` intersecting [ctx.t0, ctx.t1].
+  /// Honors ctx.scope for degraded reads, ctx.fill_cache for block-cache
+  /// population, and accumulates pruning/IO counters into ctx.stats.
+  virtual Status NewIteratorForId(uint64_t id, const ReadContext& ctx,
                                   std::unique_ptr<Iterator>* out) = 0;
   /// Strict-read convenience: any unreachable table fails the call.
   Status NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
                           std::unique_ptr<Iterator>* out) {
-    return NewIteratorForId(id, t0, t1, ReadScope{}, out);
+    ReadContext ctx;
+    ctx.t0 = t0;
+    ctx.t1 = t1;
+    return NewIteratorForId(id, ctx, out);
   }
   /// Drops data entirely older than `watermark` (best effort).
   virtual Status ApplyRetention(int64_t watermark) {

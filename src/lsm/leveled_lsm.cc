@@ -204,6 +204,7 @@ Status LeveledLsm::OpenReader(TableHandle* handle, bool fill_cache) {
   TableReaderOptions opts;
   opts.block_cache = fill_cache ? block_cache_ : nullptr;
   opts.cache_id = name_ + ":" + std::to_string(handle->meta.table_id);
+  opts.on_slow = handle->on_slow;
   std::unique_ptr<TableReader> reader;
   TU_RETURN_IF_ERROR(TableReader::Open(opts, std::move(source), &reader));
   handle->reader = std::move(reader);
@@ -299,10 +300,13 @@ Status LeveledLsm::CompactLevel(int level) {
   return Status::OK();
 }
 
-Status LeveledLsm::NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
-                                    const ReadScope& scope,
+Status LeveledLsm::NewIteratorForId(uint64_t id, const ReadContext& ctx,
                                     std::unique_ptr<Iterator>* out) {
   std::lock_guard<std::mutex> lock(mu_);
+  const int64_t t0 = ctx.t0;
+  const int64_t t1 = ctx.t1;
+  const ReadScope& scope = ctx.scope;
+  query::QueryStats* qs = ctx.stats;
   const std::string lo = MakeChunkKey(id, t0);
   const std::string hi = MakeChunkKey(id, t1);
 
@@ -317,12 +321,25 @@ Status LeveledLsm::NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
   children.push_back(mem_->NewIterator());
   for (int level = 0; level < options_.max_levels; ++level) {
     for (auto& handle : levels_[level]) {
-      if (Slice(handle.meta.largest_key).compare(lo) < 0) continue;
+      if (qs != nullptr) ++qs->tables_considered;
+      // Chunks have no time-partition bound under this backend, so a chunk
+      // starting before t0 may still reach into the range — only the
+      // "starts past t1" side of the time meta is safe to prune on.
+      if (handle.meta.min_ts > t1) {
+        if (qs != nullptr) ++qs->tables_pruned_time;
+        continue;
+      }
+      if (Slice(handle.meta.largest_key).compare(lo) < 0) {
+        if (qs != nullptr) ++qs->tables_pruned_time;
+        continue;
+      }
       if (Slice(handle.meta.smallest_key).compare(hi) > 0 &&
           InternalKeyUserKey(handle.meta.smallest_key).compare(hi) > 0) {
+        if (qs != nullptr) ++qs->tables_pruned_id;
         continue;
       }
       if (handle.meta.min_series_id > id || handle.meta.max_series_id < id) {
+        if (qs != nullptr) ++qs->tables_pruned_id;
         continue;
       }
       if (scope.allow_partial && handle.on_slow && slow_tier_down) {
@@ -330,9 +347,10 @@ Status LeveledLsm::NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
         if (scope.missing != nullptr && lo_ts <= t1) {
           scope.missing->emplace_back(lo_ts, t1);
         }
+        if (qs != nullptr) ++qs->tables_skipped_unreachable;
         continue;
       }
-      Status s = OpenReader(&handle);
+      Status s = OpenReader(&handle, ctx.fill_cache);
       if (!s.ok()) {
         // Without time partitioning a chunk can extend arbitrarily past
         // its start timestamp, so the missing span is conservative: from
@@ -343,12 +361,16 @@ Status LeveledLsm::NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
           if (scope.missing != nullptr && lo_ts <= t1) {
             scope.missing->emplace_back(lo_ts, t1);
           }
+          if (qs != nullptr) ++qs->tables_skipped_unreachable;
           continue;
         }
         return s;
       }
-      if (!handle.reader->MayContainId(id)) continue;
-      children.push_back(handle.reader->NewIterator());
+      if (!handle.reader->MayContainId(id)) {
+        if (qs != nullptr) ++qs->tables_pruned_bloom;
+        continue;
+      }
+      children.push_back(handle.reader->NewIterator(qs, MakeChunkKey(id, t1)));
     }
   }
   *out = NewMergingIterator(std::move(children));

@@ -72,14 +72,14 @@ class LeveledLsm : public ChunkStore {
   /// Forces the memtable to disk and runs all pending compactions.
   Status FlushAll() override;
 
-  /// Iterator over the full store for series `id` in [t0, t1]: children are
-  /// the memtable plus every table possibly containing the id/range,
-  /// newest-first at equal keys. With scope.allow_partial, unreachable
-  /// slow-level tables are skipped; without time partitioning the missing
-  /// span is conservative ([min_ts, t1]).
+  /// Iterator over the full store for series `id` in [ctx.t0, ctx.t1]:
+  /// children are the memtable plus every table possibly containing the
+  /// id/range, newest-first at equal keys. With ctx.scope.allow_partial,
+  /// unreachable slow-level tables are skipped; without time partitioning
+  /// the missing span is conservative ([min_ts, t1]). Pruning decisions
+  /// are counted into ctx.stats.
   using ChunkStore::NewIteratorForId;
-  Status NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
-                          const ReadScope& scope,
+  Status NewIteratorForId(uint64_t id, const ReadContext& ctx,
                           std::unique_ptr<Iterator>* out) override;
 
   /// No time partitioning: chunks close on sample count only.

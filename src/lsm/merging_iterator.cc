@@ -30,6 +30,7 @@ class MergingIterator : public Iterator {
   Slice value() const override { return children_[current_]->value(); }
 
   Status status() const override {
+    if (!status_.ok()) return status_;
     for (const auto& child : children_) {
       Status s = child->status();
       if (!s.ok()) return s;
@@ -41,16 +42,24 @@ class MergingIterator : public Iterator {
   void FindSmallest() {
     current_ = -1;
     for (size_t i = 0; i < children_.size(); ++i) {
-      if (!children_[i]->Valid()) continue;
+      if (!children_[i]->Valid()) {
+        // Latch the first child error so the merge fails fast instead of
+        // yielding a silently incomplete stream and only surfacing the
+        // error when the caller finally checks status().
+        if (status_.ok()) status_ = children_[i]->status();
+        continue;
+      }
       if (current_ < 0 ||
           children_[i]->key().compare(children_[current_]->key()) < 0) {
         current_ = static_cast<int>(i);
       }
     }
+    if (!status_.ok()) current_ = -1;
   }
 
   std::vector<std::unique_ptr<Iterator>> children_;
   int current_ = -1;
+  Status status_;
 };
 
 class EmptyIterator : public Iterator {

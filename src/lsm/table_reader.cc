@@ -3,6 +3,7 @@
 #include "cloud/retry_policy.h"
 #include "compress/snappy_lite.h"
 #include "lsm/bloom.h"
+#include "lsm/memtable.h"
 #include "util/crc32c.h"
 
 namespace tu::lsm {
@@ -112,17 +113,24 @@ Status TableReader::ReadBlockContents(const BlockHandle& handle,
 }
 
 Status TableReader::GetBlock(const BlockHandle& handle,
-                             std::shared_ptr<Block>* block) const {
+                             std::shared_ptr<Block>* block,
+                             query::QueryStats* stats) const {
   std::string cache_key;
   if (options_.block_cache != nullptr) {
     cache_key = options_.cache_id + ":" + std::to_string(handle.offset);
     if (auto cached = options_.block_cache->Lookup(cache_key)) {
+      if (stats != nullptr) ++stats->cache_hits;
       *block = std::move(cached);
       return Status::OK();
     }
+    if (stats != nullptr) ++stats->cache_misses;
   }
   std::string contents;
   TU_RETURN_IF_ERROR(ReadBlockContents(handle, &contents));
+  if (stats != nullptr) {
+    stats->block_bytes_read += contents.size();
+    if (options_.on_slow) ++stats->slow_tier_fetches;
+  }
   auto parsed = std::make_shared<Block>(Slice(contents));
   if (options_.block_cache != nullptr) {
     options_.block_cache->Insert(cache_key, parsed, parsed->size());
@@ -144,8 +152,12 @@ bool TableReader::MayContainId(uint64_t id) const {
 
 class TableReader::TwoLevelIter : public Iterator {
  public:
-  explicit TwoLevelIter(const TableReader* table)
-      : table_(table), index_iter_(table->index_block_->NewIterator()) {}
+  TwoLevelIter(const TableReader* table, query::QueryStats* stats,
+               std::string upper_bound_user_key)
+      : table_(table),
+        stats_(stats),
+        upper_bound_user_key_(std::move(upper_bound_user_key)),
+        index_iter_(table->index_block_->NewIterator()) {}
 
   bool Valid() const override {
     return data_iter_ != nullptr && data_iter_->Valid();
@@ -185,16 +197,42 @@ class TableReader::TwoLevelIter : public Iterator {
       status_ = Status::Corruption("bad index entry");
       return;
     }
-    Status s = table_->GetBlock(handle, &data_block_);
+    Status s = table_->GetBlock(handle, &data_block_, stats_);
     if (!s.ok()) {
       status_ = s;
       return;
     }
+    if (stats_ != nullptr) ++stats_->blocks_read;
     data_iter_ = data_block_->NewIterator();
+  }
+
+  /// Index entries carry the LAST internal key of their block: once that
+  /// user key sorts strictly past the upper bound, every later block lies
+  /// entirely past it too, so the iterator can stop without fetching them.
+  /// Equality must continue — the next block may open with the same user
+  /// key at an older sequence number, which newest-wins dedup still needs.
+  bool PastUpperBound() const {
+    return !upper_bound_user_key_.empty() && index_iter_->Valid() &&
+           InternalKeyUserKey(index_iter_->key())
+                   .compare(upper_bound_user_key_) > 0;
   }
 
   void SkipEmptyBlocksForward() {
     while (data_iter_ != nullptr && !data_iter_->Valid()) {
+      if (PastUpperBound()) {
+        // Count the data blocks the bound saved us from fetching, then
+        // park the iterator in the exhausted state. Walking the remaining
+        // index entries is cheap: the index block is pinned in memory.
+        if (stats_ != nullptr) {
+          for (index_iter_->Next(); index_iter_->Valid();
+               index_iter_->Next()) {
+            ++stats_->blocks_pruned;
+          }
+        }
+        data_iter_.reset();
+        data_block_.reset();
+        return;
+      }
       index_iter_->Next();
       InitDataBlock();
       if (data_iter_) data_iter_->SeekToFirst();
@@ -203,6 +241,8 @@ class TableReader::TwoLevelIter : public Iterator {
   }
 
   const TableReader* table_;
+  query::QueryStats* stats_;
+  const std::string upper_bound_user_key_;
   std::unique_ptr<Iterator> index_iter_;
   std::shared_ptr<Block> data_block_;
   std::unique_ptr<Iterator> data_iter_;
@@ -210,7 +250,13 @@ class TableReader::TwoLevelIter : public Iterator {
 };
 
 std::unique_ptr<Iterator> TableReader::NewIterator() const {
-  return std::make_unique<TwoLevelIter>(this);
+  return std::make_unique<TwoLevelIter>(this, nullptr, std::string());
+}
+
+std::unique_ptr<Iterator> TableReader::NewIterator(
+    query::QueryStats* stats, std::string upper_bound_user_key) const {
+  return std::make_unique<TwoLevelIter>(this, stats,
+                                        std::move(upper_bound_user_key));
 }
 
 }  // namespace tu::lsm

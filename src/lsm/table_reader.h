@@ -13,6 +13,7 @@
 #include "lsm/block.h"
 #include "lsm/iterator.h"
 #include "lsm/table_format.h"
+#include "query/read_context.h"
 #include "util/lru_cache.h"
 #include "util/status.h"
 
@@ -67,6 +68,9 @@ struct TableReaderOptions {
   BlockCache* block_cache = nullptr;
   /// Cache key prefix, unique per table (e.g. "sst:<table_id>").
   std::string cache_id;
+  /// Whether this table's source is the slow object tier — lets per-query
+  /// stats attribute block fetches to the tier that served them.
+  bool on_slow = false;
   bool verify_checksums = true;
 };
 
@@ -79,6 +83,15 @@ class TableReader {
   /// Iterator over the whole table (internal keys).
   std::unique_ptr<Iterator> NewIterator() const;
 
+  /// Query-path iterator: accumulates block/cache counters into `stats`
+  /// (nullable) and, when `upper_bound_user_key` is non-empty, stops
+  /// fetching data blocks once the current block's last user key sorts
+  /// strictly past the bound — with last-key index entries no later block
+  /// can hold a key at or below it, so cold blocks past the query range
+  /// are never read. `stats` must outlive the iterator.
+  std::unique_ptr<Iterator> NewIterator(
+      query::QueryStats* stats, std::string upper_bound_user_key) const;
+
   /// Bloom-filter test on a series/group ID: false means no chunk of that
   /// ID is in this table.
   bool MayContainId(uint64_t id) const;
@@ -90,9 +103,10 @@ class TableReader {
       : options_(std::move(options)), source_(std::move(source)) {}
 
   Status ReadBlockContents(const BlockHandle& handle, std::string* out) const;
-  /// Reads (through the cache if configured) the block at `handle`.
-  Status GetBlock(const BlockHandle& handle,
-                  std::shared_ptr<Block>* block) const;
+  /// Reads (through the cache if configured) the block at `handle`,
+  /// counting cache/tier outcomes into `stats` (nullable).
+  Status GetBlock(const BlockHandle& handle, std::shared_ptr<Block>* block,
+                  query::QueryStats* stats) const;
 
   class TwoLevelIter;
 

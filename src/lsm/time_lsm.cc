@@ -654,6 +654,7 @@ Status TimePartitionedLsm::OpenReader(TableHandle* handle, bool fill_cache) {
   TableReaderOptions opts;
   opts.block_cache = fill_cache ? block_cache_ : nullptr;
   opts.cache_id = name_ + ":" + std::to_string(handle->meta.table_id);
+  opts.on_slow = handle->on_slow;
   std::unique_ptr<TableReader> reader;
   TU_RETURN_IF_ERROR(TableReader::Open(opts, std::move(source), &reader));
   handle->reader = std::move(reader);
@@ -1120,13 +1121,18 @@ Status TimePartitionedLsm::ApplyRetention(int64_t watermark) {
   return Status::OK();
 }
 
-Status TimePartitionedLsm::NewIteratorForId(uint64_t id, int64_t t0,
-                                            int64_t t1,
-                                            const ReadScope& scope,
+Status TimePartitionedLsm::NewIteratorForId(uint64_t id, const ReadContext& ctx,
                                             std::unique_ptr<Iterator>* out) {
+  const int64_t t0 = ctx.t0;
+  const int64_t t1 = ctx.t1;
+  const ReadScope& scope = ctx.scope;
+  query::QueryStats* qs = ctx.stats;
   // Chunks can overhang their partition end by at most one (pre-shrink)
   // partition length, so widen the selection window on the left.
   const int64_t overhang = options_.partition_upper_bound_ms;
+  // Block-level pruning bound: no chunk of `id` starting past t1 can hold
+  // in-range samples, so table iterators stop at this user key.
+  std::string upper_bound = MakeChunkKey(id, t1);
 
   std::vector<std::unique_ptr<Iterator>> children;
   std::vector<std::shared_ptr<MemTable>> mem_pins;
@@ -1157,10 +1163,13 @@ Status TimePartitionedLsm::NewIteratorForId(uint64_t id, int64_t t0,
 
   auto consider_table = [&](TableHandle& handle,
                             int64_t max_data_ts) -> Status {
+    if (qs != nullptr) ++qs->tables_considered;
     if (handle.meta.min_series_id > id || handle.meta.max_series_id < id) {
+      if (qs != nullptr) ++qs->tables_pruned_id;
       return Status::OK();
     }
     if (handle.meta.min_ts > t1 || handle.meta.max_ts < t0 - overhang) {
+      if (qs != nullptr) ++qs->tables_pruned_time;
       return Status::OK();
     }
     if (scope.allow_partial && handle.on_slow && slow_tier_down) {
@@ -1170,9 +1179,10 @@ Status TimePartitionedLsm::NewIteratorForId(uint64_t id, int64_t t0,
         scope.missing->emplace_back(lo, hi);
       }
       stats_.partial_read_skips.fetch_add(1, std::memory_order_relaxed);
+      if (qs != nullptr) ++qs->tables_skipped_unreachable;
       return Status::OK();
     }
-    Status s = OpenReader(&handle);
+    Status s = OpenReader(&handle, ctx.fill_cache);
     if (!s.ok()) {
       // Partial read: an unreachable slow-tier table is skipped and its
       // possible [min_ts, max_data_ts] span reported missing. Fast-tier
@@ -1186,19 +1196,26 @@ Status TimePartitionedLsm::NewIteratorForId(uint64_t id, int64_t t0,
           scope.missing->emplace_back(lo, hi);
         }
         stats_.partial_read_skips.fetch_add(1, std::memory_order_relaxed);
+        if (qs != nullptr) ++qs->tables_skipped_unreachable;
         return Status::OK();
       }
       return s;
     }
-    if (!handle.reader->MayContainId(id)) return Status::OK();
-    children.push_back(handle.reader->NewIterator());
+    if (!handle.reader->MayContainId(id)) {
+      if (qs != nullptr) ++qs->tables_pruned_bloom;
+      return Status::OK();
+    }
+    children.push_back(handle.reader->NewIterator(qs, upper_bound));
     reader_pins.push_back(handle.reader);
     return Status::OK();
   };
 
   auto consider_level = [&](std::vector<Partition>& level) -> Status {
     for (Partition& p : level) {
-      if (p.start > t1 || p.end + overhang <= t0) continue;
+      if (p.start > t1 || p.end + overhang <= t0) {
+        if (qs != nullptr) ++qs->partitions_pruned;
+        continue;
+      }
       for (TableHandle& t : p.tables) {
         TU_RETURN_IF_ERROR(consider_table(t, t.meta.max_ts + overhang));
       }
@@ -1209,7 +1226,10 @@ Status TimePartitionedLsm::NewIteratorForId(uint64_t id, int64_t t0,
   TU_RETURN_IF_ERROR(consider_level(l1_));
 
   for (L2Partition& p : l2_) {
-    if (p.start > t1 || p.end + overhang <= t0) continue;
+    if (p.start > t1 || p.end + overhang <= t0) {
+      if (qs != nullptr) ++qs->partitions_pruned;
+      continue;
+    }
     for (L2Entry& e : p.entries) {
       TU_RETURN_IF_ERROR(consider_table(e.base, p.end - 1));
       for (TableHandle& t : e.patches) {

@@ -123,12 +123,13 @@ class TimePartitionedLsm : public ChunkStore {
   /// Flushes the memtable and drains all pending maintenance.
   Status FlushAll() override;
 
-  /// Iterator over all data of series/group `id` intersecting [t0, t1].
-  /// With scope.allow_partial, unreachable slow-tier tables are skipped
-  /// and their possible data span recorded in scope.missing.
+  /// Iterator over all data of series/group `id` intersecting
+  /// [ctx.t0, ctx.t1]. With ctx.scope.allow_partial, unreachable slow-tier
+  /// tables are skipped and their possible data span recorded in
+  /// ctx.scope.missing. Pruning decisions (partition window, table meta,
+  /// bloom, per-block upper bound) are counted into ctx.stats.
   using ChunkStore::NewIteratorForId;
-  Status NewIteratorForId(uint64_t id, int64_t t0, int64_t t1,
-                          const ReadScope& scope,
+  Status NewIteratorForId(uint64_t id, const ReadContext& ctx,
                           std::unique_ptr<Iterator>* out) override;
 
   /// Drops every partition whose data is entirely older than `watermark`.

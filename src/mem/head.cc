@@ -156,6 +156,15 @@ Status SeriesHead::SnapshotOpen(std::vector<compress::Sample>* samples) const {
   return Status::OK();
 }
 
+Status SeriesHead::SnapshotOpen(int64_t t0, int64_t t1,
+                                std::vector<compress::Sample>* samples) const {
+  TU_RETURN_IF_ERROR(SnapshotOpen(samples));
+  std::erase_if(*samples, [t0, t1](const compress::Sample& s) {
+    return s.timestamp < t0 || s.timestamp > t1;
+  });
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // GroupHead
 // ---------------------------------------------------------------------------
@@ -463,6 +472,15 @@ Status GroupHead::SnapshotMember(uint32_t member_index,
           compress::Sample{row.timestamp, *row.values[member_index]});
     }
   }
+  return Status::OK();
+}
+
+Status GroupHead::SnapshotMember(uint32_t member_index, int64_t t0, int64_t t1,
+                                 std::vector<compress::Sample>* samples) const {
+  TU_RETURN_IF_ERROR(SnapshotMember(member_index, samples));
+  std::erase_if(*samples, [t0, t1](const compress::Sample& s) {
+    return s.timestamp < t0 || s.timestamp > t1;
+  });
   return Status::OK();
 }
 

@@ -74,6 +74,12 @@ class SeriesHead {
   /// Copies the open chunk samples (query path). Empty if none.
   Status SnapshotOpen(std::vector<compress::Sample>* samples) const;
 
+  /// Range-restricted snapshot for the unified query pipeline: only
+  /// samples inside [t0, t1] are copied, so a narrow query does not drag
+  /// the whole open chunk through the entry lock.
+  Status SnapshotOpen(int64_t t0, int64_t t1,
+                      std::vector<compress::Sample>* samples) const;
+
  private:
   struct OpenChunk {
     uint64_t slot = 0;
@@ -150,6 +156,10 @@ class GroupHead {
 
   /// Copies the open-chunk samples of one member (query path).
   Status SnapshotMember(uint32_t member_index,
+                        std::vector<compress::Sample>* samples) const;
+
+  /// Range-restricted member snapshot (see SeriesHead::SnapshotOpen).
+  Status SnapshotMember(uint32_t member_index, int64_t t0, int64_t t1,
                         std::vector<compress::Sample>* samples) const;
 
  private:

@@ -1,18 +1,20 @@
-#include "core/sample_iterator.h"
+#include "query/merged_series_iterator.h"
 
 #include "lsm/key_format.h"
 #include "lsm/memtable.h"
 
-namespace tu::core {
+namespace tu::query {
 
-SampleIterator::SampleIterator(uint64_t id, int64_t t0, int64_t t1,
-                               std::unique_ptr<lsm::Iterator> lsm_iter,
-                               std::vector<compress::Sample> head_samples,
-                               int member_slot, int64_t seek_slack_ms)
+MergedSeriesIterator::MergedSeriesIterator(
+    uint64_t id, const ReadContext& ctx,
+    std::unique_ptr<lsm::Iterator> lsm_iter,
+    std::vector<compress::Sample> head_samples, int member_slot,
+    int64_t seek_slack_ms)
     : id_(id),
-      t0_(t0),
-      t1_(t1),
+      t0_(ctx.t0),
+      t1_(ctx.t1),
       member_slot_(member_slot),
+      stats_(ctx.stats),
       lsm_iter_(std::move(lsm_iter)),
       head_samples_(std::move(head_samples)) {
   // The open chunk is the newest data: stage it with maximal precedence.
@@ -27,7 +29,23 @@ SampleIterator::SampleIterator(uint64_t id, int64_t t0, int64_t t1,
   Advance();
 }
 
-void SampleIterator::FillBuffer() {
+MergedSeriesIterator::MergedSeriesIterator(
+    uint64_t id, int64_t t0, int64_t t1,
+    std::unique_ptr<lsm::Iterator> lsm_iter,
+    std::vector<compress::Sample> head_samples, int member_slot,
+    int64_t seek_slack_ms)
+    : MergedSeriesIterator(
+          id,
+          [&] {
+            ReadContext ctx;
+            ctx.t0 = t0;
+            ctx.t1 = t1;
+            return ctx;
+          }(),
+          std::move(lsm_iter), std::move(head_samples), member_slot,
+          seek_slack_ms) {}
+
+void MergedSeriesIterator::FillBuffer() {
   if (!lsm_iter_->Valid()) {
     status_ = lsm_iter_->status();
     lsm_done_ = true;
@@ -41,6 +59,10 @@ void SampleIterator::FillBuffer() {
   }
   const uint64_t seq = lsm::InternalKeySeq(lsm_iter_->key());
   const Slice payload = lsm::ChunkValuePayload(lsm_iter_->value());
+  if (stats_ != nullptr) {
+    ++stats_->chunks_decoded;
+    stats_->bytes_decoded += payload.size();
+  }
 
   std::vector<compress::Sample> samples;
   Status s;
@@ -67,7 +89,7 @@ void SampleIterator::FillBuffer() {
   lsm_iter_->Next();
 }
 
-void SampleIterator::Advance() {
+void MergedSeriesIterator::Advance() {
   while (true) {
     // A pending timestamp T is final once no future chunk can contain it:
     // chunks arrive in ascending start_ts and any chunk containing T
@@ -103,6 +125,6 @@ void SampleIterator::Advance() {
   valid_ = status_.ok();
 }
 
-void SampleIterator::Next() { Advance(); }
+void MergedSeriesIterator::Next() { Advance(); }
 
-}  // namespace tu::core
+}  // namespace tu::query

@@ -1,0 +1,76 @@
+// Streaming query results (§3.4): "users can obtain its iterator to
+// iteratively get its data samples with a merge iterator which connects
+// the individual iterators of all related MemTables and SSTables".
+//
+// MergedSeriesIterator is the one place the open-chunk-vs-LSM seq-dedup
+// merge lives: it yields one series' samples in ascending timestamp order
+// with newest-chunk-wins deduplication, decoding chunks lazily as the
+// underlying LSM merge iterator advances — no materialized vectors, so a
+// long-range scan holds O(chunk) memory. TimeUnionDB::Query is a thin
+// materializer over these iterators.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "compress/chunk.h"
+#include "lsm/iterator.h"
+#include "query/read_context.h"
+#include "util/status.h"
+
+namespace tu::query {
+
+class MergedSeriesIterator {
+ public:
+  /// `lsm_iter` positioned anywhere; the iterator seeks it to `id` itself.
+  /// `head_samples` are the open-chunk samples (always newest).
+  /// `member_slot` >= 0 selects a group member column; -1 = individual
+  /// series chunks. `seek_slack_ms` widens the initial seek left of
+  /// ctx.t0 by the maximum chunk overhang. ctx.stats (if set) must outlive
+  /// the iterator — decode counters accrue lazily during iteration.
+  MergedSeriesIterator(uint64_t id, const ReadContext& ctx,
+                       std::unique_ptr<lsm::Iterator> lsm_iter,
+                       std::vector<compress::Sample> head_samples,
+                       int member_slot, int64_t seek_slack_ms);
+
+  /// Pre-ReadContext convenience constructor (kept for direct users).
+  MergedSeriesIterator(uint64_t id, int64_t t0, int64_t t1,
+                       std::unique_ptr<lsm::Iterator> lsm_iter,
+                       std::vector<compress::Sample> head_samples,
+                       int member_slot, int64_t seek_slack_ms);
+
+  bool Valid() const { return valid_; }
+  const compress::Sample& value() const { return current_; }
+  void Next();
+  Status status() const { return status_; }
+
+ private:
+  /// Loads the next chunk's samples into the staging buffer.
+  void FillBuffer();
+  /// Pops the smallest pending timestamp into current_.
+  void Advance();
+
+  uint64_t id_;
+  int64_t t0_;
+  int64_t t1_;
+  int member_slot_;
+  QueryStats* stats_ = nullptr;
+  std::unique_ptr<lsm::Iterator> lsm_iter_;
+  bool lsm_done_ = false;
+
+  // Pending samples keyed by timestamp; value carries (seq, sample value)
+  // so overlapping chunks resolve newest-wins. Bounded by the overlap of
+  // in-flight chunks, not by the query span.
+  std::map<int64_t, std::pair<uint64_t, double>> pending_;
+  // Head samples behave as an infinitely-new chunk.
+  std::vector<compress::Sample> head_samples_;
+  int64_t max_buffered_ts_ = INT64_MIN;
+
+  compress::Sample current_;
+  bool valid_ = false;
+  Status status_;
+};
+
+}  // namespace tu::query

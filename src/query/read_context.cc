@@ -1,0 +1,32 @@
+#include "query/read_context.h"
+
+#include <cstdio>
+
+namespace tu::query {
+
+std::string QueryStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "tables considered=%llu pruned(id=%llu time=%llu bloom=%llu) "
+      "skipped_unreachable=%llu partitions_pruned=%llu | blocks read=%llu "
+      "pruned=%llu cache(hit=%llu miss=%llu) slow_fetches=%llu "
+      "block_bytes=%llu | chunks=%llu decoded_bytes=%llu",
+      static_cast<unsigned long long>(tables_considered),
+      static_cast<unsigned long long>(tables_pruned_id),
+      static_cast<unsigned long long>(tables_pruned_time),
+      static_cast<unsigned long long>(tables_pruned_bloom),
+      static_cast<unsigned long long>(tables_skipped_unreachable),
+      static_cast<unsigned long long>(partitions_pruned),
+      static_cast<unsigned long long>(blocks_read),
+      static_cast<unsigned long long>(blocks_pruned),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(slow_tier_fetches),
+      static_cast<unsigned long long>(block_bytes_read),
+      static_cast<unsigned long long>(chunks_decoded),
+      static_cast<unsigned long long>(bytes_decoded));
+  return buf;
+}
+
+}  // namespace tu::query

@@ -1,0 +1,105 @@
+// The per-query contract of the unified read pipeline (§3.4): one
+// ReadContext flows from TimeUnionDB::Query / QueryIterators through the
+// ChunkStore backends down to TableReader, replacing the ad-hoc
+// (id, t0, t1, scope) parameter threading. It bundles the time range, the
+// tag matchers that selected the series, the degraded-read scope, the
+// cache-fill policy and a QueryStats accumulator, so every read-side
+// policy knob lives behind one seam.
+//
+// Layering: this header depends on nothing above util/, so lsm/ can
+// include it without a cycle (core -> lsm -> query).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tu::index {
+struct TagMatcher;
+}  // namespace tu::index
+
+namespace tu::query {
+
+/// Per-query read-path counters. Filled at every pruning level — partition,
+/// table (min/max meta + bloom) and block — plus the cache and decode
+/// stages; `Add` aggregates per-series stats into the per-query total and
+/// per-query totals into the DB-lifetime total behind CountersReport().
+///
+/// Lifetime: the pipeline holds a raw pointer to the accumulator, and lazy
+/// iterators keep counting while they are drained — the QueryStats object
+/// must outlive every iterator created against it.
+struct QueryStats {
+  // Table selection (both LSM backends).
+  uint64_t partitions_pruned = 0;    ///< whole time partitions outside [t0,t1]
+  uint64_t tables_considered = 0;    ///< handles examined after partition pruning
+  uint64_t tables_pruned_id = 0;     ///< series-id range disjoint from the query
+  uint64_t tables_pruned_time = 0;   ///< min/max chunk timestamp outside [t0,t1]
+  uint64_t tables_pruned_bloom = 0;  ///< bloom filter negative on the series id
+  uint64_t tables_skipped_unreachable = 0;  ///< partial read: slow tier down
+
+  // Block pipeline (TableReader).
+  uint64_t blocks_read = 0;    ///< data blocks materialized for iteration
+  uint64_t blocks_pruned = 0;  ///< index entries skipped by the t1 upper bound
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t slow_tier_fetches = 0;   ///< block fetches served by the slow tier
+  uint64_t block_bytes_read = 0;    ///< uncompressed block bytes fetched
+
+  // Decode stage (MergedSeriesIterator).
+  uint64_t chunks_decoded = 0;
+  uint64_t bytes_decoded = 0;  ///< chunk payload bytes decoded into samples
+
+  void Add(const QueryStats& o) {
+    partitions_pruned += o.partitions_pruned;
+    tables_considered += o.tables_considered;
+    tables_pruned_id += o.tables_pruned_id;
+    tables_pruned_time += o.tables_pruned_time;
+    tables_pruned_bloom += o.tables_pruned_bloom;
+    tables_skipped_unreachable += o.tables_skipped_unreachable;
+    blocks_read += o.blocks_read;
+    blocks_pruned += o.blocks_pruned;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    slow_tier_fetches += o.slow_tier_fetches;
+    block_bytes_read += o.block_bytes_read;
+    chunks_decoded += o.chunks_decoded;
+    bytes_decoded += o.bytes_decoded;
+  }
+
+  uint64_t tables_pruned() const {
+    return tables_pruned_id + tables_pruned_time + tables_pruned_bloom;
+  }
+
+  std::string ToString() const;
+};
+
+/// How a read should behave when part of the store is unreachable (slow
+/// tier down, circuit breaker open). With `allow_partial`, stores skip
+/// slow-tier tables they cannot open and record the closed timestamp span
+/// each skipped table may have covered in `*missing` (unclamped entries
+/// are fine — callers merge and clamp); without it, the first unreachable
+/// table fails the read.
+struct ReadScope {
+  bool allow_partial = false;
+  std::vector<std::pair<int64_t, int64_t>>* missing = nullptr;
+};
+
+/// One query's read parameters, threaded intact through every layer.
+struct ReadContext {
+  /// Inclusive time range of the query.
+  int64_t t0 = INT64_MIN;
+  int64_t t1 = INT64_MAX;
+  /// The matchers that selected the series (informational below core/;
+  /// the LSM layers select by id, not by tags).
+  const std::vector<index::TagMatcher>* matchers = nullptr;
+  /// Degraded-read behaviour (see ReadScope).
+  ReadScope scope;
+  /// Whether block reads should populate the shared block cache. One-shot
+  /// scans can opt out to avoid evicting the working set (RocksDB idiom).
+  bool fill_cache = true;
+  /// Optional per-query counters; see the QueryStats lifetime note.
+  QueryStats* stats = nullptr;
+};
+
+}  // namespace tu::query

@@ -3,6 +3,7 @@
 // charged per entry; eviction is strict LRU within each shard.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -48,10 +49,10 @@ class LRUCacheShard {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) {
-      ++misses_;
+      misses_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->value;
   }
@@ -72,8 +73,12 @@ class LRUCacheShard {
     return usage_;
   }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  // Counter reads are lock-free (reports run concurrently with queries).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
@@ -90,6 +95,7 @@ class LRUCacheShard {
                                   static_cast<int64_t>(victim.charge));
       map_.erase(victim.key);
       lru_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -98,8 +104,9 @@ class LRUCacheShard {
   std::list<Entry> lru_;
   std::unordered_map<std::string, typename std::list<Entry>::iterator> map_;
   size_t usage_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 /// Sharded wrapper: hashes keys across kNumShards single-shard caches to
@@ -141,6 +148,12 @@ class LRUCache {
   uint64_t misses() const {
     uint64_t total = 0;
     for (const auto& s : shards_) total += s->misses();
+    return total;
+  }
+
+  uint64_t evictions() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) total += s->evictions();
     return total;
   }
 

@@ -12,6 +12,7 @@
 //    "throughput_sps":2593192.9}
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -25,8 +26,10 @@ namespace tu::bench {
 namespace {
 
 constexpr int kSeriesPerThread = 16;
-constexpr int kSamplesPerSeries = 25'000;
 constexpr int64_t kStepMs = 10'000;
+
+// CI smoke mode (TU_BENCH_SMOKE): same configurations, tiny workload.
+int SamplesPerSeries() { return SmokeMode() ? 1'000 : 25'000; }
 
 struct Config {
   int threads = 1;
@@ -41,6 +44,11 @@ double RunOne(const Config& cfg) {
   // workers' job (§3.3); here we measure the front-door write path.
   opts.lsm.background_flush = true;
   opts.enable_wal = cfg.wal;
+  // A/B knob for the metrics overhead budget: TU_BENCH_NO_METRICS=1
+  // disables the registry so on-vs-off runs of this binary measure the
+  // instrumentation cost directly (same code layout, only the cached
+  // instrument pointers go null).
+  if (std::getenv("TU_BENCH_NO_METRICS")) opts.metrics.enabled = false;
 
   std::unique_ptr<core::TimeUnionDB> db;
   Status s = core::TimeUnionDB::Open(opts, &db);
@@ -60,12 +68,13 @@ double RunOne(const Config& cfg) {
     }
   }
 
+  const int samples_per_series = SamplesPerSeries();
   std::atomic<uint64_t> errors{0};
   const uint64_t t_start = NowUs();
   std::vector<std::thread> writers;
   for (int t = 0; t < cfg.threads; ++t) {
     writers.emplace_back([&, t] {
-      for (int i = 0; i < kSamplesPerSeries; ++i) {
+      for (int i = 0; i < samples_per_series; ++i) {
         const int64_t ts = static_cast<int64_t>(i) * kStepMs;
         for (int sr = 0; sr < kSeriesPerThread; ++sr) {
           if (!db->InsertFast(refs[t * kSeriesPerThread + sr], ts, i).ok()) {
@@ -84,7 +93,7 @@ double RunOne(const Config& cfg) {
     return -1;
   }
   const uint64_t total =
-      static_cast<uint64_t>(num_series) * kSamplesPerSeries;
+      static_cast<uint64_t>(num_series) * samples_per_series;
   const double elapsed_s = static_cast<double>(t_end - t_start) / 1e6;
   const double throughput = static_cast<double>(total) / elapsed_s;
   std::printf(
@@ -95,6 +104,9 @@ double RunOne(const Config& cfg) {
       std::thread::hardware_concurrency(),
       static_cast<unsigned long long>(total), elapsed_s, throughput);
   std::fflush(stdout);
+
+  // Final-config introspection artifact for CI (satisfies the parse check).
+  WriteSnapshotFile(MetricsSnapshotPath(), db->Metrics().ToJson());
 
   db.reset();
   RemoveDirRecursive(opts.workspace);

@@ -27,11 +27,13 @@
 namespace tu::bench {
 namespace {
 
-constexpr int kSeries = 32;
-constexpr int kSamplesPerSeries = 2000;
 constexpr int64_t kStepMs = 250;
-constexpr int64_t kSpanMs = kSamplesPerSeries * kStepMs;
-constexpr int kWarmRounds = 5;
+
+// CI smoke mode (TU_BENCH_SMOKE): same pipeline, tiny workload.
+int SeriesCount() { return SmokeMode() ? 8 : 32; }
+int SamplesPerSeries() { return SmokeMode() ? 400 : 2000; }
+int64_t SpanMs() { return SamplesPerSeries() * kStepMs; }
+int WarmRounds() { return SmokeMode() ? 2 : 5; }
 
 struct Placement {
   const char* name;
@@ -61,12 +63,12 @@ std::unique_ptr<core::TimeUnionDB> BuildDb(const Placement& placement,
     std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
     return nullptr;
   }
-  refs->resize(kSeries);
-  for (int i = 0; i < kSeries; ++i) {
+  refs->resize(SeriesCount());
+  for (int i = 0; i < SeriesCount(); ++i) {
     s = db->Insert({{"host", std::to_string(i)}, {"m", "cpu"}}, 0, 0.0,
                    &(*refs)[i]);
     if (!s.ok()) return nullptr;
-    for (int j = 1; j < kSamplesPerSeries; ++j) {
+    for (int j = 1; j < SamplesPerSeries(); ++j) {
       if (!db->InsertFast((*refs)[i], j * kStepMs, 1.0 * j).ok()) {
         return nullptr;
       }
@@ -91,14 +93,14 @@ bool RunPass(core::TimeUnionDB* db, const Placement& placement, int threads,
     readers.emplace_back([&, t] {
       query::QueryStats local;
       for (int r = 0; r < rounds; ++r) {
-        for (int i = t; i < kSeries; i += threads) {
+        for (int i = t; i < SeriesCount(); i += threads) {
           core::QueryResult result;
           Status s = db->Query(
               {index::TagMatcher::Equal("host", std::to_string(i))}, 0,
-              kSpanMs, &result);
+              SpanMs(), &result);
           if (!s.ok() || result.size() != 1 ||
               result[0].samples.size() !=
-                  static_cast<size_t>(kSamplesPerSeries)) {
+                  static_cast<size_t>(SamplesPerSeries())) {
             errors.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
@@ -129,7 +131,7 @@ bool RunPass(core::TimeUnionDB* db, const Placement& placement, int threads,
       elapsed_s, static_cast<double>(t_end - t_start) / (q ? q : 1),
       static_cast<double>(q) / elapsed_s,
       static_cast<unsigned long long>(totals.slow_tier_fetches),
-      static_cast<unsigned long long>(totals.cache_hits), kSamplesPerSeries);
+      static_cast<unsigned long long>(totals.cache_hits), SamplesPerSeries());
   std::fflush(stdout);
   return true;
 }
@@ -146,9 +148,11 @@ int Main() {
       // First pass after the build is the cold-cache measurement (readers
       // unopened, block cache empty); repeat passes are warm.
       if (!RunPass(db.get(), placement, threads, "cold", 1)) return 1;
-      if (!RunPass(db.get(), placement, threads, "warm", kWarmRounds)) {
+      if (!RunPass(db.get(), placement, threads, "warm", WarmRounds())) {
         return 1;
       }
+      // Final-config introspection artifact for CI (parse check).
+      WriteSnapshotFile(MetricsSnapshotPath(), db->Metrics().ToJson());
       const std::string workspace = db->env().workspace();
       db.reset();
       RemoveDirRecursive(workspace);

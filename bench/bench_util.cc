@@ -2,6 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 #include "util/mmap_file.h"
 
@@ -27,6 +30,27 @@ void PrintRow(const std::string& label, double value, const std::string& unit) {
 
 void PrintHeader(const std::string& experiment, const std::string& title) {
   std::printf("\n=== %s: %s ===\n", experiment.c_str(), title.c_str());
+}
+
+bool SmokeMode() {
+  const char* v = std::getenv("TU_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+std::string MetricsSnapshotPath() {
+  const char* v = std::getenv("TU_BENCH_METRICS_SNAPSHOT");
+  return v != nullptr ? std::string(v) : std::string();
+}
+
+void WriteSnapshotFile(const std::string& path, const std::string& json) {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write metrics snapshot to %s\n",
+                 path.c_str());
+    return;
+  }
+  out << json << "\n";
 }
 
 }  // namespace tu::bench

@@ -19,4 +19,16 @@ void PrintRow(const std::string& label, double value, const std::string& unit);
 /// Prints a section header matching a paper figure/table id.
 void PrintHeader(const std::string& experiment, const std::string& title);
 
+/// True when TU_BENCH_SMOKE is set (non-empty, not "0"): benches shrink
+/// their workloads to CI-smoke size — same code paths, seconds not minutes.
+bool SmokeMode();
+
+/// Value of TU_BENCH_METRICS_SNAPSHOT (empty when unset): path where a
+/// bench should write the final TimeUnionDB::Metrics().ToJson() snapshot.
+std::string MetricsSnapshotPath();
+
+/// Overwrites `path` with `json` + newline. No-op on empty path; prints a
+/// warning to stderr when the file cannot be written.
+void WriteSnapshotFile(const std::string& path, const std::string& json);
+
 }  // namespace tu::bench

@@ -42,6 +42,7 @@ Status CircuitBreaker::Admit() {
     state_ = BreakerState::kHalfOpen;
     probes_inflight_ = 0;
     probe_successes_ = 0;
+    NotifyTransitionLocked(BreakerState::kOpen, BreakerState::kHalfOpen);
   }
   switch (state_) {
     case BreakerState::kClosed:
@@ -115,15 +116,19 @@ uint64_t CircuitBreaker::opens() const {
 }
 
 void CircuitBreaker::TripOpenLocked(uint64_t now) {
+  const BreakerState from = state_;
   state_ = BreakerState::kOpen;
   opened_at_us_ = now;
   ++opens_;
   if (counters_ != nullptr) {
     counters_->breaker_opens.fetch_add(1, std::memory_order_relaxed);
   }
+  NotifyTransitionLocked(from, BreakerState::kOpen);
 }
 
 void CircuitBreaker::CloseLocked() {
+  const BreakerState from = state_;
+  NotifyTransitionLocked(from, BreakerState::kClosed);
   state_ = BreakerState::kClosed;
   outcome_ring_.assign(outcome_ring_.size(), 0);
   ring_next_ = 0;
@@ -142,6 +147,11 @@ void CircuitBreaker::RecordOutcomeLocked(bool failure) {
   ring_failures_ += failure ? 1 : 0;
   ring_next_ = (ring_next_ + 1) % static_cast<uint32_t>(outcome_ring_.size());
   consecutive_failures_ = failure ? consecutive_failures_ + 1 : 0;
+}
+
+void CircuitBreaker::NotifyTransitionLocked(BreakerState from,
+                                            BreakerState to) {
+  if (from != to && options_.on_transition) options_.on_transition(from, to);
 }
 
 }  // namespace tu::cloud

@@ -49,6 +49,10 @@ struct CircuitBreakerOptions {
   uint32_t half_open_successes_to_close = 2;
   /// Injectable clock for tests; defaults to steady_clock.
   std::function<uint64_t()> now_us;
+  /// Observability hook: invoked on every state transition (trip open,
+  /// half-open probe window, close), under the breaker's mutex — the
+  /// callback must be cheap and must not call back into the breaker.
+  std::function<void(BreakerState from, BreakerState to)> on_transition;
 
   static CircuitBreakerOptions Enabled() {
     CircuitBreakerOptions o;
@@ -88,6 +92,7 @@ class CircuitBreaker {
   void TripOpenLocked(uint64_t now);
   void CloseLocked();
   void RecordOutcomeLocked(bool failure);
+  void NotifyTransitionLocked(BreakerState from, BreakerState to);
 
   const CircuitBreakerOptions options_;
   TierCounters* const counters_;  // may be null

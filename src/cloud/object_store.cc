@@ -144,7 +144,11 @@ Status ObjectStore::PutObjectImpl(const std::string& key, const Slice& data) {
   }
   counters_.put_ops.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes_written.fetch_add(write_bytes, std::memory_order_relaxed);
-  ChargeLatency(sim_, &counters_, sim_.ChargeUs(write_bytes, false));
+  const double put_us = sim_.ChargeUs(write_bytes, false);
+  ChargeLatency(sim_, &counters_, put_us);
+  if (put_us_hist_ != nullptr) {
+    put_us_hist_->Observe(static_cast<uint64_t>(put_us));
+  }
   return injected;
 }
 
@@ -188,8 +192,11 @@ Status ObjectStore::GetRangeImpl(const std::string& key, uint64_t offset,
   counters_.bytes_read.fetch_add(static_cast<uint64_t>(got),
                                  std::memory_order_relaxed);
   const bool first = MarkRead(key);
-  ChargeLatency(sim_, &counters_,
-                sim_.ChargeUs(static_cast<uint64_t>(got), first));
+  const double get_us = sim_.ChargeUs(static_cast<uint64_t>(got), first);
+  ChargeLatency(sim_, &counters_, get_us);
+  if (get_us_hist_ != nullptr) {
+    get_us_hist_->Observe(static_cast<uint64_t>(get_us));
+  }
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 
 #include "cloud/circuit_breaker.h"
 #include "cloud/storage_sim.h"
+#include "obs/metrics.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -55,6 +56,16 @@ class ObjectStore {
   /// Circuit breaker guarding this tier (no-op unless sim.breaker.enabled).
   CircuitBreaker& breaker() const { return breaker_; }
 
+  /// Observability: per-op latency histograms recording the cost model's
+  /// charged (simulated) microseconds for each successful Put / ranged Get.
+  /// Null pointers disable recording. Not thread-safe against in-flight
+  /// ops — install once right after construction.
+  void set_op_latency_histograms(obs::Histogram* put_us,
+                                 obs::Histogram* get_us) {
+    put_us_hist_ = put_us;
+    get_us_hist_ = get_us;
+  }
+
  private:
   std::string KeyPath(const std::string& key) const;
   bool MarkRead(const std::string& key);
@@ -77,6 +88,9 @@ class ObjectStore {
   // Mutable: const probes (Exists/Size/List) still count injected faults.
   mutable TierCounters counters_;
   mutable CircuitBreaker breaker_;
+
+  obs::Histogram* put_us_hist_ = nullptr;
+  obs::Histogram* get_us_hist_ = nullptr;
 
   mutable std::mutex mu_;
   std::unordered_set<std::string> read_before_;

@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <regex>
+#include <sstream>
 
 #include <chrono>
 #include <thread>
 
 #include "lsm/key_format.h"
-#include "util/interval_set.h"
 #include "util/memory_tracker.h"
 #include "util/mmap_file.h"
 
@@ -30,8 +31,41 @@ uint32_t RoundUpPow2(uint32_t n) {
 
 }  // namespace
 
+Status DBOptions::Validate() const {
+  if (samples_per_chunk == 0) {
+    return Status::InvalidArgument(
+        "DBOptions::samples_per_chunk must be greater than 0");
+  }
+  if (registry_shards == 0) {
+    return Status::InvalidArgument(
+        "DBOptions::registry_shards must be greater than 0");
+  }
+  if (append_lock_stripes == 0) {
+    return Status::InvalidArgument(
+        "DBOptions::append_lock_stripes must be greater than 0");
+  }
+  if (retention_ms < 0) {
+    return Status::InvalidArgument("DBOptions::retention_ms must be >= 0");
+  }
+  if (admission.enabled) {
+    if (admission.hard_watermark < admission.soft_watermark) {
+      return Status::InvalidArgument(
+          "DBOptions::admission.hard_watermark must be >= "
+          "admission.soft_watermark");
+    }
+    if (lsm.fast_storage_limit_bytes == 0) {
+      return Status::InvalidArgument(
+          "DBOptions::lsm.fast_storage_limit_bytes must be set when "
+          "admission control is enabled");
+    }
+  }
+  return Status::OK();
+}
+
 TimeUnionDB::TimeUnionDB(DBOptions options)
     : options_(std::move(options)),
+      metrics_(std::make_unique<obs::MetricsRegistry>(
+          options_.metrics.event_trace_capacity)),
       append_locks_(std::max<uint32_t>(1, options_.append_lock_stripes)) {
   const uint32_t shards =
       RoundUpPow2(std::max<uint32_t>(1, options_.registry_shards));
@@ -54,6 +88,7 @@ TimeUnionDB::~TimeUnionDB() {
 }
 
 Status TimeUnionDB::Open(DBOptions options, std::unique_ptr<TimeUnionDB>* db) {
+  TU_RETURN_IF_ERROR(options.Validate());
   std::unique_ptr<TimeUnionDB> result(new TimeUnionDB(std::move(options)));
   TU_RETURN_IF_ERROR(result->Init());
   *db = std::move(result);
@@ -61,8 +96,37 @@ Status TimeUnionDB::Open(DBOptions options, std::unique_ptr<TimeUnionDB>* db) {
 }
 
 Status TimeUnionDB::Init() {
+  if (options_.metrics.enabled) {
+    // Record breaker transitions into the event trace. Installed before the
+    // env is built so the breaker never sees a half-wired callback; the
+    // registry is declared before env_ and therefore outlives it.
+    if (!options_.env_options.slow_sim.breaker.on_transition) {
+      obs::EventTrace* trace = &metrics_->trace();
+      options_.env_options.slow_sim.breaker.on_transition =
+          [trace](cloud::BreakerState from, cloud::BreakerState to) {
+            trace->Record("breaker",
+                          std::string(cloud::BreakerStateName(from)) + "->" +
+                              cloud::BreakerStateName(to));
+          };
+    }
+    h_ingest_append_ = metrics_->histogram("ingest.append_us");
+    h_group_append_ = metrics_->histogram("ingest.group_append_us");
+    h_wal_append_ = metrics_->histogram("wal.append_us");
+    h_chunk_flush_ = metrics_->histogram("flush.chunk_us");
+    h_query_e2e_ = metrics_->histogram("query.e2e_us");
+    h_query_setup_ = metrics_->histogram("query.setup_us");
+    sample_cells_ = std::make_unique<StripeCell[]>(append_locks_.stripes());
+    c_rows_ = metrics_->counter("ingest.rows");
+    c_wal_appends_ = metrics_->counter("wal.appends");
+    c_chunk_flushes_ = metrics_->counter("flush.chunks");
+  }
   env_ = std::make_unique<cloud::TieredEnv>(options_.workspace,
                                             options_.env_options);
+  if (options_.metrics.enabled) {
+    // Slow-tier op latency as charged by the cost model, attributed per op.
+    env_->slow().set_op_latency_histograms(metrics_->histogram("slow.put_us"),
+                                           metrics_->histogram("slow.get_us"));
+  }
   // block_cache_bytes == 0 disables caching outright (readers tolerate a
   // null cache) instead of running a sharded cache that evicts every block.
   if (options_.block_cache_bytes > 0) {
@@ -90,8 +154,10 @@ Status TimeUnionDB::Init() {
   if (options_.backend == DBOptions::Backend::kLeveled) {
     // TU-LDB baseline: TimeUnion data model over a classic leveled LSM
     // (first two levels fast, deeper levels slow). WAL unsupported here.
+    lsm::LeveledLsmOptions leveled_options = options_.leveled;
+    if (options_.metrics.enabled) leveled_options.metrics = metrics_.get();
     auto leveled = std::make_unique<lsm::LeveledLsm>(
-        env_.get(), "lsm", options_.leveled, block_cache_.get());
+        env_.get(), "lsm", leveled_options, block_cache_.get());
     leveled_lsm_ = leveled.get();
     lsm_ = std::move(leveled);
     TU_RETURN_IF_ERROR(lsm_->Open());
@@ -99,6 +165,7 @@ Status TimeUnionDB::Init() {
   }
 
   lsm::TimeLsmOptions lsm_options = options_.lsm;
+  if (options_.metrics.enabled) lsm_options.metrics = metrics_.get();
   if (options_.enable_wal) {
     lsm_options.persist_manifest = true;
     lsm_options.on_flush = [this](const Slice& user_key, const Slice& value) {
@@ -149,6 +216,9 @@ Status TimeUnionDB::StartMaintenance() {
         if (time_lsm_) time_lsm_->DrainDeferredUploads();
         if (wal_) wal_->Purge();
         AdviseMemoryRelease();
+        if (options_.metrics.enabled && options_.metrics.emit_jsonl) {
+          EmitMetricsLine();
+        }
       });
   maintenance_->Start();
   return Status::OK();
@@ -156,10 +226,15 @@ Status TimeUnionDB::StartMaintenance() {
 
 Status TimeUnionDB::MaybeLog(const WalRecord& record) {
   if (!wal_) return Status::OK();
+  if (c_wal_appends_ != nullptr) c_wal_appends_->Add();
   // The WAL is the one serialized append point of the write path; the
   // writer's internal mutex orders records, so inserts hold no DB-wide
-  // lock here.
+  // lock here. Latency is sampled 1-in-64 to keep clock reads off the
+  // common path.
+  const bool timed = h_wal_append_ != nullptr && obs::SampleOneIn<6>();
+  const uint64_t append_start_us = timed ? obs::MonotonicUs() : 0;
   TU_RETURN_IF_ERROR(wal_->Append(record));
+  if (timed) h_wal_append_->Observe(obs::MonotonicUs() - append_start_us);
   // Inline purge with hysteresis: a purge can only drop records whose
   // chunks already reached level 0, so when most of the log is still
   // live, purging at a fixed size threshold degenerates into rewriting
@@ -450,6 +525,8 @@ Status TimeUnionDB::FlushSeriesChunk(mem::SeriesHead* head, bool* flushed) {
   int64_t first_ts = 0;
   *flushed = head->CloseChunk(&payload, &first_ts);
   if (!*flushed) return Status::OK();
+  if (c_chunk_flushes_ != nullptr) c_chunk_flushes_->Add();
+  obs::ScopedTimer flush_timer(h_chunk_flush_);
   return lsm_->Put(
       lsm::MakeChunkKey(head->id(), first_ts),
       lsm::MakeChunkValue(lsm::ChunkType::kSeries, payload));
@@ -460,6 +537,8 @@ Status TimeUnionDB::FlushGroupChunk(GroupEntry* entry, bool* flushed) {
   int64_t first_ts = 0;
   *flushed = entry->head->CloseChunk(&payload, &first_ts);
   if (!*flushed) return Status::OK();
+  if (c_chunk_flushes_ != nullptr) c_chunk_flushes_->Add();
+  obs::ScopedTimer flush_timer(h_chunk_flush_);
   return lsm_->Put(
       lsm::MakeChunkKey(entry->head->id(), first_ts),
       lsm::MakeChunkValue(lsm::ChunkType::kGroup, payload));
@@ -546,6 +625,18 @@ Status TimeUnionDB::AdmitWrite() {
 Status TimeUnionDB::AppendSampleByRef(uint64_t series_ref, int64_t ts,
                                       double value) {
   TU_RETURN_IF_ERROR(AdmitWrite());
+  // Appends are counted exactly in a per-stripe cell (plain load+store
+  // under the stripe lock — no locked RMW), and the same cell doubles as
+  // the 1-in-64 latency sampling tick: the pre-lock read is racy, which
+  // only perturbs *which* ops get timed, never the count, and it warms
+  // the cache line the in-lock bump writes. Sampled ops pay the two
+  // clock reads; unsampled ops pay two branches and the bump.
+  const size_t stripe = append_locks_.IndexFor(series_ref);
+  const bool timed =
+      h_ingest_append_ != nullptr &&
+      ((sample_cells_[stripe].v.load(std::memory_order_relaxed) + 1) & 63) ==
+          0;
+  const uint64_t append_start_us = timed ? obs::MonotonicUs() : 0;
   EntryShard& es = EntryShardFor(series_ref);
   std::shared_lock<std::shared_mutex> shard_lock(es.mu);
   auto it = es.series.find(series_ref);
@@ -554,7 +645,8 @@ Status TimeUnionDB::AppendSampleByRef(uint64_t series_ref, int64_t ts,
   }
   // The entry lock serializes the head mutation and keeps the WAL record's
   // seq consistent with the append it logs.
-  std::lock_guard<std::mutex> entry_lock(append_locks_.For(series_ref));
+  std::lock_guard<std::mutex> entry_lock(append_locks_.MutexAt(stripe));
+  if (sample_cells_ != nullptr) sample_cells_[stripe].Bump();
   TU_RETURN_IF_ERROR(AppendToSeries(&it->second, ts, value));
   if (wal_) {
     WalRecord rec;
@@ -564,6 +656,9 @@ Status TimeUnionDB::AppendSampleByRef(uint64_t series_ref, int64_t ts,
     rec.ts = ts;
     rec.value = value;
     TU_RETURN_IF_ERROR(MaybeLog(rec));
+  }
+  if (timed) [[unlikely]] {
+    h_ingest_append_->Observe(obs::MonotonicUs() - append_start_us);
   }
   return Status::OK();
 }
@@ -643,6 +738,7 @@ Status TimeUnionDB::InsertGroup(const Labels& group_tags,
     return Status::InvalidArgument("member/value count mismatch");
   }
   TU_RETURN_IF_ERROR(AdmitWrite());
+  if (c_rows_ != nullptr) c_rows_->Add();
   Labels sorted_group = group_tags;
   index::SortLabels(&sorted_group);
   const std::string group_key = index::LabelsKey(sorted_group);
@@ -719,6 +815,9 @@ Status TimeUnionDB::InsertGroupFast(uint64_t group_ref,
     return Status::InvalidArgument("slot/value count mismatch");
   }
   TU_RETURN_IF_ERROR(AdmitWrite());
+  if (c_rows_ != nullptr) c_rows_->Add();
+  const bool timed = h_group_append_ != nullptr && obs::SampleOneIn<6>();
+  const uint64_t append_start_us = timed ? obs::MonotonicUs() : 0;
   EntryShard& es = EntryShardFor(group_ref);
   std::shared_lock<std::shared_mutex> shard_lock(es.mu);
   auto it = es.groups.find(group_ref);
@@ -744,6 +843,7 @@ Status TimeUnionDB::InsertGroupFast(uint64_t group_ref,
     rec.values = values;
     TU_RETURN_IF_ERROR(MaybeLog(rec));
   }
+  if (timed) h_group_append_->Observe(obs::MonotonicUs() - append_start_us);
   return Status::OK();
 }
 
@@ -776,17 +876,6 @@ Status ValidateQueryArgs(const std::vector<TagMatcher>& matchers, int64_t t0,
   return Status::OK();
 }
 
-/// Clamps per-table gap spans to [t0, t1] and coalesces overlaps into the
-/// caller-facing missing-range list.
-void FinalizeMissing(int64_t t0, int64_t t1,
-                     std::vector<std::pair<int64_t, int64_t>>* missing) {
-  for (auto& iv : *missing) {
-    iv.first = std::max(iv.first, t0);
-    iv.second = std::min(iv.second, t1);
-  }
-  util::MergeIntervals(missing);
-}
-
 }  // namespace
 
 Status TimeUnionDB::QueryIteratorsImpl(const std::vector<TagMatcher>& matchers,
@@ -794,6 +883,7 @@ Status TimeUnionDB::QueryIteratorsImpl(const std::vector<TagMatcher>& matchers,
                                        std::vector<SeriesIterResult>* out,
                                        query::QueryStats* stats) {
   out->clear();
+  const uint64_t setup_start_us = obs::MonotonicUs();
 
   index::Postings ids;
   TU_RETURN_IF_ERROR(index_->Select(matchers, &ids));
@@ -877,16 +967,13 @@ Status TimeUnionDB::QueryIteratorsImpl(const std::vector<TagMatcher>& matchers,
       result.iter = std::make_unique<SampleIterator>(
           id, ctx, std::move(lsm_iter), std::move(snap.open),
           snap.member_slot, slack);
-      if (!missing.empty()) {
-        FinalizeMissing(t0, t1, &missing);
-        if (!missing.empty()) {
-          result.complete = false;
-          result.missing_ranges = std::move(missing);
-        }
-      }
+      if (!missing.empty()) result.AddMissing(missing, t0, t1);
       out->push_back(std::move(result));
     }
   }
+  const uint64_t setup_us = obs::MonotonicUs() - setup_start_us;
+  if (stats != nullptr) stats->setup_us += setup_us;
+  if (h_query_setup_ != nullptr) h_query_setup_->Observe(setup_us);
   return Status::OK();
 }
 
@@ -900,6 +987,7 @@ Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
                           int64_t t1, QueryResult* out) {
   out->clear();
   TU_RETURN_IF_ERROR(ValidateQueryArgs(matchers, t0, t1));
+  const uint64_t query_start_us = obs::MonotonicUs();
 
   // Query is a thin materializer over the iterator pipeline: build the
   // per-series merged streams, drain each into a vector, union the gap
@@ -909,7 +997,7 @@ Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
   TU_RETURN_IF_ERROR(
       QueryIteratorsImpl(matchers, t0, t1, &iters, &out->stats));
 
-  std::vector<std::pair<int64_t, int64_t>> missing;
+  const uint64_t drain_start_us = obs::MonotonicUs();
   for (SeriesIterResult& r : iters) {
     SeriesResult result;
     result.id = r.id;
@@ -918,23 +1006,17 @@ Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
       result.samples.push_back(it->value());
     }
     TU_RETURN_IF_ERROR(r.iter->status());
-    if (!r.complete) {
-      missing.insert(missing.end(), r.missing_ranges.begin(),
-                     r.missing_ranges.end());
-    }
+    // Per-iterator spans are already clamped; the merge unions them across
+    // series.
+    out->MergeCompleteness(r);
     if (!result.samples.empty()) out->push_back(std::move(result));
   }
+  out->stats.drain_us += obs::MonotonicUs() - drain_start_us;
 
-  if (!missing.empty()) {
-    // Per-iterator spans are already clamped; a second merge unions them
-    // across series.
-    util::MergeIntervals(&missing);
-    if (!missing.empty()) {
-      out->complete = false;
-      out->missing_ranges = std::move(missing);
-    }
-  }
   AddQueryTotals(out->stats);
+  if (h_query_e2e_ != nullptr) {
+    h_query_e2e_->Observe(obs::MonotonicUs() - query_start_us);
+  }
   return Status::OK();
 }
 
@@ -1059,58 +1141,240 @@ uint64_t TimeUnionDB::NumGroups() const {
 
 uint64_t TimeUnionDB::IndexMemoryUsage() const { return index_->MemoryUsage(); }
 
-core::HealthReport TimeUnionDB::HealthReport() const {
-  core::HealthReport r;
-  const cloud::ObjectStore& slow = env_->slow();
-  const cloud::CircuitBreaker& breaker = slow.breaker();
-  r.breaker_enabled = breaker.enabled();
-  r.slow_breaker = breaker.state();
-  r.breaker_rejections = breaker.rejections();
-  r.breaker_opens = breaker.opens();
-  if (time_lsm_ != nullptr) {
-    r.deferred_tables = time_lsm_->NumDeferredTables();
-    r.deferred_bytes = time_lsm_->DeferredBytes();
-    r.deferred_uploads_drained = time_lsm_->stats().deferred_uploads_drained
-                                     .load(std::memory_order_relaxed);
-    r.fast_bytes = time_lsm_->FastBytesGauge();
-    r.fast_limit_bytes = options_.lsm.fast_storage_limit_bytes;
-    r.last_background_error = time_lsm_->last_background_error();
+uint64_t TimeUnionDB::SumSampleCells() const {
+  if (sample_cells_ == nullptr) return 0;
+  uint64_t total = 0;
+  for (size_t i = 0; i < append_locks_.stripes(); ++i) {
+    total += sample_cells_[i].v.load(std::memory_order_relaxed);
   }
-  r.writers_delayed = writers_delayed_.load(std::memory_order_relaxed);
-  r.writes_rejected = writes_rejected_.load(std::memory_order_relaxed);
-  if (block_cache_ != nullptr) {
-    r.block_cache_enabled = true;
-    r.block_cache_usage = block_cache_->usage();
-    r.block_cache_hits = block_cache_->hits();
-    r.block_cache_misses = block_cache_->misses();
-    r.block_cache_evictions = block_cache_->evictions();
+  return total;
+}
+
+obs::MetricsSnapshot TimeUnionDB::Metrics() const {
+  // Start from the registry (instrument histograms/counters + event trace)
+  // and fold in the counters that live outside it — tier I/O, breaker,
+  // cache, LSM stats, query totals — so one snapshot is the whole story.
+  obs::MetricsSnapshot snap = metrics_->Snapshot();
+  auto add_c = [&snap](std::string name, uint64_t v) {
+    snap.counters.emplace_back(std::move(name), v);
+  };
+  auto add_g = [&snap](std::string name, int64_t v) {
+    snap.gauges.emplace_back(std::move(name), v);
+  };
+  auto load = [](const std::atomic<uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+
+  // Series appends are counted in per-stripe cells (see AppendSampleByRef)
+  // rather than a registry counter, so they fold in here like the other
+  // external totals.
+  add_c("ingest.samples", SumSampleCells());
+
+  auto add_tier = [&](const std::string& prefix,
+                      const cloud::TierCounters& c) {
+    add_c(prefix + ".gets", load(c.get_ops));
+    add_c(prefix + ".puts", load(c.put_ops));
+    add_c(prefix + ".deletes", load(c.delete_ops));
+    add_c(prefix + ".read_bytes", load(c.bytes_read));
+    add_c(prefix + ".written_bytes", load(c.bytes_written));
+    add_c(prefix + ".charged_us", load(c.charged_us));
+    add_c(prefix + ".faults", load(c.faults_injected));
+    add_c(prefix + ".retries", load(c.retries));
+    add_c(prefix + ".give_ups", load(c.retry_give_ups));
+    add_c(prefix + ".breaker_rejections", load(c.breaker_rejections));
+    add_c(prefix + ".breaker_opens", load(c.breaker_opens));
+  };
+  add_tier("fast", env_->fast().counters());
+  add_tier("slow", env_->slow().counters());
+
+  const cloud::CircuitBreaker& breaker = env_->slow().breaker();
+  add_g("breaker.enabled", breaker.enabled() ? 1 : 0);
+  add_g("breaker.state", static_cast<int64_t>(breaker.state()));
+
+  add_c("admission.writers_delayed",
+        writers_delayed_.load(std::memory_order_relaxed));
+  add_c("admission.writes_rejected",
+        writes_rejected_.load(std::memory_order_relaxed));
+
+  add_g("cache.enabled", block_cache_ != nullptr ? 1 : 0);
+  add_g("cache.usage",
+        block_cache_ != nullptr
+            ? static_cast<int64_t>(block_cache_->usage())
+            : 0);
+  add_c("cache.hits", block_cache_ != nullptr ? block_cache_->hits() : 0);
+  add_c("cache.misses", block_cache_ != nullptr ? block_cache_->misses() : 0);
+  add_c("cache.evictions",
+        block_cache_ != nullptr ? block_cache_->evictions() : 0);
+
+  if (time_lsm_ != nullptr) {
+    const lsm::TimeLsmStats& s = time_lsm_->stats();
+    add_c("lsm.flushes", load(s.flushes));
+    add_c("lsm.compactions_l0_l1", load(s.l0_to_l1_compactions));
+    add_c("lsm.compactions_l1_l2", load(s.l1_to_l2_compactions));
+    add_c("lsm.patches_created", load(s.patches_created));
+    add_c("lsm.patch_merges", load(s.patch_merges));
+    add_c("lsm.partitions_retired", load(s.partitions_retired));
+    add_c("lsm.fast_bytes_written", load(s.fast_bytes_written));
+    add_c("lsm.slow_bytes_written", load(s.slow_bytes_written));
+    add_c("lsm.compaction_us_total", load(s.compaction_us));
+    add_c("lsm.tables_quarantined", load(s.tables_quarantined));
+    add_c("lsm.orphans_swept", load(s.orphans_swept));
+    add_c("lsm.deferred_tables_created", load(s.deferred_tables_created));
+    add_c("lsm.deferred_uploads_drained", load(s.deferred_uploads_drained));
+    add_c("lsm.deferred_drain_failures", load(s.deferred_drain_failures));
+    add_c("lsm.partial_read_skips", load(s.partial_read_skips));
+    add_g("lsm.fast_bytes", static_cast<int64_t>(time_lsm_->FastBytesGauge()));
+    add_g("lsm.fast_limit_bytes",
+          static_cast<int64_t>(options_.lsm.fast_storage_limit_bytes));
+    add_g("lsm.deferred_tables",
+          static_cast<int64_t>(time_lsm_->NumDeferredTables()));
+    add_g("lsm.deferred_bytes",
+          static_cast<int64_t>(time_lsm_->DeferredBytes()));
+    add_g("db.background_error",
+          time_lsm_->last_background_error().ok() ? 0 : 1);
+  } else if (leveled_lsm_ != nullptr) {
+    const lsm::CompactionStats& s = leveled_lsm_->stats();
+    add_c("lsm.compactions", load(s.compactions));
+    add_c("lsm.tables_read", load(s.tables_read));
+    add_c("lsm.bytes_read", load(s.bytes_read));
+    add_c("lsm.bytes_written", load(s.bytes_written));
+    add_c("lsm.slow_bytes_written", load(s.slow_bytes_written));
+    add_c("lsm.compaction_us_total", load(s.total_us));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(query_totals_mu_);
+    add_c("query.runs", queries_run_);
+    add_c("query.partitions_pruned", query_totals_.partitions_pruned);
+    add_c("query.tables_considered", query_totals_.tables_considered);
+    add_c("query.tables_pruned_id", query_totals_.tables_pruned_id);
+    add_c("query.tables_pruned_time", query_totals_.tables_pruned_time);
+    add_c("query.tables_pruned_bloom", query_totals_.tables_pruned_bloom);
+    add_c("query.tables_skipped_unreachable",
+          query_totals_.tables_skipped_unreachable);
+    add_c("query.blocks_read", query_totals_.blocks_read);
+    add_c("query.blocks_pruned", query_totals_.blocks_pruned);
+    add_c("query.cache_hits", query_totals_.cache_hits);
+    add_c("query.cache_misses", query_totals_.cache_misses);
+    add_c("query.slow_tier_fetches", query_totals_.slow_tier_fetches);
+    add_c("query.block_bytes_read", query_totals_.block_bytes_read);
+    add_c("query.chunks_decoded", query_totals_.chunks_decoded);
+    add_c("query.bytes_decoded", query_totals_.bytes_decoded);
+    add_c("query.setup_us_total", query_totals_.setup_us);
+    add_c("query.drain_us_total", query_totals_.drain_us);
+  }
+
+  add_g("db.series", static_cast<int64_t>(NumSeries()));
+  add_g("db.groups", static_cast<int64_t>(NumGroups()));
+
+  snap.Canonicalize();
+  return snap;
+}
+
+core::HealthReport TimeUnionDB::HealthReport() const {
+  // A typed view over the metrics snapshot: every numeric field is read
+  // from the same source Metrics() exposes, so the two cannot diverge
+  // (obs_test asserts parity). Only the background-error Status is richer
+  // than a gauge and is read from the LSM directly.
+  const obs::MetricsSnapshot snap = Metrics();
+  core::HealthReport r;
+  r.breaker_enabled = snap.GaugeOr0("breaker.enabled") != 0;
+  r.slow_breaker =
+      static_cast<cloud::BreakerState>(snap.GaugeOr0("breaker.state"));
+  r.breaker_rejections = snap.CounterOr0("slow.breaker_rejections");
+  r.breaker_opens = snap.CounterOr0("slow.breaker_opens");
+  r.deferred_tables = static_cast<size_t>(snap.GaugeOr0("lsm.deferred_tables"));
+  r.deferred_bytes =
+      static_cast<uint64_t>(snap.GaugeOr0("lsm.deferred_bytes"));
+  r.deferred_uploads_drained = snap.CounterOr0("lsm.deferred_uploads_drained");
+  r.fast_bytes = static_cast<uint64_t>(snap.GaugeOr0("lsm.fast_bytes"));
+  r.fast_limit_bytes =
+      static_cast<uint64_t>(snap.GaugeOr0("lsm.fast_limit_bytes"));
+  r.writers_delayed = snap.CounterOr0("admission.writers_delayed");
+  r.writes_rejected = snap.CounterOr0("admission.writes_rejected");
+  r.block_cache_enabled = snap.GaugeOr0("cache.enabled") != 0;
+  r.block_cache_usage = static_cast<size_t>(snap.GaugeOr0("cache.usage"));
+  r.block_cache_hits = snap.CounterOr0("cache.hits");
+  r.block_cache_misses = snap.CounterOr0("cache.misses");
+  r.block_cache_evictions = snap.CounterOr0("cache.evictions");
+  if (time_lsm_ != nullptr) {
+    r.last_background_error = time_lsm_->last_background_error();
   }
   return r;
 }
 
 std::string TimeUnionDB::CountersReport() const {
-  std::string report = env_->CountersReport();
+  // Formatter over the same snapshot (the format predates the registry and
+  // is asserted by tests, so it is reconstructed field by field).
+  const obs::MetricsSnapshot snap = Metrics();
+  auto tier_line = [&snap](const std::string& label, const std::string& p) {
+    std::ostringstream os;
+    os << label << ": gets=" << snap.CounterOr0(p + ".gets")
+       << " puts=" << snap.CounterOr0(p + ".puts")
+       << " deletes=" << snap.CounterOr0(p + ".deletes")
+       << " read_bytes=" << snap.CounterOr0(p + ".read_bytes")
+       << " written_bytes=" << snap.CounterOr0(p + ".written_bytes")
+       << " charged_ms=" << snap.CounterOr0(p + ".charged_us") / 1000
+       << " faults=" << snap.CounterOr0(p + ".faults")
+       << " retries=" << snap.CounterOr0(p + ".retries")
+       << " give_ups=" << snap.CounterOr0(p + ".give_ups")
+       << " breaker_rejections=" << snap.CounterOr0(p + ".breaker_rejections")
+       << " breaker_opens=" << snap.CounterOr0(p + ".breaker_opens");
+    return os.str();
+  };
+  std::string report =
+      tier_line("fast(EBS)", "fast") + "\n" + tier_line("slow(S3)", "slow");
+  if (snap.GaugeOr0("breaker.enabled") != 0) {
+    report += " breaker=";
+    report += cloud::BreakerStateName(
+        static_cast<cloud::BreakerState>(snap.GaugeOr0("breaker.state")));
+  }
   char buf[512];
-  if (block_cache_ != nullptr) {
+  if (snap.GaugeOr0("cache.enabled") != 0) {
     std::snprintf(buf, sizeof(buf),
                   "\nblock_cache: hits=%llu misses=%llu evictions=%llu "
                   "usage=%zu",
-                  static_cast<unsigned long long>(block_cache_->hits()),
-                  static_cast<unsigned long long>(block_cache_->misses()),
-                  static_cast<unsigned long long>(block_cache_->evictions()),
-                  block_cache_->usage());
+                  static_cast<unsigned long long>(snap.CounterOr0("cache.hits")),
+                  static_cast<unsigned long long>(
+                      snap.CounterOr0("cache.misses")),
+                  static_cast<unsigned long long>(
+                      snap.CounterOr0("cache.evictions")),
+                  static_cast<size_t>(snap.GaugeOr0("cache.usage")));
   } else {
     std::snprintf(buf, sizeof(buf), "\nblock_cache: disabled");
   }
   report += buf;
-  {
-    std::lock_guard<std::mutex> lock(query_totals_mu_);
-    std::snprintf(buf, sizeof(buf), "\nqueries: run=%llu ",
-                  static_cast<unsigned long long>(queries_run_));
-    report += buf;
-    report += query_totals_.ToString();
-  }
+  query::QueryStats totals;
+  totals.partitions_pruned = snap.CounterOr0("query.partitions_pruned");
+  totals.tables_considered = snap.CounterOr0("query.tables_considered");
+  totals.tables_pruned_id = snap.CounterOr0("query.tables_pruned_id");
+  totals.tables_pruned_time = snap.CounterOr0("query.tables_pruned_time");
+  totals.tables_pruned_bloom = snap.CounterOr0("query.tables_pruned_bloom");
+  totals.tables_skipped_unreachable =
+      snap.CounterOr0("query.tables_skipped_unreachable");
+  totals.blocks_read = snap.CounterOr0("query.blocks_read");
+  totals.blocks_pruned = snap.CounterOr0("query.blocks_pruned");
+  totals.cache_hits = snap.CounterOr0("query.cache_hits");
+  totals.cache_misses = snap.CounterOr0("query.cache_misses");
+  totals.slow_tier_fetches = snap.CounterOr0("query.slow_tier_fetches");
+  totals.block_bytes_read = snap.CounterOr0("query.block_bytes_read");
+  totals.chunks_decoded = snap.CounterOr0("query.chunks_decoded");
+  totals.bytes_decoded = snap.CounterOr0("query.bytes_decoded");
+  totals.setup_us = snap.CounterOr0("query.setup_us_total");
+  totals.drain_us = snap.CounterOr0("query.drain_us_total");
+  std::snprintf(buf, sizeof(buf), "\nqueries: run=%llu ",
+                static_cast<unsigned long long>(snap.CounterOr0("query.runs")));
+  report += buf;
+  report += totals.ToString();
   return report;
+}
+
+void TimeUnionDB::EmitMetricsLine() {
+  const std::string path = env_->workspace() + "/metrics.jsonl";
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  out << "{\"ts_ms\":" << obs::WallMs()
+      << ",\"metrics\":" << Metrics().ToJson() << "}\n";
 }
 
 void TimeUnionDB::AdviseMemoryRelease() {

@@ -35,6 +35,7 @@
 #include "lsm/time_lsm.h"
 #include "mem/chunk_array.h"
 #include "mem/head.h"
+#include "obs/metrics.h"
 #include "core/maintenance.h"
 #include "core/sample_iterator.h"
 #include "core/wal.h"
@@ -105,6 +106,26 @@ struct DBOptions {
   };
   AdmissionControl admission;
 
+  /// Observability (src/obs): the metrics registry always exists; these
+  /// knobs control instrumentation and export.
+  struct MetricsOptions {
+    /// When false, no instruments are wired into the hot paths (timers
+    /// compile down to no-ops via null histogram pointers). Metrics() then
+    /// still reports the external counters (tiers, LSM stats, cache).
+    bool enabled = true;
+    /// Append a `{"ts_ms":...,"metrics":{...}}` JSON line per maintenance
+    /// tick to <workspace>/metrics.jsonl (requires background_maintenance).
+    bool emit_jsonl = false;
+    /// Ring-buffer capacity of the background-job event trace.
+    size_t event_trace_capacity = 256;
+  };
+  MetricsOptions metrics;
+
+  /// Rejects incoherent configurations with InvalidArgument naming the
+  /// offending field. Called by TimeUnionDB::Open before anything touches
+  /// disk; see the implementation for the exact rules.
+  Status Validate() const;
+
   /// Data retention window (0 = keep everything); see ApplyRetention.
   int64_t retention_ms = 0;
   /// Run the §3.3 background maintenance worker (periodic retention,
@@ -130,17 +151,14 @@ struct SeriesResult {
   std::vector<compress::Sample> samples;  // ascending timestamps
 };
 
-/// Query output: the matched series plus a completeness marker for
-/// degraded reads. Exposes the vector interface of its `series` member so
-/// result-consuming code can keep treating it as a container.
-struct QueryResult {
+/// Query output: the matched series plus the shared completeness marker
+/// for degraded reads (query::Completeness — when the slow tier was
+/// unreachable and DBOptions::strict_reads == false, `complete` is false
+/// and `missing_ranges` holds the merged, query-range-clamped spans whose
+/// data may be absent). Exposes the vector interface of its `series`
+/// member so result-consuming code can keep treating it as a container.
+struct QueryResult : query::Completeness {
   std::vector<SeriesResult> series;
-  /// False when the slow tier was unreachable and the query skipped L2
-  /// tables (DBOptions::strict_reads == false); `missing_ranges` then
-  /// holds the merged, query-range-clamped [lo, hi] timestamp spans whose
-  /// data may be absent from `series`.
-  bool complete = true;
-  std::vector<std::pair<int64_t, int64_t>> missing_ranges;
   /// Per-query read-pipeline statistics: pruning decisions, block cache
   /// hits/misses, slow-tier fetches, decode volume (see query::QueryStats).
   query::QueryStats stats;
@@ -156,8 +174,7 @@ struct QueryResult {
   void push_back(SeriesResult r) { series.push_back(std::move(r)); }
   void clear() {
     series.clear();
-    complete = true;
-    missing_ranges.clear();
+    ResetCompleteness();
     stats = query::QueryStats();
   }
 };
@@ -260,15 +277,14 @@ class TimeUnionDB {
   /// with a lazy SampleIterator instead of materialized samples. The
   /// iterators stay valid after this call returns (they pin the LSM
   /// resources they read).
-  struct SeriesIterResult {
+  /// Inherits query::Completeness: under degraded reads
+  /// (DBOptions::strict_reads == false), `complete` is false when this
+  /// iterator skipped unreachable slow-tier tables and the merged, clamped
+  /// spans possibly missing from the stream are in `missing_ranges`.
+  struct SeriesIterResult : query::Completeness {
     uint64_t id = 0;
     index::Labels labels;
     std::unique_ptr<SampleIterator> iter;
-    /// Degraded reads (DBOptions::strict_reads == false): false when this
-    /// iterator skipped unreachable slow-tier tables; the merged, clamped
-    /// spans possibly missing from the stream are in `missing_ranges`.
-    bool complete = true;
-    std::vector<std::pair<int64_t, int64_t>> missing_ranges;
   };
   /// Returns InvalidArgument when t0 > t1 or `matchers` is empty. `stats`
   /// (nullable) receives pruning/cache counters; the pointed-to object
@@ -308,13 +324,24 @@ class TimeUnionDB {
   uint64_t NumGroups() const;
   /// What the Open-time recovery salvaged/dropped (see RecoveryReport).
   const RecoveryReport& recovery_report() const { return recovery_report_; }
+  /// Typed point-in-time metrics snapshot: every registry instrument
+  /// (ingest/flush/compaction/query latency histograms, event trace) plus
+  /// the external counters folded in under stable names — tier I/O
+  /// (fast.* / slow.*), LSM stats (lsm.*), block cache (cache.*), breaker
+  /// and admission state, and the read-pipeline totals (query.*). Safe
+  /// from any thread; serialize with ToJson() or ToPrometheusText().
+  obs::MetricsSnapshot Metrics() const;
+  /// The instrument registry (stable pointers, lock-free recording).
+  obs::MetricsRegistry& metrics_registry() { return *metrics_; }
   /// Degraded-operation snapshot: breaker state, deferred-upload backlog,
   /// fast-tier pressure, admission outcomes, block cache counters, sticky
-  /// background error. Safe from any thread; counters are relaxed reads.
+  /// background error. A typed view over the same data as Metrics(); safe
+  /// from any thread.
   core::HealthReport HealthReport() const;
   /// Human-readable counters: tiered-env I/O + breaker state, block cache
   /// hit/miss/eviction/usage, and read-pipeline totals aggregated across
-  /// every Query/QueryIterators since Open. Safe from any thread.
+  /// every Query/QueryIterators since Open. A thin formatter over the
+  /// Metrics() snapshot. Safe from any thread.
   std::string CountersReport() const;
   /// Index memory (trie + postings), §3.2 accounting. The index is
   /// internally synchronized; safe from any thread.
@@ -421,7 +448,14 @@ class TimeUnionDB {
 
   Status MaybeLog(const WalRecord& record);
 
+  /// Appends one `{"ts_ms":...,"metrics":{...}}` line to
+  /// <workspace>/metrics.jsonl (maintenance tick, when enabled).
+  void EmitMetricsLine();
+
   DBOptions options_;
+  /// Declared before env_/lsm_ so the registry outlives everything that
+  /// records into it (breaker transition callback, LSM instruments).
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<cloud::TieredEnv> env_;
   std::unique_ptr<lsm::BlockCache> block_cache_;
   std::unique_ptr<index::InvertedIndex> index_;
@@ -466,6 +500,31 @@ class TimeUnionDB {
   mutable std::mutex query_totals_mu_;
   query::QueryStats query_totals_;  // guarded by query_totals_mu_
   uint64_t queries_run_ = 0;        // guarded by query_totals_mu_
+
+  /// Cached hot-path instruments (all nullptr when !metrics.enabled, which
+  /// turns every recording site into a no-op). Registered once in Init.
+  obs::Histogram* h_ingest_append_ = nullptr;  // sampled 1-in-64
+  obs::Histogram* h_group_append_ = nullptr;   // sampled 1-in-64
+  obs::Histogram* h_wal_append_ = nullptr;     // sampled 1-in-64
+  obs::Histogram* h_chunk_flush_ = nullptr;
+  obs::Histogram* h_query_e2e_ = nullptr;
+  obs::Histogram* h_query_setup_ = nullptr;
+  obs::Counter* c_rows_ = nullptr;
+  obs::Counter* c_wal_appends_ = nullptr;
+  obs::Counter* c_chunk_flushes_ = nullptr;
+
+  /// Per-stripe sample counts, aligned with append_locks_: each cell is
+  /// written only under its stripe mutex, so the bump is a plain
+  /// load+store (no locked RMW on the append fast path); the atomic is
+  /// solely for tear-free reads when Metrics() sums the cells. One cell
+  /// per cache line so neighbouring stripes don't false-share.
+  struct alignas(64) StripeCell {
+    std::atomic<uint64_t> v{0};
+    void Bump() { v.store(v.load(std::memory_order_relaxed) + 1,
+                          std::memory_order_relaxed); }
+  };
+  std::unique_ptr<StripeCell[]> sample_cells_;  // null when !metrics.enabled
+  uint64_t SumSampleCells() const;
 
   // Declared last: its thread must stop before the members above die.
   std::unique_ptr<MaintenanceWorker> maintenance_;

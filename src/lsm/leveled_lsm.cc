@@ -33,6 +33,12 @@ LeveledLsm::LeveledLsm(cloud::TieredEnv* env, std::string name,
       options_(options),
       block_cache_(block_cache) {
   levels_.resize(options_.max_levels);
+  if (options_.metrics != nullptr) {
+    h_memflush_us_ = options_.metrics->histogram("lsm.memflush_us");
+    h_compact_us_ = options_.metrics->histogram("lsm.compact_us");
+    h_table_build_us_ = options_.metrics->histogram("lsm.table_build_us");
+    trace_ = &options_.metrics->trace();
+  }
 }
 
 LeveledLsm::~LeveledLsm() {
@@ -92,6 +98,7 @@ Status LeveledLsm::FlushAll() {
 }
 
 Status LeveledLsm::FlushMemTable() {
+  const uint64_t flush_start_us = NowUs();
   auto it = mem_->NewIterator();
   it->SeekToFirst();
   std::vector<TableHandle> outputs;
@@ -99,6 +106,12 @@ Status LeveledLsm::FlushMemTable() {
   // L0 keeps newest tables first.
   for (auto& t : outputs) {
     levels_[0].insert(levels_[0].begin(), std::move(t));
+  }
+  if (h_memflush_us_ != nullptr) {
+    h_memflush_us_->Observe(NowUs() - flush_start_us);
+  }
+  if (trace_ != nullptr) {
+    trace_->Record("flush", "tables=" + std::to_string(outputs.size()));
   }
   MemoryTracker::Global().Sub(
       MemCategory::kMemtable,
@@ -115,9 +128,11 @@ Status LeveledLsm::BuildTables(Iterator* input, int target_level,
   std::unique_ptr<TableSink> sink;
   std::unique_ptr<TableBuilder> builder;
   uint64_t table_id = 0;
+  uint64_t build_start_us = 0;
 
   auto open_output = [&]() -> Status {
     table_id = next_table_id_++;
+    build_start_us = NowUs();
     if (fast) {
       std::unique_ptr<cloud::WritableFile> file;
       TU_RETURN_IF_ERROR(env_->fast().NewWritableFile(FastName(table_id), &file));
@@ -140,6 +155,9 @@ Status LeveledLsm::BuildTables(Iterator* input, int target_level,
     TU_RETURN_IF_ERROR(builder->Finish(&handle.meta));
     handle.meta.table_id = table_id;
     TU_RETURN_IF_ERROR(sink->Close());
+    if (h_table_build_us_ != nullptr) {
+      h_table_build_us_->Observe(NowUs() - build_start_us);
+    }
     if (!fast) {
       auto* buf = static_cast<BufferTableSink*>(sink.get());
       TU_RETURN_IF_ERROR(
@@ -296,7 +314,13 @@ Status LeveledLsm::CompactLevel(int level) {
   }
 
   stats_.compactions.fetch_add(1, std::memory_order_relaxed);
-  stats_.total_us.fetch_add(NowUs() - start_us, std::memory_order_relaxed);
+  const uint64_t compact_us = NowUs() - start_us;
+  stats_.total_us.fetch_add(compact_us, std::memory_order_relaxed);
+  if (h_compact_us_ != nullptr) h_compact_us_->Observe(compact_us);
+  if (trace_ != nullptr) {
+    trace_->Record("compact.leveled", "level=" + std::to_string(level) +
+                                          " us=" + std::to_string(compact_us));
+  }
   return Status::OK();
 }
 

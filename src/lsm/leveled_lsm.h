@@ -23,6 +23,7 @@
 #include "lsm/memtable.h"
 #include "lsm/table_builder.h"
 #include "lsm/table_reader.h"
+#include "obs/metrics.h"
 
 namespace tu::lsm {
 
@@ -43,6 +44,10 @@ struct LeveledLsmOptions {
   /// Levels [0, num_fast_levels) on the fast tier, the rest on slow.
   int num_fast_levels = 2;
   size_t max_output_table_bytes = 2 << 20;
+  /// Observability registry (owned by the DB, outlives the LSM). When set,
+  /// the tree records flush/compaction/table-build latency histograms and
+  /// background-job events.
+  obs::MetricsRegistry* metrics = nullptr;
   TableBuilderOptions table_options;
 };
 
@@ -123,6 +128,12 @@ class LeveledLsm : public ChunkStore {
   uint64_t next_table_id_ = 1;
   uint64_t next_seq_ = 1;
   int compaction_pointer_ = 0;  // round-robin victim index heuristic
+
+  /// Cached observability instruments (null when options_.metrics is null).
+  obs::Histogram* h_memflush_us_ = nullptr;
+  obs::Histogram* h_compact_us_ = nullptr;
+  obs::Histogram* h_table_build_us_ = nullptr;
+  obs::EventTrace* trace_ = nullptr;
 
   CompactionStats stats_;
 };

@@ -59,7 +59,16 @@ TimePartitionedLsm::TimePartitionedLsm(cloud::TieredEnv* env, std::string name,
       options_(options),
       block_cache_(block_cache),
       l0_len_ms_(options.l0_partition_ms),
-      l2_len_ms_(options.l2_partition_ms) {}
+      l2_len_ms_(options.l2_partition_ms) {
+  if (options_.metrics != nullptr) {
+    h_memflush_us_ = options_.metrics->histogram("lsm.memflush_us");
+    h_compact_l0_l1_us_ = options_.metrics->histogram("lsm.compact_l0_l1_us");
+    h_compact_l1_l2_us_ = options_.metrics->histogram("lsm.compact_l1_l2_us");
+    h_patch_merge_us_ = options_.metrics->histogram("lsm.patch_merge_us");
+    h_table_build_us_ = options_.metrics->histogram("lsm.table_build_us");
+    trace_ = &options_.metrics->trace();
+  }
+}
 
 TimePartitionedLsm::~TimePartitionedLsm() {
   // Cancel in-flight retry backoffs before waiting: a flush worker stuck
@@ -459,6 +468,7 @@ Status TimePartitionedLsm::WriteTable(
     const std::vector<std::pair<std::string, std::string>>& entries,
     bool to_slow, TableHandle* out) {
   const uint64_t table_id = next_table_id_++;
+  const uint64_t build_start_us = NowUs();
   std::unique_ptr<TableSink> sink;
   if (to_slow) {
     sink = std::make_unique<BufferTableSink>();
@@ -474,6 +484,9 @@ Status TimePartitionedLsm::WriteTable(
   TU_RETURN_IF_ERROR(builder.Finish(&out->meta));
   out->meta.table_id = table_id;
   TU_RETURN_IF_ERROR(sink->Close());
+  if (h_table_build_us_ != nullptr) {
+    h_table_build_us_->Observe(NowUs() - build_start_us);
+  }
   if (to_slow) {
     auto* buf = static_cast<BufferTableSink*>(sink.get());
     Status up = UploadBufferToSlow(table_id, buf->buffer());
@@ -481,6 +494,11 @@ Status TimePartitionedLsm::WriteTable(
       stats_.slow_bytes_written.fetch_add(buf->buffer().size(),
                                           std::memory_order_relaxed);
       out->on_slow = true;
+      if (trace_ != nullptr) {
+        trace_->Record("l2.upload",
+                       "table=" + std::to_string(table_id) +
+                           " bytes=" + std::to_string(buf->buffer().size()));
+      }
     } else if (up.IsUnavailable() || up.IsIOError() || up.IsBusy()) {
       // Slow tier unreachable (breaker open / retries exhausted): park the
       // table on the fast tier instead of failing the compaction. The
@@ -493,6 +511,11 @@ Status TimePartitionedLsm::WriteTable(
       stats_.fast_bytes_written.fetch_add(buf->buffer().size(),
                                           std::memory_order_relaxed);
       out->on_slow = false;
+      if (trace_ != nullptr) {
+        trace_->Record("l2.upload.deferred",
+                       "table=" + std::to_string(table_id) +
+                           " bytes=" + std::to_string(buf->buffer().size()));
+      }
     } else {
       return up;  // Corruption etc.: not an outage, surface it
     }
@@ -565,6 +588,7 @@ Status TimePartitionedLsm::DeleteTable(const TableHandle& handle) {
 }
 
 Status TimePartitionedLsm::FlushMemTable(MemTable* mem) {
+  const uint64_t flush_start_us = NowUs();
   // Split the sorted stream by L0 time partition (§3.3: "the key-value
   // pairs are separated into different time partitions according to the
   // timestamps contained in the keys").
@@ -612,6 +636,12 @@ Status TimePartitionedLsm::FlushMemTable(MemTable* mem) {
       MemCategory::kMemtable,
       static_cast<int64_t>(mem->ApproximateMemoryUsage()));
   stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  if (h_memflush_us_ != nullptr) {
+    h_memflush_us_->Observe(NowUs() - flush_start_us);
+  }
+  if (trace_ != nullptr) {
+    trace_->Record("flush", "partitions=" + std::to_string(buckets.size()));
+  }
   cloud::CrashPoint(env_->fast().fault(), "l0.flush.pre_manifest");
   TU_RETURN_IF_ERROR(SaveManifest());
   // Flush marks (the §3.3 WAL purge hook) only after the flushed tables are
@@ -821,8 +851,12 @@ Status TimePartitionedLsm::CompactOldestL0() {
   }
 
   stats_.l0_to_l1_compactions.fetch_add(1, std::memory_order_relaxed);
-  stats_.compaction_us.fetch_add(NowUs() - start_us,
-                                 std::memory_order_relaxed);
+  const uint64_t l0_l1_us = NowUs() - start_us;
+  stats_.compaction_us.fetch_add(l0_l1_us, std::memory_order_relaxed);
+  if (h_compact_l0_l1_us_ != nullptr) h_compact_l0_l1_us_->Observe(l0_l1_us);
+  if (trace_ != nullptr) {
+    trace_->Record("compact.l0l1", "us=" + std::to_string(l0_l1_us));
+  }
   return Status::OK();
 }
 
@@ -968,8 +1002,12 @@ Status TimePartitionedLsm::CompactL1WindowToL2(int64_t w_start, int64_t w_end,
     }
   }
   stats_.l1_to_l2_compactions.fetch_add(1, std::memory_order_relaxed);
-  stats_.compaction_us.fetch_add(NowUs() - start_us,
-                                 std::memory_order_relaxed);
+  const uint64_t l1_l2_us = NowUs() - start_us;
+  stats_.compaction_us.fetch_add(l1_l2_us, std::memory_order_relaxed);
+  if (h_compact_l1_l2_us_ != nullptr) h_compact_l1_l2_us_->Observe(l1_l2_us);
+  if (trace_ != nullptr) {
+    trace_->Record("compact.l1l2", "us=" + std::to_string(l1_l2_us));
+  }
   return Status::OK();
 }
 
@@ -1017,8 +1055,12 @@ Status TimePartitionedLsm::MergeEntryPatches(L2Partition* partition,
     (void)DeleteTable(t);
   }
   stats_.patch_merges.fetch_add(1, std::memory_order_relaxed);
-  stats_.compaction_us.fetch_add(NowUs() - start_us,
-                                 std::memory_order_relaxed);
+  const uint64_t merge_us = NowUs() - start_us;
+  stats_.compaction_us.fetch_add(merge_us, std::memory_order_relaxed);
+  if (h_patch_merge_us_ != nullptr) h_patch_merge_us_->Observe(merge_us);
+  if (trace_ != nullptr) {
+    trace_->Record("patch.merge", "us=" + std::to_string(merge_us));
+  }
   return Status::OK();
 }
 
@@ -1117,6 +1159,10 @@ Status TimePartitionedLsm::ApplyRetention(int64_t watermark) {
   TU_RETURN_IF_ERROR(SaveManifest());
   for (const TableHandle& handle : doomed) {
     (void)DeleteTable(handle);
+  }
+  if (trace_ != nullptr && !doomed.empty()) {
+    trace_->Record("retention", "watermark=" + std::to_string(watermark) +
+                                    " tables=" + std::to_string(doomed.size()));
   }
   return Status::OK();
 }
@@ -1438,6 +1484,9 @@ Status TimePartitionedLsm::DrainDeferredUploads(size_t* drained) {
     ++done;
   }
   if (drained != nullptr) *drained = done;
+  if (trace_ != nullptr && done > 0) {
+    trace_->Record("deferred.drain", "tables=" + std::to_string(done));
+  }
   return Status::OK();
 }
 

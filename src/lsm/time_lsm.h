@@ -33,6 +33,7 @@
 #include "lsm/memtable.h"
 #include "lsm/table_builder.h"
 #include "lsm/table_reader.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace tu::lsm {
@@ -73,6 +74,10 @@ struct TimeLsmOptions {
   /// committing (over and above the size check). Costs one extra Get per
   /// upload; off by default.
   bool verify_upload_crc = false;
+  /// Observability registry (owned by the DB, outlives the LSM). When set,
+  /// the tree records flush/compaction/table-build latency histograms and
+  /// background-job events (lsm.* names, see DESIGN.md "Observability").
+  obs::MetricsRegistry* metrics = nullptr;
   TableBuilderOptions table_options;
 };
 
@@ -281,6 +286,15 @@ class TimePartitionedLsm : public ChunkStore {
 
   std::vector<QuarantinedTable> quarantined_;
   TimeLsmStats stats_;
+
+  /// Cached observability instruments (all null when options_.metrics is
+  /// null, turning each recording site into a no-op).
+  obs::Histogram* h_memflush_us_ = nullptr;
+  obs::Histogram* h_compact_l0_l1_us_ = nullptr;
+  obs::Histogram* h_compact_l1_l2_us_ = nullptr;
+  obs::Histogram* h_patch_merge_us_ = nullptr;
+  obs::Histogram* h_table_build_us_ = nullptr;
+  obs::EventTrace* trace_ = nullptr;
 
   /// Set by the destructor before waiting on the flush pool; cancels
   /// in-flight RunWithRetry backoffs so teardown never waits out a

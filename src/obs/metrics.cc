@@ -1,0 +1,310 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace tu::obs {
+
+namespace {
+
+/// Quantile by rank over the bucket counts, linearly interpolated within
+/// the winning bucket. `total` must be > 0.
+double QuantileFromBuckets(const uint64_t* counts, size_t n, uint64_t total,
+                           double q) {
+  // 1-based rank of the requested quantile.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (counts[i] == 0) continue;
+    if (cum + counts[i] >= rank) {
+      const double lower = static_cast<double>(Histogram::BucketLower(i));
+      const double upper = static_cast<double>(Histogram::BucketUpper(i));
+      const double frac = (static_cast<double>(rank - cum) - 0.5) /
+                          static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::max(0.0, frac);
+    }
+    cum += counts[i];
+  }
+  return static_cast<double>(Histogram::BucketUpper(n - 1));
+}
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  *out += buf;
+}
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "tu_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t us) {
+  buckets_[BucketFor(us)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(us, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (us > prev &&
+         !max_.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot(std::string name) const {
+  HistogramSnapshot s;
+  s.name = std::move(name);
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  s.count = total;
+  s.sum_us = sum_.load(std::memory_order_relaxed);
+  s.max_us = max_.load(std::memory_order_relaxed);
+  if (total > 0) {
+    s.p50_us = QuantileFromBuckets(counts, kBuckets, total, 0.50);
+    s.p90_us = QuantileFromBuckets(counts, kBuckets, total, 0.90);
+    s.p99_us = QuantileFromBuckets(counts, kBuckets, total, 0.99);
+    // The interpolated tail estimate can overshoot the observed max within
+    // the last occupied bucket; clamp so p99 <= max always holds.
+    const double max_d = static_cast<double>(s.max_us);
+    s.p50_us = std::min(s.p50_us, max_d);
+    s.p90_us = std::min(s.p90_us, max_d);
+    s.p99_us = std::min(s.p99_us, max_d);
+  }
+  return s;
+}
+
+int64_t WallMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void EventTrace::Record(std::string_view kind, std::string detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent e;
+  e.seq = seq_++;
+  e.wall_ms = WallMs();
+  e.kind.assign(kind.data(), kind.size());
+  e.detail = std::move(detail);
+  ring_.push_back(std::move(e));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<TraceEvent> EventTrace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceEvent>(ring_.begin(), ring_.end());
+}
+
+uint64_t EventTrace::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+const uint64_t* MetricsSnapshot::FindCounter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const int64_t* MetricsSnapshot::FindGauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterOr0(std::string_view name) const {
+  const uint64_t* v = FindCounter(name);
+  return v != nullptr ? *v : 0;
+}
+
+int64_t MetricsSnapshot::GaugeOr0(std::string_view name) const {
+  const int64_t* v = FindGauge(name);
+  return v != nullptr ? *v : 0;
+}
+
+void MetricsSnapshot::Canonicalize() {
+  auto by_first = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(counters.begin(), counters.end(), by_first);
+  std::sort(gauges.begin(), gauges.end(), by_first);
+  std::sort(histograms.begin(), histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  char buf[96];
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, name);
+    std::snprintf(buf, sizeof(buf), "\":%" PRIu64, v);
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, name);
+    std::snprintf(buf, sizeof(buf), "\":%" PRId64, v);
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, h.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\":{\"count\":%" PRIu64 ",\"sum_us\":%" PRIu64
+                  ",\"max_us\":%" PRIu64,
+                  h.count, h.sum_us, h.max_us);
+    out += buf;
+    out += ",\"p50_us\":";
+    AppendDouble(&out, h.p50_us);
+    out += ",\"p90_us\":";
+    AppendDouble(&out, h.p90_us);
+    out += ",\"p99_us\":";
+    AppendDouble(&out, h.p99_us);
+    out += '}';
+  }
+  out += "},\"events\":[";
+  first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "{\"seq\":%" PRIu64 ",\"wall_ms\":%" PRId64,
+                  e.seq, e.wall_ms);
+    out += buf;
+    out += ",\"kind\":\"";
+    AppendEscaped(&out, e.kind);
+    out += "\",\"detail\":\"";
+    AppendEscaped(&out, e.detail);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  char buf[128];
+  for (const auto& [name, v] : counters) {
+    const std::string pn = PrometheusName(name);
+    out += "# TYPE " + pn + " counter\n";
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", v);
+    out += pn + buf;
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string pn = PrometheusName(name);
+    out += "# TYPE " + pn + " gauge\n";
+    std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", v);
+    out += pn + buf;
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    const std::string pn = PrometheusName(h.name);
+    out += "# TYPE " + pn + " summary\n";
+    std::snprintf(buf, sizeof(buf), "{quantile=\"0.5\"} %.1f\n", h.p50_us);
+    out += pn + buf;
+    std::snprintf(buf, sizeof(buf), "{quantile=\"0.9\"} %.1f\n", h.p90_us);
+    out += pn + buf;
+    std::snprintf(buf, sizeof(buf), "{quantile=\"0.99\"} %.1f\n", h.p99_us);
+    out += pn + buf;
+    std::snprintf(buf, sizeof(buf), "_sum %" PRIu64 "\n", h.sum_us);
+    out += pn + buf;
+    std::snprintf(buf, sizeof(buf), "_count %" PRIu64 "\n", h.count);
+    out += pn + buf;
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+      snap.counters.emplace_back(name, c->value());
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+      snap.gauges.emplace_back(name, g->value());
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      snap.histograms.push_back(h->Snapshot(name));
+    }
+  }
+  snap.events = trace_.Snapshot();
+  return snap;
+}
+
+}  // namespace tu::obs

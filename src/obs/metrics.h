@@ -1,0 +1,226 @@
+// Observability primitives: lock-free counters, gauges, log-scale latency
+// histograms, a bounded event trace for background jobs, and a typed
+// MetricsSnapshot with JSON / Prometheus exposition.
+//
+// Layering: obs/ depends only on the standard library, so every other
+// subsystem (cloud/, lsm/, query/, core/) may include it without cycles.
+//
+// Hot-path contract: Counter::Add and Histogram::Observe are a handful of
+// relaxed atomic RMWs — no locks, no allocation — so they are safe to call
+// from ingest/query threads and stay clean under TSan. Registration
+// (MetricsRegistry::counter/gauge/histogram) takes a mutex and is meant for
+// the cold path: look the instrument up once, cache the pointer. Returned
+// pointers are stable for the registry's lifetime.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tu::obs {
+
+/// Monotonically increasing event count. Relaxed atomics only.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Instantaneous signed level (bytes in use, breaker state, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Point-in-time view of one Histogram. Percentiles are estimated by linear
+/// interpolation inside the power-of-two bucket containing the rank, so an
+/// estimate is within 2x of the true quantile by construction.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum_us = 0;
+  uint64_t max_us = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+};
+
+/// Fixed-bucket log-scale latency histogram over microseconds. Bucket i
+/// counts observations in [2^(i-1), 2^i) (bucket 0 holds {0}), covering
+/// sub-microsecond through ~2^62 us with kBuckets counters. Observe() is
+/// three relaxed RMWs plus a relaxed CAS loop for the max — no locks.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 48;
+
+  /// Out of line on purpose: call sites are sampled (1-in-64) or cold, so
+  /// the call overhead is noise, while keeping the bucket/sum/max update
+  /// sequence out of hot functions keeps their inlined bodies small.
+  void Observe(uint64_t us);
+
+  /// Consistent-enough view for reporting: buckets are read individually
+  /// with relaxed loads; concurrent observers may straddle the read, which
+  /// is fine for monitoring.
+  HistogramSnapshot Snapshot(std::string name) const;
+
+  static size_t BucketFor(uint64_t us) {
+    if (us == 0) return 0;
+    const size_t b = 64 - static_cast<size_t>(__builtin_clzll(us));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  /// Inclusive value range covered by bucket `i`: [lower, upper).
+  static uint64_t BucketLower(size_t i) {
+    return i == 0 ? 0 : (uint64_t{1} << (i - 1));
+  }
+  static uint64_t BucketUpper(size_t i) { return uint64_t{1} << i; }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// One background-job event. `seq` is a global per-trace sequence number so
+/// droppped history is detectable (first retained seq > 0).
+struct TraceEvent {
+  uint64_t seq = 0;
+  int64_t wall_ms = 0;       // milliseconds since Unix epoch
+  std::string kind;          // e.g. "flush", "compact.l1l2", "breaker"
+  std::string detail;        // free-form, small
+};
+
+/// Bounded ring buffer of background-job events (flush, merges, uploads,
+/// retention, breaker transitions). Mutex-guarded: events are rare (at most
+/// a few per background job), so a lock is fine here — only the sample
+/// hot paths must stay lock-free.
+class EventTrace {
+ public:
+  explicit EventTrace(size_t capacity = 256) : capacity_(capacity) {}
+
+  void Record(std::string_view kind, std::string detail);
+  std::vector<TraceEvent> Snapshot() const;
+  /// Total events ever recorded (including dropped ones).
+  uint64_t total_recorded() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  uint64_t seq_ = 0;
+  std::deque<TraceEvent> ring_;
+};
+
+/// Typed point-in-time view of every registered instrument, plus any
+/// externally-derived values folded in by the caller (tier counters, LSM
+/// stats, cache stats). Name vectors are sorted so ToJson() is stable.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+  std::vector<TraceEvent> events;
+
+  /// Lookup helpers; return nullptr when the name is absent.
+  const uint64_t* FindCounter(std::string_view name) const;
+  const int64_t* FindGauge(std::string_view name) const;
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+  /// Convenience: counter value or 0 / gauge value or 0.
+  uint64_t CounterOr0(std::string_view name) const;
+  int64_t GaugeOr0(std::string_view name) const;
+
+  /// Sort counters/gauges/histograms by name (events stay in seq order).
+  void Canonicalize();
+
+  /// Stable schema:
+  ///   {"counters":{name:uint,...},
+  ///    "gauges":{name:int,...},
+  ///    "histograms":{name:{"count":..,"sum_us":..,"max_us":..,
+  ///                        "p50_us":..,"p90_us":..,"p99_us":..},...},
+  ///    "events":[{"seq":..,"wall_ms":..,"kind":"..","detail":".."},...]}
+  std::string ToJson() const;
+  /// Prometheus text exposition: counters/gauges as-is, histograms as
+  /// summaries with quantile labels. Names are sanitized ('.' -> '_') and
+  /// prefixed with "tu_".
+  std::string ToPrometheusText() const;
+};
+
+/// Owns every instrument. Lookup-or-create is mutex-guarded (cold path);
+/// the returned pointers are stable and lock-free to use.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(size_t event_capacity = 256)
+      : trace_(event_capacity) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+  EventTrace& trace() { return trace_; }
+  const EventTrace& trace() const { return trace_; }
+
+  /// Snapshot of registry-owned instruments (callers may append external
+  /// values before Canonicalize()). Includes the event trace.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  EventTrace trace_;
+};
+
+/// Steady-clock microseconds; monotonic, for durations.
+inline uint64_t MonotonicUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Wall-clock milliseconds since epoch, for event timestamps.
+int64_t WallMs();
+
+/// Measures the elapsed time of a scope into a histogram. A null histogram
+/// makes the timer a no-op (metrics disabled).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) : h_(h), start_(h ? MonotonicUs() : 0) {}
+  ~ScopedTimer() {
+    if (h_ != nullptr) h_->Observe(MonotonicUs() - start_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  uint64_t start_;
+};
+
+/// 1-in-2^kShift per-thread sampling decision for very hot paths where even
+/// two clock reads per op would be measurable (single-sample ingest runs at
+/// millions of ops/s). The counters feeding throughput numbers are still
+/// bumped on every op; only the latency *distribution* is sampled.
+template <unsigned kShift>
+inline bool SampleOneIn() {
+  thread_local uint32_t tick = 0;
+  return ((++tick) & ((1u << kShift) - 1)) == 0;
+}
+
+}  // namespace tu::obs

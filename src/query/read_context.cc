@@ -1,8 +1,32 @@
 #include "query/read_context.h"
 
+#include <algorithm>
 #include <cstdio>
 
+#include "util/interval_set.h"
+
 namespace tu::query {
+
+void Completeness::AddMissing(
+    const std::vector<std::pair<int64_t, int64_t>>& spans, int64_t t0,
+    int64_t t1) {
+  for (const auto& [lo, hi] : spans) {
+    const int64_t a = std::max(lo, t0);
+    const int64_t b = std::min(hi, t1);
+    if (a > b) continue;
+    missing_ranges.emplace_back(a, b);
+  }
+  util::MergeIntervals(&missing_ranges);
+  if (!missing_ranges.empty()) complete = false;
+}
+
+void Completeness::MergeCompleteness(const Completeness& o) {
+  if (o.complete) return;
+  complete = false;
+  missing_ranges.insert(missing_ranges.end(), o.missing_ranges.begin(),
+                        o.missing_ranges.end());
+  util::MergeIntervals(&missing_ranges);
+}
 
 std::string QueryStats::ToString() const {
   char buf[512];
@@ -11,7 +35,8 @@ std::string QueryStats::ToString() const {
       "tables considered=%llu pruned(id=%llu time=%llu bloom=%llu) "
       "skipped_unreachable=%llu partitions_pruned=%llu | blocks read=%llu "
       "pruned=%llu cache(hit=%llu miss=%llu) slow_fetches=%llu "
-      "block_bytes=%llu | chunks=%llu decoded_bytes=%llu",
+      "block_bytes=%llu | chunks=%llu decoded_bytes=%llu | setup_us=%llu "
+      "drain_us=%llu",
       static_cast<unsigned long long>(tables_considered),
       static_cast<unsigned long long>(tables_pruned_id),
       static_cast<unsigned long long>(tables_pruned_time),
@@ -25,7 +50,9 @@ std::string QueryStats::ToString() const {
       static_cast<unsigned long long>(slow_tier_fetches),
       static_cast<unsigned long long>(block_bytes_read),
       static_cast<unsigned long long>(chunks_decoded),
-      static_cast<unsigned long long>(bytes_decoded));
+      static_cast<unsigned long long>(bytes_decoded),
+      static_cast<unsigned long long>(setup_us),
+      static_cast<unsigned long long>(drain_us));
   return buf;
 }
 

@@ -50,6 +50,10 @@ struct QueryStats {
   uint64_t chunks_decoded = 0;
   uint64_t bytes_decoded = 0;  ///< chunk payload bytes decoded into samples
 
+  // Pipeline timing (monotonic microseconds).
+  uint64_t setup_us = 0;  ///< iterator construction: pruning + reader opens
+  uint64_t drain_us = 0;  ///< iterator drain: block fetch + chunk decode
+
   void Add(const QueryStats& o) {
     partitions_pruned += o.partitions_pruned;
     tables_considered += o.tables_considered;
@@ -65,6 +69,8 @@ struct QueryStats {
     block_bytes_read += o.block_bytes_read;
     chunks_decoded += o.chunks_decoded;
     bytes_decoded += o.bytes_decoded;
+    setup_us += o.setup_us;
+    drain_us += o.drain_us;
   }
 
   uint64_t tables_pruned() const {
@@ -72,6 +78,32 @@ struct QueryStats {
   }
 
   std::string ToString() const;
+};
+
+/// The completeness contract of a degraded read, shared by every result
+/// type that can come back partial (QueryResult, SeriesIterResult). The
+/// missing-span bookkeeping — clamp to the query range, merge overlaps,
+/// flip `complete` — lives here so call sites cannot diverge.
+struct Completeness {
+  /// False when any part of [t0, t1] was unreachable (slow tier down and
+  /// the read allowed partial results).
+  bool complete = true;
+  /// Closed [start, end] timestamp spans that could not be served, merged
+  /// and sorted. Empty iff `complete`.
+  std::vector<std::pair<int64_t, int64_t>> missing_ranges;
+
+  /// Clamp `spans` to the closed query range [t0, t1], merge them into
+  /// `missing_ranges` (coalescing overlaps and adjacency), and update
+  /// `complete`. Unclamped or unsorted input spans are fine.
+  void AddMissing(const std::vector<std::pair<int64_t, int64_t>>& spans,
+                  int64_t t0, int64_t t1);
+  /// Fold another result's completeness into this one.
+  void MergeCompleteness(const Completeness& o);
+  /// Back to the pristine complete state.
+  void ResetCompleteness() {
+    complete = true;
+    missing_ranges.clear();
+  }
 };
 
 /// How a read should behave when part of the store is unreachable (slow

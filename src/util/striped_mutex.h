@@ -27,7 +27,14 @@ class StripedMutexTable {
   /// The stripe for `key`. The same key always maps to the same mutex;
   /// distinct keys may share one (callers must tolerate spurious
   /// serialization, never rely on distinctness).
-  std::mutex& For(uint64_t key) const { return mutexes_[Mix(key) & mask_]; }
+  std::mutex& For(uint64_t key) const { return mutexes_[IndexFor(key)]; }
+
+  /// The stripe index for `key` — lets callers keep side tables (e.g.
+  /// per-stripe statistics updated under the stripe lock) aligned with
+  /// the mutex that guards them.
+  size_t IndexFor(uint64_t key) const { return Mix(key) & mask_; }
+
+  std::mutex& MutexAt(size_t index) const { return mutexes_[index]; }
 
   size_t stripes() const { return mask_ + 1; }
 

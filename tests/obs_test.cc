@@ -1,0 +1,511 @@
+// Observability subsystem suite (`ctest -L concurrency`, runs under TSan):
+//   - Histogram bucket math and percentile estimates vs a reference
+//     quantile (log-scale buckets guarantee estimates within 2x).
+//   - Multi-threaded Histogram/Counter hammer: totals must be exact and
+//     the recording path race-free.
+//   - EventTrace ring semantics: bounded size, monotone seqs, drop
+//     detection via total_recorded().
+//   - MetricsSnapshot::ToJson schema stability (exact string) and
+//     Prometheus text exposition.
+//   - DB-level: TimeUnionDB::Metrics() covers ingest/flush/compaction/
+//     query/slow-tier instruments after a real workload; HealthReport and
+//     CountersReport are views over the same snapshot; metrics.jsonl
+//     emission; DBOptions::Validate rejections.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/timeunion_db.h"
+#include "obs/metrics.h"
+#include "util/mmap_file.h"
+
+namespace tu {
+namespace {
+
+using core::DBOptions;
+using core::QueryResult;
+using core::TimeUnionDB;
+using index::TagMatcher;
+
+// -- Histogram ----------------------------------------------------------------
+
+TEST(HistogramTest, BucketMath) {
+  EXPECT_EQ(obs::Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketFor(1), 1u);
+  EXPECT_EQ(obs::Histogram::BucketFor(2), 2u);
+  EXPECT_EQ(obs::Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(obs::Histogram::BucketFor(4), 3u);
+  EXPECT_EQ(obs::Histogram::BucketFor(1023), 10u);
+  EXPECT_EQ(obs::Histogram::BucketFor(1024), 11u);
+  EXPECT_EQ(obs::Histogram::BucketFor(UINT64_MAX),
+            obs::Histogram::kBuckets - 1);
+  // Every value lands inside its bucket's [lower, upper) range.
+  for (uint64_t us : {0ull, 1ull, 7ull, 100ull, 4096ull, 1000000ull}) {
+    const size_t b = obs::Histogram::BucketFor(us);
+    EXPECT_GE(us, obs::Histogram::BucketLower(b));
+    EXPECT_LT(us, obs::Histogram::BucketUpper(b));
+  }
+}
+
+TEST(HistogramTest, CountSumMax) {
+  obs::Histogram h;
+  uint64_t sum = 0;
+  for (uint64_t v = 0; v < 100; ++v) {
+    h.Observe(v);
+    sum += v;
+  }
+  const obs::HistogramSnapshot s = h.Snapshot("t");
+  EXPECT_EQ(s.name, "t");
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum_us, sum);
+  EXPECT_EQ(s.max_us, 99u);
+  EXPECT_LE(s.p50_us, static_cast<double>(s.max_us));
+  EXPECT_LE(s.p99_us, static_cast<double>(s.max_us));
+}
+
+// Reference quantile (nearest-rank) over the raw observations.
+uint64_t ReferenceQuantile(std::vector<uint64_t> v, double q) {
+  std::sort(v.begin(), v.end());
+  size_t rank = static_cast<size_t>(q * static_cast<double>(v.size()));
+  if (rank < 1) rank = 1;
+  if (rank > v.size()) rank = v.size();
+  return v[rank - 1];
+}
+
+TEST(HistogramTest, PercentilesTrackReferenceQuantile) {
+  // A skewed latency-like distribution: mostly fast ops, a slow tail.
+  obs::Histogram h;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 2000; ++i) values.push_back(20 + (i * 7) % 80);
+  for (int i = 0; i < 200; ++i) values.push_back(1000 + (i * 13) % 3000);
+  for (int i = 0; i < 20; ++i) values.push_back(50000 + i * 1000);
+  for (uint64_t v : values) h.Observe(v);
+
+  const obs::HistogramSnapshot s = h.Snapshot("lat");
+  for (const auto& [est, q] : {std::pair<double, double>{s.p50_us, 0.50},
+                               {s.p90_us, 0.90},
+                               {s.p99_us, 0.99}}) {
+    const double ref = static_cast<double>(ReferenceQuantile(values, q));
+    // The estimate interpolates inside the power-of-two bucket holding the
+    // true quantile, so it is within a factor of 2 by construction.
+    EXPECT_GE(est, ref * 0.5) << "q=" << q;
+    EXPECT_LE(est, ref * 2.0) << "q=" << q;
+  }
+  EXPECT_LE(s.p50_us, s.p90_us);
+  EXPECT_LE(s.p90_us, s.p99_us);
+  EXPECT_LE(s.p99_us, static_cast<double>(s.max_us));
+}
+
+// 8 threads hammer one histogram + one counter; totals must be exact.
+// Runs under TSan via the concurrency label (scripts/tsan.sh).
+TEST(HistogramTest, ConcurrentHammerExactTotals) {
+  obs::MetricsRegistry reg;
+  obs::Histogram* h = reg.histogram("hammer_us");
+  obs::Counter* c = reg.counter("hammer_ops");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Observe(static_cast<uint64_t>((i + t) % 1000));
+        c->Add();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterOr0("hammer_ops"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const obs::HistogramSnapshot* hs = snap.FindHistogram("hammer_us");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_LE(hs->max_us, 1006u);
+}
+
+// -- EventTrace ---------------------------------------------------------------
+
+TEST(EventTraceTest, RingBoundsAndSequenceNumbers) {
+  obs::EventTrace trace(4);
+  for (int i = 0; i < 10; ++i) {
+    trace.Record("kind", "detail " + std::to_string(i));
+  }
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  const std::vector<obs::TraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 4u);  // ring kept only the newest `capacity`
+  // Drop detection: the first retained seq is > 0 when history was lost.
+  EXPECT_EQ(events.front().seq, 6u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+  EXPECT_EQ(events.back().detail, "detail 9");
+}
+
+// -- Registry -----------------------------------------------------------------
+
+TEST(RegistryTest, StablePointersPerName) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c1 = reg.counter("a");
+  obs::Counter* c2 = reg.counter("a");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(reg.counter("b"), c1);
+  EXPECT_EQ(reg.histogram("h"), reg.histogram("h"));
+  EXPECT_EQ(reg.gauge("g"), reg.gauge("g"));
+}
+
+// -- Snapshot serialization ---------------------------------------------------
+
+// The JSON schema is a public contract (metrics.jsonl consumers, the CI
+// bench-smoke parse check); this pins it byte-for-byte on a deterministic
+// snapshot.
+TEST(SnapshotTest, ToJsonSchemaIsStable) {
+  obs::MetricsSnapshot snap;
+  snap.counters.emplace_back("ops", 3);
+  snap.gauges.emplace_back("level", -2);
+  obs::HistogramSnapshot h;
+  h.name = "lat_us";
+  h.count = 2;
+  h.sum_us = 6;
+  h.max_us = 4;
+  h.p50_us = 2.0;
+  h.p90_us = 4.0;
+  h.p99_us = 4.0;
+  snap.histograms.push_back(h);
+  obs::TraceEvent e;
+  e.seq = 0;
+  e.wall_ms = 1234;
+  e.kind = "flush";
+  e.detail = "partitions=1";
+  snap.events.push_back(e);
+  snap.Canonicalize();
+
+  EXPECT_EQ(snap.ToJson(),
+            "{\"counters\":{\"ops\":3},"
+            "\"gauges\":{\"level\":-2},"
+            "\"histograms\":{\"lat_us\":{\"count\":2,\"sum_us\":6,"
+            "\"max_us\":4,\"p50_us\":2.0,\"p90_us\":4.0,\"p99_us\":4.0}},"
+            "\"events\":[{\"seq\":0,\"wall_ms\":1234,\"kind\":\"flush\","
+            "\"detail\":\"partitions=1\"}]}");
+}
+
+TEST(SnapshotTest, ToJsonEscapesStrings) {
+  obs::MetricsSnapshot snap;
+  obs::TraceEvent e;
+  e.kind = "k\"ind";
+  e.detail = "line1\nline2\\";
+  snap.events.push_back(e);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("k\\\"ind"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\\\"), std::string::npos);
+}
+
+TEST(SnapshotTest, PrometheusTextExposition) {
+  obs::MetricsSnapshot snap;
+  snap.counters.emplace_back("ingest.samples", 42);
+  snap.gauges.emplace_back("lsm.fast_bytes", 7);
+  obs::HistogramSnapshot h;
+  h.name = "query.e2e_us";
+  h.count = 1;
+  h.sum_us = 5;
+  h.max_us = 5;
+  h.p50_us = h.p90_us = h.p99_us = 5.0;
+  snap.histograms.push_back(h);
+
+  const std::string text = snap.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE tu_ingest_samples counter\n"), std::string::npos);
+  EXPECT_NE(text.find("tu_ingest_samples 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tu_lsm_fast_bytes gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("tu_query_e2e_us{quantile=\"0.99\"} 5.0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tu_query_e2e_us_count 1\n"), std::string::npos);
+}
+
+// -- DB-level -----------------------------------------------------------------
+
+// Tiny partitions so a modest workload spans head + L0/L1 + slow-tier L2
+// (same shape as query_pipeline_test).
+DBOptions SmallPartitionOptions(const std::string& ws) {
+  DBOptions opts;
+  opts.workspace = ws;
+  opts.env_options = cloud::TieredEnvOptions::Instant();
+  opts.samples_per_chunk = 4;
+  opts.lsm.memtable_bytes = 8 << 10;
+  opts.lsm.l0_partition_ms = 1000;
+  opts.lsm.l2_partition_ms = 4000;
+  opts.lsm.partition_lower_bound_ms = 1000;
+  opts.lsm.partition_upper_bound_ms = 4000;
+  opts.lsm.l0_partition_trigger = 1;
+  return opts;
+}
+
+TEST(DbMetricsTest, SnapshotCoversWholePipeline) {
+  const std::string ws = "/tmp/timeunion_test/obs_pipeline";
+  RemoveDirRecursive(ws);
+  std::unique_ptr<TimeUnionDB> db;
+  ASSERT_TRUE(TimeUnionDB::Open(SmallPartitionOptions(ws), &db).ok());
+
+  constexpr int kTotal = 2000;
+  uint64_t ref = 0;
+  ASSERT_TRUE(db->Insert({{"m", "cpu"}}, 0, 0.0, &ref).ok());
+  for (int i = 1; i < kTotal; ++i) {
+    ASSERT_TRUE(db->InsertFast(ref, i * 250LL, 1.0 * i).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_GT(db->time_lsm()->NumL2Partitions(), 0u);
+
+  QueryResult result;
+  ASSERT_TRUE(db->Query({TagMatcher::Equal("m", "cpu")}, 0, kTotal * 250LL,
+                        &result)
+                  .ok());
+  ASSERT_EQ(result.size(), 1u);
+
+  const obs::MetricsSnapshot snap = db->Metrics();
+  // Ingest counters bump on every append; latency is sampled.
+  EXPECT_EQ(snap.CounterOr0("ingest.samples"), static_cast<uint64_t>(kTotal));
+  EXPECT_GT(snap.CounterOr0("flush.chunks"), 0u);
+  const obs::HistogramSnapshot* ingest = snap.FindHistogram("ingest.append_us");
+  ASSERT_NE(ingest, nullptr);
+  EXPECT_GT(ingest->count, 0u);  // 2000 appends → ~31 sampled at 1/64
+  EXPECT_LE(ingest->count, static_cast<uint64_t>(kTotal));
+
+  // Flush / LSM background instruments.
+  for (const char* name : {"flush.chunk_us", "lsm.memflush_us",
+                           "lsm.table_build_us"}) {
+    const obs::HistogramSnapshot* h = snap.FindHistogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GT(h->count, 0u) << name;
+    EXPECT_GE(h->max_us, h->p99_us) << name;
+  }
+  EXPECT_GT(snap.CounterOr0("lsm.flushes"), 0u);
+
+  // Slow-tier ops carry the cost model's charged latency per op.
+  const obs::HistogramSnapshot* put = snap.FindHistogram("slow.put_us");
+  ASSERT_NE(put, nullptr);
+  EXPECT_EQ(put->count, snap.CounterOr0("slow.puts"));
+  EXPECT_GT(put->count, 0u);
+  // Instant() charges ~0us/op, so assert the recorded sum tracks the cost
+  // model rather than a positive value.
+  EXPECT_LE(put->sum_us, snap.CounterOr0("slow.charged_us"));
+
+  // Query pipeline: e2e histogram + stats folded into query.* totals.
+  const obs::HistogramSnapshot* e2e = snap.FindHistogram("query.e2e_us");
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_EQ(e2e->count, 1u);
+  EXPECT_EQ(snap.CounterOr0("query.runs"), 1u);
+  EXPECT_GT(snap.CounterOr0("query.chunks_decoded"), 0u);
+  EXPECT_GT(result.stats.setup_us + result.stats.drain_us, 0u);
+  EXPECT_EQ(snap.CounterOr0("query.setup_us_total"), result.stats.setup_us);
+  EXPECT_EQ(snap.CounterOr0("query.drain_us_total"), result.stats.drain_us);
+
+  // Background-job events were traced (at least the memtable flushes).
+  EXPECT_FALSE(snap.events.empty());
+  bool saw_flush = false;
+  for (const obs::TraceEvent& e : snap.events) {
+    if (e.kind == "flush") saw_flush = true;
+  }
+  EXPECT_TRUE(saw_flush);
+
+  // The snapshot serializes.
+  EXPECT_FALSE(snap.ToJson().empty());
+  EXPECT_FALSE(snap.ToPrometheusText().empty());
+
+  db.reset();
+  RemoveDirRecursive(ws);
+}
+
+// HealthReport is a typed view over Metrics(); on a quiesced DB the two
+// must agree field by field.
+TEST(DbMetricsTest, HealthReportMatchesMetricsSnapshot) {
+  const std::string ws = "/tmp/timeunion_test/obs_health";
+  RemoveDirRecursive(ws);
+  std::unique_ptr<TimeUnionDB> db;
+  ASSERT_TRUE(TimeUnionDB::Open(SmallPartitionOptions(ws), &db).ok());
+
+  uint64_t ref = 0;
+  ASSERT_TRUE(db->Insert({{"m", "cpu"}}, 0, 0.0, &ref).ok());
+  for (int i = 1; i < 500; ++i) {
+    ASSERT_TRUE(db->InsertFast(ref, i * 250LL, 1.0 * i).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  QueryResult result;
+  ASSERT_TRUE(db->Query({TagMatcher::Equal("m", "cpu")}, 0, 500 * 250LL,
+                        &result)
+                  .ok());
+
+  const core::HealthReport health = db->HealthReport();
+  const obs::MetricsSnapshot snap = db->Metrics();
+  EXPECT_EQ(health.breaker_enabled, snap.GaugeOr0("breaker.enabled") != 0);
+  EXPECT_EQ(static_cast<int64_t>(health.slow_breaker),
+            snap.GaugeOr0("breaker.state"));
+  EXPECT_EQ(health.breaker_rejections,
+            snap.CounterOr0("slow.breaker_rejections"));
+  EXPECT_EQ(health.breaker_opens, snap.CounterOr0("slow.breaker_opens"));
+  EXPECT_EQ(health.deferred_tables,
+            static_cast<size_t>(snap.GaugeOr0("lsm.deferred_tables")));
+  EXPECT_EQ(health.fast_bytes,
+            static_cast<uint64_t>(snap.GaugeOr0("lsm.fast_bytes")));
+  EXPECT_EQ(health.writers_delayed,
+            snap.CounterOr0("admission.writers_delayed"));
+  EXPECT_EQ(health.writes_rejected,
+            snap.CounterOr0("admission.writes_rejected"));
+  EXPECT_EQ(health.block_cache_enabled, snap.GaugeOr0("cache.enabled") != 0);
+  EXPECT_EQ(health.block_cache_hits, snap.CounterOr0("cache.hits"));
+  EXPECT_EQ(health.block_cache_misses, snap.CounterOr0("cache.misses"));
+  EXPECT_TRUE(health.last_background_error.ok());
+
+  db.reset();
+  RemoveDirRecursive(ws);
+}
+
+// CountersReport is a formatter over the same snapshot: its tier lines
+// must match the TieredEnv's own report exactly on a quiesced DB.
+TEST(DbMetricsTest, CountersReportMatchesEnvReport) {
+  const std::string ws = "/tmp/timeunion_test/obs_counters";
+  RemoveDirRecursive(ws);
+  std::unique_ptr<TimeUnionDB> db;
+  ASSERT_TRUE(TimeUnionDB::Open(SmallPartitionOptions(ws), &db).ok());
+
+  uint64_t ref = 0;
+  ASSERT_TRUE(db->Insert({{"m", "cpu"}}, 0, 0.0, &ref).ok());
+  for (int i = 1; i < 1000; ++i) {
+    ASSERT_TRUE(db->InsertFast(ref, i * 250LL, 1.0 * i).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+
+  const std::string env_report = db->env().CountersReport();
+  const std::string db_report = db->CountersReport();
+  EXPECT_EQ(db_report.substr(0, env_report.size()), env_report);
+  EXPECT_NE(db_report.find("\nblock_cache: hits="), std::string::npos);
+  EXPECT_NE(db_report.find("\nqueries: run=0 "), std::string::npos);
+
+  db.reset();
+  RemoveDirRecursive(ws);
+}
+
+// metrics.enabled = false: hot paths record nothing, but Metrics() still
+// reports the externally-derived counters.
+TEST(DbMetricsTest, DisabledMetricsStillReportExternalCounters) {
+  const std::string ws = "/tmp/timeunion_test/obs_disabled";
+  RemoveDirRecursive(ws);
+  DBOptions opts = SmallPartitionOptions(ws);
+  opts.metrics.enabled = false;
+  std::unique_ptr<TimeUnionDB> db;
+  ASSERT_TRUE(TimeUnionDB::Open(opts, &db).ok());
+
+  uint64_t ref = 0;
+  ASSERT_TRUE(db->Insert({{"m", "cpu"}}, 0, 0.0, &ref).ok());
+  for (int i = 1; i < 200; ++i) {
+    ASSERT_TRUE(db->InsertFast(ref, i * 250LL, 1.0 * i).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+
+  const obs::MetricsSnapshot snap = db->Metrics();
+  EXPECT_EQ(snap.FindHistogram("ingest.append_us"), nullptr);
+  EXPECT_EQ(snap.CounterOr0("ingest.samples"), 0u);
+  EXPECT_GT(snap.CounterOr0("fast.puts"), 0u);  // external tier counters
+  EXPECT_GT(snap.CounterOr0("lsm.flushes"), 0u);
+
+  db.reset();
+  RemoveDirRecursive(ws);
+}
+
+// emit_jsonl: the maintenance tick appends parseable JSON lines.
+TEST(DbMetricsTest, MaintenanceEmitsMetricsJsonl) {
+  const std::string ws = "/tmp/timeunion_test/obs_jsonl";
+  RemoveDirRecursive(ws);
+  DBOptions opts = SmallPartitionOptions(ws);
+  opts.background_maintenance = true;
+  opts.maintenance_interval_ms = 10;
+  opts.metrics.emit_jsonl = true;
+  std::unique_ptr<TimeUnionDB> db;
+  ASSERT_TRUE(TimeUnionDB::Open(opts, &db).ok());
+
+  uint64_t ref = 0;
+  ASSERT_TRUE(db->Insert({{"m", "cpu"}}, 0, 1.0, &ref).ok());
+
+  const std::string path = ws + "/metrics.jsonl";
+  std::string line;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::ifstream in(path);
+    if (in && std::getline(in, line) && !line.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_FALSE(line.empty()) << "no metrics.jsonl line after 2s";
+  EXPECT_EQ(line.rfind("{\"ts_ms\":", 0), 0u);
+  EXPECT_NE(line.find(",\"metrics\":{\"counters\":{"), std::string::npos);
+  EXPECT_EQ(line.back(), '}');
+
+  db.reset();
+  RemoveDirRecursive(ws);
+}
+
+// -- DBOptions::Validate ------------------------------------------------------
+
+TEST(DBOptionsValidateTest, RejectsIncoherentConfigs) {
+  const std::string ws = "/tmp/timeunion_test/obs_validate";
+  RemoveDirRecursive(ws);
+  auto expect_invalid = [&](DBOptions opts, const std::string& field) {
+    opts.workspace = ws;
+    std::unique_ptr<TimeUnionDB> db;
+    const Status s = TimeUnionDB::Open(std::move(opts), &db);
+    EXPECT_TRUE(s.IsInvalidArgument()) << field << ": " << s.ToString();
+    EXPECT_NE(s.ToString().find(field), std::string::npos) << s.ToString();
+  };
+
+  {
+    DBOptions opts;
+    opts.samples_per_chunk = 0;
+    expect_invalid(std::move(opts), "samples_per_chunk");
+  }
+  {
+    DBOptions opts;
+    opts.registry_shards = 0;
+    expect_invalid(std::move(opts), "registry_shards");
+  }
+  {
+    DBOptions opts;
+    opts.append_lock_stripes = 0;
+    expect_invalid(std::move(opts), "append_lock_stripes");
+  }
+  {
+    DBOptions opts;
+    opts.retention_ms = -1;
+    expect_invalid(std::move(opts), "retention_ms");
+  }
+  {
+    DBOptions opts;
+    opts.admission.enabled = true;
+    opts.admission.soft_watermark = 1.0;
+    opts.admission.hard_watermark = 0.5;  // hard below soft
+    opts.lsm.fast_storage_limit_bytes = 1 << 20;
+    expect_invalid(std::move(opts), "hard_watermark");
+  }
+  {
+    DBOptions opts;
+    opts.admission.enabled = true;  // no fast_storage_limit_bytes budget
+    expect_invalid(std::move(opts), "fast_storage_limit_bytes");
+  }
+  RemoveDirRecursive(ws);
+}
+
+TEST(DBOptionsValidateTest, AcceptsEqualWatermarksAndDefaults) {
+  EXPECT_TRUE(DBOptions{}.Validate().ok());
+  // hard == soft is a valid (reject-at-the-watermark) configuration.
+  DBOptions opts;
+  opts.admission.enabled = true;
+  opts.admission.soft_watermark = 1.0;
+  opts.admission.hard_watermark = 1.0;
+  opts.lsm.fast_storage_limit_bytes = 1 << 20;
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
+}  // namespace
+}  // namespace tu

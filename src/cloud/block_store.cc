@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -38,7 +39,19 @@ class PosixWritableFile : public WritableFile {
         write_bytes = keep;
       }
     }
+    // Silent at-rest corruption: a write-side corruption rule replaces the
+    // payload while the Append still reports success.
+    std::string corrupted;
     const char* p = data.data();
+    if (store_->fault() != nullptr) {
+      corrupted.assign(data.data(), write_bytes);
+      if (store_->fault()->InterceptWritePayload(FaultOp::kAppend, fname_,
+                                                 &corrupted)) {
+        store_->CountFault();
+        p = corrupted.data();
+        write_bytes = corrupted.size();
+      }
+    }
     size_t left = write_bytes;
     while (left > 0) {
       ssize_t n = ::write(fd_, p, left);
@@ -112,7 +125,13 @@ class PosixRandomAccessFile : public RandomAccessFile {
     if (got < 0) {
       return Status::IOError("pread " + fname_ + ": " + strerror(errno));
     }
-    *result = Slice(scratch->data(), static_cast<size_t>(got));
+    scratch->resize(static_cast<size_t>(got));
+    if (store_->fault() != nullptr) {
+      // Silent on-read corruption: bytes mutate between the disk and the
+      // caller; only a checksum can tell.
+      store_->fault()->InterceptReadPayload(FaultOp::kGet, fname_, scratch);
+    }
+    *result = Slice(scratch->data(), scratch->size());
     store_->ChargeRead(fname_, static_cast<uint64_t>(got));
     if (n > 0 && got == 0) {
       // Same boundary rule as ObjectStore::GetRange: short reads within the
@@ -287,6 +306,36 @@ Status BlockStore::ListDir(const std::string& dir,
 
 Status BlockStore::CreateDir(const std::string& dir) {
   return EnsureDir(FullPath(dir));
+}
+
+Status BlockStore::CorruptFileAtRest(const std::string& fname, uint64_t offset,
+                                     uint8_t xor_mask) {
+  const std::string path = FullPath(fname);
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(fname);
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size == 0) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot corrupt empty file " + fname);
+  }
+  off_t pos = static_cast<off_t>(
+      std::min<uint64_t>(offset, static_cast<uint64_t>(st.st_size) - 1));
+  char b = 0;
+  if (::pread(fd, &b, 1, pos) != 1) {
+    ::close(fd);
+    return Status::IOError("pread " + path + ": " + strerror(errno));
+  }
+  b = static_cast<char>(static_cast<uint8_t>(b) ^
+                        (xor_mask != 0 ? xor_mask : 0x01));
+  ssize_t wrote = ::pwrite(fd, &b, 1, pos);
+  ::close(fd);
+  if (wrote != 1) {
+    return Status::IOError("pwrite " + path + ": " + strerror(errno));
+  }
+  return Status::OK();
 }
 
 uint64_t BlockStore::TotalBytesUsed() const {

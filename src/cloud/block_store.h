@@ -63,6 +63,12 @@ class BlockStore {
   /// Total bytes stored under the root (the "EBS usage" of Figs. 18/19).
   uint64_t TotalBytesUsed() const;
 
+  /// Test hook: silently XOR `xor_mask` into the stored byte at `offset`
+  /// (clamped to the file), planting at-rest corruption without going
+  /// through the write path. Bypasses counters and the injector.
+  Status CorruptFileAtRest(const std::string& fname, uint64_t offset,
+                           uint8_t xor_mask = 0x01);
+
   const TierCounters& counters() const { return counters_; }
   TierCounters& counters() { return counters_; }
   const TierSimOptions& sim() const { return sim_; }

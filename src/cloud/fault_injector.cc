@@ -1,5 +1,6 @@
 #include "cloud/fault_injector.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -38,6 +39,73 @@ FaultRule FaultRule::TornWrite(uint32_t op_mask, uint64_t fail_nth,
   return rule;
 }
 
+FaultRule FaultRule::BitFlipRead(double probability, std::string key_prefix,
+                                 uint64_t offset, uint8_t mask) {
+  FaultRule rule;
+  rule.ops = FaultOpMask(FaultOp::kGet);
+  rule.probability = probability;
+  rule.key_prefix = std::move(key_prefix);
+  rule.kind = Kind::kBitFlipRead;
+  rule.corrupt_offset = offset;
+  rule.corrupt_mask = mask;
+  return rule;
+}
+
+FaultRule FaultRule::BitFlipWrite(uint64_t fail_nth, std::string key_prefix,
+                                  uint64_t offset, uint8_t mask) {
+  FaultRule rule;
+  rule.ops = FaultOp::kPut | FaultOp::kAppend;
+  rule.fail_nth = fail_nth;
+  rule.max_fires = 1;
+  rule.key_prefix = std::move(key_prefix);
+  rule.kind = Kind::kBitFlipWrite;
+  rule.corrupt_offset = offset;
+  rule.corrupt_mask = mask;
+  return rule;
+}
+
+FaultRule FaultRule::TruncateRead(uint64_t fail_nth, uint64_t keep_bytes,
+                                  std::string key_prefix) {
+  FaultRule rule;
+  rule.ops = FaultOpMask(FaultOp::kGet);
+  rule.fail_nth = fail_nth;
+  rule.max_fires = 1;
+  rule.key_prefix = std::move(key_prefix);
+  rule.kind = Kind::kTruncateRead;
+  rule.corrupt_offset = keep_bytes;
+  return rule;
+}
+
+FaultRule FaultRule::TruncateWrite(uint64_t fail_nth, uint64_t keep_bytes,
+                                   std::string key_prefix) {
+  FaultRule rule;
+  rule.ops = FaultOp::kPut | FaultOp::kAppend;
+  rule.fail_nth = fail_nth;
+  rule.max_fires = 1;
+  rule.key_prefix = std::move(key_prefix);
+  rule.kind = Kind::kTruncateWrite;
+  rule.corrupt_offset = keep_bytes;
+  return rule;
+}
+
+namespace {
+
+bool IsReadCorruption(FaultRule::Kind kind) {
+  return kind == FaultRule::Kind::kBitFlipRead ||
+         kind == FaultRule::Kind::kTruncateRead;
+}
+
+bool IsWriteCorruption(FaultRule::Kind kind) {
+  return kind == FaultRule::Kind::kBitFlipWrite ||
+         kind == FaultRule::Kind::kTruncateWrite;
+}
+
+bool IsCorruption(FaultRule::Kind kind) {
+  return IsReadCorruption(kind) || IsWriteCorruption(kind);
+}
+
+}  // namespace
+
 void FaultInjector::AddRule(FaultRule rule) {
   std::lock_guard<std::mutex> lock(mu_);
   rules_.push_back(std::move(rule));
@@ -73,6 +141,9 @@ Status FaultInjector::InterceptWrite(FaultOp op, const std::string& key,
   *keep_bytes = 0;
   std::lock_guard<std::mutex> lock(mu_);
   for (FaultRule& rule : rules_) {
+    // Corruption kinds fire from the payload interceptors, not here — the
+    // operation itself must succeed for the corruption to be silent.
+    if (IsCorruption(rule.kind)) continue;
     if ((rule.ops & FaultOpMask(op)) == 0) continue;
     if (!rule.key_prefix.empty() &&
         key.compare(0, rule.key_prefix.size(), rule.key_prefix) != 0) {
@@ -107,9 +178,83 @@ Status FaultInjector::InterceptWrite(FaultOp op, const std::string& key,
                      key.c_str());
         std::fflush(stderr);
         std::_Exit(kFaultCrashExitCode);
+      default:  // corruption kinds were skipped above
+        break;
     }
   }
   return Status::OK();
+}
+
+bool FaultInjector::MutatePayload(FaultOp op, const std::string& key,
+                                  bool write_side, std::string* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool mutated = false;
+  for (FaultRule& rule : rules_) {
+    if (write_side ? !IsWriteCorruption(rule.kind)
+                   : !IsReadCorruption(rule.kind)) {
+      continue;
+    }
+    if ((rule.ops & FaultOpMask(op)) == 0) continue;
+    if (!rule.key_prefix.empty() &&
+        key.compare(0, rule.key_prefix.size(), rule.key_prefix) != 0) {
+      continue;
+    }
+    rule.matches++;
+    if (rule.max_fires >= 0 &&
+        rule.fires >= static_cast<uint64_t>(rule.max_fires)) {
+      continue;
+    }
+    bool fire = false;
+    if (rule.fail_nth > 0) {
+      fire = (rule.matches == rule.fail_nth);
+    } else if (rule.probability > 0.0) {
+      fire = (rng_.NextDouble() < rule.probability);
+    }
+    if (!fire) continue;
+    rule.fires++;
+    faults_injected_++;
+    switch (rule.kind) {
+      case FaultRule::Kind::kBitFlipRead:
+      case FaultRule::Kind::kBitFlipWrite: {
+        if (data->empty()) break;
+        size_t pos;
+        if (rule.corrupt_offset == FaultRule::kUseRandomOffset) {
+          pos = static_cast<size_t>(rng_.Next64() % data->size());
+        } else {
+          pos = static_cast<size_t>(
+              std::min<uint64_t>(rule.corrupt_offset, data->size() - 1));
+        }
+        uint8_t mask = rule.corrupt_mask != 0 ? rule.corrupt_mask : 0x01;
+        (*data)[pos] = static_cast<char>(
+            static_cast<uint8_t>((*data)[pos]) ^ mask);
+        mutated = true;
+        break;
+      }
+      case FaultRule::Kind::kTruncateRead:
+      case FaultRule::Kind::kTruncateWrite: {
+        size_t keep = static_cast<size_t>(
+            std::min<uint64_t>(rule.corrupt_offset, data->size()));
+        if (keep >= data->size() && !data->empty()) keep = data->size() - 1;
+        data->resize(keep);
+        mutated = true;
+        break;
+      }
+      default:
+        break;
+    }
+    if (mutated) return true;  // one firing rule corrupts per payload
+  }
+  return false;
+}
+
+void FaultInjector::InterceptReadPayload(FaultOp op, const std::string& key,
+                                         std::string* data) {
+  MutatePayload(op, key, /*write_side=*/false, data);
+}
+
+bool FaultInjector::InterceptWritePayload(FaultOp op, const std::string& key,
+                                          std::string* data) {
+  return MutatePayload(op, key, /*write_side=*/true, data);
 }
 
 void FaultInjector::MaybeCrash(const std::string& site) {

@@ -56,6 +56,14 @@ struct FaultRule {
     kPermanent,  // non-retryable: Status::IOError
     kTornWrite,  // persist only torn_keep_fraction of the payload, then fail
     kCrash,      // _Exit the process at the matched operation
+    // Silent corruption: the operation *succeeds* but the payload is wrong.
+    // Read-side kinds mutate the bytes returned to the caller (the at-rest
+    // copy stays intact: a poisoned cache / flaky NIC model); write-side
+    // kinds mutate the bytes before they are persisted (at-rest bit rot).
+    kBitFlipRead,    // XOR corrupt_mask into the byte at corrupt_offset
+    kTruncateRead,   // drop the payload tail past corrupt_offset
+    kBitFlipWrite,   // persist with one byte XORed by corrupt_mask
+    kTruncateWrite,  // persist only the first corrupt_offset bytes
   };
 
   uint32_t ops = kAllFaultOps;  // bitmask of FaultOp
@@ -65,6 +73,12 @@ struct FaultRule {
   int max_fires = -1;           // -1 = unlimited
   Kind kind = Kind::kTransient;
   double torn_keep_fraction = 0.5;  // kTornWrite: payload prefix persisted
+  // Corruption kinds: byte position within the payload (clamped to its
+  // length; kUseRandomOffset picks a seeded-random position per firing) and
+  // the XOR mask applied there for the bit-flip variants.
+  static constexpr uint64_t kUseRandomOffset = ~0ull;
+  uint64_t corrupt_offset = kUseRandomOffset;
+  uint8_t corrupt_mask = 0x01;
 
   // -- Convenience constructors -------------------------------------------
   static FaultRule Transient(uint32_t op_mask, double probability,
@@ -73,6 +87,16 @@ struct FaultRule {
                              std::string key_prefix = "");
   static FaultRule TornWrite(uint32_t op_mask, uint64_t fail_nth,
                              double keep_fraction, std::string key_prefix = "");
+  static FaultRule BitFlipRead(double probability, std::string key_prefix = "",
+                               uint64_t offset = kUseRandomOffset,
+                               uint8_t mask = 0x01);
+  static FaultRule BitFlipWrite(uint64_t fail_nth, std::string key_prefix = "",
+                                uint64_t offset = kUseRandomOffset,
+                                uint8_t mask = 0x01);
+  static FaultRule TruncateRead(uint64_t fail_nth, uint64_t keep_bytes,
+                                std::string key_prefix = "");
+  static FaultRule TruncateWrite(uint64_t fail_nth, uint64_t keep_bytes,
+                                 std::string key_prefix = "");
 
   // -- Internal trigger bookkeeping (mutated by the injector) -------------
   uint64_t matches = 0;
@@ -110,6 +134,21 @@ class FaultInjector {
   Status InterceptWrite(FaultOp op, const std::string& key, size_t size,
                         size_t* keep_bytes);
 
+  /// Consulted after a successful read, before the payload is handed to the
+  /// caller. A matching corruption rule (kBitFlipRead / kTruncateRead)
+  /// silently mutates `*data` in place — the operation still reports OK,
+  /// which is the whole point: only checksums can catch it.
+  void InterceptReadPayload(FaultOp op, const std::string& key,
+                            std::string* data);
+
+  /// Consulted with a copy of the payload before it is persisted. Returns
+  /// true (and mutates `*data`) when a write-side corruption rule
+  /// (kBitFlipWrite / kTruncateWrite) fires, so the caller persists the
+  /// corrupted bytes while reporting success. Returns false when no such
+  /// rule fires; non-corruption kinds never fire here.
+  bool InterceptWritePayload(FaultOp op, const std::string& key,
+                             std::string* data);
+
   /// Labeled crash site (no-op unless armed via ArmCrashPoint).
   void MaybeCrash(const std::string& site);
 
@@ -118,6 +157,9 @@ class FaultInjector {
   uint64_t CrashPointHits(const std::string& site) const;
 
  private:
+  bool MutatePayload(FaultOp op, const std::string& key, bool write_side,
+                     std::string* data);
+
   struct CrashPoint {
     uint64_t skip_hits = 0;
     uint64_t hits = 0;

@@ -120,13 +120,25 @@ Status ObjectStore::PutObjectImpl(const std::string& key, const Slice& data) {
       write_bytes = keep;
     }
   }
+  // Silent at-rest corruption: a write-side corruption rule replaces the
+  // payload while the Put still reports success.
+  std::string corrupted;
+  const char* payload = data.data();
+  if (sim_.fault != nullptr) {
+    corrupted.assign(data.data(), write_bytes);
+    if (sim_.fault->InterceptWritePayload(FaultOp::kPut, key, &corrupted)) {
+      counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      payload = corrupted.data();
+      write_bytes = corrupted.size();
+    }
+  }
   const std::string path = KeyPath(key);
   const std::string tmp = path + ".upload";
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return Status::IOError("open " + tmp + ": " + strerror(errno));
   }
-  const char* p = data.data();
+  const char* p = payload;
   size_t left = write_bytes;
   while (left > 0) {
     ssize_t n = ::write(fd, p, left);
@@ -182,6 +194,11 @@ Status ObjectStore::GetRangeImpl(const std::string& key, uint64_t offset,
     return Status::IOError("pread " + path + ": " + strerror(errno));
   }
   out->resize(static_cast<size_t>(got));
+  if (sim_.fault != nullptr) {
+    // Silent on-read corruption: the read succeeds but the bytes handed to
+    // the caller are wrong (poisoned cache / flaky NIC model).
+    sim_.fault->InterceptReadPayload(FaultOp::kGet, key, out);
+  }
   if (n > 0 && got == 0) {
     // Reads that start within the object return a (possibly short) prefix;
     // an offset at or past the end is a caller error, as in S3's 416.
@@ -281,6 +298,36 @@ Status ObjectStore::ListObjectsImpl(const std::string& prefix,
   }
   if (ec) return Status::IOError("list: " + ec.message());
   std::sort(keys->begin(), keys->end());
+  return Status::OK();
+}
+
+Status ObjectStore::CorruptObjectAtRest(const std::string& key,
+                                        uint64_t offset, uint8_t xor_mask) {
+  const std::string path = KeyPath(key);
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(key);
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size == 0) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot corrupt empty object " + key);
+  }
+  off_t pos = static_cast<off_t>(
+      std::min<uint64_t>(offset, static_cast<uint64_t>(st.st_size) - 1));
+  char b = 0;
+  if (::pread(fd, &b, 1, pos) != 1) {
+    ::close(fd);
+    return Status::IOError("pread " + path + ": " + strerror(errno));
+  }
+  b = static_cast<char>(static_cast<uint8_t>(b) ^
+                        (xor_mask != 0 ? xor_mask : 0x01));
+  ssize_t wrote = ::pwrite(fd, &b, 1, pos);
+  ::close(fd);
+  if (wrote != 1) {
+    return Status::IOError("pwrite " + path + ": " + strerror(errno));
+  }
   return Status::OK();
 }
 

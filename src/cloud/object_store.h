@@ -48,6 +48,12 @@ class ObjectStore {
   /// Total bytes stored (the S3 usage reports).
   uint64_t TotalBytesUsed() const;
 
+  /// Test hook: silently XOR `xor_mask` into the stored byte at `offset`
+  /// (clamped to the object), planting at-rest corruption without going
+  /// through the write path. Bypasses the breaker, counters and injector.
+  Status CorruptObjectAtRest(const std::string& key, uint64_t offset,
+                             uint8_t xor_mask = 0x01);
+
   const TierCounters& counters() const { return counters_; }
   TierCounters& counters() { return counters_; }
   const TierSimOptions& sim() const { return sim_; }

@@ -29,11 +29,16 @@ struct RetryPolicy {
   uint64_t total_budget_us = 5'000'000;
   /// Transient (Busy) errors always retry; IOError only if this is set.
   bool retry_io_errors = false;
+  /// Retry Corruption too. Off by default — corrupt data rarely heals on
+  /// re-read — but the upload read-back verify opts in, because re-putting
+  /// the source bytes does heal corruption that happened in flight.
+  bool retry_corruption = false;
   /// Actually sleep between attempts. Tests disable for speed.
   bool real_sleep = true;
 
   bool ShouldRetry(const Status& s) const {
-    return s.IsBusy() || (retry_io_errors && s.IsIOError());
+    return s.IsBusy() || (retry_io_errors && s.IsIOError()) ||
+           (retry_corruption && s.IsCorruption());
   }
 
   static RetryPolicy Default() { return RetryPolicy{}; }

@@ -1,0 +1,138 @@
+#include "core/scrub.h"
+
+namespace tu::core {
+
+namespace {
+/// Cursor file at the fast-tier root (outside the LSM directory, so the
+/// open-time orphan sweep never touches it).
+constexpr char kCursorFile[] = "SCRUB_CURSOR";
+}  // namespace
+
+Scrubber::Scrubber(lsm::TimePartitionedLsm* lsm, cloud::TieredEnv* env,
+                   ScrubOptions options, obs::MetricsRegistry* metrics)
+    : lsm_(lsm),
+      env_(env),
+      options_(options),
+      c_tables_scanned_(metrics->counter("scrub.tables_scanned")),
+      c_bytes_verified_(metrics->counter("scrub.bytes_verified")),
+      c_corruptions_found_(metrics->counter("scrub.corruptions_found")),
+      c_repaired_(metrics->counter("scrub.repaired")),
+      c_quarantined_(metrics->counter("scrub.quarantined")),
+      c_passes_(metrics->counter("scrub.passes")),
+      trace_(&metrics->trace()) {}
+
+Status Scrubber::LoadCursor(uint64_t* cursor) {
+  *cursor = 0;
+  if (!options_.persist_cursor) return Status::OK();
+  std::string contents;
+  Status s = env_->fast().ReadFileToString(kCursorFile, &contents);
+  if (s.IsNotFound()) return Status::OK();
+  TU_RETURN_IF_ERROR(s);
+  uint64_t value = 0;
+  for (char c : contents) {
+    if (c < '0' || c > '9') return Status::OK();  // garbage: restart pass
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *cursor = value;
+  return Status::OK();
+}
+
+void Scrubber::SaveCursor(uint64_t cursor) {
+  if (!options_.persist_cursor) return;
+  // Best effort: a lost cursor only costs re-verifying already-clean
+  // tables on the next pass.
+  (void)env_->fast().WriteStringToFile(kCursorFile, std::to_string(cursor));
+}
+
+Status Scrubber::ScrubFrom(uint64_t* cursor, uint64_t budget) {
+  using Outcome = lsm::TimePartitionedLsm::ScrubOutcome;
+  const auto tables = lsm_->ListTables();
+  uint64_t spent = 0;
+  size_t i = 0;
+  while (i < tables.size() && tables[i].table_id < *cursor) ++i;
+  for (; i < tables.size(); ++i) {
+    const uint64_t table_id = tables[i].table_id;
+    Outcome outcome = Outcome::kSkipped;
+    std::string detail;
+    uint64_t verified = 0;
+    Status s = lsm_->ScrubOneTable(table_id, options_.repair, &outcome,
+                                   &detail, &verified);
+    c_bytes_verified_->Add(verified);
+    spent += verified;
+    if (!s.ok()) {
+      // Environmental failure (tier unreachable): park the cursor on this
+      // table so the next tick retries it.
+      *cursor = table_id;
+      return s;
+    }
+    if (outcome != Outcome::kSkipped) c_tables_scanned_->Add();
+    const std::string label = "table=" + std::to_string(table_id);
+    switch (outcome) {
+      case Outcome::kClean:
+      case Outcome::kSkipped:
+        break;
+      case Outcome::kCorrupt:
+        c_corruptions_found_->Add();
+        trace_->Record("scrub.corrupt", label + " " + detail);
+        break;
+      case Outcome::kRepaired:
+        c_corruptions_found_->Add();
+        c_repaired_->Add();
+        trace_->Record("scrub.repair", label + " " + detail);
+        break;
+      case Outcome::kQuarantined:
+        c_corruptions_found_->Add();
+        c_quarantined_->Add();
+        trace_->Record("scrub.quarantine", label + " " + detail);
+        break;
+    }
+    if (budget != 0 && spent >= budget && i + 1 < tables.size()) {
+      *cursor = tables[i + 1].table_id;
+      return Status::OK();
+    }
+  }
+  // Pass complete; the next increment starts a fresh pass from the top.
+  c_passes_->Add();
+  trace_->Record("scrub.pass",
+                 "tables=" + std::to_string(tables.size()) +
+                     " bytes=" + std::to_string(spent));
+  *cursor = 0;
+  return Status::OK();
+}
+
+Status Scrubber::Tick() {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return Status::OK();  // another increment is running
+  if (!cursor_loaded_) {
+    TU_RETURN_IF_ERROR(LoadCursor(&cursor_));
+    cursor_loaded_ = true;
+  }
+  Status s = ScrubFrom(&cursor_, options_.bytes_per_tick);
+  SaveCursor(cursor_);
+  return s;
+}
+
+Status Scrubber::RunFullPass(PassReport* report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t scanned0 = c_tables_scanned_->value();
+  const uint64_t bytes0 = c_bytes_verified_->value();
+  const uint64_t found0 = c_corruptions_found_->value();
+  const uint64_t repaired0 = c_repaired_->value();
+  const uint64_t quarantined0 = c_quarantined_->value();
+
+  cursor_ = 0;
+  cursor_loaded_ = true;
+  Status s = ScrubFrom(&cursor_, /*budget=*/0);
+  SaveCursor(cursor_);
+
+  if (report != nullptr) {
+    report->tables_scanned = c_tables_scanned_->value() - scanned0;
+    report->bytes_verified = c_bytes_verified_->value() - bytes0;
+    report->corruptions_found = c_corruptions_found_->value() - found0;
+    report->repaired = c_repaired_->value() - repaired0;
+    report->quarantined = c_quarantined_->value() - quarantined0;
+  }
+  return s;
+}
+
+}  // namespace tu::core

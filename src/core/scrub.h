@@ -1,0 +1,96 @@
+// Background scrub (DESIGN.md "Data integrity and scrubbing"): an
+// incremental job that walks every manifest-listed table on both tiers,
+// verifies whole-object and per-block checksums, repairs corrupt copies
+// from the other tier's healthy duplicate and quarantines the rest. It
+// rides the maintenance tick under a bytes/sec-style budget with a
+// persisted cursor, so a full pass spreads over many ticks and survives
+// restarts without rescanning from the start.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "cloud/tiered_env.h"
+#include "lsm/time_lsm.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace tu::core {
+
+struct ScrubOptions {
+  /// Run an increment on each maintenance tick. Off by default: the scrub
+  /// reads whole tables, which costs real tier I/O.
+  bool enabled = false;
+  /// Verification budget per tick (bytes of table payload read). The tick
+  /// stops after the table that crosses the budget; the cursor resumes
+  /// there next tick. 0 = unbounded (the whole pass runs in one tick).
+  uint64_t bytes_per_tick = 8 << 20;
+  /// Rebuild corrupt copies from the other tier's healthy duplicate and
+  /// quarantine tables with no healthy copy. When false the scrub only
+  /// detects and counts (scrub.corruptions_found still advances).
+  bool repair = true;
+  /// Persist the scan cursor to the fast tier after every increment so a
+  /// restart resumes mid-pass instead of starting over.
+  bool persist_cursor = true;
+};
+
+/// Drives ScrubOneTable over the LSM's table list. All progress counters
+/// are registry counters (scrub.*), so they appear in Metrics() snapshots
+/// without extra plumbing. Thread-safe; concurrent Tick() calls coalesce
+/// (the second caller returns immediately).
+class Scrubber {
+ public:
+  /// `lsm`, `env` and `metrics` are borrowed and must outlive the scrubber.
+  Scrubber(lsm::TimePartitionedLsm* lsm, cloud::TieredEnv* env,
+           ScrubOptions options, obs::MetricsRegistry* metrics);
+
+  /// One budgeted increment: resume at the cursor, verify tables until the
+  /// budget is spent or the pass completes, persist the cursor. Returns
+  /// non-OK only on environmental failure (tier unreachable mid-scan);
+  /// the cursor still points at the failed table, so the next tick
+  /// retries it.
+  Status Tick();
+
+  /// Per-pass delta of the scrub counters (RunFullPass reporting).
+  struct PassReport {
+    uint64_t tables_scanned = 0;
+    uint64_t bytes_verified = 0;
+    uint64_t corruptions_found = 0;
+    uint64_t repaired = 0;
+    uint64_t quarantined = 0;
+  };
+  /// Verifies every table in one synchronous sweep, ignoring the tick
+  /// budget (drills, tests, operator-forced scrubs). Resets the cursor.
+  Status RunFullPass(PassReport* report = nullptr);
+
+  uint64_t passes_completed() const { return c_passes_->value(); }
+
+ private:
+  /// Scrubs tables with id >= *cursor until `budget` bytes are verified
+  /// (budget 0 = unbounded). On return *cursor is the next id to visit, or
+  /// 0 when the pass wrapped.
+  Status ScrubFrom(uint64_t* cursor, uint64_t budget);
+  Status LoadCursor(uint64_t* cursor);
+  void SaveCursor(uint64_t cursor);
+
+  lsm::TimePartitionedLsm* lsm_;
+  cloud::TieredEnv* env_;
+  ScrubOptions options_;
+
+  /// Registry-owned counters (stable pointers, never null).
+  obs::Counter* c_tables_scanned_;
+  obs::Counter* c_bytes_verified_;
+  obs::Counter* c_corruptions_found_;
+  obs::Counter* c_repaired_;
+  obs::Counter* c_quarantined_;
+  obs::Counter* c_passes_;
+  obs::EventTrace* trace_;
+
+  /// Serializes increments (maintenance tick vs explicit RunFullPass).
+  std::mutex mu_;
+  bool cursor_loaded_ = false;  // guarded by mu_
+  uint64_t cursor_ = 0;         // guarded by mu_
+};
+
+}  // namespace tu::core

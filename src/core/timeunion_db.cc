@@ -47,6 +47,11 @@ Status DBOptions::Validate() const {
   if (retention_ms < 0) {
     return Status::InvalidArgument("DBOptions::retention_ms must be >= 0");
   }
+  if (scrub.enabled && backend == Backend::kLeveled) {
+    return Status::InvalidArgument(
+        "DBOptions::scrub requires the time-partitioned backend (the scrub "
+        "walks the two-tier manifest)");
+  }
   if (admission.enabled) {
     if (admission.hard_watermark < admission.soft_watermark) {
       return Status::InvalidArgument(
@@ -196,6 +201,10 @@ Status TimeUnionDB::Init() {
     open_status = lsm_->Open();
   }
   TU_RETURN_IF_ERROR(open_status);
+  // The scrubber exists whenever the backend supports it — ScrubNow()
+  // drills work even when the background tick is disabled.
+  scrubber_ = std::make_unique<Scrubber>(time_lsm_, env_.get(),
+                                         options_.scrub, metrics_.get());
   return StartMaintenance();
 }
 
@@ -214,6 +223,9 @@ Status TimeUnionDB::StartMaintenance() {
         // is still open; its first attempt doubles as the breaker's
         // half-open probe, so recovery needs no operator action.
         if (time_lsm_) time_lsm_->DrainDeferredUploads();
+        // Budgeted integrity increment: verify a slice of the table set,
+        // resuming at the persisted cursor (DBOptions::scrub).
+        if (scrubber_ && options_.scrub.enabled) scrubber_->Tick();
         if (wal_) wal_->Purge();
         AdviseMemoryRelease();
         if (options_.metrics.enabled && options_.metrics.emit_jsonl) {
@@ -1150,6 +1162,14 @@ uint64_t TimeUnionDB::SumSampleCells() const {
   return total;
 }
 
+Status TimeUnionDB::ScrubNow(Scrubber::PassReport* report) {
+  if (scrubber_ == nullptr) {
+    return Status::InvalidArgument(
+        "ScrubNow requires the time-partitioned backend");
+  }
+  return scrubber_->RunFullPass(report);
+}
+
 obs::MetricsSnapshot TimeUnionDB::Metrics() const {
   // Start from the registry (instrument histograms/counters + event trace)
   // and fold in the counters that live outside it — tier I/O, breaker,
@@ -1223,6 +1243,12 @@ obs::MetricsSnapshot TimeUnionDB::Metrics() const {
     add_c("lsm.deferred_uploads_drained", load(s.deferred_uploads_drained));
     add_c("lsm.deferred_drain_failures", load(s.deferred_drain_failures));
     add_c("lsm.partial_read_skips", load(s.partial_read_skips));
+    add_c("integrity.read_corruptions_detected",
+          load(s.read_corruptions_detected));
+    add_c("integrity.read_corruptions_healed",
+          load(s.read_corruptions_healed));
+    add_c("integrity.tier_fallback_opens", load(s.tier_fallback_opens));
+    add_c("integrity.runtime_quarantines", load(s.runtime_quarantines));
     add_g("lsm.fast_bytes", static_cast<int64_t>(time_lsm_->FastBytesGauge()));
     add_g("lsm.fast_limit_bytes",
           static_cast<int64_t>(options_.lsm.fast_storage_limit_bytes));
@@ -1240,7 +1266,13 @@ obs::MetricsSnapshot TimeUnionDB::Metrics() const {
     add_c("lsm.bytes_written", load(s.bytes_written));
     add_c("lsm.slow_bytes_written", load(s.slow_bytes_written));
     add_c("lsm.compaction_us_total", load(s.total_us));
+    add_c("integrity.read_corruptions_detected",
+          load(s.read_corruptions_detected));
+    add_c("integrity.read_corruptions_healed",
+          load(s.read_corruptions_healed));
+    add_c("integrity.runtime_quarantines", load(s.runtime_quarantines));
   }
+  add_g("scrub.enabled", options_.scrub.enabled ? 1 : 0);
 
   {
     std::lock_guard<std::mutex> lock(query_totals_mu_);
@@ -1297,6 +1329,15 @@ core::HealthReport TimeUnionDB::HealthReport() const {
   r.block_cache_hits = snap.CounterOr0("cache.hits");
   r.block_cache_misses = snap.CounterOr0("cache.misses");
   r.block_cache_evictions = snap.CounterOr0("cache.evictions");
+  r.scrub_enabled = snap.GaugeOr0("scrub.enabled") != 0;
+  r.scrub_passes = snap.CounterOr0("scrub.passes");
+  r.scrub_corruptions_found = snap.CounterOr0("scrub.corruptions_found");
+  r.scrub_repaired = snap.CounterOr0("scrub.repaired");
+  r.scrub_quarantined = snap.CounterOr0("scrub.quarantined");
+  r.read_corruptions_detected =
+      snap.CounterOr0("integrity.read_corruptions_detected");
+  r.read_corruptions_healed =
+      snap.CounterOr0("integrity.read_corruptions_healed");
   if (time_lsm_ != nullptr) {
     r.last_background_error = time_lsm_->last_background_error();
   }

@@ -38,6 +38,7 @@
 #include "obs/metrics.h"
 #include "core/maintenance.h"
 #include "core/sample_iterator.h"
+#include "core/scrub.h"
 #include "core/wal.h"
 #include "query/read_context.h"
 #include "util/striped_mutex.h"
@@ -105,6 +106,14 @@ struct DBOptions {
     uint32_t refresh_every_ops = 64;
   };
   AdmissionControl admission;
+
+  /// Background integrity scrub (see src/core/scrub.h and DESIGN.md "Data
+  /// integrity and scrubbing"): when enabled, each maintenance tick
+  /// verifies a budgeted slice of the LSM's tables end-to-end, repairing
+  /// corrupt copies from the other tier and quarantining the rest.
+  /// Requires the time-partitioned backend; ScrubNow() forces a full pass
+  /// regardless of `enabled`.
+  ScrubOptions scrub;
 
   /// Observability (src/obs): the metrics registry always exists; these
   /// knobs control instrumentation and export.
@@ -207,6 +216,15 @@ struct HealthReport {
   uint64_t block_cache_hits = 0;
   uint64_t block_cache_misses = 0;
   uint64_t block_cache_evictions = 0;
+  /// Background scrub progress (0s when scrub was never configured/run).
+  bool scrub_enabled = false;
+  uint64_t scrub_passes = 0;
+  uint64_t scrub_corruptions_found = 0;
+  uint64_t scrub_repaired = 0;
+  uint64_t scrub_quarantined = 0;
+  /// Self-healing read path: corrupt blocks detected / healed in place.
+  uint64_t read_corruptions_detected = 0;
+  uint64_t read_corruptions_healed = 0;
   /// Sticky background flush/maintenance error; OK when healthy.
   Status last_background_error;
 };
@@ -317,6 +335,13 @@ class TimeUnionDB {
   /// (§3.3 data retention). Serializes with registration; appenders are
   /// only blocked shard-by-shard while dead entries are unlinked.
   Status ApplyRetention(int64_t watermark);
+
+  /// Forces one full integrity pass over every LSM table, synchronously
+  /// (corruption drills, tests, operator tooling) — works even when
+  /// DBOptions::scrub.enabled is false. `report` (nullable) receives this
+  /// pass's scan/repair/quarantine counts. InvalidArgument under the
+  /// leveled backend (the scrub needs the two-tier manifest).
+  Status ScrubNow(Scrubber::PassReport* report = nullptr);
 
   // -- Introspection ---------------------------------------------------------
 
@@ -525,6 +550,10 @@ class TimeUnionDB {
   };
   std::unique_ptr<StripeCell[]> sample_cells_;  // null when !metrics.enabled
   uint64_t SumSampleCells() const;
+
+  /// Integrity scrub driver (null under the leveled backend). Declared
+  /// before maintenance_: the tick thread calls into it.
+  std::unique_ptr<Scrubber> scrubber_;
 
   // Declared last: its thread must stop before the members above die.
   std::unique_ptr<MaintenanceWorker> maintenance_;

@@ -211,6 +211,11 @@ Status LeveledLsm::MaybeCompact() {
 
 Status LeveledLsm::OpenReader(TableHandle* handle, bool fill_cache) {
   if (handle->reader) return Status::OK();
+  if (handle->quarantined) {
+    return Status::Corruption("table " +
+                              std::to_string(handle->meta.table_id) +
+                              " quarantined");
+  }
   std::unique_ptr<TableSource> source;
   if (handle->on_slow) {
     TU_RETURN_IF_ERROR(SlowTableSource::Open(
@@ -219,12 +224,29 @@ Status LeveledLsm::OpenReader(TableHandle* handle, bool fill_cache) {
     TU_RETURN_IF_ERROR(FastTableSource::Open(
         &env_->fast(), FastName(handle->meta.table_id), &source));
   }
+  if (handle->meta.file_size != 0 && source->Size() != handle->meta.file_size) {
+    handle->quarantined = true;
+    stats_.runtime_quarantines.fetch_add(1, std::memory_order_relaxed);
+    return Status::Corruption(
+        "table " + std::to_string(handle->meta.table_id) + " size " +
+        std::to_string(source->Size()) + " != expected " +
+        std::to_string(handle->meta.file_size));
+  }
   TableReaderOptions opts;
   opts.block_cache = fill_cache ? block_cache_ : nullptr;
   opts.cache_id = name_ + ":" + std::to_string(handle->meta.table_id);
   opts.on_slow = handle->on_slow;
+  opts.corruptions_detected = &stats_.read_corruptions_detected;
+  opts.corruptions_healed = &stats_.read_corruptions_healed;
   std::unique_ptr<TableReader> reader;
-  TU_RETURN_IF_ERROR(TableReader::Open(opts, std::move(source), &reader));
+  Status s = TableReader::Open(opts, std::move(source), &reader);
+  if (s.IsCorruption()) {
+    // One copy per table in this backend: corruption that survives the
+    // reader's own re-reads has nowhere to heal from.
+    handle->quarantined = true;
+    stats_.runtime_quarantines.fetch_add(1, std::memory_order_relaxed);
+  }
+  TU_RETURN_IF_ERROR(s);
   handle->reader = std::move(reader);
   return Status::OK();
 }
@@ -379,8 +401,12 @@ Status LeveledLsm::NewIteratorForId(uint64_t id, const ReadContext& ctx,
         // Without time partitioning a chunk can extend arbitrarily past
         // its start timestamp, so the missing span is conservative: from
         // the table's first chunk start to the end of the query range.
-        if (scope.allow_partial && handle.on_slow &&
-            (s.IsUnavailable() || s.IsIOError() || s.IsBusy())) {
+        // A corrupt (quarantined) table degrades the same way on either
+        // tier — detection must never become a wrong result.
+        if (scope.allow_partial &&
+            (s.IsCorruption() ||
+             (handle.on_slow &&
+              (s.IsUnavailable() || s.IsIOError() || s.IsBusy())))) {
           const int64_t lo_ts = std::max(handle.meta.min_ts, t0);
           if (scope.missing != nullptr && lo_ts <= t1) {
             scope.missing->emplace_back(lo_ts, t1);

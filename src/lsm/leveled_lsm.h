@@ -32,6 +32,12 @@ struct TableHandle {
   TableMeta meta;
   bool on_slow = false;
   std::shared_ptr<TableReader> reader;
+  /// Set when the read path found this table corrupt with no healthy copy
+  /// to fall back to. Queries skip it (recording the missing span when
+  /// partial reads are allowed) instead of re-probing rotten bytes; the
+  /// scrub job makes the quarantine durable (manifest removal) or clears
+  /// it after a repair.
+  bool quarantined = false;
 };
 
 struct LeveledLsmOptions {
@@ -59,6 +65,12 @@ struct CompactionStats {
   std::atomic<uint64_t> bytes_written{0};
   std::atomic<uint64_t> slow_bytes_written{0};
   std::atomic<uint64_t> total_us{0};
+  // Integrity: corrupt blocks seen / healed by the self-healing read path,
+  // and tables quarantined at read time (this backend keeps one copy per
+  // table, so there is no second tier to fall back to).
+  std::atomic<uint64_t> read_corruptions_detected{0};
+  std::atomic<uint64_t> read_corruptions_healed{0};
+  std::atomic<uint64_t> runtime_quarantines{0};
 };
 
 class LeveledLsm : public ChunkStore {

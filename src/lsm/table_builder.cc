@@ -118,6 +118,7 @@ Status TableBuilder::Finish(TableMeta* meta) {
   TU_RETURN_IF_ERROR(sink_->Append(footer_bytes));
 
   meta_.file_size = sink_->Size();
+  meta_.object_crc32c = sink_->crc();
   *meta = meta_;
   return Status::OK();
 }

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "cloud/block_store.h"
+#include "util/crc32c.h"
 #include "lsm/block.h"
 #include "lsm/bloom.h"
 #include "lsm/table_format.h"
@@ -17,13 +18,27 @@
 
 namespace tu::lsm {
 
-/// Byte sink a table is built into.
+/// Byte sink a table is built into. The base class accumulates a running
+/// CRC32C over every appended byte, so the builder can record a whole-file
+/// checksum in TableMeta without re-reading what it just wrote.
 class TableSink {
  public:
   virtual ~TableSink() = default;
-  virtual Status Append(const Slice& data) = 0;
+  Status Append(const Slice& data) {
+    Status s = AppendImpl(data);
+    if (s.ok()) crc_ = crc32c::Extend(crc_, data.data(), data.size());
+    return s;
+  }
   virtual uint64_t Size() const = 0;
   virtual Status Close() = 0;
+  /// CRC32C (unmasked) of all bytes appended so far.
+  uint32_t crc() const { return crc_; }
+
+ protected:
+  virtual Status AppendImpl(const Slice& data) = 0;
+
+ private:
+  uint32_t crc_ = 0;
 };
 
 /// Sink writing to a fast-tier file.
@@ -32,11 +47,15 @@ class FileTableSink : public TableSink {
   explicit FileTableSink(std::unique_ptr<cloud::WritableFile> file)
       : file_(std::move(file)) {}
 
-  Status Append(const Slice& data) override { return file_->Append(data); }
   uint64_t Size() const override { return file_->Size(); }
   Status Close() override {
     TU_RETURN_IF_ERROR(file_->Sync());
     return file_->Close();
+  }
+
+ protected:
+  Status AppendImpl(const Slice& data) override {
+    return file_->Append(data);
   }
 
  private:
@@ -46,14 +65,16 @@ class FileTableSink : public TableSink {
 /// Sink buffering in memory (for slow-tier object upload).
 class BufferTableSink : public TableSink {
  public:
-  Status Append(const Slice& data) override {
-    buffer_.append(data.data(), data.size());
-    return Status::OK();
-  }
   uint64_t Size() const override { return buffer_.size(); }
   Status Close() override { return Status::OK(); }
 
   const std::string& buffer() const { return buffer_; }
+
+ protected:
+  Status AppendImpl(const Slice& data) override {
+    buffer_.append(data.data(), data.size());
+    return Status::OK();
+  }
 
  private:
   std::string buffer_;

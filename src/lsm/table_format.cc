@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/crc32c.h"
+
 namespace tu::lsm {
 
 void Footer::EncodeTo(std::string* dst) const {
@@ -37,6 +39,7 @@ void TableMeta::EncodeTo(std::string* dst) const {
   PutVarint64(dst, max_series_id);
   PutFixed64(dst, static_cast<uint64_t>(min_ts));
   PutFixed64(dst, static_cast<uint64_t>(max_ts));
+  PutFixed32(dst, object_crc32c);
 }
 
 bool TableMeta::DecodeFrom(Slice* input) {
@@ -46,15 +49,50 @@ bool TableMeta::DecodeFrom(Slice* input) {
       !GetLengthPrefixedSlice(input, &smallest) ||
       !GetLengthPrefixedSlice(input, &largest) ||
       !GetVarint64(input, &min_series_id) ||
-      !GetVarint64(input, &max_series_id) || input->size() < 16) {
+      !GetVarint64(input, &max_series_id) || input->size() < 20) {
     return false;
   }
   smallest_key = smallest.ToString();
   largest_key = largest.ToString();
   min_ts = static_cast<int64_t>(DecodeFixed64(input->data()));
   max_ts = static_cast<int64_t>(DecodeFixed64(input->data() + 8));
-  input->remove_prefix(16);
+  object_crc32c = DecodeFixed32(input->data() + 16);
+  input->remove_prefix(20);
   return true;
+}
+
+std::string WrapManifest(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + kManifestEnvelopeBytes);
+  PutFixed32(&out, kManifestMagic);
+  PutFixed32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  PutFixed32(&out, crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  return out;
+}
+
+Status UnwrapManifest(const std::string& contents, Slice* payload) {
+  if (contents.size() < kManifestEnvelopeBytes) {
+    return Status::Corruption("torn lsm manifest: " +
+                              std::to_string(contents.size()) + " bytes");
+  }
+  if (DecodeFixed32(contents.data()) != kManifestMagic) {
+    return Status::Corruption("bad lsm manifest magic");
+  }
+  const uint32_t len = DecodeFixed32(contents.data() + 4);
+  if (contents.size() < static_cast<size_t>(len) + kManifestEnvelopeBytes) {
+    return Status::Corruption("torn lsm manifest: payload promises " +
+                              std::to_string(len) + " bytes, file has " +
+                              std::to_string(contents.size()));
+  }
+  const uint32_t expected =
+      crc32c::Unmask(DecodeFixed32(contents.data() + 8 + len));
+  const uint32_t actual = crc32c::Value(contents.data() + 8, len);
+  if (expected != actual) {
+    return Status::Corruption("lsm manifest checksum mismatch");
+  }
+  *payload = Slice(contents.data() + 8, len);
+  return Status::OK();
 }
 
 std::string TableFileName(uint64_t table_id) {

@@ -61,10 +61,33 @@ struct TableMeta {
   uint64_t max_series_id = 0;
   int64_t min_ts = INT64_MAX;
   int64_t max_ts = INT64_MIN;
+  /// Whole-file CRC32C (unmasked) computed over every byte the builder
+  /// emitted, recorded in the manifest so downloads, fast-tier opens and
+  /// the scrub job can verify end-to-end integrity. 0 = unknown (the
+  /// verifiers skip the check rather than flag a false corruption).
+  uint32_t object_crc32c = 0;
 
   void EncodeTo(std::string* dst) const;
   bool DecodeFrom(Slice* input);
 };
+
+/// Manifest envelope shared by the engines:
+///
+///   magic (fixed32) | payload_len (fixed32) | payload | masked CRC32C
+///
+/// The explicit length and trailing checksum let recovery distinguish a
+/// torn write (file shorter than the envelope promises — the old contents
+/// were lost mid-rename) from silent corruption (right length, wrong CRC).
+constexpr uint32_t kManifestMagic = 0x744d4e46u;  // "FNMt"
+constexpr size_t kManifestEnvelopeBytes = 12;     // magic + len + crc
+
+/// Wraps `payload` in the envelope.
+std::string WrapManifest(const std::string& payload);
+
+/// Validates `contents` and points *payload at the wrapped bytes (into
+/// `contents`, which must outlive it). Returns Corruption("torn ...") for
+/// truncation, Corruption("... checksum mismatch") for a CRC failure.
+Status UnwrapManifest(const std::string& contents, Slice* payload);
 
 /// File/object naming shared by the engines.
 std::string TableFileName(uint64_t table_id);

@@ -126,7 +126,28 @@ Status TableReader::GetBlock(const BlockHandle& handle,
     if (stats != nullptr) ++stats->cache_misses;
   }
   std::string contents;
-  TU_RETURN_IF_ERROR(ReadBlockContents(handle, &contents));
+  Status s = ReadBlockContents(handle, &contents);
+  if (s.IsCorruption() && options_.corrupt_read_retries > 0) {
+    // Self-healing read: the bytes may have been mangled in flight (or a
+    // poisoned entry may still sit in the cache under this key). Evict and
+    // re-read from the source — a transient flip heals, at-rest rot fails
+    // every attempt and surfaces to the caller for tier fallback.
+    if (options_.corruptions_detected != nullptr) {
+      options_.corruptions_detected->fetch_add(1, std::memory_order_relaxed);
+    }
+    for (int attempt = 0;
+         attempt < options_.corrupt_read_retries && s.IsCorruption();
+         ++attempt) {
+      if (options_.block_cache != nullptr) {
+        options_.block_cache->Erase(cache_key);
+      }
+      s = ReadBlockContents(handle, &contents);
+    }
+    if (s.ok() && options_.corruptions_healed != nullptr) {
+      options_.corruptions_healed->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  TU_RETURN_IF_ERROR(s);
   if (stats != nullptr) {
     stats->block_bytes_read += contents.size();
     if (options_.on_slow) ++stats->slow_tier_fetches;

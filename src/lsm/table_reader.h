@@ -5,6 +5,7 @@
 // LRU of §4.1) absorbs repeated slow-tier block fetches.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -72,6 +73,15 @@ struct TableReaderOptions {
   /// stats attribute block fetches to the tier that served them.
   bool on_slow = false;
   bool verify_checksums = true;
+  /// Self-healing reads: on a corrupt block, evict the (possibly poisoned)
+  /// cache entry and re-read from the source up to this many extra times —
+  /// a transient on-read flip heals, at-rest rot keeps failing. 0 disables.
+  int corrupt_read_retries = 2;
+  /// Integrity counters (nullable; typically the owning LSM's stats):
+  /// corrupt blocks detected on read, and how many of those healed on a
+  /// cache-bypassing re-read.
+  std::atomic<uint64_t>* corruptions_detected = nullptr;
+  std::atomic<uint64_t>* corruptions_healed = nullptr;
 };
 
 class TableReader {

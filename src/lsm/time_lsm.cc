@@ -155,8 +155,10 @@ Status TimePartitionedLsm::RecoverStorageState() {
                  "[time_lsm] quarantining table %llu (%s tier): %s\n",
                  static_cast<unsigned long long>(t.meta.table_id),
                  t.on_slow ? "slow" : "fast", reason.c_str());
-    quarantined_.push_back(
-        QuarantinedTable{t.meta.table_id, t.on_slow, std::move(reason)});
+    quarantined_.push_back(QuarantinedTable{
+        t.meta.table_id, t.on_slow, std::move(reason), t.meta.min_series_id,
+        t.meta.max_series_id, t.meta.min_ts,
+        DataBoundLocked(t.meta.table_id)});
     stats_.tables_quarantined.fetch_add(1, std::memory_order_relaxed);
     changed = true;
   };
@@ -304,7 +306,10 @@ Status TimePartitionedLsm::SaveManifest() {
       for (const TableHandle& t : e.patches) encode_l2_table(t);
     }
   }
-  return env_->fast().WriteStringToFile(name_ + "/MANIFEST", out);
+  // The envelope (length + checksum) lets a reopen tell a torn manifest
+  // write apart from silent at-rest corruption.
+  return env_->fast().WriteStringToFile(name_ + "/MANIFEST",
+                                        WrapManifest(out));
 }
 
 Status TimePartitionedLsm::LoadManifest() {
@@ -312,7 +317,8 @@ Status TimePartitionedLsm::LoadManifest() {
   Status s = env_->fast().ReadFileToString(name_ + "/MANIFEST", &contents);
   if (s.IsNotFound()) return Status::OK();
   TU_RETURN_IF_ERROR(s);
-  Slice in(contents);
+  Slice in;
+  TU_RETURN_IF_ERROR(UnwrapManifest(contents, &in));
   auto corrupt = [] { return Status::Corruption("bad lsm manifest"); };
   uint64_t next_seq = 0;
   if (!GetVarint64(&in, &next_table_id_) || !GetVarint64(&in, &next_seq) ||
@@ -489,7 +495,8 @@ Status TimePartitionedLsm::WriteTable(
   }
   if (to_slow) {
     auto* buf = static_cast<BufferTableSink*>(sink.get());
-    Status up = UploadBufferToSlow(table_id, buf->buffer());
+    Status up =
+        UploadBufferToSlow(table_id, buf->buffer(), out->meta.object_crc32c);
     if (up.ok()) {
       stats_.slow_bytes_written.fetch_add(buf->buffer().size(),
                                           std::memory_order_relaxed);
@@ -529,7 +536,8 @@ Status TimePartitionedLsm::WriteTable(
 }
 
 Status TimePartitionedLsm::UploadBufferToSlow(uint64_t table_id,
-                                              const Slice& data) {
+                                              const Slice& data,
+                                              uint32_t expected_crc) {
   // Atomic upload protocol: land the bytes under a .tmp key, verify the
   // object (size, optionally CRC), then commit with a rename. A crash at
   // any point leaves either nothing at the final key or the complete
@@ -537,9 +545,16 @@ Status TimePartitionedLsm::UploadBufferToSlow(uint64_t table_id,
   cloud::ObjectStore& slow = env_->slow();
   const std::string key = SlowKey(table_id);
   const std::string tmp = key + ".tmp";
+  // A CRC mismatch on the read-back is Corruption, not Busy — but it is
+  // still worth retrying here: re-putting the same bytes heals in-flight
+  // corruption, and only a persistent mismatch (at-rest rot on our source
+  // buffer, or a mangling store) surfaces as Corruption to the caller,
+  // where it is treated as permanent rather than parked as deferred.
+  cloud::RetryPolicy upload_retry = slow.sim().retry;
+  upload_retry.retry_corruption = true;
   cloud::CrashPoint(slow.fault(), "l2.upload.pre_put");
   TU_RETURN_IF_ERROR(cloud::RunWithRetry(
-      slow.sim().retry, &slow.counters(), "upload " + tmp,
+      upload_retry, &slow.counters(), "upload " + tmp,
       [&]() -> Status {
         TU_RETURN_IF_ERROR(slow.PutObject(tmp, data));
         uint64_t uploaded = 0;
@@ -549,12 +564,14 @@ Status TimePartitionedLsm::UploadBufferToSlow(uint64_t table_id,
                               " of " + std::to_string(data.size()) +
                               " bytes at " + tmp);
         }
-        if (options_.verify_upload_crc) {
+        if (options_.integrity.verify_upload) {
           std::string back;
           TU_RETURN_IF_ERROR(slow.GetObject(tmp, &back));
-          if (crc32c::Value(back.data(), back.size()) !=
-              crc32c::Value(data.data(), data.size())) {
-            return Status::Busy("upload crc mismatch at " + tmp);
+          const uint32_t want = expected_crc != 0
+                                    ? expected_crc
+                                    : crc32c::Value(data.data(), data.size());
+          if (crc32c::Value(back.data(), back.size()) != want) {
+            return Status::Corruption("upload crc mismatch at " + tmp);
           }
         }
         return Status::OK();
@@ -671,24 +688,85 @@ Status TimePartitionedLsm::MaybeMaintain() {
   return SaveManifest();
 }
 
-Status TimePartitionedLsm::OpenReader(TableHandle* handle, bool fill_cache) {
-  if (handle->reader) return Status::OK();
+Status TimePartitionedLsm::OpenReaderOnTier(TableHandle* handle, bool use_slow,
+                                            bool fill_cache) {
   std::unique_ptr<TableSource> source;
-  if (handle->on_slow) {
+  if (use_slow) {
     TU_RETURN_IF_ERROR(SlowTableSource::Open(
         &env_->slow(), SlowKey(handle->meta.table_id), &source));
   } else {
     TU_RETURN_IF_ERROR(FastTableSource::Open(
         &env_->fast(), FastName(handle->meta.table_id), &source));
   }
+  if (handle->meta.file_size != 0 && source->Size() != handle->meta.file_size) {
+    return Status::Corruption(
+        "table " + std::to_string(handle->meta.table_id) + " size " +
+        std::to_string(source->Size()) + " != manifest " +
+        std::to_string(handle->meta.file_size));
+  }
+  if (!use_slow && options_.integrity.verify_fast_open &&
+      handle->meta.object_crc32c != 0) {
+    std::string all;
+    TU_RETURN_IF_ERROR(source->ReadAt(0, source->Size(), &all));
+    if (crc32c::Value(all.data(), all.size()) != handle->meta.object_crc32c) {
+      return Status::Corruption("table " +
+                                std::to_string(handle->meta.table_id) +
+                                " whole-file crc mismatch on fast tier");
+    }
+  }
   TableReaderOptions opts;
   opts.block_cache = fill_cache ? block_cache_ : nullptr;
   opts.cache_id = name_ + ":" + std::to_string(handle->meta.table_id);
-  opts.on_slow = handle->on_slow;
+  opts.on_slow = use_slow;
+  if (options_.integrity.self_healing_reads) {
+    opts.corruptions_detected = &stats_.read_corruptions_detected;
+    opts.corruptions_healed = &stats_.read_corruptions_healed;
+  } else {
+    opts.corrupt_read_retries = 0;
+  }
   std::unique_ptr<TableReader> reader;
   TU_RETURN_IF_ERROR(TableReader::Open(opts, std::move(source), &reader));
   handle->reader = std::move(reader);
   return Status::OK();
+}
+
+Status TimePartitionedLsm::OpenReader(TableHandle* handle, bool fill_cache) {
+  if (handle->reader) return Status::OK();
+  if (handle->quarantined) {
+    return Status::Corruption("table " +
+                              std::to_string(handle->meta.table_id) +
+                              " quarantined");
+  }
+  Status s = OpenReaderOnTier(handle, handle->on_slow, fill_cache);
+  if (!s.IsCorruption() || !options_.integrity.self_healing_reads) return s;
+
+  // The handle's tier holds rotten bytes. The other tier may still hold a
+  // healthy duplicate — a deferred upload's fast-tier copy not yet
+  // unlinked, or an object committed just before a crash — so try it
+  // before giving up on the table.
+  Status alt = OpenReaderOnTier(handle, !handle->on_slow, fill_cache);
+  if (alt.ok()) {
+    stats_.tier_fallback_opens.fetch_add(1, std::memory_order_relaxed);
+    if (trace_ != nullptr) {
+      trace_->Record("integrity.tier_fallback",
+                     "table=" + std::to_string(handle->meta.table_id) +
+                         " tier=" + (handle->on_slow ? "slow" : "fast"));
+    }
+    return Status::OK();
+  }
+  // Quarantine needs definitive evidence about the other copy (absent or
+  // corrupt too). A transient probe failure (tier down, breaker open)
+  // proves nothing — leave the handle alone so a later read retries.
+  if (alt.IsCorruption() || alt.IsNotFound()) {
+    handle->quarantined = true;
+    stats_.runtime_quarantines.fetch_add(1, std::memory_order_relaxed);
+    if (trace_ != nullptr) {
+      trace_->Record("integrity.quarantine",
+                     "table=" + std::to_string(handle->meta.table_id) + " " +
+                         s.ToString());
+    }
+  }
+  return s;
 }
 
 Status TimePartitionedLsm::MergePartitionTables(
@@ -1230,12 +1308,16 @@ Status TimePartitionedLsm::NewIteratorForId(uint64_t id, const ReadContext& ctx,
     }
     Status s = OpenReader(&handle, ctx.fill_cache);
     if (!s.ok()) {
-      // Partial read: an unreachable slow-tier table is skipped and its
-      // possible [min_ts, max_data_ts] span reported missing. Fast-tier
-      // failures (including deferred tables, which live there) and
-      // definitive errors still fail the read.
-      if (scope.allow_partial && handle.on_slow &&
-          (s.IsUnavailable() || s.IsIOError() || s.IsBusy())) {
+      // Partial read: an unreachable slow-tier table — or a corrupt/
+      // quarantined table on either tier after repair attempts failed — is
+      // skipped with its possible [min_ts, max_data_ts] span reported
+      // missing. Other fast-tier failures (including deferred tables,
+      // which live there) and definitive errors still fail the read.
+      const bool skippable =
+          (handle.on_slow &&
+           (s.IsUnavailable() || s.IsIOError() || s.IsBusy())) ||
+          s.IsCorruption();
+      if (scope.allow_partial && skippable) {
         const int64_t lo = std::max(handle.meta.min_ts, t0);
         const int64_t hi = std::min(max_data_ts, t1);
         if (scope.missing != nullptr && lo <= hi) {
@@ -1281,6 +1363,20 @@ Status TimePartitionedLsm::NewIteratorForId(uint64_t id, const ReadContext& ctx,
       for (TableHandle& t : e.patches) {
         TU_RETURN_IF_ERROR(consider_table(t, p.end - 1));
       }
+    }
+  }
+
+  // Tables quarantined this process lifetime (open-time sweep or scrub) are
+  // gone from the tree but may have held data in the query window. A
+  // partial read flags the hole; a strict read proceeds — the bytes are
+  // unrecoverable, so failing every future query would make the quarantine
+  // worse than the corruption it contained.
+  if (scope.allow_partial && scope.missing != nullptr) {
+    for (const QuarantinedTable& q : quarantined_) {
+      if (q.min_series_id > id || q.max_series_id < id) continue;
+      const int64_t lo = std::max(q.min_ts, t0);
+      const int64_t hi = std::min(q.max_data_ts, t1);
+      if (lo <= hi) scope.missing->emplace_back(lo, hi);
     }
   }
 
@@ -1413,6 +1509,7 @@ Status TimePartitionedLsm::DrainDeferredUploads(size_t* drained) {
   while (!shutting_down_.load(std::memory_order_acquire)) {
     // Pick the oldest deferred table under the manifest lock...
     uint64_t table_id = 0;
+    uint32_t table_crc = 0;
     bool found = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -1420,12 +1517,14 @@ Status TimePartitionedLsm::DrainDeferredUploads(size_t* drained) {
         for (const L2Entry& e : p.entries) {
           if (!e.base.on_slow) {
             table_id = e.base.meta.table_id;
+            table_crc = e.base.meta.object_crc32c;
             found = true;
             break;
           }
           for (const TableHandle& t : e.patches) {
             if (!t.on_slow) {
               table_id = t.meta.table_id;
+              table_crc = t.meta.object_crc32c;
               found = true;
               break;
             }
@@ -1438,10 +1537,17 @@ Status TimePartitionedLsm::DrainDeferredUploads(size_t* drained) {
     if (!found) break;
 
     // ...then upload outside it (the slow tier sleeps; holding mu_ through
-    // that would stall every flush and query).
+    // that would stall every flush and query). Verify the parked fast copy
+    // against the manifest CRC first: uploading rotted bytes would replace
+    // the one corruption the scrub could otherwise have repaired.
     std::string data;
     Status s = env_->fast().ReadFileToString(FastName(table_id), &data);
-    if (s.ok()) s = UploadBufferToSlow(table_id, data);
+    if (s.ok() && table_crc != 0 &&
+        crc32c::Value(data.data(), data.size()) != table_crc) {
+      s = Status::Corruption("deferred table " + std::to_string(table_id) +
+                             " corrupt on fast tier; not uploading");
+    }
+    if (s.ok()) s = UploadBufferToSlow(table_id, data, table_crc);
     if (!s.ok()) {
       // Outage persists (or re-tripped mid-drain): stop quietly, the next
       // tick retries. Anything already drained stays drained.
@@ -1487,6 +1593,295 @@ Status TimePartitionedLsm::DrainDeferredUploads(size_t* drained) {
   if (trace_ != nullptr && done > 0) {
     trace_->Record("deferred.drain", "tables=" + std::to_string(done));
   }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Scrub support (core::Scrubber)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// In-memory TableSource over already-downloaded bytes; lets the scrub
+/// block-walk a table it has just read without touching the tier again.
+class BufferTableSource : public TableSource {
+ public:
+  explicit BufferTableSource(const std::string* data) : data_(data) {}
+  Status ReadAt(uint64_t offset, size_t n, std::string* out) const override {
+    if (offset > data_->size() || n > data_->size() - offset) {
+      return Status::Corruption("short table read");
+    }
+    out->assign(data_->data() + offset, n);
+    return Status::OK();
+  }
+  uint64_t Size() const override { return data_->size(); }
+
+ private:
+  const std::string* data_;
+};
+
+/// Structural verification for tables built before whole-file checksums
+/// existed (object_crc32c == 0 in the manifest): parse the footer/index and
+/// walk every data block so each per-block CRC is checked.
+Status VerifyTableBlocks(const std::string& data) {
+  TableReaderOptions opts;
+  opts.verify_checksums = true;
+  opts.corrupt_read_retries = 0;  // the source is a buffer; retries are moot
+  std::unique_ptr<TableSource> source =
+      std::make_unique<BufferTableSource>(&data);
+  std::unique_ptr<TableReader> reader;
+  TU_RETURN_IF_ERROR(TableReader::Open(opts, std::move(source), &reader));
+  auto it = reader->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+  }
+  return it->status();
+}
+
+}  // namespace
+
+std::vector<TimePartitionedLsm::TableListEntry> TimePartitionedLsm::ListTables()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TableListEntry> out;
+  auto add = [&out](const TableHandle& t) {
+    out.push_back(TableListEntry{t.meta.table_id, t.on_slow, t.meta.file_size,
+                                 t.meta.object_crc32c});
+  };
+  for (const Partition& p : l0_) {
+    for (const TableHandle& t : p.tables) add(t);
+  }
+  for (const Partition& p : l1_) {
+    for (const TableHandle& t : p.tables) add(t);
+  }
+  for (const L2Partition& p : l2_) {
+    for (const L2Entry& e : p.entries) {
+      add(e.base);
+      for (const TableHandle& t : e.patches) add(t);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TableListEntry& a, const TableListEntry& b) {
+              return a.table_id < b.table_id;
+            });
+  return out;
+}
+
+TableHandle* TimePartitionedLsm::FindTableLocked(uint64_t table_id) {
+  for (std::vector<Partition>* level : {&l0_, &l1_}) {
+    for (Partition& p : *level) {
+      for (TableHandle& t : p.tables) {
+        if (t.meta.table_id == table_id) return &t;
+      }
+    }
+  }
+  for (L2Partition& p : l2_) {
+    for (L2Entry& e : p.entries) {
+      if (e.base.meta.table_id == table_id) return &e.base;
+      for (TableHandle& t : e.patches) {
+        if (t.meta.table_id == table_id) return &t;
+      }
+    }
+  }
+  return nullptr;
+}
+
+int64_t TimePartitionedLsm::DataBoundLocked(uint64_t table_id) const {
+  for (const std::vector<Partition>* level : {&l0_, &l1_}) {
+    for (const Partition& p : *level) {
+      for (const TableHandle& t : p.tables) {
+        if (t.meta.table_id == table_id) {
+          return t.meta.max_ts + options_.partition_upper_bound_ms;
+        }
+      }
+    }
+  }
+  for (const L2Partition& p : l2_) {
+    for (const L2Entry& e : p.entries) {
+      if (e.base.meta.table_id == table_id) return p.end - 1;
+      for (const TableHandle& t : e.patches) {
+        if (t.meta.table_id == table_id) return p.end - 1;
+      }
+    }
+  }
+  return 0;
+}
+
+bool TimePartitionedLsm::RemoveTableLocked(uint64_t table_id) {
+  for (std::vector<Partition>* level : {&l0_, &l1_}) {
+    for (Partition& p : *level) {
+      const size_t before = p.tables.size();
+      std::erase_if(p.tables, [table_id](const TableHandle& t) {
+        return t.meta.table_id == table_id;
+      });
+      if (p.tables.size() != before) {
+        std::erase_if(*level,
+                      [](const Partition& q) { return q.tables.empty(); });
+        return true;
+      }
+    }
+  }
+  for (L2Partition& p : l2_) {
+    for (size_t i = 0; i < p.entries.size(); ++i) {
+      L2Entry& e = p.entries[i];
+      if (e.base.meta.table_id == table_id) {
+        // The base goes; its patches still carry valid data — promote each
+        // to a standalone entry (same rule as RecoverStorageState).
+        std::vector<TableHandle> patches = std::move(e.patches);
+        p.entries.erase(p.entries.begin() + static_cast<ptrdiff_t>(i));
+        for (TableHandle& t : patches) {
+          L2Entry promoted;
+          promoted.base = std::move(t);
+          p.entries.push_back(std::move(promoted));
+        }
+        std::sort(p.entries.begin(), p.entries.end(),
+                  [](const L2Entry& a, const L2Entry& b) {
+                    return a.base.meta.min_series_id < b.base.meta.min_series_id;
+                  });
+        std::erase_if(l2_,
+                      [](const L2Partition& q) { return q.entries.empty(); });
+        return true;
+      }
+      const size_t before = e.patches.size();
+      std::erase_if(e.patches, [table_id](const TableHandle& t) {
+        return t.meta.table_id == table_id;
+      });
+      if (e.patches.size() != before) return true;
+    }
+  }
+  return false;
+}
+
+Status TimePartitionedLsm::ScrubOneTable(uint64_t table_id, bool repair,
+                                         ScrubOutcome* outcome,
+                                         std::string* detail,
+                                         uint64_t* bytes_verified) {
+  *outcome = ScrubOutcome::kSkipped;
+  detail->clear();
+
+  // Snapshot the handle's metadata under the lock; all tier I/O below runs
+  // outside it (a slow-tier download under mu_ would stall every flush).
+  bool on_slow = false;
+  TableMeta meta;
+  int64_t max_data_ts = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TableHandle* t = FindTableLocked(table_id);
+    if (t == nullptr) {
+      *detail = "not in manifest (raced a compaction?)";
+      return Status::OK();
+    }
+    on_slow = t->on_slow;
+    meta = t->meta;
+    max_data_ts = DataBoundLocked(table_id);
+  }
+  const uint64_t file_size = meta.file_size;
+  const uint32_t crc = meta.object_crc32c;
+
+  // Reads the table's bytes from one tier. NotFound counts as corruption
+  // (the manifest says the copy should exist); other failures are
+  // environmental and abort the scrub of this table.
+  auto read_copy = [&](bool slow, std::string* data) -> Status {
+    if (slow) {
+      cloud::ObjectStore& store = env_->slow();
+      return cloud::RunWithRetry(
+          store.sim().retry, &store.counters(), "scrub get " + SlowKey(table_id),
+          [&] { return store.GetObject(SlowKey(table_id), data); },
+          &shutting_down_);
+    }
+    return env_->fast().ReadFileToString(FastName(table_id), data);
+  };
+  auto verify_copy = [&](const std::string& data) -> Status {
+    if (bytes_verified != nullptr) *bytes_verified += data.size();
+    if (file_size != 0 && data.size() != file_size) {
+      return Status::Corruption("size " + std::to_string(data.size()) +
+                                " != manifest " + std::to_string(file_size));
+    }
+    if (crc != 0) {
+      if (crc32c::Value(data.data(), data.size()) != crc) {
+        return Status::Corruption("whole-file crc mismatch");
+      }
+      return Status::OK();
+    }
+    return VerifyTableBlocks(data);
+  };
+
+  std::string primary;
+  Status s = read_copy(on_slow, &primary);
+  if (s.ok()) s = verify_copy(primary);
+  if (s.ok()) {
+    // A runtime quarantine (read-path verdict) is overruled by a clean
+    // full verification — e.g. the poisoning was a since-healed transient
+    // flip during open. Lift it so queries use the table again.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (TableHandle* t = FindTableLocked(table_id);
+        t != nullptr && t->quarantined) {
+      t->quarantined = false;
+      t->reader.reset();
+    }
+    *outcome = ScrubOutcome::kClean;
+    return Status::OK();
+  }
+  if (!s.IsCorruption() && !s.IsNotFound()) return s;  // tier unreachable
+  const std::string primary_fault = s.ToString();
+
+  if (!repair) {
+    *outcome = ScrubOutcome::kCorrupt;
+    *detail = primary_fault;
+    return Status::OK();
+  }
+
+  // The other tier may hold a healthy duplicate: a deferred L2 table's slow
+  // copy uploaded just before a crash, or a fast copy not yet unlinked
+  // after a drain. Verify before trusting it — repairing from rot would
+  // just copy the disease.
+  std::string alt;
+  Status alt_read = read_copy(!on_slow, &alt);
+  Status alt_ok = alt_read.ok() ? verify_copy(alt) : alt_read;
+  if (alt_ok.ok()) {
+    if (on_slow) {
+      TU_RETURN_IF_ERROR(UploadBufferToSlow(table_id, alt, crc));
+    } else {
+      TU_RETURN_IF_ERROR(
+          env_->fast().WriteStringToFile(FastName(table_id), alt));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (TableHandle* t = FindTableLocked(table_id); t != nullptr) {
+      t->reader.reset();  // readers reopen against the healed bytes
+      t->quarantined = false;
+    }
+    *outcome = ScrubOutcome::kRepaired;
+    *detail = primary_fault + "; repaired from " +
+              (on_slow ? "fast" : "slow") + " tier copy";
+    return Status::OK();
+  }
+  if (!alt_ok.IsCorruption() && !alt_ok.IsNotFound()) {
+    // Can't tell whether a healthy copy exists (tier down): leave the
+    // table alone, the next pass decides.
+    return alt_ok;
+  }
+
+  // No healthy copy anywhere: make the quarantine durable. The corrupt
+  // bytes are deleted best-effort — the open-time sweep catches leftovers.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!RemoveTableLocked(table_id)) {
+      *detail = "vanished during scrub";
+      return Status::OK();
+    }
+    quarantined_.push_back(QuarantinedTable{
+        table_id, on_slow, primary_fault, meta.min_series_id,
+        meta.max_series_id, meta.min_ts, max_data_ts});
+    stats_.tables_quarantined.fetch_add(1, std::memory_order_relaxed);
+    TU_RETURN_IF_ERROR(SaveManifest());
+  }
+  TableHandle doomed;
+  doomed.meta.table_id = table_id;
+  doomed.on_slow = on_slow;
+  (void)DeleteTable(doomed);
+  doomed.on_slow = !on_slow;
+  (void)DeleteTable(doomed);
+  *outcome = ScrubOutcome::kQuarantined;
+  *detail = primary_fault + "; no healthy copy (" + alt_ok.ToString() + ")";
   return Status::OK();
 }
 

@@ -70,10 +70,27 @@ struct TimeLsmOptions {
   /// Persist the level manifest to the fast tier after each mutation so a
   /// reopen recovers the tree.
   bool persist_manifest = false;
-  /// After an L2 upload, read the object back and compare its CRC before
-  /// committing (over and above the size check). Costs one extra Get per
-  /// upload; off by default.
-  bool verify_upload_crc = false;
+  /// Silent-corruption defenses (DESIGN.md "Data integrity and scrubbing").
+  /// Whole-file CRC32C checksums are always recorded in the manifest at
+  /// build time; these knobs control where they are re-verified.
+  struct IntegrityOptions {
+    /// After an L2 upload, read the object back and verify its whole-file
+    /// CRC against the builder's checksum before committing (over and
+    /// above the size check). Costs one extra Get per upload; off by
+    /// default.
+    bool verify_upload = false;
+    /// Verify the whole-file CRC when opening a fast-tier table reader
+    /// (catches at-rest rot before any block is served). Costs one full
+    /// file read per open; off by default — the scrub job covers at-rest
+    /// verification without the per-open tax.
+    bool verify_fast_open = false;
+    /// On a corrupt block or object during a read: evict the poisoned
+    /// block-cache entry and re-fetch bypassing the cache, fall back to
+    /// the other tier's copy at open, and only then quarantine the table
+    /// and degrade to a partial result.
+    bool self_healing_reads = true;
+  };
+  IntegrityOptions integrity;
   /// Observability registry (owned by the DB, outlives the LSM). When set,
   /// the tree records flush/compaction/table-build latency histograms and
   /// background-job events (lsm.* names, see DESIGN.md "Observability").
@@ -104,14 +121,33 @@ struct TimeLsmStats {
   std::atomic<uint64_t> deferred_drain_failures{0};
   /// Slow-tier tables skipped by partial (allow_partial) reads.
   std::atomic<uint64_t> partial_read_skips{0};
+  // -- Integrity (DESIGN.md "Data integrity and scrubbing") ----------------
+  /// Corrupt blocks detected by the read path (block CRC mismatch).
+  std::atomic<uint64_t> read_corruptions_detected{0};
+  /// Of those, healed by a cache-evicting re-read (transient flips).
+  std::atomic<uint64_t> read_corruptions_healed{0};
+  /// Reader opens that failed on the handle's tier but succeeded from the
+  /// other tier's healthy copy (deferred fast copies, pre-rename .tmp era).
+  std::atomic<uint64_t> tier_fallback_opens{0};
+  /// Tables quarantined at read time (both copies corrupt/unusable).
+  std::atomic<uint64_t> runtime_quarantines{0};
 };
 
-/// A table the open-time scan found unreadable. The table is dropped from
-/// its level (the rest of the tree opens normally) and reported here.
+/// A table the open-time scan or the scrub job found unreadable. The table
+/// is dropped from its level (the rest of the tree opens normally) and
+/// reported here. The id/time span it may have covered is kept so partial
+/// reads can flag the hole instead of silently shrinking.
 struct QuarantinedTable {
   uint64_t table_id = 0;
   bool on_slow = false;
   std::string reason;
+  uint64_t min_series_id = 0;
+  uint64_t max_series_id = 0;
+  int64_t min_ts = 0;
+  /// Upper bound on data timestamps the table may have held — already
+  /// includes chunk overhang (DataBoundLocked), unlike TableMeta::max_ts
+  /// which is only the last chunk *key*.
+  int64_t max_data_ts = 0;
 };
 
 class TimePartitionedLsm : public ChunkStore {
@@ -149,6 +185,35 @@ class TimePartitionedLsm : public ChunkStore {
   Status DrainDeferredUploads(size_t* drained = nullptr);
   size_t NumDeferredTables() const;
   uint64_t DeferredBytes() const;
+
+  // -- Scrub support (core::Scrubber) --------------------------------------
+  /// One manifest-listed table as the scrub job sees it.
+  struct TableListEntry {
+    uint64_t table_id = 0;
+    bool on_slow = false;
+    uint64_t file_size = 0;
+    uint32_t object_crc32c = 0;
+  };
+  enum class ScrubOutcome {
+    kClean,        ///< primary copy verified intact
+    kRepaired,     ///< primary corrupt, rebuilt from the other tier's copy
+    kQuarantined,  ///< no healthy copy anywhere: removed from the manifest
+    kCorrupt,      ///< corruption detected but repair was disabled
+    kSkipped,      ///< table no longer in the manifest (raced a compaction)
+  };
+  /// Snapshot of every manifest-listed table, sorted by table_id.
+  std::vector<TableListEntry> ListTables() const;
+  /// Verifies one table end-to-end: whole-file CRC against the manifest
+  /// checksum (block-walk fallback when no checksum is recorded). On
+  /// corruption, with `repair`, rebuilds the primary copy from the other
+  /// tier's healthy duplicate, or — when no healthy copy exists — removes
+  /// the table from the manifest and records it in quarantined(). With
+  /// `repair` false the scrub only detects (outcome kCorrupt), never
+  /// mutates. Returns non-OK only for environmental failures (tier
+  /// unreachable) — a corrupt table is an *outcome*, not an error.
+  /// `bytes_verified` (nullable) accumulates payload bytes read.
+  Status ScrubOneTable(uint64_t table_id, bool repair, ScrubOutcome* outcome,
+                       std::string* detail, uint64_t* bytes_verified = nullptr);
 
   /// Sticky error from background flush/maintenance work (background_flush
   /// mode swallows per-operation statuses; this is how they surface).
@@ -234,8 +299,13 @@ class TimePartitionedLsm : public ChunkStore {
                               std::vector<std::vector<TableHandle>>* outputs);
 
   /// Opens the table reader; compaction reads pass fill_cache=false so
-  /// they do not pollute the query block cache (RocksDB idiom).
+  /// they do not pollute the query block cache (RocksDB idiom). On a
+  /// corrupt primary copy (with self_healing_reads) falls back to the
+  /// other tier's duplicate, else quarantines the handle.
   Status OpenReader(TableHandle* handle, bool fill_cache = true);
+  /// One tier-specific open attempt, including the manifest size check and
+  /// (fast tier, opt-in) whole-file CRC verification.
+  Status OpenReaderOnTier(TableHandle* handle, bool use_slow, bool fill_cache);
   /// Serializes/loads l0_/l1_/l2_ + counters to/from the fast tier.
   Status SaveManifest();
   Status LoadManifest();
@@ -246,10 +316,26 @@ class TimePartitionedLsm : public ChunkStore {
   Status WriteTable(
       const std::vector<std::pair<std::string, std::string>>& entries,
       bool to_slow, TableHandle* out);
-  /// The atomic .tmp -> verify -> rename upload protocol; used by both
-  /// WriteTable and the deferred-upload drainer.
-  Status UploadBufferToSlow(uint64_t table_id, const Slice& data);
+  /// The atomic .tmp -> verify -> rename upload protocol; used by
+  /// WriteTable, the deferred-upload drainer and scrub repair.
+  /// `expected_crc` is the builder's whole-file CRC32C (0 = compute from
+  /// `data`), checked by the read-back verify when integrity.verify_upload
+  /// is on.
+  Status UploadBufferToSlow(uint64_t table_id, const Slice& data,
+                            uint32_t expected_crc = 0);
   Status DeleteTable(const TableHandle& handle);
+  /// Locates a live handle by id across all levels; caller holds mu_.
+  TableHandle* FindTableLocked(uint64_t table_id);
+  /// Upper bound on data timestamps table `table_id` may hold, including
+  /// chunk overhang: its L2 partition's end, or meta.max_ts plus one
+  /// pre-shrink partition length for L0/L1. Used to size the missing span
+  /// a quarantine leaves behind.
+  int64_t DataBoundLocked(uint64_t table_id) const;
+  /// Drops the table from the manifest structures (an L2 base's patches are
+  /// promoted to standalone entries, as in RecoverStorageState) and prunes
+  /// emptied partitions. Returns false when the id is not present. Caller
+  /// holds mu_ and is responsible for SaveManifest().
+  bool RemoveTableLocked(uint64_t table_id);
   void RecordBackgroundError(const Status& s);
   /// Recomputes fast_resident_bytes_ from the levels; caller holds mu_.
   void UpdateFastResidentGaugeLocked();

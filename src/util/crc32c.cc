@@ -6,28 +6,62 @@ namespace tu::crc32c {
 
 namespace {
 
-// Table-driven CRC32C (Castagnoli polynomial 0x82f63b78, reflected).
-constexpr std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+// Slice-by-8 CRC32C (Castagnoli polynomial 0x82f63b78, reflected): eight
+// lookup tables let the loop fold one 64-bit word per iteration instead of
+// one byte. Table 0 is the classic byte-at-a-time table; table k maps a
+// byte to its CRC contribution k positions further along, so the eight
+// lookups of one word are independent and the wire format is bit-for-bit
+// identical to the byte-at-a-time implementation (pinned by util_test's
+// known-vector cases).
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t crc = i;
     for (int j = 0; j < 8; ++j) {
       crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
     }
-    table[i] = crc;
+    tables[0][i] = crc;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables[0][i];
+    for (size_t k = 1; k < 8; ++k) {
+      crc = tables[0][crc & 0xff] ^ (crc >> 8);
+      tables[k][i] = crc;
+    }
+  }
+  return tables;
 }
 
-constexpr std::array<uint32_t, 256> kTable = MakeTable();
+constexpr std::array<std::array<uint32_t, 256>, 8> kTables = MakeTables();
+
+// Endian-neutral 32-bit little-endian load; compiles to a single mov on
+// little-endian targets.
+inline uint32_t LoadLE32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
 
 }  // namespace
 
 uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
   uint32_t crc = init_crc ^ 0xffffffffu;
   const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
-  for (size_t i = 0; i < n; ++i) {
-    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+
+  while (n >= 8) {
+    const uint32_t lo = LoadLE32(p) ^ crc;
+    const uint32_t hi = LoadLE32(p + 4);
+    crc = kTables[7][lo & 0xff] ^ kTables[6][(lo >> 8) & 0xff] ^
+          kTables[5][(lo >> 16) & 0xff] ^ kTables[4][lo >> 24] ^
+          kTables[3][hi & 0xff] ^ kTables[2][(hi >> 8) & 0xff] ^
+          kTables[1][(hi >> 16) & 0xff] ^ kTables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = kTables[0][(crc ^ *p) & 0xff] ^ (crc >> 8);
+    ++p;
+    --n;
   }
   return crc ^ 0xffffffffu;
 }

@@ -1,0 +1,201 @@
+// Gorilla decode microbench: scalar Next() loop vs the bulk DecodeAll
+// paths the vectorized read pipeline uses, over the three codecs
+// (timestamps, XOR doubles, NULL-extended member columns). Same encoded
+// streams for both modes, so the ratio is pure decode-loop cost.
+//
+// Emits one JSON line per (codec, mode), e.g.
+//   {"bench":"gorilla_decode","codec":"timestamp","mode":"bulk",
+//    "samples":2000000,"elapsed_s":0.012,"samples_per_s":166666666.7,
+//    "checksum":123456789}
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "compress/gorilla.h"
+#include "util/random.h"
+
+namespace tu::bench {
+namespace {
+
+using compress::BitReader;
+using compress::BitWriter;
+
+int ChunkSamples() { return 120; }
+int Chunks() { return SmokeMode() ? 2000 : 20000; }
+int Rounds() { return SmokeMode() ? 2 : 5; }
+
+struct EncodedChunk {
+  std::vector<char> bytes;
+  uint32_t count = 0;
+};
+
+void EmitLine(const char* codec, const char* mode, uint64_t samples,
+              double elapsed_s, uint64_t checksum) {
+  std::printf(
+      "{\"bench\":\"gorilla_decode\",\"codec\":\"%s\",\"mode\":\"%s\","
+      "\"samples\":%llu,\"elapsed_s\":%.4f,\"samples_per_s\":%.1f,"
+      "\"checksum\":%llu}\n",
+      codec, mode, static_cast<unsigned long long>(samples), elapsed_s,
+      static_cast<double>(samples) / elapsed_s,
+      static_cast<unsigned long long>(checksum));
+  std::fflush(stdout);
+}
+
+// -- Timestamps --------------------------------------------------------------
+
+std::vector<EncodedChunk> BuildTimestampChunks(Random* rng) {
+  std::vector<EncodedChunk> chunks(Chunks());
+  int64_t t = 1600000000000;
+  for (EncodedChunk& c : chunks) {
+    c.count = ChunkSamples();
+    c.bytes.resize(c.count * 12);
+    BitWriter w(c.bytes.data(), c.bytes.size());
+    compress::TimestampEncoder enc;
+    for (uint32_t i = 0; i < c.count; ++i) {
+      // Mostly regular 30 s scrape interval with occasional jitter, the
+      // shape the dod buckets were designed for.
+      t += 30000 + (rng->OneIn(10)
+                        ? static_cast<int64_t>(rng->Uniform(256)) - 128
+                        : 0);
+      enc.Append(&w, t);
+    }
+  }
+  return chunks;
+}
+
+void RunTimestamps(const std::vector<EncodedChunk>& chunks) {
+  std::vector<int64_t> out(ChunkSamples());
+  for (const char* mode : {"scalar", "bulk"}) {
+    uint64_t checksum = 0;
+    uint64_t samples = 0;
+    const uint64_t start = NowUs();
+    for (int r = 0; r < Rounds(); ++r) {
+      for (const EncodedChunk& c : chunks) {
+        BitReader reader(c.bytes.data(), c.bytes.size());
+        compress::TimestampDecoder dec;
+        if (mode[0] == 's') {
+          for (uint32_t i = 0; i < c.count; ++i) out[i] = dec.Next(&reader);
+        } else {
+          dec.DecodeAll(&reader, c.count, out.data());
+        }
+        checksum += static_cast<uint64_t>(out[c.count - 1]);
+        samples += c.count;
+      }
+    }
+    EmitLine("timestamp", mode, samples,
+             static_cast<double>(NowUs() - start) / 1e6, checksum);
+  }
+}
+
+// -- XOR doubles -------------------------------------------------------------
+
+std::vector<EncodedChunk> BuildValueChunks(Random* rng) {
+  std::vector<EncodedChunk> chunks(Chunks());
+  double v = 250.0;
+  for (EncodedChunk& c : chunks) {
+    c.count = ChunkSamples();
+    c.bytes.resize(c.count * 12);
+    BitWriter w(c.bytes.data(), c.bytes.size());
+    compress::ValueEncoder enc;
+    for (uint32_t i = 0; i < c.count; ++i) {
+      if (!rng->OneIn(4)) v += rng->NextGaussian(0, 1.0);  // else repeat
+      enc.Append(&w, v);
+    }
+  }
+  return chunks;
+}
+
+void RunValues(const std::vector<EncodedChunk>& chunks) {
+  std::vector<double> out(ChunkSamples());
+  for (const char* mode : {"scalar", "bulk"}) {
+    uint64_t checksum = 0;
+    uint64_t samples = 0;
+    const uint64_t start = NowUs();
+    for (int r = 0; r < Rounds(); ++r) {
+      for (const EncodedChunk& c : chunks) {
+        BitReader reader(c.bytes.data(), c.bytes.size());
+        compress::ValueDecoder dec;
+        if (mode[0] == 's') {
+          for (uint32_t i = 0; i < c.count; ++i) out[i] = dec.Next(&reader);
+        } else {
+          dec.DecodeAll(&reader, c.count, out.data());
+        }
+        uint64_t bits;
+        std::memcpy(&bits, &out[c.count - 1], sizeof(bits));
+        checksum += bits;
+        samples += c.count;
+      }
+    }
+    EmitLine("value", mode, samples,
+             static_cast<double>(NowUs() - start) / 1e6, checksum);
+  }
+}
+
+// -- NULL-extended member columns --------------------------------------------
+
+std::vector<EncodedChunk> BuildNullableChunks(Random* rng) {
+  std::vector<EncodedChunk> chunks(Chunks());
+  double v = 42.0;
+  for (EncodedChunk& c : chunks) {
+    c.count = ChunkSamples();
+    c.bytes.resize(c.count * 12 + 64);
+    BitWriter w(c.bytes.data(), c.bytes.size());
+    compress::NullableValueEncoder enc;
+    for (uint32_t i = 0; i < c.count; ++i) {
+      if (rng->OneIn(4)) {
+        enc.AppendNull(&w);
+      } else {
+        v += rng->NextGaussian(0, 1.0);
+        enc.AppendValue(&w, v);
+      }
+    }
+  }
+  return chunks;
+}
+
+void RunNullable(const std::vector<EncodedChunk>& chunks) {
+  std::vector<double> out(ChunkSamples());
+  std::vector<uint64_t> validity((ChunkSamples() + 63) / 64);
+  for (const char* mode : {"scalar", "bulk"}) {
+    uint64_t checksum = 0;
+    uint64_t samples = 0;
+    const uint64_t start = NowUs();
+    for (int r = 0; r < Rounds(); ++r) {
+      for (const EncodedChunk& c : chunks) {
+        BitReader reader(c.bytes.data(), c.bytes.size());
+        compress::NullableValueDecoder dec;
+        if (mode[0] == 's') {
+          uint32_t present = 0;
+          for (uint32_t i = 0; i < c.count; ++i) {
+            double x;
+            if (dec.Next(&reader, &x)) ++present;
+          }
+          checksum += present;
+        } else {
+          std::fill(validity.begin(), validity.end(), 0);
+          dec.DecodeAll(&reader, c.count, out.data(), validity.data());
+          for (uint64_t word : validity) checksum += __builtin_popcountll(word);
+        }
+        samples += c.count;
+      }
+    }
+    EmitLine("nullable", mode, samples,
+             static_cast<double>(NowUs() - start) / 1e6, checksum);
+  }
+}
+
+int Main() {
+  PrintHeader("gorilla_decode",
+              "Scalar vs bulk Gorilla decode throughput per codec");
+  Random rng(42);
+  RunTimestamps(BuildTimestampChunks(&rng));
+  RunValues(BuildValueChunks(&rng));
+  RunNullable(BuildNullableChunks(&rng));
+  return 0;
+}
+
+}  // namespace
+}  // namespace tu::bench
+
+int main() { return tu::bench::Main(); }

@@ -9,10 +9,17 @@
 //
 // Emits one JSON line per (placement, threads, pass), e.g.
 //   {"bench":"query_scaling","placement":"l2","threads":4,"cache":"cold",
-//    "queries":32,"elapsed_s":0.041,"avg_latency_us":5125.0,"qps":780.5,
-//    "slow_fetches":96,"cache_hits":0,"samples_per_query":2000}
+//    "mode":"batch","queries":32,"elapsed_s":0.041,"avg_latency_us":5125.0,
+//    "qps":780.5,"samples_per_s":1561000.0,"slow_fetches":96,"cache_hits":0,
+//    "samples_per_query":2000}
+//
+// TU_BENCH_SCALAR_DRAIN=1 switches the drain to the per-sample cursor API
+// (QueryIterators + Valid/value/Next) instead of the vectorized Query
+// materialization — the escape hatch CI uses to keep the legacy drain
+// path measured next to the batch one.
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +41,11 @@ int SeriesCount() { return SmokeMode() ? 8 : 32; }
 int SamplesPerSeries() { return SmokeMode() ? 400 : 2000; }
 int64_t SpanMs() { return SamplesPerSeries() * kStepMs; }
 int WarmRounds() { return SmokeMode() ? 2 : 5; }
+
+bool ScalarDrainMode() {
+  const char* v = std::getenv("TU_BENCH_SCALAR_DRAIN");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
 
 struct Placement {
   const char* name;
@@ -92,19 +104,41 @@ bool RunPass(core::TimeUnionDB* db, const Placement& placement, int threads,
   for (int t = 0; t < threads; ++t) {
     readers.emplace_back([&, t] {
       query::QueryStats local;
+      const bool scalar = ScalarDrainMode();
       for (int r = 0; r < rounds; ++r) {
         for (int i = t; i < SeriesCount(); i += threads) {
-          core::QueryResult result;
-          Status s = db->Query(
-              {index::TagMatcher::Equal("host", std::to_string(i))}, 0,
-              SpanMs(), &result);
-          if (!s.ok() || result.size() != 1 ||
-              result[0].samples.size() !=
-                  static_cast<size_t>(SamplesPerSeries())) {
+          const auto matcher =
+              index::TagMatcher::Equal("host", std::to_string(i));
+          size_t samples = 0;
+          bool ok;
+          if (scalar) {
+            // Legacy drain: per-sample cursor over the streaming API.
+            query::QueryStats qs;
+            std::vector<core::TimeUnionDB::SeriesIterResult> iters;
+            ok = db->QueryIterators({matcher}, 0, SpanMs(), &iters, &qs).ok() &&
+                 iters.size() == 1;
+            if (ok) {
+              std::vector<compress::Sample> out;
+              for (auto* it = iters[0].iter.get(); it->Valid(); it->Next()) {
+                out.push_back(it->value());
+              }
+              ok = iters[0].iter->status().ok();
+              samples = out.size();
+              local.Add(qs);
+            }
+          } else {
+            core::QueryResult result;
+            ok = db->Query({matcher}, 0, SpanMs(), &result).ok() &&
+                 result.size() == 1;
+            if (ok) {
+              samples = result[0].samples.size();
+              local.Add(result.stats);
+            }
+          }
+          if (!ok || samples != static_cast<size_t>(SamplesPerSeries())) {
             errors.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
-          local.Add(result.stats);
           queries.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -122,14 +156,17 @@ bool RunPass(core::TimeUnionDB* db, const Placement& placement, int threads,
   }
   const uint64_t q = queries.load();
   const double elapsed_s = static_cast<double>(t_end - t_start) / 1e6;
+  const double qps = static_cast<double>(q) / elapsed_s;
   std::printf(
       "{\"bench\":\"query_scaling\",\"placement\":\"%s\",\"threads\":%d,"
-      "\"cache\":\"%s\",\"queries\":%llu,\"elapsed_s\":%.3f,"
-      "\"avg_latency_us\":%.1f,\"qps\":%.1f,\"slow_fetches\":%llu,"
-      "\"cache_hits\":%llu,\"samples_per_query\":%d}\n",
-      placement.name, threads, cache, static_cast<unsigned long long>(q),
-      elapsed_s, static_cast<double>(t_end - t_start) / (q ? q : 1),
-      static_cast<double>(q) / elapsed_s,
+      "\"cache\":\"%s\",\"mode\":\"%s\",\"queries\":%llu,\"elapsed_s\":%.3f,"
+      "\"avg_latency_us\":%.1f,\"qps\":%.1f,\"samples_per_s\":%.0f,"
+      "\"slow_fetches\":%llu,\"cache_hits\":%llu,\"samples_per_query\":%d}\n",
+      placement.name, threads, cache,
+      ScalarDrainMode() ? "scalar" : "batch",
+      static_cast<unsigned long long>(q), elapsed_s,
+      static_cast<double>(t_end - t_start) / (q ? q : 1), qps,
+      qps * SamplesPerSeries(),
       static_cast<unsigned long long>(totals.slow_tier_fetches),
       static_cast<unsigned long long>(totals.cache_hits), SamplesPerSeries());
   std::fflush(stdout);

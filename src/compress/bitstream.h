@@ -70,6 +70,17 @@ class BitReader {
 
   size_t RemainingBits() const { return size_bits_ - bit_pos_; }
 
+  /// Raw access for the bulk decode paths (compress/gorilla.cc): they run
+  /// a register-resident cursor over the underlying bytes and sync the
+  /// position back, so bulk and per-sample reads interleave losslessly.
+  const uint8_t* bytes() const { return buf_; }
+  size_t size_bits() const { return size_bits_; }
+  size_t bit_pos() const { return bit_pos_; }
+  void set_bit_pos(size_t bit_pos) {
+    assert(bit_pos <= size_bits_);
+    bit_pos_ = bit_pos;
+  }
+
   bool ReadBit() {
     assert(bit_pos_ < size_bits_);
     const size_t byte = bit_pos_ >> 3;

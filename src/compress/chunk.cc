@@ -45,6 +45,35 @@ Status DecodeSeriesChunk(const Slice& data, uint64_t* seq_id,
   return Status::OK();
 }
 
+Status DecodeSeriesChunkBatch(const Slice& data, query::SampleBatch* batch) {
+  batch->timestamps.clear();
+  batch->values.clear();
+  batch->validity.clear();
+  Slice in = data;
+  uint64_t seq_id = 0;
+  uint32_t count = 0, ts_len = 0, val_len = 0;
+  if (!GetVarint64(&in, &seq_id) || !GetVarint32(&in, &count) ||
+      !GetVarint32(&in, &ts_len) || in.size() < ts_len) {
+    return Status::Corruption("bad series chunk");
+  }
+  const char* ts_bits = in.data();
+  in.remove_prefix(ts_len);
+  if (!GetVarint32(&in, &val_len) || in.size() < val_len) {
+    return Status::Corruption("bad series chunk");
+  }
+  if (count == 0) return Status::OK();
+
+  batch->timestamps.resize(count);
+  batch->values.resize(count);
+  BitReader ts_reader(ts_bits, ts_len);
+  TimestampDecoder ts_dec;
+  ts_dec.DecodeAll(&ts_reader, count, batch->timestamps.data());
+  BitReader val_reader(in.data(), val_len);
+  ValueDecoder val_dec;
+  val_dec.DecodeAll(&val_reader, count, batch->values.data());
+  return Status::OK();
+}
+
 SeriesChunkIterator::SeriesChunkIterator(const Slice& data) {
   Slice in = data;
   uint32_t ts_len = 0, val_len = 0;
@@ -212,6 +241,51 @@ Status DecodeGroupMember(const Slice& data, uint32_t member_index,
       samples->push_back(Sample{ts, v});
     }
   }
+  return Status::OK();
+}
+
+Status DecodeGroupMemberBatch(const Slice& data, uint32_t member_index,
+                              query::SampleBatch* batch) {
+  batch->timestamps.clear();
+  batch->values.clear();
+  batch->validity.clear();
+  uint64_t seq_id = 0;
+  uint32_t count = 0, num_members = 0;
+  Slice ts_bits;
+  std::vector<Slice> cols;
+  TU_RETURN_IF_ERROR(
+      ParseGroupChunk(data, &seq_id, &count, &num_members, &ts_bits, &cols));
+  if (member_index >= num_members || count == 0) {
+    // The member joined the group after this chunk was flushed: no samples.
+    return Status::OK();
+  }
+
+  batch->timestamps.resize(count);
+  batch->values.resize(count);
+  batch->validity.assign((count + 63) / 64, 0);
+
+  BitReader ts_reader(ts_bits.data(), ts_bits.size());
+  TimestampDecoder ts_dec;
+  ts_dec.DecodeAll(&ts_reader, count, batch->timestamps.data());
+
+  BitReader col_reader(cols[member_index].data(), cols[member_index].size());
+  NullableValueDecoder col_dec;
+  col_dec.DecodeAll(&col_reader, count, batch->values.data(),
+                    batch->validity.data());
+
+  // Compact the present rows into dense columns; consumers past the
+  // decode layer never see NULL slots.
+  size_t out = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    if ((batch->validity[i >> 6] >> (i & 63)) & 1) {
+      batch->timestamps[out] = batch->timestamps[i];
+      batch->values[out] = batch->values[i];
+      ++out;
+    }
+  }
+  batch->timestamps.resize(out);
+  batch->values.resize(out);
+  batch->validity.clear();
   return Status::OK();
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "compress/gorilla.h"
+#include "query/sample_batch.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -93,6 +94,21 @@ void EncodeSeriesChunk(uint64_t seq_id, const std::vector<Sample>& samples,
 /// Decodes a serialized series chunk.
 Status DecodeSeriesChunk(const Slice& data, uint64_t* seq_id,
                          std::vector<Sample>* samples);
+
+/// Vectorized decode of a serialized series chunk straight into column
+/// batches via the bulk Gorilla paths — no per-sample call crosses this
+/// boundary and the bit streams are decoded in place (no copies).
+/// `batch->seq` is left untouched (the LSM layer sets the dedup seq from
+/// the internal key); `batch->validity` comes back empty (dense).
+Status DecodeSeriesChunkBatch(const Slice& data, query::SampleBatch* batch);
+
+/// Vectorized DecodeGroupMember: bulk-decodes the shared timestamp column
+/// and the selected member column, then compacts the member's present
+/// rows into dense batch columns (NULL rows are dropped, like
+/// DecodeGroupMember). A member index past the chunk's column count
+/// yields an empty batch, OK.
+Status DecodeGroupMemberBatch(const Slice& data, uint32_t member_index,
+                              query::SampleBatch* batch);
 
 /// Iterator over a serialized series chunk (avoids materializing vectors on
 /// the query path).

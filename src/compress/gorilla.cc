@@ -19,6 +19,110 @@ double BitsToDouble(uint64_t bits) {
   return d;
 }
 
+/// Register-resident MSB-first bit cursor for the bulk decode loops: a
+/// 64-bit accumulator refilled a byte at a time, so the per-field cost is
+/// a shift and a subtract instead of BitReader's per-byte loop. Constructed
+/// from a BitReader's raw state and synced back with SyncTo(), so bulk and
+/// per-sample decoding interleave losslessly.
+class BulkBitCursor {
+ public:
+  BulkBitCursor(const uint8_t* buf, size_t size_bits, size_t bit_pos)
+      : base_(buf), next_(buf + (bit_pos >> 3)), end_(buf + ((size_bits + 7) >> 3)) {
+    const unsigned frac = bit_pos & 7;
+    if (frac != 0 && next_ < end_) {
+      // Start mid-byte: preload the partial byte with the consumed high
+      // bits shifted out.
+      acc_ = static_cast<uint64_t>(*next_++) << (56 + frac);
+      n_ = 8 - frac;
+    }
+  }
+
+  bool ReadBit() {
+    if (n_ == 0) {
+      Fill();
+      if (n_ == 0) return false;  // corrupt stream: read past the end
+    }
+    const bool bit = (acc_ >> 63) & 1;
+    acc_ <<= 1;
+    --n_;
+    return bit;
+  }
+
+  /// Reads 0..57 bits. (Fill() tops the accumulator up to >= 57 bits
+  /// whenever bytes remain, so a 57-bit read never splits; reads past the
+  /// end of a corrupt stream yield zero bits instead of overrunning.)
+  uint64_t ReadSmall(unsigned nbits) {
+    if (nbits == 0) return 0;
+    if (n_ < nbits) Fill();
+    const uint64_t v = acc_ >> (64 - nbits);
+    acc_ <<= nbits;
+    n_ = n_ >= nbits ? n_ - nbits : 0;
+    return v;
+  }
+
+  /// Reads up to 64 bits (raw timestamp/value fields).
+  uint64_t ReadWide(unsigned nbits) {
+    if (nbits <= 57) return ReadSmall(nbits);
+    const uint64_t hi = ReadSmall(32);
+    return (hi << (nbits - 32)) | ReadSmall(nbits - 32);
+  }
+
+  /// Writes the cursor position back into the BitReader.
+  void SyncTo(BitReader* r) const {
+    r->set_bit_pos(static_cast<size_t>(next_ - base_) * 8 - n_);
+  }
+
+ private:
+  void Fill() {
+    while (n_ <= 56 && next_ < end_) {
+      acc_ |= static_cast<uint64_t>(*next_++) << (56 - n_);
+      n_ += 8;
+    }
+  }
+
+  const uint8_t* base_;
+  const uint8_t* next_;
+  const uint8_t* end_;
+  uint64_t acc_ = 0;  // left-aligned pending bits
+  unsigned n_ = 0;    // valid bits in acc_
+};
+
+/// Streaming XOR-decode state shared by the plain and nullable bulk value
+/// paths; mirrors ValueDecoder's members exactly.
+struct XorState {
+  uint32_t count;
+  uint64_t prev_bits;
+  unsigned leading;
+  unsigned trailing;
+};
+
+/// One XOR-decoded value off the cursor (the steady-state body of
+/// ValueDecoder::Next over BulkBitCursor).
+inline double XorDecodeOne(BulkBitCursor& c, XorState& s) {
+  if (s.count == 0) {
+    s.prev_bits = c.ReadWide(64);
+    s.leading = 64;  // no window yet (mirrors encoder)
+    s.trailing = 0;
+    ++s.count;
+    return BitsToDouble(s.prev_bits);
+  }
+  ++s.count;
+  if (!c.ReadBit()) return BitsToDouble(s.prev_bits);  // identical value
+  if (!c.ReadBit()) {
+    const unsigned sigbits = 64 - s.leading - s.trailing;
+    s.prev_bits ^= c.ReadWide(sigbits) << s.trailing;
+  } else {
+    const unsigned leading = static_cast<unsigned>(c.ReadSmall(5));
+    unsigned sigbits = static_cast<unsigned>(c.ReadSmall(6));
+    if (sigbits == 0) sigbits = 64;  // 6-bit field wraps for full width
+    const unsigned trailing = 64 - leading - sigbits;
+    s.prev_bits ^= c.ReadWide(sigbits) << trailing;
+    s.leading = leading;
+    s.trailing = trailing;
+  }
+  return BitsToDouble(s.prev_bits);
+}
+
 }  // namespace
 
 void TimestampEncoder::Append(BitWriter* w, int64_t ts) {
@@ -52,6 +156,49 @@ void TimestampEncoder::Append(BitWriter* w, int64_t ts) {
     prev_ts_ = ts;
   }
   ++count_;
+}
+
+void TimestampDecoder::DecodeAll(BitReader* r, size_t n, int64_t* out) {
+  if (n == 0) return;
+  BulkBitCursor c(r->bytes(), r->size_bits(), r->bit_pos());
+  uint32_t count = count_;
+  int64_t ts = prev_ts_;
+  int64_t delta = prev_delta_;
+  size_t i = 0;
+  // Header samples: raw first timestamp, then a raw 64-bit delta.
+  if (i < n && count == 0) {
+    ts = static_cast<int64_t>(c.ReadWide(64));
+    out[i++] = ts;
+    ++count;
+  }
+  if (i < n && count == 1) {
+    delta = static_cast<int64_t>(c.ReadWide(64));
+    ts += delta;
+    out[i++] = ts;
+    ++count;
+  }
+  // Steady state: delta-of-delta buckets, cursor and deltas in registers.
+  for (; i < n; ++i) {
+    int64_t dod;
+    if (!c.ReadBit()) {
+      dod = 0;
+    } else if (!c.ReadBit()) {
+      dod = static_cast<int64_t>(c.ReadSmall(7)) - 63;
+    } else if (!c.ReadBit()) {
+      dod = static_cast<int64_t>(c.ReadSmall(9)) - 255;
+    } else if (!c.ReadBit()) {
+      dod = static_cast<int64_t>(c.ReadSmall(12)) - 2047;
+    } else {
+      dod = static_cast<int64_t>(c.ReadWide(64));
+    }
+    delta += dod;
+    ts += delta;
+    out[i] = ts;
+  }
+  count_ += static_cast<uint32_t>(n);
+  prev_ts_ = ts;
+  prev_delta_ = delta;
+  c.SyncTo(r);
 }
 
 int64_t TimestampDecoder::Next(BitReader* r) {
@@ -118,6 +265,18 @@ void ValueEncoder::Append(BitWriter* w, double value) {
   }
 }
 
+void ValueDecoder::DecodeAll(BitReader* r, size_t n, double* out) {
+  if (n == 0) return;
+  BulkBitCursor c(r->bytes(), r->size_bits(), r->bit_pos());
+  XorState s{count_, prev_bits_, prev_leading_, prev_trailing_};
+  for (size_t i = 0; i < n; ++i) out[i] = XorDecodeOne(c, s);
+  count_ = s.count;
+  prev_bits_ = s.prev_bits;
+  prev_leading_ = s.leading;
+  prev_trailing_ = s.trailing;
+  c.SyncTo(r);
+}
+
 double ValueDecoder::Next(BitReader* r) {
   if (count_ == 0) {
     prev_bits_ = r->ReadBits(64);
@@ -146,6 +305,24 @@ double ValueDecoder::Next(BitReader* r) {
     prev_trailing_ = trailing;
   }
   return BitsToDouble(prev_bits_);
+}
+
+void NullableValueDecoder::DecodeAll(BitReader* r, size_t n, double* values,
+                                     uint64_t* validity) {
+  if (n == 0) return;
+  BulkBitCursor c(r->bytes(), r->size_bits(), r->bit_pos());
+  XorState s{inner_.count_, inner_.prev_bits_, inner_.prev_leading_,
+             inner_.prev_trailing_};
+  for (size_t i = 0; i < n; ++i) {
+    if (c.ReadBit()) continue;  // NULL slot: no value bits follow
+    values[i] = XorDecodeOne(c, s);
+    validity[i >> 6] |= 1ull << (i & 63);
+  }
+  inner_.count_ = s.count;
+  inner_.prev_bits_ = s.prev_bits;
+  inner_.prev_leading_ = s.leading;
+  inner_.prev_trailing_ = s.trailing;
+  c.SyncTo(r);
 }
 
 }  // namespace tu::compress

@@ -46,6 +46,13 @@ class TimestampDecoder {
   /// count.
   int64_t Next(BitReader* r);
 
+  /// Bulk path: decodes the next `n` timestamps into `out[0..n)`. Exactly
+  /// equivalent to `n` calls to Next() — decoder state and reader position
+  /// advance identically, so bulk and per-sample reads can interleave —
+  /// but the bit cursor and delta state stay in registers for the whole
+  /// run.
+  void DecodeAll(BitReader* r, size_t n, int64_t* out);
+
  private:
   uint32_t count_ = 0;
   int64_t prev_ts_ = 0;
@@ -70,7 +77,13 @@ class ValueDecoder {
  public:
   double Next(BitReader* r);
 
+  /// Bulk path: decodes the next `n` values into `out[0..n)`; equivalent
+  /// to `n` Next() calls (see TimestampDecoder::DecodeAll).
+  void DecodeAll(BitReader* r, size_t n, double* out);
+
  private:
+  friend class NullableValueDecoder;  // bulk path shares the XOR state
+
   uint32_t count_ = 0;
   uint64_t prev_bits_ = 0;
   unsigned prev_leading_ = 0;
@@ -102,6 +115,13 @@ class NullableValueDecoder {
     *value = inner_.Next(r);
     return true;
   }
+
+  /// Bulk path: decodes the next `n` slots. For each present slot i,
+  /// sets bit i of `validity` (a caller-zeroed bitmap of at least
+  /// ceil(n/64) words, indexed from the start of this call) and stores
+  /// the value in `values[i]`; NULL slots leave `values[i]` untouched.
+  /// Equivalent to `n` Next() calls.
+  void DecodeAll(BitReader* r, size_t n, double* values, uint64_t* validity);
 
  private:
   ValueDecoder inner_;

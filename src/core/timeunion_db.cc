@@ -1010,14 +1010,28 @@ Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
       QueryIteratorsImpl(matchers, t0, t1, &iters, &out->stats));
 
   const uint64_t drain_start_us = obs::MonotonicUs();
+  std::vector<query::SampleBatch> batches;
   for (SeriesIterResult& r : iters) {
     SeriesResult result;
     result.id = r.id;
     result.labels = std::move(r.labels);
-    for (SampleIterator* it = r.iter.get(); it->Valid(); it->Next()) {
-      result.samples.push_back(it->value());
+    // Vectorized drain: pull whole finalized column runs, then materialize
+    // with one exact reservation (the batch sizes are the sample-count
+    // metadata) instead of growing the vector sample by sample.
+    batches.clear();
+    size_t total = 0;
+    query::SampleBatch batch;
+    while (r.iter->NextBatch(&batch)) {
+      total += batch.size();
+      batches.push_back(std::move(batch));
     }
     TU_RETURN_IF_ERROR(r.iter->status());
+    result.samples.reserve(total);
+    for (const query::SampleBatch& b : batches) {
+      for (size_t i = 0; i < b.size(); ++i) {
+        result.samples.push_back(Sample{b.timestamps[i], b.values[i]});
+      }
+    }
     // Per-iterator spans are already clamped; the merge unions them across
     // series.
     out->MergeCompleteness(r);
@@ -1292,6 +1306,8 @@ obs::MetricsSnapshot TimeUnionDB::Metrics() const {
     add_c("query.block_bytes_read", query_totals_.block_bytes_read);
     add_c("query.chunks_decoded", query_totals_.chunks_decoded);
     add_c("query.bytes_decoded", query_totals_.bytes_decoded);
+    add_c("query.batches_decoded", query_totals_.batches_decoded);
+    add_c("query.samples_decoded", query_totals_.samples_decoded);
     add_c("query.setup_us_total", query_totals_.setup_us);
     add_c("query.drain_us_total", query_totals_.drain_us);
   }
@@ -1401,6 +1417,8 @@ std::string TimeUnionDB::CountersReport() const {
   totals.block_bytes_read = snap.CounterOr0("query.block_bytes_read");
   totals.chunks_decoded = snap.CounterOr0("query.chunks_decoded");
   totals.bytes_decoded = snap.CounterOr0("query.bytes_decoded");
+  totals.batches_decoded = snap.CounterOr0("query.batches_decoded");
+  totals.samples_decoded = snap.CounterOr0("query.samples_decoded");
   totals.setup_us = snap.CounterOr0("query.setup_us_total");
   totals.drain_us = snap.CounterOr0("query.drain_us_total");
   std::snprintf(buf, sizeof(buf), "\nqueries: run=%llu ",

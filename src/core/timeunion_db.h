@@ -37,13 +37,18 @@
 #include "mem/head.h"
 #include "obs/metrics.h"
 #include "core/maintenance.h"
-#include "core/sample_iterator.h"
 #include "core/scrub.h"
 #include "core/wal.h"
+#include "query/merged_series_iterator.h"
 #include "query/read_context.h"
 #include "util/striped_mutex.h"
 
 namespace tu::core {
+
+/// The streaming sample merge lives in the unified query layer as
+/// query::MergedSeriesIterator; core-level callers and the public
+/// SeriesIterResult keep the historical spelling.
+using SampleIterator = query::MergedSeriesIterator;
 
 struct DBOptions {
   /// Root directory; fast tier, slow tier and mmap files live under it.

@@ -1,0 +1,29 @@
+#include "lsm/iterator.h"
+
+#include "compress/chunk.h"
+#include "lsm/key_format.h"
+#include "lsm/memtable.h"
+
+namespace tu::lsm {
+
+Status DecodeChunkEntryBatch(const Slice& internal_key, const Slice& value,
+                             int member_slot, query::SampleBatch* batch) {
+  const Slice payload = ChunkValuePayload(value);
+  Status s = member_slot >= 0
+                 ? compress::DecodeGroupMemberBatch(
+                       payload, static_cast<uint32_t>(member_slot), batch)
+                 : compress::DecodeSeriesChunkBatch(payload, batch);
+  if (s.ok()) batch->seq = InternalKeySeq(internal_key);
+  return s;
+}
+
+Status Iterator::NextBatch(int member_slot, query::SampleBatch* batch) {
+  batch->clear();
+  if (!Valid()) return status();
+  TU_RETURN_IF_ERROR(
+      DecodeChunkEntryBatch(key(), value(), member_slot, batch));
+  Next();
+  return status();
+}
+
+}  // namespace tu::lsm

@@ -1,7 +1,11 @@
 // Iterator: the LevelDB-style cursor interface shared by memtables, blocks,
-// SSTables and the merging iterator (§3.4 Get path).
+// SSTables and the merging iterator (§3.4 Get path). The vectorized read
+// path adds NextBatch(): one call decodes the whole chunk at the cursor
+// into a column batch and advances past it, so draining a table costs one
+// virtual dispatch per chunk instead of three per sample.
 #pragma once
 
+#include "query/sample_batch.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -25,6 +29,22 @@ class Iterator {
   virtual Slice key() const = 0;
   virtual Slice value() const = 0;
   virtual Status status() const = 0;
+
+  /// Batched read path: bulk-decodes the chunk entry at the current
+  /// position into `batch` (`member_slot` >= 0 selects that column of a
+  /// group chunk; -1 decodes an individual-series chunk), sets
+  /// `batch->seq` from the internal key, and advances past the entry.
+  /// When !Valid(), returns status() and leaves `batch` empty — callers
+  /// that need to distinguish exhaustion from a zero-sample chunk check
+  /// Valid() first. The default implementation decodes through key()/
+  /// value(); leaf iterators override it to skip the extra dispatches.
+  virtual Status NextBatch(int member_slot, query::SampleBatch* batch);
 };
+
+/// Shared body of the NextBatch implementations: bulk-decodes one chunk
+/// entry (type byte + payload) into `batch` and stamps `batch->seq` from
+/// the internal key. Does not advance anything.
+Status DecodeChunkEntryBatch(const Slice& internal_key, const Slice& value,
+                             int member_slot, query::SampleBatch* batch);
 
 }  // namespace tu::lsm

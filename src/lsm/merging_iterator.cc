@@ -1,64 +1,134 @@
 #include "lsm/merging_iterator.h"
 
+#include <utility>
+#include <vector>
+
 namespace tu::lsm {
 
 namespace {
 
+// K-way merge over the per-table/memtable children as a binary min-heap of
+// cached keys. A full-span query over a time-partitioned tree can carry a
+// hundred-plus children, and the previous linear FindSmallest rescanned all
+// of them — two virtual calls plus a compare each — on every advance, which
+// dominated the warm drain. The heap touches O(log n) entries per advance,
+// and because partitions hold disjoint time ranges the advanced child
+// usually stays smallest, so the sift-down ends after one compare.
+//
+// A child's cached key Slice points into storage owned by that child
+// (memtable node, pinned block) and stays valid until the child advances;
+// only the heap root's child is ever advanced, and its entry is refreshed
+// immediately after.
 class MergingIterator : public Iterator {
  public:
   explicit MergingIterator(std::vector<std::unique_ptr<Iterator>> children)
       : children_(std::move(children)) {}
 
-  bool Valid() const override { return current_ >= 0; }
+  bool Valid() const override { return !heap_.empty(); }
 
   void SeekToFirst() override {
     for (auto& child : children_) child->SeekToFirst();
-    FindSmallest();
+    Rebuild();
   }
 
   void Seek(const Slice& target) override {
     for (auto& child : children_) child->Seek(target);
-    FindSmallest();
+    Rebuild();
   }
 
   void Next() override {
-    children_[current_]->Next();
-    FindSmallest();
+    heap_[0].it->Next();
+    Reposition();
   }
 
-  Slice key() const override { return children_[current_]->key(); }
-  Slice value() const override { return children_[current_]->value(); }
+  Slice key() const override { return heap_[0].key; }
+  Slice value() const override { return heap_[0].it->value(); }
 
-  Status status() const override {
-    if (!status_.ok()) return status_;
-    for (const auto& child : children_) {
-      Status s = child->status();
-      if (!s.ok()) return s;
+  /// Delegates the batched decode to the winning child (hitting its leaf
+  /// override), then re-establishes the merge invariant.
+  Status NextBatch(int member_slot, query::SampleBatch* batch) override {
+    if (heap_.empty()) {
+      batch->clear();
+      return status_;
     }
-    return Status::OK();
+    TU_RETURN_IF_ERROR(heap_[0].it->NextBatch(member_slot, batch));
+    Reposition();
+    return status_;
   }
+
+  Status status() const override { return status_; }
 
  private:
-  void FindSmallest() {
-    current_ = -1;
+  struct Entry {
+    Slice key;       ///< cached child->key(); valid until the child advances
+    uint32_t index;  ///< child ordinal — ties resolve to the earliest child
+    Iterator* it;
+  };
+
+  static bool Before(const Entry& a, const Entry& b) {
+    const int c = a.key.compare(b.key);
+    return c != 0 ? c < 0 : a.index < b.index;
+  }
+
+  /// Latch the first child error so the merge fails fast instead of
+  /// yielding a silently incomplete stream and only surfacing the error
+  /// when the caller finally checks status(). Called whenever a child is
+  /// observed invalid; an errored merge goes wholly invalid.
+  void Retire(Iterator* it) {
+    if (status_.ok()) status_ = it->status();
+  }
+
+  void Rebuild() {
+    heap_.clear();
     for (size_t i = 0; i < children_.size(); ++i) {
-      if (!children_[i]->Valid()) {
-        // Latch the first child error so the merge fails fast instead of
-        // yielding a silently incomplete stream and only surfacing the
-        // error when the caller finally checks status().
-        if (status_.ok()) status_ = children_[i]->status();
-        continue;
-      }
-      if (current_ < 0 ||
-          children_[i]->key().compare(children_[current_]->key()) < 0) {
-        current_ = static_cast<int>(i);
+      Iterator* it = children_[i].get();
+      if (it->Valid()) {
+        heap_.push_back(Entry{it->key(), static_cast<uint32_t>(i), it});
+      } else {
+        Retire(it);
       }
     }
-    if (!status_.ok()) current_ = -1;
+    if (!status_.ok()) {
+      heap_.clear();
+      return;
+    }
+    for (size_t i = heap_.size() / 2; i-- > 0;) SiftDown(i);
+  }
+
+  /// Re-establishes the heap invariant after the root's child advanced.
+  void Reposition() {
+    Iterator* it = heap_[0].it;
+    if (it->Valid()) {
+      heap_[0].key = it->key();
+      SiftDown(0);
+      return;
+    }
+    Retire(it);
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!status_.ok()) {
+      heap_.clear();
+      return;
+    }
+    if (!heap_.empty()) SiftDown(0);
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = heap_.size();
+    while (true) {
+      size_t smallest = i;
+      const size_t l = 2 * i + 1;
+      const size_t r = l + 1;
+      if (l < n && Before(heap_[l], heap_[smallest])) smallest = l;
+      if (r < n && Before(heap_[r], heap_[smallest])) smallest = r;
+      if (smallest == i) return;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
   }
 
   std::vector<std::unique_ptr<Iterator>> children_;
-  int current_ = -1;
+  std::vector<Entry> heap_;
   Status status_;
 };
 

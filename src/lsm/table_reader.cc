@@ -207,6 +207,19 @@ class TableReader::TwoLevelIter : public Iterator {
   Slice value() const override { return data_iter_->value(); }
   Status status() const override { return status_; }
 
+  /// Leaf override of the batched read path: decodes straight off the
+  /// pinned data block's entry, skipping the base implementation's extra
+  /// virtual dispatches through this iterator.
+  Status NextBatch(int member_slot, query::SampleBatch* batch) override {
+    batch->clear();
+    if (!Valid()) return status_;
+    TU_RETURN_IF_ERROR(DecodeChunkEntryBatch(data_iter_->key(),
+                                             data_iter_->value(), member_slot,
+                                             batch));
+    Next();
+    return status_;
+  }
+
  private:
   void InitDataBlock() {
     data_iter_.reset();

@@ -1,5 +1,7 @@
 #include "query/merged_series_iterator.h"
 
+#include <algorithm>
+
 #include "lsm/key_format.h"
 #include "lsm/memtable.h"
 
@@ -15,116 +17,215 @@ MergedSeriesIterator::MergedSeriesIterator(
       t1_(ctx.t1),
       member_slot_(member_slot),
       stats_(ctx.stats),
-      lsm_iter_(std::move(lsm_iter)),
-      head_samples_(std::move(head_samples)) {
+      lsm_iter_(std::move(lsm_iter)) {
   // The open chunk is the newest data: stage it with maximal precedence.
-  for (const compress::Sample& s : head_samples_) {
-    if (s.timestamp >= t0_ && s.timestamp <= t1_) {
-      pending_[s.timestamp] = {UINT64_MAX, s.value};
-    }
+  for (const compress::Sample& s : head_samples) {
+    if (s.timestamp < t0_ || s.timestamp > t1_) continue;
+    staged_ts_.push_back(s.timestamp);
+    staged_val_.push_back(s.value);
+    staged_seq_.push_back(UINT64_MAX);
+  }
+  if (stats_ != nullptr && !staged_ts_.empty()) {
+    ++stats_->batches_decoded;
+    stats_->samples_decoded += staged_ts_.size();
   }
   const int64_t seek_ts =
       (t0_ < INT64_MIN + seek_slack_ms) ? INT64_MIN : t0_ - seek_slack_ms;
   lsm_iter_->Seek(lsm::MakeChunkKey(id_, seek_ts));
-  Advance();
+  valid_ = FetchBatch();
+  if (valid_) current_ = compress::Sample{cur_.timestamps[0], cur_.values[0]};
 }
 
-MergedSeriesIterator::MergedSeriesIterator(
-    uint64_t id, int64_t t0, int64_t t1,
-    std::unique_ptr<lsm::Iterator> lsm_iter,
-    std::vector<compress::Sample> head_samples, int member_slot,
-    int64_t seek_slack_ms)
-    : MergedSeriesIterator(
-          id,
-          [&] {
-            ReadContext ctx;
-            ctx.t0 = t0;
-            ctx.t1 = t1;
-            return ctx;
-          }(),
-          std::move(lsm_iter), std::move(head_samples), member_slot,
-          seek_slack_ms) {}
-
-void MergedSeriesIterator::FillBuffer() {
+bool MergedSeriesIterator::PeekChunk(int64_t* start_ts) {
+  if (lsm_done_) return false;
   if (!lsm_iter_->Valid()) {
     status_ = lsm_iter_->status();
     lsm_done_ = true;
-    return;
+    return false;
   }
   const Slice user_key = lsm::InternalKeyUserKey(lsm_iter_->key());
   if (lsm::ChunkKeyId(user_key) != id_ ||
       lsm::ChunkKeyTimestamp(user_key) > t1_) {
     lsm_done_ = true;
-    return;
+    return false;
   }
-  const uint64_t seq = lsm::InternalKeySeq(lsm_iter_->key());
-  const Slice payload = lsm::ChunkValuePayload(lsm_iter_->value());
+  *start_ts = lsm::ChunkKeyTimestamp(user_key);
+  return true;
+}
+
+void MergedSeriesIterator::MergeNextChunk() {
   if (stats_ != nullptr) {
     ++stats_->chunks_decoded;
-    stats_->bytes_decoded += payload.size();
+    stats_->bytes_decoded += lsm::ChunkValuePayload(lsm_iter_->value()).size();
   }
-
-  std::vector<compress::Sample> samples;
-  Status s;
-  if (member_slot_ >= 0) {
-    s = compress::DecodeGroupMember(
-        payload, static_cast<uint32_t>(member_slot_), &samples);
-  } else {
-    uint64_t chunk_seq = 0;
-    s = compress::DecodeSeriesChunk(payload, &chunk_seq, &samples);
-  }
+  scratch_.clear();
+  Status s = lsm_iter_->NextBatch(member_slot_, &scratch_);
   if (!s.ok()) {
     status_ = s;
     lsm_done_ = true;
     return;
   }
-  for (const compress::Sample& sample : samples) {
-    if (sample.timestamp < t0_ || sample.timestamp > t1_) continue;
-    auto it = pending_.find(sample.timestamp);
-    if (it == pending_.end() || seq >= it->second.first) {
-      pending_[sample.timestamp] = {seq, sample.value};
-    }
-    max_buffered_ts_ = std::max(max_buffered_ts_, sample.timestamp);
+  if (stats_ != nullptr) {
+    ++stats_->batches_decoded;
+    stats_->samples_decoded += scratch_.size();
   }
-  lsm_iter_->Next();
-}
 
-void MergedSeriesIterator::Advance() {
-  while (true) {
-    // A pending timestamp T is final once no future chunk can contain it:
-    // chunks arrive in ascending start_ts and any chunk containing T
-    // starts at or before T.
-    if (!pending_.empty() && !lsm_done_) {
-      if (lsm_iter_->Valid()) {
-        const Slice user_key = lsm::InternalKeyUserKey(lsm_iter_->key());
-        if (lsm::ChunkKeyId(user_key) == id_ &&
-            lsm::ChunkKeyTimestamp(user_key) <= pending_.begin()->first &&
-            lsm::ChunkKeyTimestamp(user_key) <= t1_) {
-          FillBuffer();
-          continue;
-        }
+  // Clip to [t0, t1] by binary-searching the batch edges.
+  const auto ts_begin = scratch_.timestamps.begin();
+  const auto ts_end = scratch_.timestamps.end();
+  const size_t lo = std::lower_bound(ts_begin, ts_end, t0_) - ts_begin;
+  const size_t hi = std::upper_bound(ts_begin, ts_end, t1_) - ts_begin;
+  if (lo >= hi) return;  // chunk entirely outside the query range
+  const uint64_t seq = scratch_.seq;
+
+  if (StagedSize() == 0) {
+    if (lo == 0 && hi == scratch_.timestamps.size()) {
+      // Whole chunk survives the clip: adopt its columns without copying.
+      staged_ts_ = std::move(scratch_.timestamps);
+      staged_val_ = std::move(scratch_.values);
+      scratch_.timestamps.clear();
+      scratch_.values.clear();
+    } else {
+      staged_ts_.assign(ts_begin + lo, ts_begin + hi);
+      staged_val_.assign(scratch_.values.begin() + lo,
+                         scratch_.values.begin() + hi);
+    }
+    staged_begin_ = 0;
+    staged_seq_.assign(staged_ts_.size(), seq);
+    return;
+  }
+
+  // Overlap: two-pointer merge of the staging run and the clipped chunk,
+  // newest-wins on timestamp collisions. The staging run stays bounded by
+  // the in-flight overlap because finalized prefixes are emitted before
+  // the next chunk is merged.
+  merge_ts_.clear();
+  merge_val_.clear();
+  merge_seq_.clear();
+  const size_t total = StagedSize() + (hi - lo);
+  merge_ts_.reserve(total);
+  merge_val_.reserve(total);
+  merge_seq_.reserve(total);
+  size_t a = staged_begin_;
+  size_t b = lo;
+  while (a < staged_ts_.size() && b < hi) {
+    const int64_t ta = staged_ts_[a];
+    const int64_t tb = scratch_.timestamps[b];
+    if (ta < tb) {
+      merge_ts_.push_back(ta);
+      merge_val_.push_back(staged_val_[a]);
+      merge_seq_.push_back(staged_seq_[a]);
+      ++a;
+    } else if (tb < ta) {
+      merge_ts_.push_back(tb);
+      merge_val_.push_back(scratch_.values[b]);
+      merge_seq_.push_back(seq);
+      ++b;
+    } else {
+      // Collision: the chunk decoded later wins ties, newest seq wins
+      // otherwise (same rule the per-sample path applied).
+      if (seq >= staged_seq_[a]) {
+        merge_ts_.push_back(tb);
+        merge_val_.push_back(scratch_.values[b]);
+        merge_seq_.push_back(seq);
       } else {
-        lsm_done_ = true;
-        status_ = lsm_iter_->status();
+        merge_ts_.push_back(ta);
+        merge_val_.push_back(staged_val_[a]);
+        merge_seq_.push_back(staged_seq_[a]);
       }
-      break;
+      ++a;
+      ++b;
     }
-    if (pending_.empty()) {
-      if (lsm_done_) {
-        valid_ = false;
-        return;
-      }
-      FillBuffer();
-      continue;
-    }
-    break;  // pending non-empty, lsm done
   }
-  auto it = pending_.begin();
-  current_ = compress::Sample{it->first, it->second.second};
-  pending_.erase(it);
-  valid_ = status_.ok();
+  for (; a < staged_ts_.size(); ++a) {
+    merge_ts_.push_back(staged_ts_[a]);
+    merge_val_.push_back(staged_val_[a]);
+    merge_seq_.push_back(staged_seq_[a]);
+  }
+  for (; b < hi; ++b) {
+    merge_ts_.push_back(scratch_.timestamps[b]);
+    merge_val_.push_back(scratch_.values[b]);
+    merge_seq_.push_back(seq);
+  }
+  staged_ts_.swap(merge_ts_);
+  staged_val_.swap(merge_val_);
+  staged_seq_.swap(merge_seq_);
+  staged_begin_ = 0;
 }
 
-void MergedSeriesIterator::Next() { Advance(); }
+void MergedSeriesIterator::EmitStaged(size_t n, SampleBatch* out) {
+  out->seq = 0;
+  if (staged_begin_ == 0 && n == staged_ts_.size()) {
+    out->timestamps = std::move(staged_ts_);
+    out->values = std::move(staged_val_);
+    staged_ts_.clear();
+    staged_val_.clear();
+    staged_seq_.clear();
+    return;
+  }
+  out->timestamps.assign(staged_ts_.begin() + staged_begin_,
+                         staged_ts_.begin() + staged_begin_ + n);
+  out->values.assign(staged_val_.begin() + staged_begin_,
+                     staged_val_.begin() + staged_begin_ + n);
+  staged_begin_ += n;
+  if (staged_begin_ == staged_ts_.size()) {
+    staged_ts_.clear();
+    staged_val_.clear();
+    staged_seq_.clear();
+    staged_begin_ = 0;
+  }
+}
+
+bool MergedSeriesIterator::FetchBatch() {
+  cur_.clear();
+  pos_ = 0;
+  while (status_.ok()) {
+    int64_t start = 0;
+    if (!PeekChunk(&start)) {
+      // LSM side exhausted (or errored): whatever is staged is final.
+      if (!status_.ok() || StagedSize() == 0) return false;
+      EmitStaged(StagedSize(), &cur_);
+      return true;
+    }
+    if (StagedSize() != 0 && staged_ts_[staged_begin_] < start) {
+      // Chunks arrive in ascending start order and a chunk containing T
+      // starts at or before T, so every staged timestamp below the next
+      // chunk's start is final: emit that prefix as one batch.
+      const auto first = staged_ts_.begin() + staged_begin_;
+      const size_t cut = std::lower_bound(first, staged_ts_.end(), start) - first;
+      EmitStaged(cut, &cur_);
+      return true;
+    }
+    MergeNextChunk();
+  }
+  return false;
+}
+
+void MergedSeriesIterator::Next() {
+  if (!valid_) return;
+  ++pos_;
+  if (pos_ >= cur_.size()) valid_ = FetchBatch();
+  if (valid_) {
+    current_ = compress::Sample{cur_.timestamps[pos_], cur_.values[pos_]};
+  }
+}
+
+bool MergedSeriesIterator::NextBatch(SampleBatch* out) {
+  out->clear();
+  if (!valid_) return false;
+  if (pos_ == 0) {
+    *out = std::move(cur_);
+    cur_.clear();
+  } else {
+    out->timestamps.assign(cur_.timestamps.begin() + pos_,
+                           cur_.timestamps.end());
+    out->values.assign(cur_.values.begin() + pos_, cur_.values.end());
+  }
+  valid_ = FetchBatch();
+  if (valid_) {
+    current_ = compress::Sample{cur_.timestamps[0], cur_.values[0]};
+  }
+  return true;
+}
 
 }  // namespace tu::query

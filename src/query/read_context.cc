@@ -35,8 +35,8 @@ std::string QueryStats::ToString() const {
       "tables considered=%llu pruned(id=%llu time=%llu bloom=%llu) "
       "skipped_unreachable=%llu partitions_pruned=%llu | blocks read=%llu "
       "pruned=%llu cache(hit=%llu miss=%llu) slow_fetches=%llu "
-      "block_bytes=%llu | chunks=%llu decoded_bytes=%llu | setup_us=%llu "
-      "drain_us=%llu",
+      "block_bytes=%llu | chunks=%llu decoded_bytes=%llu batches=%llu "
+      "samples_per_batch=%.1f | setup_us=%llu drain_us=%llu",
       static_cast<unsigned long long>(tables_considered),
       static_cast<unsigned long long>(tables_pruned_id),
       static_cast<unsigned long long>(tables_pruned_time),
@@ -51,6 +51,10 @@ std::string QueryStats::ToString() const {
       static_cast<unsigned long long>(block_bytes_read),
       static_cast<unsigned long long>(chunks_decoded),
       static_cast<unsigned long long>(bytes_decoded),
+      static_cast<unsigned long long>(batches_decoded),
+      batches_decoded == 0 ? 0.0
+                           : static_cast<double>(samples_decoded) /
+                                 static_cast<double>(batches_decoded),
       static_cast<unsigned long long>(setup_us),
       static_cast<unsigned long long>(drain_us));
   return buf;

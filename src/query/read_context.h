@@ -49,6 +49,11 @@ struct QueryStats {
   // Decode stage (MergedSeriesIterator).
   uint64_t chunks_decoded = 0;
   uint64_t bytes_decoded = 0;  ///< chunk payload bytes decoded into samples
+  /// Column batches entering the vectorized merge: one per bulk-decoded
+  /// chunk plus one per non-empty open-chunk snapshot. samples_decoded /
+  /// batches_decoded is the average decode granularity (samples per batch).
+  uint64_t batches_decoded = 0;
+  uint64_t samples_decoded = 0;  ///< samples produced by those batches
 
   // Pipeline timing (monotonic microseconds).
   uint64_t setup_us = 0;  ///< iterator construction: pruning + reader opens
@@ -69,6 +74,8 @@ struct QueryStats {
     block_bytes_read += o.block_bytes_read;
     chunks_decoded += o.chunks_decoded;
     bytes_decoded += o.bytes_decoded;
+    batches_decoded += o.batches_decoded;
+    samples_decoded += o.samples_decoded;
     setup_us += o.setup_us;
     drain_us += o.drain_us;
   }

@@ -1,0 +1,49 @@
+// SampleBatch: the column batch the vectorized read path moves around —
+// one decoded chunk's worth of samples as parallel timestamp/value arrays
+// instead of per-sample objects. Batches flow from the bulk Gorilla
+// decoders (compress/), through lsm::Iterator::NextBatch, into the
+// query-layer batch merge (MergedSeriesIterator) and finally into
+// TimeUnionDB::Query's bulk materialization, so no layer in between pays a
+// per-sample virtual call or node allocation.
+//
+// Layering: like read_context.h this header depends on nothing above
+// util/, so both compress/ and lsm/ can include it without a cycle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tu::query {
+
+/// One run of decoded samples in ascending timestamp order, stored as
+/// columns. `timestamps` and `values` are parallel and dense: every slot
+/// holds a real sample.
+///
+/// `validity` is the decode-stage scratch bitmap of the NULL-extended
+/// group codec (bit i set = row i of the source chunk carried a value for
+/// the selected member). The group decoder compacts present rows into the
+/// dense columns before a batch leaves compress/, so consumers past the
+/// decode layer see `validity` empty — empty means "all slots valid".
+struct SampleBatch {
+  /// Dedup precedence of the source chunk (LSM internal-key sequence;
+  /// UINT64_MAX for open-chunk head data). Meaningful only on batches
+  /// produced by NextBatch — merged output batches reset it to 0.
+  uint64_t seq = 0;
+  std::vector<int64_t> timestamps;
+  std::vector<double> values;
+  std::vector<uint64_t> validity;  ///< decode-stage bitmap; empty = dense
+
+  size_t size() const { return timestamps.size(); }
+  bool empty() const { return timestamps.empty(); }
+
+  /// Back to an empty batch; keeps vector capacity for reuse.
+  void clear() {
+    seq = 0;
+    timestamps.clear();
+    values.clear();
+    validity.clear();
+  }
+};
+
+}  // namespace tu::query

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "compress/chunk.h"
@@ -198,6 +199,149 @@ TEST(NullableValues, AllNullColumn) {
   double v;
   for (int i = 0; i < 100; ++i) EXPECT_FALSE(dec.Next(&r, &v));
 }
+
+// ---------------------------------------------------------------------------
+// Bulk decode parity: DecodeAll must be bit-exact with n scalar Next()
+// calls AND leave the reader/decoder in the identical state, so scalar and
+// bulk reads can interleave on one stream.
+// ---------------------------------------------------------------------------
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+class BulkParityTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BulkParityTest, TimestampBulkMatchesScalar) {
+  Random rng(GetParam());
+  std::vector<int64_t> ts;
+  int64_t t = static_cast<int64_t>(rng.Uniform(1u << 30)) - (1 << 29);
+  for (int i = 0; i < 800; ++i) {
+    // Mix regular runs with jumps that hit every dod bucket.
+    switch (rng.Uniform(5)) {
+      case 0: t += 30000; break;
+      case 1: t += 30000 + static_cast<int64_t>(rng.Uniform(128)) - 64; break;
+      case 2: t += static_cast<int64_t>(rng.Uniform(4096)) - 2048; break;
+      case 3: t += static_cast<int64_t>(rng.Uniform(1u << 20)); break;
+      default: t -= static_cast<int64_t>(rng.Uniform(1u << 14)); break;
+    }
+    ts.push_back(t);
+  }
+  std::vector<char> buf(ts.size() * 12);
+  BitWriter w(buf.data(), buf.size());
+  TimestampEncoder enc;
+  for (int64_t x : ts) enc.Append(&w, x);
+
+  // Whole-stream bulk decode.
+  BitReader rb(buf.data(), buf.size());
+  TimestampDecoder bulk;
+  std::vector<int64_t> got(ts.size());
+  bulk.DecodeAll(&rb, got.size(), got.data());
+  EXPECT_EQ(got, ts);
+
+  // Scalar/bulk interleave at a random split: positions must stay in sync.
+  const size_t split = rng.Uniform(static_cast<uint32_t>(ts.size()));
+  BitReader ri(buf.data(), buf.size());
+  TimestampDecoder dec;
+  for (size_t i = 0; i < split; ++i) EXPECT_EQ(dec.Next(&ri), ts[i]);
+  std::vector<int64_t> rest(ts.size() - split);
+  dec.DecodeAll(&ri, rest.size() - 1, rest.data());
+  EXPECT_EQ(dec.Next(&ri), ts.back());  // scalar again after bulk
+  for (size_t i = 0; i + split + 1 < ts.size(); ++i) {
+    EXPECT_EQ(rest[i], ts[split + i]);
+  }
+}
+
+TEST_P(BulkParityTest, ValueBulkMatchesScalar) {
+  Random rng(GetParam());
+  std::vector<double> vals;
+  double v = 100.0;
+  for (int i = 0; i < 800; ++i) {
+    // Repeats (xor == 0), small drifts (window reuse) and resets (new
+    // window) all occur; occasional exact zero exercises sigbits wrap.
+    switch (rng.Uniform(4)) {
+      case 0: break;  // repeat previous value
+      case 1: v += rng.NextGaussian(0, 1e-3); break;
+      case 2: v = rng.NextGaussian(0, 1e6); break;
+      default: v = 0.0; break;
+    }
+    vals.push_back(v);
+  }
+  std::vector<char> buf(vals.size() * 12);
+  BitWriter w(buf.data(), buf.size());
+  ValueEncoder enc;
+  for (double x : vals) enc.Append(&w, x);
+
+  BitReader rb(buf.data(), buf.size());
+  ValueDecoder bulk;
+  std::vector<double> got(vals.size());
+  bulk.DecodeAll(&rb, got.size(), got.data());
+  for (size_t i = 0; i < vals.size(); ++i) EXPECT_EQ(Bits(got[i]), Bits(vals[i]));
+
+  const size_t split = rng.Uniform(static_cast<uint32_t>(vals.size()));
+  BitReader ri(buf.data(), buf.size());
+  ValueDecoder dec;
+  for (size_t i = 0; i < split; ++i) EXPECT_EQ(Bits(dec.Next(&ri)), Bits(vals[i]));
+  std::vector<double> rest(vals.size() - split);
+  dec.DecodeAll(&ri, rest.size() - 1, rest.data());
+  EXPECT_EQ(Bits(dec.Next(&ri)), Bits(vals.back()));
+  for (size_t i = 0; i + split + 1 < vals.size(); ++i) {
+    EXPECT_EQ(Bits(rest[i]), Bits(vals[split + i]));
+  }
+}
+
+TEST_P(BulkParityTest, NullableBulkMatchesScalar) {
+  Random rng(GetParam());
+  std::vector<bool> present;
+  std::vector<double> vals;  // parallel; value only meaningful when present
+  double v = 42.0;
+  for (int i = 0; i < 600; ++i) {
+    const bool p = rng.Uniform(3) != 0;
+    present.push_back(p);
+    if (p) v += rng.NextGaussian(0, 2.0);
+    vals.push_back(v);
+  }
+  std::vector<char> buf(vals.size() * 12 + 128);
+  BitWriter w(buf.data(), buf.size());
+  NullableValueEncoder enc;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    if (present[i]) {
+      enc.AppendValue(&w, vals[i]);
+    } else {
+      enc.AppendNull(&w);
+    }
+  }
+
+  BitReader rb(buf.data(), buf.size());
+  NullableValueDecoder bulk;
+  std::vector<double> got(vals.size(), -1.0);
+  std::vector<uint64_t> validity((vals.size() + 63) / 64, 0);
+  bulk.DecodeAll(&rb, vals.size(), got.data(), validity.data());
+  for (size_t i = 0; i < vals.size(); ++i) {
+    const bool bit = (validity[i >> 6] >> (i & 63)) & 1;
+    EXPECT_EQ(bit, static_cast<bool>(present[i])) << "slot " << i;
+    if (present[i]) {
+      EXPECT_EQ(Bits(got[i]), Bits(vals[i])) << "slot " << i;
+    } else {
+      EXPECT_EQ(got[i], -1.0) << "NULL slot must stay untouched";
+    }
+  }
+
+  // Scalar reference over the same stream.
+  BitReader rs(buf.data(), buf.size());
+  NullableValueDecoder dec;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    double x = 0;
+    const bool got_present = dec.Next(&rs, &x);
+    EXPECT_EQ(got_present, static_cast<bool>(present[i]));
+    if (present[i]) EXPECT_EQ(Bits(x), Bits(vals[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BulkParityTest,
+                         ::testing::Values(2, 29, 71, 1234, 99991));
 
 }  // namespace
 }  // namespace tu::compress

@@ -1,5 +1,3 @@
-#include "core/sample_iterator.h"
-
 #include <gtest/gtest.h>
 
 #include <map>

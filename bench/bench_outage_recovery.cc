@@ -13,6 +13,13 @@
 //    "samples":412992,"throughput_sps":137618.5,"write_errors":0}
 //   {"bench":"outage_recovery","metric":"drain","deferred_tables":7,
 //    "drain_s":0.012,"breaker_opens":1,"breaker_rejections":42}
+//
+// A second drill then fills the FAST tier (injected ENOSPC on LSM table
+// writes): ingest quiesces (fail-fast kResourceExhausted), space is
+// released, and the maintenance tick's resume probe reopens the write
+// path. Emits the time from release to healthy:
+//   {"bench":"outage_recovery","metric":"enospc","quiesce_s":0.041,
+//    "time_to_resume_s":0.031,"resume_attempts":2,"resumes_succeeded":1}
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -85,6 +92,15 @@ int Main() {
   opts.env_options.slow_sim.retry.real_sleep = false;
   opts.env_options.slow_sim.breaker.enabled = true;
   opts.env_options.slow_sim.breaker.consecutive_failures_to_open = 4;
+
+  // Fast-tier injector + maintenance worker for the ENOSPC drill: the
+  // resume probe runs from the tick, so the measured time-to-resume is
+  // tick interval + probe backoff + retry cost.
+  auto fi_fast = std::make_shared<cloud::FaultInjector>(17);
+  opts.env_options.fast_sim.fault = fi_fast;
+  opts.background_maintenance = true;
+  opts.maintenance_interval_ms = 25;
+  opts.error_handler.resume_backoff_initial_ms = 25;
 
   std::unique_ptr<core::TimeUnionDB> db;
   Status s = core::TimeUnionDB::Open(opts, &db);
@@ -197,7 +213,48 @@ int Main() {
            "x");
   PrintRow("time to drain backlog", drain_s, "s");
 
-  const int rc = total_errors.load() == 0 ? 0 : 1;
+  // -- Fast-tier ENOSPC drill: quiesce -> release -> auto-resume ------------
+  fi_fast->AddRule(cloud::FaultRule::NoSpace(
+      cloud::FaultOp::kAppend | cloud::FaultOp::kSync, "lsm/"));
+  const uint64_t enospc_t0 = NowUs();
+  constexpr uint64_t kEnospcCapUs = 20'000'000;
+  bool quiesced = false;
+  // Far past the writer phase so the drill only creates fresh partitions.
+  int64_t ts = 100'000'000;
+  while (NowUs() - enospc_t0 < kEnospcCapUs) {
+    if (!db->InsertFast(refs[0], ts, 1.0).ok()) {
+      quiesced = true;
+      break;
+    }
+    ts += kStepMs;
+  }
+  const double quiesce_s = static_cast<double>(NowUs() - enospc_t0) / 1e6;
+
+  double resume_s = -1.0;
+  if (quiesced) {
+    fi_fast->ReleaseNoSpace();
+    const uint64_t rt0 = NowUs();
+    while (db->Health() != core::DbHealth::kHealthy &&
+           NowUs() - rt0 < kEnospcCapUs) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (db->Health() == core::DbHealth::kHealthy) {
+      resume_s = static_cast<double>(NowUs() - rt0) / 1e6;
+    }
+  }
+  const core::HealthReport after = db->HealthReport();
+  std::printf(
+      "{\"bench\":\"outage_recovery\",\"metric\":\"enospc\","
+      "\"quiesce_s\":%.3f,\"time_to_resume_s\":%.3f,"
+      "\"resume_attempts\":%llu,\"resumes_succeeded\":%llu}\n",
+      quiesce_s, resume_s,
+      static_cast<unsigned long long>(after.resume_attempts),
+      static_cast<unsigned long long>(after.resumes_succeeded));
+  std::fflush(stdout);
+  PrintRow("time to resume after ENOSPC", resume_s, "s");
+
+  int rc = total_errors.load() == 0 ? 0 : 1;
+  if (!quiesced || resume_s < 0) rc = 1;
   db.reset();
   RemoveDirRecursive(opts.workspace);
   return rc;

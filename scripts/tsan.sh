@@ -16,7 +16,8 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DTU_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   concurrency_test util_test maintenance_test fault_injection_test \
-  query_pipeline_test batch_drain_test obs_test integrity_test
+  error_recovery_test query_pipeline_test batch_drain_test obs_test \
+  integrity_test
 
 # halt_on_error: make the first race fail the test instead of just logging.
 # -L takes a regex, so "fault|concurrency|query|integrity" ORs the labels.

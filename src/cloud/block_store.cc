@@ -26,6 +26,11 @@ class PosixWritableFile : public WritableFile {
   }
 
   Status Append(const Slice& data) override {
+    // fsync-failure discipline: after a failed Sync the kernel may have
+    // dropped the dirty pages while marking them clean, so neither another
+    // Append nor a retried fsync can make this fd durable again. The
+    // handle is poisoned; the caller must rebuild the file.
+    if (!sync_poison_.ok()) return sync_poison_;
     size_t write_bytes = data.size();
     Status injected;
     if (store_->fault() != nullptr) {
@@ -70,15 +75,21 @@ class PosixWritableFile : public WritableFile {
   Status Flush() override { return Status::OK(); }
 
   Status Sync() override {
+    // Never re-fsync a poisoned fd: a second fdatasync after a failure can
+    // return OK without the lost pages ever reaching disk (fsyncgate).
+    if (!sync_poison_.ok()) return sync_poison_;
     if (store_->fault() != nullptr) {
       Status injected = store_->fault()->Intercept(FaultOp::kSync, fname_);
       if (!injected.ok()) {
         store_->CountFault();
+        sync_poison_ = injected;
         return injected;
       }
     }
     if (::fdatasync(fd_) != 0) {
-      return Status::IOError("fdatasync " + fname_ + ": " + strerror(errno));
+      sync_poison_ =
+          Status::IOError("fdatasync " + fname_ + ": " + strerror(errno));
+      return sync_poison_;
     }
     return Status::OK();
   }
@@ -99,6 +110,7 @@ class PosixWritableFile : public WritableFile {
   std::string fname_;
   int fd_;
   uint64_t size_ = 0;
+  Status sync_poison_;  // first Sync failure; latched, never retried
 };
 
 class PosixRandomAccessFile : public RandomAccessFile {

@@ -88,6 +88,17 @@ FaultRule FaultRule::TruncateWrite(uint64_t fail_nth, uint64_t keep_bytes,
   return rule;
 }
 
+FaultRule FaultRule::NoSpace(uint32_t op_mask, std::string key_prefix,
+                             int release_after_fires) {
+  FaultRule rule;
+  rule.ops = op_mask;
+  rule.probability = 1.0;  // a full disk stays full: fire on every match
+  rule.key_prefix = std::move(key_prefix);
+  rule.kind = Kind::kNoSpace;
+  rule.max_fires = release_after_fires;
+  return rule;
+}
+
 namespace {
 
 bool IsReadCorruption(FaultRule::Kind kind) {
@@ -168,6 +179,8 @@ Status FaultInjector::InterceptWrite(FaultOp op, const std::string& key,
         return Status::Busy("injected transient fault on " + key);
       case FaultRule::Kind::kPermanent:
         return Status::IOError("injected permanent fault on " + key);
+      case FaultRule::Kind::kNoSpace:
+        return Status::OutOfSpace("injected disk full on " + key);
       case FaultRule::Kind::kTornWrite:
         *keep_bytes = static_cast<size_t>(static_cast<double>(size) *
                                           rule.torn_keep_fraction);
@@ -273,6 +286,17 @@ void FaultInjector::MaybeCrash(const std::string& site) {
     std::fflush(stderr);
     std::_Exit(kFaultCrashExitCode);
   }
+}
+
+size_t FaultInjector::ReleaseNoSpace() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t before = rules_.size();
+  rules_.erase(std::remove_if(rules_.begin(), rules_.end(),
+                              [](const FaultRule& r) {
+                                return r.kind == FaultRule::Kind::kNoSpace;
+                              }),
+               rules_.end());
+  return before - rules_.size();
 }
 
 uint64_t FaultInjector::faults_injected() const {

@@ -64,6 +64,7 @@ struct FaultRule {
     kTruncateRead,   // drop the payload tail past corrupt_offset
     kBitFlipWrite,   // persist with one byte XORed by corrupt_mask
     kTruncateWrite,  // persist only the first corrupt_offset bytes
+    kNoSpace,        // disk full: Status::OutOfSpace until released
   };
 
   uint32_t ops = kAllFaultOps;  // bitmask of FaultOp
@@ -97,6 +98,12 @@ struct FaultRule {
                                 std::string key_prefix = "");
   static FaultRule TruncateWrite(uint64_t fail_nth, uint64_t keep_bytes,
                                  std::string key_prefix = "");
+  /// Disk-full condition: every matching op fails with Status::OutOfSpace
+  /// until the rule is released. `release_after_fires` >= 0 models "space
+  /// freed after N failed ops" (the rule deactivates itself after firing N
+  /// times); -1 keeps the disk full until ReleaseNoSpace()/Clear().
+  static FaultRule NoSpace(uint32_t op_mask, std::string key_prefix = "",
+                           int release_after_fires = -1);
 
   // -- Internal trigger bookkeeping (mutated by the injector) -------------
   uint64_t matches = 0;
@@ -151,6 +158,10 @@ class FaultInjector {
 
   /// Labeled crash site (no-op unless armed via ArmCrashPoint).
   void MaybeCrash(const std::string& site);
+
+  /// Deterministically ends the disk-full condition: removes every
+  /// kNoSpace rule. Returns how many rules were released.
+  size_t ReleaseNoSpace();
 
   uint64_t faults_injected() const;
   /// Times the labeled site was reached (armed or not yet fired).

@@ -1,0 +1,186 @@
+#include "core/error_handler.h"
+
+#include <algorithm>
+
+namespace tu::core {
+
+const char* DbHealthName(DbHealth h) {
+  switch (h) {
+    case DbHealth::kHealthy: return "healthy";
+    case DbHealth::kDegradedWrites: return "degraded_writes";
+    case DbHealth::kReadOnly: return "read_only";
+    case DbHealth::kFatal: return "fatal";
+  }
+  return "unknown";
+}
+
+const char* BgErrorScopeName(BgErrorScope scope) {
+  switch (scope) {
+    case BgErrorScope::kFlush: return "flush";
+    case BgErrorScope::kCompaction: return "compaction";
+    case BgErrorScope::kWalAppend: return "wal_append";
+    case BgErrorScope::kWalSync: return "wal_sync";
+    case BgErrorScope::kDeferredDrain: return "deferred_drain";
+    case BgErrorScope::kManifest: return "manifest";
+  }
+  return "unknown";
+}
+
+ErrorHandler::ErrorHandler(ErrorHandlerOptions options) : options_(options) {}
+
+ErrorHandler::Severity ErrorHandler::Classify(BgErrorScope scope,
+                                              const Status& s) const {
+  // Deferred-drain failures never change health: the queue parks L2 output
+  // on the fast tier exactly so a slow-tier outage is not a write-path
+  // error, and the breaker + admission watermarks already govern it.
+  if (scope == BgErrorScope::kDeferredDrain) return Severity::kNoted;
+  if (s.IsCorruption()) {
+    // A corrupt manifest means the tree itself can no longer be trusted or
+    // rewritten in place; anywhere else the integrity machinery
+    // (quarantine, other-tier fallback) contains it, but writes stop until
+    // an operator looks.
+    return scope == BgErrorScope::kManifest ? Severity::kFatal
+                                            : Severity::kHard;
+  }
+  // The retryable-environment classes: transient I/O, throttling, a tier
+  // outage, disk full, resource pressure. All recoverable in place once
+  // the condition clears.
+  if (s.IsBusy() || s.IsUnavailable() || s.IsOutOfSpace() || s.IsIOError() ||
+      s.IsResourceExhausted()) {
+    return Severity::kSoft;
+  }
+  // Anything else (NotFound, InvalidArgument, ...) coming out of
+  // background work is a logic invariant broken, not an environment
+  // hiccup — do not auto-retry into it.
+  return Severity::kHard;
+}
+
+void ErrorHandler::EscalateLocked(DbHealth target) {
+  const DbHealth current = state_.load(std::memory_order_relaxed);
+  if (static_cast<int>(target) > static_cast<int>(current)) {
+    state_.store(target, std::memory_order_relaxed);
+  }
+}
+
+ErrorHandler::Severity ErrorHandler::OnBackgroundError(BgErrorScope scope,
+                                                       const Status& s,
+                                                       int64_t now_ms) {
+  if (s.ok()) return Severity::kNoted;
+  const Severity sev = Classify(scope, s);
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.errors_total++;
+  counters_.errors_by_scope[static_cast<int>(scope)]++;
+  switch (sev) {
+    case Severity::kNoted:
+      counters_.noted_errors++;
+      // Recorded for introspection only when nothing worse is latched.
+      if (last_error_.ok()) {
+        last_error_ = s;
+        last_scope_ = scope;
+      }
+      return sev;
+    case Severity::kSoft:
+      counters_.soft_errors++;
+      if (state_.load(std::memory_order_relaxed) == DbHealth::kHealthy) {
+        // First probe is due immediately: a condition that already cleared
+        // (flaky fsync, freed space) resumes on the next maintenance tick.
+        next_resume_ms_ = now_ms;
+        backoff_ms_ = 0;
+        counters_.consecutive_resume_failures = 0;
+      }
+      EscalateLocked(DbHealth::kDegradedWrites);
+      break;
+    case Severity::kHard:
+      counters_.hard_errors++;
+      EscalateLocked(DbHealth::kReadOnly);
+      break;
+    case Severity::kFatal:
+      counters_.fatal_errors++;
+      EscalateLocked(DbHealth::kFatal);
+      break;
+  }
+  last_error_ = s;
+  last_scope_ = scope;
+  return sev;
+}
+
+Status ErrorHandler::CheckWriteAllowed() const {
+  const DbHealth h = state_.load(std::memory_order_relaxed);
+  if (h == DbHealth::kHealthy) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string detail =
+      std::string(BgErrorScopeName(last_scope_)) + ": " +
+      last_error_.ToString();
+  if (h == DbHealth::kDegradedWrites) {
+    return Status::ResourceExhausted("writes quiesced by background error (" +
+                                     detail + ")");
+  }
+  return Status::Unavailable(std::string("db is ") + DbHealthName(h) +
+                             " after background error (" + detail + ")");
+}
+
+bool ErrorHandler::ShouldAttemptResume(int64_t now_ms) const {
+  if (!options_.auto_resume) return false;
+  if (state_.load(std::memory_order_relaxed) != DbHealth::kDegradedWrites) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_ms >= next_resume_ms_;
+}
+
+bool ErrorHandler::CanResume() const {
+  const DbHealth h = state_.load(std::memory_order_relaxed);
+  return h == DbHealth::kDegradedWrites || h == DbHealth::kReadOnly;
+}
+
+void ErrorHandler::OnResumeAttempt() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.resume_attempts++;
+}
+
+void ErrorHandler::OnResumeSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.resumes_succeeded++;
+  counters_.consecutive_resume_failures = 0;
+  backoff_ms_ = 0;
+  next_resume_ms_ = 0;
+  last_error_ = Status::OK();
+  state_.store(DbHealth::kHealthy, std::memory_order_relaxed);
+}
+
+void ErrorHandler::OnResumeFailure(const Status& s, int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.resume_failures++;
+  counters_.consecutive_resume_failures++;
+  if (!s.ok()) {
+    last_error_ = s;
+  }
+  backoff_ms_ = backoff_ms_ == 0
+                    ? options_.resume_backoff_initial_ms
+                    : std::min(backoff_ms_ * 2, options_.resume_backoff_max_ms);
+  next_resume_ms_ = now_ms + backoff_ms_;
+  if (options_.max_resume_attempts > 0 &&
+      counters_.consecutive_resume_failures >=
+          static_cast<uint64_t>(options_.max_resume_attempts)) {
+    // The environment is not coming back on its own: stop burning probes
+    // and hold for a manual Resume().
+    EscalateLocked(DbHealth::kReadOnly);
+  }
+}
+
+Status ErrorHandler::LastError() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+BgErrorScope ErrorHandler::LastScope() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_scope_;
+}
+
+ErrorHandler::Counters ErrorHandler::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace tu::core

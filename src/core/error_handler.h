@@ -1,0 +1,150 @@
+// ErrorHandler: the background-error state machine (DESIGN.md "Background
+// error handling and auto-recovery").
+//
+// Every error surfaced by background work — memtable flush, compaction,
+// WAL append/sync, deferred-upload drain — is classified by (operation
+// scope x status code) instead of latching the first status forever:
+//
+//   kHealthy ──soft──▶ kDegradedWrites ──resume ok──▶ kHealthy
+//      │                    │ backoff exhausted / hard error
+//      │ hard               ▼
+//      └─────────────▶ kReadOnly ──manual Resume() ok──▶ kHealthy
+//                           │ fatal (manifest corruption)
+//                           ▼
+//                        kFatal (reopen required)
+//
+// Soft errors (transient I/O, ENOSPC, throttling) quiesce the write path:
+// appends fail fast with kResourceExhausted instead of piling samples into
+// memtables the flusher cannot drain, while reads keep serving. The
+// maintenance tick then runs bounded-backoff resume probes that retry the
+// failed work from its retained inputs and return the DB to kHealthy
+// without a reopen. Hard errors (corruption outside the manifest,
+// non-retryable classes) stop writes until a manual Resume(); manifest
+// corruption is fatal.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace tu::core {
+
+/// Overall DB write-path health. Ordered by severity: transitions driven
+/// by errors only escalate; only a successful resume goes back down.
+enum class DbHealth : int {
+  kHealthy = 0,
+  kDegradedWrites = 1,  ///< soft error: appends quiesced, auto-resumable
+  kReadOnly = 2,        ///< hard error or backoff exhausted: manual resume
+  kFatal = 3,           ///< unrecoverable (manifest corruption): reopen
+};
+
+const char* DbHealthName(DbHealth h);
+
+/// Where a background error was observed. The scope changes the verdict:
+/// e.g. Corruption from a compaction input is kHard (quarantine territory)
+/// while Corruption from a manifest commit is kFatal, and deferred-drain
+/// failures are merely noted (the park-on-fast-tier queue already
+/// preserves write availability; admission watermarks bound the fill).
+enum class BgErrorScope : int {
+  kFlush = 0,
+  kCompaction = 1,
+  kWalAppend = 2,
+  kWalSync = 3,
+  kDeferredDrain = 4,
+  kManifest = 5,
+};
+constexpr int kNumBgErrorScopes = 6;
+
+const char* BgErrorScopeName(BgErrorScope scope);
+
+struct ErrorHandlerOptions {
+  /// Run resume probes from the maintenance tick while kDegradedWrites.
+  bool auto_resume = true;
+  /// Consecutive failed resume probes before escalating to kReadOnly.
+  int max_resume_attempts = 8;
+  /// Backoff between probes: doubles from initial to max per consecutive
+  /// failure. The FIRST probe after an error is due immediately, so a
+  /// condition that already cleared resumes within one maintenance tick.
+  int64_t resume_backoff_initial_ms = 1000;
+  int64_t resume_backoff_max_ms = 60'000;
+};
+
+class ErrorHandler {
+ public:
+  enum class Severity { kNoted, kSoft, kHard, kFatal };
+
+  explicit ErrorHandler(ErrorHandlerOptions options = {});
+
+  /// Classifies and records one background error; escalates the health
+  /// state when the verdict demands it. Thread-safe; called from flush
+  /// workers, the maintenance tick and foreground WAL writers alike.
+  /// `now_ms` is the caller's monotonic clock (first resume probe is due
+  /// immediately at that time).
+  Severity OnBackgroundError(BgErrorScope scope, const Status& s,
+                             int64_t now_ms);
+
+  /// Current health (relaxed atomic — safe on the hot path).
+  DbHealth health() const { return state_.load(std::memory_order_relaxed); }
+
+  /// Write-path gate: OK when healthy, kResourceExhausted when writes are
+  /// quiesced by a soft error, kUnavailable when read-only or fatal. One
+  /// relaxed load in the healthy case.
+  Status CheckWriteAllowed() const;
+
+  // -- Resume protocol ------------------------------------------------------
+  /// True when an auto-resume probe is due (kDegradedWrites, auto_resume
+  /// on, and the backoff window has elapsed).
+  bool ShouldAttemptResume(int64_t now_ms) const;
+  /// True when a manual Resume() may attempt recovery (degraded or
+  /// read-only — never fatal).
+  bool CanResume() const;
+  void OnResumeAttempt();
+  /// Probe recovered everything: back to kHealthy, error and backoff
+  /// cleared.
+  void OnResumeSuccess();
+  /// Probe failed: doubles the backoff; after max_resume_attempts
+  /// consecutive failures escalates kDegradedWrites -> kReadOnly.
+  void OnResumeFailure(const Status& s, int64_t now_ms);
+
+  // -- Introspection ---------------------------------------------------------
+  /// The most recent background error (OK when healthy / after resume).
+  Status LastError() const;
+  BgErrorScope LastScope() const;
+
+  struct Counters {
+    uint64_t errors_total = 0;
+    uint64_t errors_by_scope[kNumBgErrorScopes] = {};
+    uint64_t soft_errors = 0;
+    uint64_t hard_errors = 0;
+    uint64_t fatal_errors = 0;
+    uint64_t noted_errors = 0;
+    uint64_t resume_attempts = 0;
+    uint64_t resumes_succeeded = 0;
+    uint64_t resume_failures = 0;
+    /// Consecutive failed probes since the last success (live value).
+    uint64_t consecutive_resume_failures = 0;
+  };
+  Counters counters() const;
+
+  const ErrorHandlerOptions& options() const { return options_; }
+
+ private:
+  Severity Classify(BgErrorScope scope, const Status& s) const;
+  /// Escalates to `target` if it is worse than the current state; caller
+  /// holds mu_.
+  void EscalateLocked(DbHealth target);
+
+  ErrorHandlerOptions options_;
+  std::atomic<DbHealth> state_{DbHealth::kHealthy};
+
+  mutable std::mutex mu_;
+  Status last_error_;                              // guarded by mu_
+  BgErrorScope last_scope_ = BgErrorScope::kFlush; // guarded by mu_
+  int64_t next_resume_ms_ = 0;                     // guarded by mu_
+  int64_t backoff_ms_ = 0;                         // guarded by mu_
+  Counters counters_;                              // guarded by mu_
+};
+
+}  // namespace tu::core

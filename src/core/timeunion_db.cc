@@ -29,6 +29,20 @@ uint32_t RoundUpPow2(uint32_t n) {
   return p;
 }
 
+/// Monotonic milliseconds for the error handler's resume-backoff clock.
+int64_t SteadyNowMs() {
+  return static_cast<int64_t>(obs::MonotonicUs() / 1000);
+}
+
+core::BgErrorScope ScopeForLsmWork(lsm::BgWorkKind kind) {
+  switch (kind) {
+    case lsm::BgWorkKind::kFlush: return BgErrorScope::kFlush;
+    case lsm::BgWorkKind::kCompaction: return BgErrorScope::kCompaction;
+    case lsm::BgWorkKind::kDrain: return BgErrorScope::kDeferredDrain;
+  }
+  return BgErrorScope::kFlush;
+}
+
 }  // namespace
 
 Status DBOptions::Validate() const {
@@ -71,6 +85,7 @@ TimeUnionDB::TimeUnionDB(DBOptions options)
     : options_(std::move(options)),
       metrics_(std::make_unique<obs::MetricsRegistry>(
           options_.metrics.event_trace_capacity)),
+      error_handler_(options_.error_handler),
       append_locks_(std::max<uint32_t>(1, options_.append_lock_stripes)) {
   const uint32_t shards =
       RoundUpPow2(std::max<uint32_t>(1, options_.registry_shards));
@@ -171,6 +186,18 @@ Status TimeUnionDB::Init() {
 
   lsm::TimeLsmOptions lsm_options = options_.lsm;
   if (options_.metrics.enabled) lsm_options.metrics = metrics_.get();
+  {
+    // Every background error the LSM swallows feeds the DB's error-handler
+    // state machine (classification, quiesce, auto-resume). A
+    // caller-provided callback still runs afterwards.
+    auto user_cb = lsm_options.on_background_error;
+    lsm_options.on_background_error = [this, user_cb](lsm::BgWorkKind kind,
+                                                      const Status& s) {
+      error_handler_.OnBackgroundError(ScopeForLsmWork(kind), s,
+                                       SteadyNowMs());
+      if (user_cb) user_cb(kind, s);
+    };
+  }
   if (options_.enable_wal) {
     lsm_options.persist_manifest = true;
     lsm_options.on_flush = [this](const Slice& user_key, const Slice& value) {
@@ -183,7 +210,11 @@ Status TimeUnionDB::Init() {
         mark.type = WalRecordType::kFlushMark;
         mark.id = lsm::ChunkKeyId(user_key);
         mark.seq = chunk_seq;
-        wal_->Append(mark);
+        // wal_ is detached during WAL replay (RecoverFromWal), and replayed
+        // samples can fill a memtable and flush from right here. Skipping
+        // the mark is safe: the records stay replayable and a re-replay of
+        // already-flushed samples is idempotent under chunk-seq dedup.
+        if (wal_) wal_->Append(mark);
       }
     };
   }
@@ -218,6 +249,13 @@ Status TimeUnionDB::StartMaintenance() {
   maintenance_ = std::make_unique<MaintenanceWorker>(
       std::move(mopts), [this](int64_t watermark) {
         if (watermark != INT64_MIN) ApplyRetention(watermark);
+        // Auto-resume: while writes are quiesced by a soft background
+        // error, probe recovery under the handler's bounded backoff. The
+        // first probe is due immediately, so a condition that already
+        // cleared (space freed, fsync flake) heals within one tick.
+        if (error_handler_.ShouldAttemptResume(SteadyNowMs())) {
+          TryResumeInternal();
+        }
         // Heal after a slow-tier outage: upload deferred L2 tables parked
         // on the fast tier. Cheap when nothing is deferred or the breaker
         // is still open; its first attempt doubles as the breaker's
@@ -245,7 +283,15 @@ Status TimeUnionDB::MaybeLog(const WalRecord& record) {
   // common path.
   const bool timed = h_wal_append_ != nullptr && obs::SampleOneIn<6>();
   const uint64_t append_start_us = timed ? obs::MonotonicUs() : 0;
-  TU_RETURN_IF_ERROR(wal_->Append(record));
+  Status append_status = wal_->Append(record);
+  if (!append_status.ok()) {
+    // Background-class even though it fires on a foreground thread: the
+    // log is poisoned and every write will fail until the resume probe
+    // rotates it — classify, quiesce, auto-resume.
+    error_handler_.OnBackgroundError(BgErrorScope::kWalAppend, append_status,
+                                     SteadyNowMs());
+    return append_status;
+  }
   if (timed) h_wal_append_->Observe(obs::MonotonicUs() - append_start_us);
   // Inline purge with hysteresis: a purge can only drop records whose
   // chunks already reached level 0, so when most of the log is still
@@ -410,7 +456,49 @@ Status TimeUnionDB::RecoverFromWal() {
 
 Status TimeUnionDB::SyncWal() {
   if (!wal_) return Status::OK();
-  return wal_->Sync();
+  Status s = wal_->Sync();
+  if (!s.ok()) {
+    // fsyncgate discipline: a failed fsync poisons the writer (the kernel
+    // may have dropped the dirty pages while marking them clean). Quiesce
+    // writes; the resume probe rotates the log, replaying the unacked
+    // in-memory tail into a fresh durable file.
+    error_handler_.OnBackgroundError(BgErrorScope::kWalSync, s, SteadyNowMs());
+  }
+  return s;
+}
+
+Status TimeUnionDB::TryResumeInternal() {
+  error_handler_.OnResumeAttempt();
+  Status probe;
+  // Order matters: rotate a poisoned WAL first so the retried flushes'
+  // flush marks land in a healthy log.
+  if (wal_ && !wal_->poison().ok()) probe = wal_->Rotate();
+  if (probe.ok() && time_lsm_ != nullptr) {
+    probe = time_lsm_->RetryBackgroundWork();
+  }
+  if (probe.ok()) {
+    if (time_lsm_ != nullptr) time_lsm_->ClearBackgroundError();
+    error_handler_.OnResumeSuccess();
+    if (options_.metrics.enabled) {
+      metrics_->trace().Record("resume", "recovered");
+    }
+  } else {
+    error_handler_.OnResumeFailure(probe, SteadyNowMs());
+    if (options_.metrics.enabled) {
+      metrics_->trace().Record("resume", "failed: " + probe.ToString());
+    }
+  }
+  return probe;
+}
+
+Status TimeUnionDB::Resume() {
+  if (error_handler_.health() == DbHealth::kHealthy) return Status::OK();
+  if (!error_handler_.CanResume()) {
+    return Status::Unavailable(
+        "db is fatal after background error; reopen required (" +
+        error_handler_.LastError().ToString() + ")");
+  }
+  return TryResumeInternal();
 }
 
 // ---------------------------------------------------------------------------
@@ -636,6 +724,10 @@ Status TimeUnionDB::AdmitWrite() {
 
 Status TimeUnionDB::AppendSampleByRef(uint64_t series_ref, int64_t ts,
                                       double value) {
+  // Quiesce gate: one relaxed load when healthy. While a background error
+  // is being resolved, appends fail fast instead of piling samples into
+  // memtables the flusher cannot drain (reads keep serving).
+  TU_RETURN_IF_ERROR(error_handler_.CheckWriteAllowed());
   TU_RETURN_IF_ERROR(AdmitWrite());
   // Appends are counted exactly in a per-stripe cell (plain load+store
   // under the stripe lock — no locked RMW), and the same cell doubles as
@@ -749,6 +841,7 @@ Status TimeUnionDB::InsertGroup(const Labels& group_tags,
   if (member_tags.size() != values.size()) {
     return Status::InvalidArgument("member/value count mismatch");
   }
+  TU_RETURN_IF_ERROR(error_handler_.CheckWriteAllowed());
   TU_RETURN_IF_ERROR(AdmitWrite());
   if (c_rows_ != nullptr) c_rows_->Add();
   Labels sorted_group = group_tags;
@@ -826,6 +919,7 @@ Status TimeUnionDB::InsertGroupFast(uint64_t group_ref,
   if (slots.size() != values.size()) {
     return Status::InvalidArgument("slot/value count mismatch");
   }
+  TU_RETURN_IF_ERROR(error_handler_.CheckWriteAllowed());
   TU_RETURN_IF_ERROR(AdmitWrite());
   if (c_rows_ != nullptr) c_rows_->Add();
   const bool timed = h_group_append_ != nullptr && obs::SampleOneIn<6>();
@@ -1270,8 +1364,6 @@ obs::MetricsSnapshot TimeUnionDB::Metrics() const {
           static_cast<int64_t>(time_lsm_->NumDeferredTables()));
     add_g("lsm.deferred_bytes",
           static_cast<int64_t>(time_lsm_->DeferredBytes()));
-    add_g("db.background_error",
-          time_lsm_->last_background_error().ok() ? 0 : 1);
   } else if (leveled_lsm_ != nullptr) {
     const lsm::CompactionStats& s = leveled_lsm_->stats();
     add_c("lsm.compactions", load(s.compactions));
@@ -1315,6 +1407,33 @@ obs::MetricsSnapshot TimeUnionDB::Metrics() const {
   add_g("db.series", static_cast<int64_t>(NumSeries()));
   add_g("db.groups", static_cast<int64_t>(NumGroups()));
 
+  // Background-error state machine: one gauge for dashboards to alert on,
+  // the full counter set for postmortems, and string views of the health
+  // name and last error so a single snapshot explains *why* writes are
+  // quiesced without a debugger.
+  {
+    const DbHealth health = error_handler_.health();
+    const ErrorHandler::Counters ec = error_handler_.counters();
+    add_g("db.health_state", static_cast<int64_t>(health));
+    add_g("db.background_error", error_handler_.LastError().ok() ? 0 : 1);
+    add_c("error_handler.errors_total", ec.errors_total);
+    add_c("error_handler.errors_soft", ec.soft_errors);
+    add_c("error_handler.errors_hard", ec.hard_errors);
+    add_c("error_handler.errors_fatal", ec.fatal_errors);
+    add_c("error_handler.errors_noted", ec.noted_errors);
+    add_c("error_handler.resume_attempts", ec.resume_attempts);
+    add_c("error_handler.resumes_succeeded", ec.resumes_succeeded);
+    add_c("error_handler.resume_failures", ec.resume_failures);
+    for (int i = 0; i < kNumBgErrorScopes; ++i) {
+      add_c(std::string("error_handler.errors_by_scope.") +
+                BgErrorScopeName(static_cast<BgErrorScope>(i)),
+            ec.errors_by_scope[i]);
+    }
+    snap.strings.emplace_back("db.health", DbHealthName(health));
+    snap.strings.emplace_back("db.last_background_error",
+                              error_handler_.LastError().ToString());
+  }
+
   snap.Canonicalize();
   return snap;
 }
@@ -1356,6 +1475,16 @@ core::HealthReport TimeUnionDB::HealthReport() const {
       snap.CounterOr0("integrity.read_corruptions_healed");
   if (time_lsm_ != nullptr) {
     r.last_background_error = time_lsm_->last_background_error();
+  }
+  r.health = error_handler_.health();
+  {
+    const ErrorHandler::Counters ec = error_handler_.counters();
+    r.background_errors = ec.errors_total;
+    r.background_errors_soft = ec.soft_errors;
+    r.background_errors_hard = ec.hard_errors;
+    r.resume_attempts = ec.resume_attempts;
+    r.resumes_succeeded = ec.resumes_succeeded;
+    r.resume_failures = ec.resume_failures;
   }
   return r;
 }

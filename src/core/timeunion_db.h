@@ -36,6 +36,7 @@
 #include "mem/chunk_array.h"
 #include "mem/head.h"
 #include "obs/metrics.h"
+#include "core/error_handler.h"
 #include "core/maintenance.h"
 #include "core/scrub.h"
 #include "core/wal.h"
@@ -111,6 +112,11 @@ struct DBOptions {
     uint32_t refresh_every_ops = 64;
   };
   AdmissionControl admission;
+
+  /// Background-error state machine (DESIGN.md "Background error handling
+  /// and auto-recovery"): classification, write quiesce, bounded-backoff
+  /// auto-resume. Always active; these knobs tune the resume policy.
+  ErrorHandlerOptions error_handler;
 
   /// Background integrity scrub (see src/core/scrub.h and DESIGN.md "Data
   /// integrity and scrubbing"): when enabled, each maintenance tick
@@ -232,6 +238,16 @@ struct HealthReport {
   uint64_t read_corruptions_healed = 0;
   /// Sticky background flush/maintenance error; OK when healthy.
   Status last_background_error;
+  /// Background-error state machine (DESIGN.md "Background error handling
+  /// and auto-recovery"): current health, classified error totals and the
+  /// resume-probe track record.
+  DbHealth health = DbHealth::kHealthy;
+  uint64_t background_errors = 0;
+  uint64_t background_errors_soft = 0;
+  uint64_t background_errors_hard = 0;
+  uint64_t resume_attempts = 0;
+  uint64_t resumes_succeeded = 0;
+  uint64_t resume_failures = 0;
 };
 
 class TimeUnionDB {
@@ -341,6 +357,19 @@ class TimeUnionDB {
   /// only blocked shard-by-shard while dead entries are unlinked.
   Status ApplyRetention(int64_t watermark);
 
+  /// Manual recovery trigger after a background error: rotates a poisoned
+  /// WAL (replaying its unacked in-memory tail), retries retained flush /
+  /// maintenance work, and returns the DB to healthy on success — no
+  /// reopen. Works from degraded-writes AND read-only states; fails with
+  /// Unavailable when the DB is fatal (manifest corruption: reopen) and
+  /// returns the probe's error when recovery itself fails. A no-op OK when
+  /// already healthy. The same probe runs automatically from the
+  /// maintenance tick (with bounded backoff) while degraded.
+  Status Resume();
+
+  /// Current write-path health (relaxed read; safe from any thread).
+  DbHealth Health() const { return error_handler_.health(); }
+
   /// Forces one full integrity pass over every LSM table, synchronously
   /// (corruption drills, tests, operator tooling) — works even when
   /// DBOptions::scrub.enabled is false. `report` (nullable) receives this
@@ -363,6 +392,8 @@ class TimeUnionDB {
   obs::MetricsSnapshot Metrics() const;
   /// The instrument registry (stable pointers, lock-free recording).
   obs::MetricsRegistry& metrics_registry() { return *metrics_; }
+  /// The background-error state machine (tests/operator tooling).
+  ErrorHandler& error_handler() { return error_handler_; }
   /// Degraded-operation snapshot: breaker state, deferred-upload backlog,
   /// fast-tier pressure, admission outcomes, block cache counters, sticky
   /// background error. A typed view over the same data as Metrics(); safe
@@ -478,6 +509,11 @@ class TimeUnionDB {
 
   Status MaybeLog(const WalRecord& record);
 
+  /// One recovery probe: WAL rotation if poisoned, then retained
+  /// flush/maintenance retry; reports the outcome to error_handler_.
+  /// Shared by the maintenance tick's auto-resume and manual Resume().
+  Status TryResumeInternal();
+
   /// Appends one `{"ts_ms":...,"metrics":{...}}` line to
   /// <workspace>/metrics.jsonl (maintenance tick, when enabled).
   void EmitMetricsLine();
@@ -486,6 +522,9 @@ class TimeUnionDB {
   /// Declared before env_/lsm_ so the registry outlives everything that
   /// records into it (breaker transition callback, LSM instruments).
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+  /// Declared before env_/lsm_: the LSM's background workers report into
+  /// it via the on_background_error callback until they are torn down.
+  ErrorHandler error_handler_;
   std::unique_ptr<cloud::TieredEnv> env_;
   std::unique_ptr<lsm::BlockCache> block_cache_;
   std::unique_ptr<index::InvertedIndex> index_;

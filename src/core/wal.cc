@@ -147,7 +147,15 @@ WalWriter::WalWriter(cloud::BlockStore* store, std::string fname)
     : store_(store), fname_(std::move(fname)) {}
 
 Status WalWriter::Open() {
-  // Append semantics: preserve existing contents across reopen.
+  std::lock_guard<std::mutex> lock(mu_);
+  return OpenLocked();
+}
+
+Status WalWriter::OpenLocked() {
+  poison_ = Status::OK();
+  pending_tail_.clear();
+  // Append semantics: preserve existing contents across reopen. Whatever
+  // is on disk now is the durable baseline for rotation.
   std::string existing;
   Status s = store_->ReadFileToString(fname_, &existing);
   if (s.ok() && !existing.empty()) {
@@ -156,15 +164,18 @@ Status WalWriter::Open() {
     TU_RETURN_IF_ERROR(file->Append(existing));
     file_ = std::move(file);
     bytes_written_ = existing.size();
+    synced_bytes_ = existing.size();
     return Status::OK();
   }
   TU_RETURN_IF_ERROR(store_->NewWritableFile(fname_, &file_));
   bytes_written_ = 0;
+  synced_bytes_ = 0;
   return Status::OK();
 }
 
 Status WalWriter::Append(const WalRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!poison_.ok()) return poison_;
   // Crash here = the process died before the record reached the log: the
   // sample was never acknowledged, so replay correctly omits it.
   cloud::CrashPoint(store_->fault(), "wal.append");
@@ -175,17 +186,77 @@ Status WalWriter::Append(const WalRecord& record) {
              crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
   PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
   framed += payload;
+  Status s = file_->Append(framed);
+  if (!s.ok()) {
+    // A failed append (ENOSPC, I/O error) may have landed a partial frame.
+    // Appending MORE frames after it would turn a benign torn tail into
+    // mid-log damage that replay cannot cross — poison until Rotate()
+    // rebuilds a clean log.
+    poison_ = s;
+    return s;
+  }
+  // Only bytes that actually reached the file count (callers use this for
+  // the purge threshold), and only they join the rotation tail.
   bytes_written_ += framed.size();
-  return file_->Append(framed);
+  pending_tail_ += framed;
+  return s;
 }
 
 Status WalWriter::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
-  return file_->Sync();
+  if (!poison_.ok()) return poison_;
+  Status s = file_->Sync();
+  if (!s.ok()) {
+    poison_ = s;
+    return s;
+  }
+  synced_bytes_ = bytes_written_.load(std::memory_order_relaxed);
+  pending_tail_.clear();
+  return s;
+}
+
+Status WalWriter::poison() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poison_;
+}
+
+Status WalWriter::Rotate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Rebuild from the synced prefix on disk + the in-memory tail. The
+  // unsynced on-disk region is deliberately ignored: after a failed fsync
+  // those pages' durability is unknowable, and the in-memory copy is
+  // authoritative for every record appended since the last good Sync.
+  std::string disk;
+  Status rs = store_->ReadFileToString(fname_, &disk);
+  if (!rs.ok() && !rs.IsNotFound()) return rs;
+  const size_t prefix = std::min<size_t>(synced_bytes_, disk.size());
+  std::string content = disk.substr(0, prefix);
+  content += pending_tail_;
+
+  const std::string tmp = fname_ + ".rot";
+  store_->DeleteFile(tmp);  // stale leftover from a crashed rotation
+  std::unique_ptr<cloud::WritableFile> fresh;
+  TU_RETURN_IF_ERROR(store_->NewWritableFile(tmp, &fresh));
+  if (!content.empty()) TU_RETURN_IF_ERROR(fresh->Append(content));
+  TU_RETURN_IF_ERROR(fresh->Sync());
+  TU_RETURN_IF_ERROR(fresh->Close());
+  file_.reset();  // the poisoned fd is abandoned, never fsynced again
+  TU_RETURN_IF_ERROR(store_->RenameFile(tmp, fname_));
+  TU_RETURN_IF_ERROR(OpenLocked());
+  // OpenLocked re-appended `content` to a truncated file without syncing;
+  // close that window — the bytes were durable in .rot and must stay so.
+  Status s = file_->Sync();
+  if (!s.ok()) {
+    poison_ = s;
+    return s;
+  }
+  synced_bytes_ = bytes_written_.load(std::memory_order_relaxed);
+  return Status::OK();
 }
 
 Status WalWriter::Purge() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!poison_.ok()) return poison_;  // rotate first: disk state untrusted
   TU_RETURN_IF_ERROR(file_->Flush());
   // Pass 1: find the newest flush mark per id.
   std::map<uint64_t, uint64_t> flushed_seq;
@@ -223,7 +294,7 @@ Status WalWriter::Purge() {
   fresh.file_.reset();
   file_.reset();
   TU_RETURN_IF_ERROR(store_->RenameFile(tmp, fname_));
-  return Open();
+  return OpenLocked();
 }
 
 std::string WalReplayStats::ToString() const {

@@ -74,12 +74,38 @@ class WalWriter {
   /// background worker will purge those stale log records periodically").
   Status Purge();
 
+  /// First Append/Sync failure, latched. A poisoned writer fails every
+  /// Append/Sync/Purge fast until Rotate() rebuilds the log — after a
+  /// failed fsync the kernel may have dropped the dirty pages while
+  /// marking them clean, so neither re-syncing the fd nor trusting a
+  /// read-back of the unsynced region proves anything (the fsyncgate
+  /// lesson).
+  Status poison() const;
+
+  /// Recovery from a poisoned writer: rebuilds the log into a `.rot` file
+  /// from the durably-synced prefix on disk plus the writer's in-memory
+  /// copy of every record framed since the last successful Sync (the
+  /// durability-unknown tail), syncs it, renames it over the log and
+  /// reopens. Clears the poison on success. Safe to call when healthy
+  /// (it is then just a compaction-free rewrite).
+  Status Rotate();
+
  private:
+  /// Re-frames state after the log file was atomically replaced; caller
+  /// holds mu_.
+  Status OpenLocked();
+
   cloud::BlockStore* store_;
   std::string fname_;
-  std::mutex mu_;  // serializes Append/Sync/Purge across writer threads
+  mutable std::mutex mu_;  // serializes Append/Sync/Purge across writers
   std::unique_ptr<cloud::WritableFile> file_;
   std::atomic<uint64_t> bytes_written_{0};
+  Status poison_;              // guarded by mu_; see poison()
+  uint64_t synced_bytes_ = 0;  // prefix confirmed durable by the last Sync
+  /// Framed bytes appended OK since the last successful Sync — the replay
+  /// source for Rotate(). Bounded by the purge threshold (the whole log is
+  /// rewritten before it outgrows that).
+  std::string pending_tail_;
 };
 
 /// What a WAL replay salvaged and what it had to drop. A clean log ends

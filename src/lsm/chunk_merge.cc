@@ -15,8 +15,19 @@ int PartitionIndexOf(const std::vector<int64_t>& boundaries, int64_t ts) {
 
 namespace {
 
+// Grows `b` by whole edge-sized steps until [min_ts, max_ts] lies inside
+// [b->front(), b->back()). Callers pass uniform-step boundary lists, so the
+// extension keeps partition alignment.
+void ExtendBoundariesToCover(std::vector<int64_t>* b, int64_t min_ts,
+                             int64_t max_ts) {
+  const int64_t front_step = (*b)[1] - (*b)[0];
+  const int64_t back_step = b->back() - (*b)[b->size() - 2];
+  while (min_ts < b->front()) b->insert(b->begin(), b->front() - front_step);
+  while (max_ts >= b->back()) b->push_back(b->back() + back_step);
+}
+
 Status MergeSeriesChunks(const std::vector<ChunkInput>& inputs,
-                         const std::vector<int64_t>& boundaries,
+                         std::vector<int64_t>* boundaries,
                          uint32_t max_samples_per_chunk,
                          std::vector<MergedChunk>* out) {
   // Newest-first so the first writer of a timestamp wins.
@@ -28,45 +39,52 @@ Status MergeSeriesChunks(const std::vector<ChunkInput>& inputs,
               return a->seq > b->seq;
             });
 
-  std::map<int64_t, double> merged;
-  uint64_t max_seq = 0;
+  // Value plus the seq of the input chunk that claimed the timestamp, so
+  // each output chunk can carry the max seq of its own winners.
+  std::map<int64_t, std::pair<double, uint64_t>> merged;
   for (const ChunkInput* in : ordered) {
-    max_seq = std::max(max_seq, in->seq);
     uint64_t seq = 0;
     std::vector<compress::Sample> samples;
     TU_RETURN_IF_ERROR(compress::DecodeSeriesChunk(
         ChunkValuePayload(in->value), &seq, &samples));
     for (const compress::Sample& s : samples) {
-      merged.emplace(s.timestamp, s.value);  // keeps the newest (first)
+      merged.emplace(s.timestamp,
+                     std::make_pair(s.value, in->seq));  // newest (first) wins
     }
   }
+  if (merged.empty()) return Status::OK();
+  ExtendBoundariesToCover(boundaries, merged.begin()->first,
+                          merged.rbegin()->first);
 
   // Emit per partition, capping samples per output chunk.
   std::vector<compress::Sample> pending;
+  uint64_t pending_seq = 0;
   int pending_partition = INT32_MIN;
   auto flush_pending = [&]() {
     if (pending.empty()) return;
     std::string payload;
-    compress::EncodeSeriesChunk(max_seq, pending, &payload);
-    out->push_back(MergedChunk{pending[0].timestamp,
+    compress::EncodeSeriesChunk(pending_seq, pending, &payload);
+    out->push_back(MergedChunk{pending[0].timestamp, pending_seq,
                                MakeChunkValue(ChunkType::kSeries, payload)});
     pending.clear();
+    pending_seq = 0;
   };
-  for (const auto& [ts, value] : merged) {
-    const int part = PartitionIndexOf(boundaries, ts);
+  for (const auto& [ts, vs] : merged) {
+    const int part = PartitionIndexOf(*boundaries, ts);
     if (part != pending_partition ||
         pending.size() >= max_samples_per_chunk) {
       flush_pending();
       pending_partition = part;
     }
-    pending.push_back(compress::Sample{ts, value});
+    pending.push_back(compress::Sample{ts, vs.first});
+    pending_seq = std::max(pending_seq, vs.second);
   }
   flush_pending();
   return Status::OK();
 }
 
 Status MergeGroupChunks(const std::vector<ChunkInput>& inputs,
-                        const std::vector<int64_t>& boundaries,
+                        std::vector<int64_t>* boundaries,
                         uint32_t max_samples_per_chunk,
                         std::vector<MergedChunk>* out) {
   std::vector<const ChunkInput*> ordered;
@@ -82,10 +100,11 @@ Status MergeGroupChunks(const std::vector<ChunkInput>& inputs,
   // is the maximum (§3.3 "handle the inconsistency in two group chunks by
   // filling NULL values to those missing timeseries").
   std::map<int64_t, std::vector<std::optional<double>>> merged;
+  // Largest input seq that claimed any cell of the row, per timestamp —
+  // the precedence the whole merged row (and its output chunk) must keep.
+  std::map<int64_t, uint64_t> row_seq;
   uint32_t width = 0;
-  uint64_t max_seq = 0;
   for (const ChunkInput* in : ordered) {
-    max_seq = std::max(max_seq, in->seq);
     uint64_t seq = 0;
     uint32_t members = 0;
     std::vector<compress::GroupRow> rows;
@@ -99,24 +118,31 @@ Status MergeGroupChunks(const std::vector<ChunkInput>& inputs,
         // Only fill cells not already claimed by a newer chunk.
         if (!cells[m].has_value() && row.values[m].has_value()) {
           cells[m] = row.values[m];
+          uint64_t& rs = row_seq[row.timestamp];
+          rs = std::max(rs, in->seq);
         }
       }
     }
   }
+  if (merged.empty()) return Status::OK();
+  ExtendBoundariesToCover(boundaries, merged.begin()->first,
+                          merged.rbegin()->first);
 
   std::vector<compress::GroupRow> pending;
+  uint64_t pending_seq = 0;
   int pending_partition = INT32_MIN;
   auto flush_pending = [&]() {
     if (pending.empty()) return;
     for (compress::GroupRow& row : pending) row.values.resize(width);
     std::string payload;
-    compress::EncodeGroupChunk(max_seq, width, pending, &payload);
-    out->push_back(MergedChunk{pending[0].timestamp,
+    compress::EncodeGroupChunk(pending_seq, width, pending, &payload);
+    out->push_back(MergedChunk{pending[0].timestamp, pending_seq,
                                MakeChunkValue(ChunkType::kGroup, payload)});
     pending.clear();
+    pending_seq = 0;
   };
   for (auto& [ts, cells] : merged) {
-    const int part = PartitionIndexOf(boundaries, ts);
+    const int part = PartitionIndexOf(*boundaries, ts);
     if (part != pending_partition ||
         pending.size() >= max_samples_per_chunk) {
       flush_pending();
@@ -126,6 +152,8 @@ Status MergeGroupChunks(const std::vector<ChunkInput>& inputs,
     row.timestamp = ts;
     row.values = cells;
     pending.push_back(std::move(row));
+    const auto it = row_seq.find(ts);
+    if (it != row_seq.end()) pending_seq = std::max(pending_seq, it->second);
   }
   flush_pending();
   return Status::OK();
@@ -134,7 +162,7 @@ Status MergeGroupChunks(const std::vector<ChunkInput>& inputs,
 }  // namespace
 
 Status MergeChunks(const std::vector<ChunkInput>& inputs,
-                   const std::vector<int64_t>& boundaries,
+                   std::vector<int64_t>* boundaries,
                    uint32_t max_samples_per_chunk,
                    std::vector<MergedChunk>* out) {
   out->clear();

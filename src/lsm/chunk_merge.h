@@ -30,13 +30,30 @@ struct ChunkInput {
 /// `boundaries` is a sorted list of time-partition boundaries; output
 /// chunks never span a boundary. Duplicate timestamps resolve newest-first
 /// per sample (series) / per cell (group member).
+///
+/// Input chunks can carry rows far outside [boundaries.front(),
+/// boundaries.back()): an open head chunk buffers rewrites at arbitrary
+/// timestamps, so the chunk-START bucketing the caller used to pick
+/// `boundaries` is only a lower bound on row time. Rather than clamping
+/// such rows into the edge interval — which would strand them in a time
+/// partition that compactions of their true time range never revisit,
+/// silently breaking last-write-wins — the merge EXTENDS `boundaries` by
+/// whole edge-sized steps until every merged row is covered. Callers must
+/// route the extra intervals to real partitions.
+///
+/// `max_seq` is the largest input seq that contributed a winning sample
+/// (series) or cell (group) to THIS chunk. Compaction must stamp the
+/// output entry with it — not a fresh global seq — so a newer rewrite
+/// chunk excluded from the merge still outranks the merged output
+/// (last-write-wins, ROADMAP "compaction seq restamping").
 struct MergedChunk {
   int64_t start_ts = 0;
+  uint64_t max_seq = 0;
   std::string value;  // type byte + payload
 };
 
 Status MergeChunks(const std::vector<ChunkInput>& inputs,
-                   const std::vector<int64_t>& boundaries,
+                   std::vector<int64_t>* boundaries,
                    uint32_t max_samples_per_chunk,
                    std::vector<MergedChunk>* out);
 

@@ -427,29 +427,44 @@ Status TimePartitionedLsm::Put(const Slice& user_key, const Slice& value) {
         if (immutables_.empty()) return;
         target = immutables_.front();
       }
-      Status s;
+      Status fs, ms;
       {
         std::lock_guard<std::mutex> manifest_lock(mu_);
-        s = FlushMemTable(target.get());
-        if (s.ok()) s = MaybeMaintain();
+        fs = FlushMemTable(target.get());
+        if (fs.ok()) ms = MaybeMaintain();
       }
-      // Background failures don't reach a caller; latch them so the DB's
-      // health report (and the on_background_error callback) sees them.
-      if (!s.ok()) RecordBackgroundError(s);
-      std::lock_guard<std::mutex> lock(mem_mu_);
-      if (!immutables_.empty() && immutables_.front() == target) {
-        immutables_.pop_front();
+      // Background failures don't reach a caller; latch them (with the
+      // stage that failed) so the DB's error handler and health report
+      // see them.
+      if (!fs.ok()) RecordBackgroundError(BgWorkKind::kFlush, fs);
+      if (!ms.ok()) RecordBackgroundError(BgWorkKind::kCompaction, ms);
+      if (fs.ok()) {
+        // A failed flush RETAINS its memtable at the queue head so the
+        // resume probe (RetryBackgroundWork) can replay it from memory
+        // once the environment heals — popping it would drop acked data.
+        std::lock_guard<std::mutex> lock(mem_mu_);
+        if (!immutables_.empty() && immutables_.front() == target) {
+          immutables_.pop_front();
+        }
       }
     });
     return Status::OK();
   }
+  Status s;
   {
-    std::lock_guard<std::mutex> lock(mem_mu_);
-    immutables_.pop_back();
+    std::lock_guard<std::mutex> manifest_lock(mu_);
+    s = FlushMemTable(imm.get());
+    if (s.ok()) s = MaybeMaintain();
   }
-  std::lock_guard<std::mutex> manifest_lock(mu_);
-  TU_RETURN_IF_ERROR(FlushMemTable(imm.get()));
-  return MaybeMaintain();
+  {
+    // Same retained-input rule as the background worker: only a successful
+    // flush removes the rotated memtable from the queue.
+    std::lock_guard<std::mutex> lock(mem_mu_);
+    if (s.ok() && !immutables_.empty() && immutables_.back() == imm) {
+      immutables_.pop_back();
+    }
+  }
+  return s;
 }
 
 Status TimePartitionedLsm::FlushAll() {
@@ -463,10 +478,49 @@ Status TimePartitionedLsm::FlushAll() {
       mem_ = NewTrackedMemTable();
     }
   }
-  std::lock_guard<std::mutex> manifest_lock(mu_);
-  for (auto& target : drain) {
-    TU_RETURN_IF_ERROR(FlushMemTable(target.get()));
+  Status s;
+  {
+    std::lock_guard<std::mutex> manifest_lock(mu_);
+    while (!drain.empty()) {
+      s = FlushMemTable(drain.front().get());
+      if (!s.ok()) break;
+      drain.pop_front();
+    }
   }
+  if (!drain.empty()) {
+    // Re-queue the unflushed tail so a retry after the environment heals
+    // still owns the data (rotations that raced in stay behind it).
+    std::lock_guard<std::mutex> lock(mem_mu_);
+    immutables_.insert(immutables_.begin(), drain.begin(), drain.end());
+    return s;
+  }
+  std::lock_guard<std::mutex> manifest_lock(mu_);
+  return MaybeMaintain();
+}
+
+Status TimePartitionedLsm::RetryBackgroundWork() {
+  if (flush_pool_) flush_pool_->WaitIdle();
+  // Replay retained flush inputs oldest-first. Re-flushing a memtable whose
+  // earlier attempt partially installed tables is safe: entries keep the
+  // internal-key seq stamped at Put time, so duplicates dedup to identical
+  // values at merge time.
+  while (true) {
+    std::shared_ptr<MemTable> target;
+    {
+      std::lock_guard<std::mutex> lock(mem_mu_);
+      if (immutables_.empty()) break;
+      target = immutables_.front();
+    }
+    {
+      std::lock_guard<std::mutex> manifest_lock(mu_);
+      TU_RETURN_IF_ERROR(FlushMemTable(target.get()));
+    }
+    std::lock_guard<std::mutex> lock(mem_mu_);
+    if (!immutables_.empty() && immutables_.front() == target) {
+      immutables_.pop_front();
+    }
+  }
+  std::lock_guard<std::mutex> manifest_lock(mu_);
   return MaybeMaintain();
 }
 
@@ -475,21 +529,34 @@ Status TimePartitionedLsm::WriteTable(
     bool to_slow, TableHandle* out) {
   const uint64_t table_id = next_table_id_++;
   const uint64_t build_start_us = NowUs();
+  // Fast-tier builds land under a .tmp name and rename in only on success
+  // (discard-and-rebuild): a failed Append or a poisoned fsync leaves
+  // nothing at the final name, so the retried build starts from scratch
+  // instead of trusting pages the kernel may have dropped. The open-time
+  // sweep reclaims .tmp leftovers after a crash.
+  const std::string fast_tmp = FastName(table_id) + ".tmp";
   std::unique_ptr<TableSink> sink;
   if (to_slow) {
     sink = std::make_unique<BufferTableSink>();
   } else {
     std::unique_ptr<cloud::WritableFile> file;
-    TU_RETURN_IF_ERROR(env_->fast().NewWritableFile(FastName(table_id), &file));
+    Status open = env_->fast().NewWritableFile(fast_tmp, &file);
+    if (!open.ok()) return open;
     sink = std::make_unique<FileTableSink>(std::move(file));
   }
   TableBuilder builder(options_.table_options, sink.get());
+  Status bs;
   for (const auto& [key, value] : entries) {
-    TU_RETURN_IF_ERROR(builder.Add(key, value));
+    bs = builder.Add(key, value);
+    if (!bs.ok()) break;
   }
-  TU_RETURN_IF_ERROR(builder.Finish(&out->meta));
+  if (bs.ok()) bs = builder.Finish(&out->meta);
+  if (bs.ok()) bs = sink->Close();
+  if (!bs.ok()) {
+    if (!to_slow) (void)env_->fast().DeleteFile(fast_tmp);
+    return bs;
+  }
   out->meta.table_id = table_id;
-  TU_RETURN_IF_ERROR(sink->Close());
   if (h_table_build_us_ != nullptr) {
     h_table_build_us_->Observe(NowUs() - build_start_us);
   }
@@ -527,6 +594,11 @@ Status TimePartitionedLsm::WriteTable(
       return up;  // Corruption etc.: not an outage, surface it
     }
   } else {
+    Status rn = env_->fast().RenameFile(fast_tmp, FastName(table_id));
+    if (!rn.ok()) {
+      (void)env_->fast().DeleteFile(fast_tmp);
+      return rn;
+    }
     stats_.fast_bytes_written.fetch_add(out->meta.file_size,
                                         std::memory_order_relaxed);
     out->on_slow = false;
@@ -649,6 +721,11 @@ Status TimePartitionedLsm::FlushMemTable(MemTable* mem) {
     target->tables.insert(target->tables.begin(), std::move(handle));
   }
 
+  cloud::CrashPoint(env_->fast().fault(), "l0.flush.pre_manifest");
+  TU_RETURN_IF_ERROR(SaveManifest());
+  // Accounting only after the manifest commit: a failed flush is retried
+  // whole from its retained memtable, so booking the memory release or the
+  // flush count early would double on the retry.
   MemoryTracker::Global().Sub(
       MemCategory::kMemtable,
       static_cast<int64_t>(mem->ApproximateMemoryUsage()));
@@ -659,8 +736,6 @@ Status TimePartitionedLsm::FlushMemTable(MemTable* mem) {
   if (trace_ != nullptr) {
     trace_->Record("flush", "partitions=" + std::to_string(buckets.size()));
   }
-  cloud::CrashPoint(env_->fast().fault(), "l0.flush.pre_manifest");
-  TU_RETURN_IF_ERROR(SaveManifest());
   // Flush marks (the §3.3 WAL purge hook) only after the flushed tables are
   // durably referenced: a crash before this point keeps the WAL records
   // live, so replay rebuilds what the flush had not yet committed.
@@ -770,9 +845,9 @@ Status TimePartitionedLsm::OpenReader(TableHandle* handle, bool fill_cache) {
 }
 
 Status TimePartitionedLsm::MergePartitionTables(
-    std::vector<TableHandle*> inputs, const std::vector<int64_t>& boundaries,
-    bool to_slow, std::vector<std::vector<TableHandle>>* outputs) {
-  outputs->assign(boundaries.size() - 1, {});
+    std::vector<TableHandle*> inputs, std::vector<int64_t> boundaries,
+    bool to_slow, std::vector<MergeSegment>* outputs) {
+  outputs->clear();
 
   std::vector<std::unique_ptr<Iterator>> children;
   children.reserve(inputs.size());
@@ -783,21 +858,24 @@ Status TimePartitionedLsm::MergePartitionTables(
   auto merged = NewMergingIterator(std::move(children));
   merged->SeekToFirst();
 
-  // Per-interval pending entries; flushed to tables when large enough, but
-  // only at series boundaries so output tables keep disjoint ID ranges
+  // Per-interval pending entries, keyed by the interval's start boundary
+  // (MergeChunks can extend `boundaries` at either end, so indices are not
+  // stable but start timestamps are). Flushed to tables when large enough,
+  // but only at series boundaries so output tables keep disjoint ID ranges
   // (Fig. 11 patch-merge splitting relies on this).
   struct PendingOutput {
     std::vector<std::pair<std::string, std::string>> entries;
     size_t bytes = 0;
   };
-  std::vector<PendingOutput> pending(boundaries.size() - 1);
+  std::map<int64_t, PendingOutput> pending;
+  std::map<int64_t, std::vector<TableHandle>> tables_by_segment;
 
-  auto flush_interval = [&](size_t interval) -> Status {
-    PendingOutput& p = pending[interval];
+  auto flush_segment = [&](int64_t seg_start) -> Status {
+    PendingOutput& p = pending[seg_start];
     if (p.entries.empty()) return Status::OK();
     TableHandle handle;
     TU_RETURN_IF_ERROR(WriteTable(p.entries, to_slow, &handle));
-    (*outputs)[interval].push_back(std::move(handle));
+    tables_by_segment[seg_start].push_back(std::move(handle));
     p.entries.clear();
     p.bytes = 0;
     return Status::OK();
@@ -812,28 +890,31 @@ Status TimePartitionedLsm::MergePartitionTables(
   auto emit_series = [&]() -> Status {
     if (chunk_inputs.empty()) return Status::OK();
     std::vector<MergedChunk> merged_chunks;
-    TU_RETURN_IF_ERROR(MergeChunks(chunk_inputs, boundaries,
+    TU_RETURN_IF_ERROR(MergeChunks(chunk_inputs, &boundaries,
                                    options_.max_samples_per_merged_chunk,
                                    &merged_chunks));
     for (MergedChunk& chunk : merged_chunks) {
-      int interval = PartitionIndexOf(boundaries, chunk.start_ts);
-      if (interval < 0) interval = 0;
-      if (interval >= static_cast<int>(pending.size())) {
-        interval = static_cast<int>(pending.size()) - 1;
-      }
-      PendingOutput& p = pending[interval];
+      // The merge extended `boundaries` to cover every row, so the chunk's
+      // interval is always real — out-of-range rows are never clamped into
+      // an edge partition they do not belong to.
+      const int interval = PartitionIndexOf(boundaries, chunk.start_ts);
+      PendingOutput& p = pending[boundaries[interval]];
       p.bytes += chunk.value.size() + kInternalKeySize;
+      // Stamp the output with the max seq of its winning inputs — NOT a
+      // fresh next_seq_. A fresh stamp would outrank any rewrite chunk
+      // that was flushed after these inputs but excluded from this merge,
+      // silently reviving overwritten values (last-write-wins).
       p.entries.emplace_back(
           MakeInternalKey(MakeChunkKey(current_id, chunk.start_ts),
-                          next_seq_++),
+                          chunk.max_seq),
           std::move(chunk.value));
     }
     chunk_inputs.clear();
     value_copies.clear();
     // Series boundary: safe point to split oversized outputs.
-    for (size_t i = 0; i < pending.size(); ++i) {
-      if (pending[i].bytes >= options_.max_output_table_bytes) {
-        TU_RETURN_IF_ERROR(flush_interval(i));
+    for (auto& [seg_start, p] : pending) {
+      if (p.bytes >= options_.max_output_table_bytes) {
+        TU_RETURN_IF_ERROR(flush_segment(seg_start));
       }
     }
     return Status::OK();
@@ -853,8 +934,19 @@ Status TimePartitionedLsm::MergePartitionTables(
   }
   TU_RETURN_IF_ERROR(merged->status());
   TU_RETURN_IF_ERROR(emit_series());
-  for (size_t i = 0; i < pending.size(); ++i) {
-    TU_RETURN_IF_ERROR(flush_interval(i));
+  for (auto& [seg_start, p] : pending) {
+    (void)p;
+    TU_RETURN_IF_ERROR(flush_segment(seg_start));
+  }
+  for (auto& [seg_start, tables] : tables_by_segment) {
+    if (tables.empty()) continue;
+    const auto it =
+        std::upper_bound(boundaries.begin(), boundaries.end(), seg_start);
+    MergeSegment seg;
+    seg.start = seg_start;
+    seg.end = *it;
+    seg.tables = std::move(tables);
+    outputs->push_back(std::move(seg));
   }
   return Status::OK();
 }
@@ -896,17 +988,32 @@ Status TimePartitionedLsm::CompactOldestL0() {
     for (TableHandle& t : p.tables) inputs.push_back(&t);
   }
 
-  std::vector<std::vector<TableHandle>> outputs;
+  std::vector<MergeSegment> outputs;
   TU_RETURN_IF_ERROR(
       MergePartitionTables(inputs, boundaries, /*to_slow=*/false, &outputs));
 
-  // Install the new L1 partitions.
-  for (size_t i = 0; i + 1 < boundaries.size(); ++i) {
-    if (outputs[i].empty()) continue;
+  // Install the new L1 partitions. Segments beyond the merged range (rows
+  // of wide-spanning head chunks) land in an existing L1 partition of the
+  // same span when one exists, else become their own partition — the next
+  // L0 compaction touching that range will pull them into its merge.
+  for (MergeSegment& seg : outputs) {
+    Partition* existing = nullptr;
+    for (Partition& p : l1_) {
+      if (p.start == seg.start && p.end == seg.end) {
+        existing = &p;
+        break;
+      }
+    }
+    if (existing != nullptr) {
+      for (TableHandle& t : seg.tables) {
+        existing->tables.push_back(std::move(t));
+      }
+      continue;
+    }
     Partition p;
-    p.start = boundaries[i];
-    p.end = boundaries[i + 1];
-    p.tables = std::move(outputs[i]);
+    p.start = seg.start;
+    p.end = seg.end;
+    p.tables = std::move(seg.tables);
     l1_.push_back(std::move(p));
   }
   std::sort(l1_.begin(), l1_.end(),
@@ -983,93 +1090,37 @@ Status TimePartitionedLsm::CompactL1WindowToL2(int64_t w_start, int64_t w_end,
     if (p.start < w_end && p.end > w_start) overlapping.push_back(&p);
   }
 
+  // Boundary granularity: the normal path (no overlapping L2) keeps the
+  // whole window as one interval — one write to slow storage, zero slow
+  // reads (Eq. 9). The stale path (§3.3 out-of-order handling) splits the
+  // window at the edges of the covered L2 partitions, aligned to the
+  // shortest covered partition length (Fig. 12 right).
+  std::vector<int64_t> boundaries;
   if (overlapping.empty()) {
-    // Normal path: one write to slow storage, zero slow reads (Eq. 9).
-    std::vector<int64_t> boundaries = {w_start, w_end};
-    std::vector<std::vector<TableHandle>> outputs;
-    TU_RETURN_IF_ERROR(MergePartitionTables(input_tables, boundaries,
-                                            /*to_slow=*/true, &outputs));
-    if (!outputs[0].empty()) {
-      L2Partition p;
-      p.start = w_start;
-      p.end = w_end;
-      for (TableHandle& t : outputs[0]) {
-        L2Entry entry;
-        entry.base = std::move(t);
-        p.entries.push_back(std::move(entry));
-      }
-      l2_.push_back(std::move(p));
-      std::sort(l2_.begin(), l2_.end(),
-                [](const L2Partition& a, const L2Partition& b) {
-                  return a.start < b.start;
-                });
-    }
+    boundaries = {w_start, w_end};
   } else {
-    // Stale path (§3.3 out-of-order handling): split the window at the
-    // edges of the covered L2 partitions. Covered intervals turn into
-    // patches routed by the ID ranges of the partition's base tables;
-    // uncovered intervals become new partitions aligned to the shortest
-    // covered partition length (Fig. 12 right).
     int64_t shortest = l2_len_ms_;
     for (L2Partition* p : overlapping) {
       shortest = std::min(shortest, p->end - p->start);
     }
-    std::vector<int64_t> boundaries;
     for (int64_t b = w_start; b <= w_end; b += shortest) boundaries.push_back(b);
-
-    std::vector<std::vector<TableHandle>> outputs;
-    TU_RETURN_IF_ERROR(MergePartitionTables(input_tables, boundaries,
-                                            /*to_slow=*/true, &outputs));
-
-    for (size_t i = 0; i + 1 < boundaries.size(); ++i) {
-      if (outputs[i].empty()) continue;
-      const int64_t seg_start = boundaries[i];
-      const int64_t seg_end = boundaries[i + 1];
-      L2Partition* covered = nullptr;
-      for (L2Partition* p : overlapping) {
-        if (p->start <= seg_start && p->end >= seg_end) {
-          covered = p;
-          break;
-        }
-      }
-      if (covered == nullptr) {
-        L2Partition p;
-        p.start = seg_start;
-        p.end = seg_end;
-        for (TableHandle& t : outputs[i]) {
-          L2Entry entry;
-          entry.base = std::move(t);
-          p.entries.push_back(std::move(entry));
-        }
-        l2_.push_back(std::move(p));
-        continue;
-      }
-      // Attach each output table as a patch of the base entry whose ID
-      // range covers it; strays go to the closest entry.
-      for (TableHandle& t : outputs[i]) {
-        if (covered->entries.empty()) {
-          L2Entry entry;
-          entry.base = std::move(t);
-          covered->entries.push_back(std::move(entry));
-          continue;
-        }
-        size_t target = covered->entries.size() - 1;
-        for (size_t e = 0; e < covered->entries.size(); ++e) {
-          if (covered->entries[e].base.meta.max_series_id >=
-              t.meta.min_series_id) {
-            target = e;
-            break;
-          }
-        }
-        covered->entries[target].patches.push_back(std::move(t));
-        stats_.patches_created.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-    std::sort(l2_.begin(), l2_.end(),
-              [](const L2Partition& a, const L2Partition& b) {
-                return a.start < b.start;
-              });
   }
+
+  std::vector<MergeSegment> outputs;
+  TU_RETURN_IF_ERROR(MergePartitionTables(input_tables, boundaries,
+                                          /*to_slow=*/true, &outputs));
+
+  // Route every segment — including ones the merge added beyond the window
+  // for wide-spanning head-chunk rows — to the partition that truly covers
+  // its time range. RouteSegmentToL2 may grow l2_, so the `overlapping`
+  // pointers are dead past this point.
+  for (MergeSegment& seg : outputs) {
+    RouteSegmentToL2(std::move(seg));
+  }
+  std::sort(l2_.begin(), l2_.end(),
+            [](const L2Partition& a, const L2Partition& b) {
+              return a.start < b.start;
+            });
 
   // Same durability order as CompactOldestL0: outputs reach the manifest
   // before inputs are unlinked.
@@ -1089,48 +1140,161 @@ Status TimePartitionedLsm::CompactL1WindowToL2(int64_t w_start, int64_t w_end,
   return Status::OK();
 }
 
+void TimePartitionedLsm::RouteSegmentToL2(MergeSegment segment) {
+  L2Partition* covered = nullptr;
+  for (L2Partition& p : l2_) {
+    if (p.start <= segment.start && p.end >= segment.end) {
+      covered = &p;
+      break;
+    }
+  }
+  if (covered == nullptr) {
+    L2Partition p;
+    p.start = segment.start;
+    p.end = segment.end;
+    for (TableHandle& t : segment.tables) {
+      L2Entry entry;
+      entry.base = std::move(t);
+      p.entries.push_back(std::move(entry));
+    }
+    l2_.push_back(std::move(p));
+    return;
+  }
+  // Attach each table as a patch of the base entry whose ID range covers
+  // it; strays go to the closest entry.
+  for (TableHandle& t : segment.tables) {
+    if (covered->entries.empty()) {
+      L2Entry entry;
+      entry.base = std::move(t);
+      covered->entries.push_back(std::move(entry));
+      continue;
+    }
+    size_t target = covered->entries.size() - 1;
+    for (size_t e = 0; e < covered->entries.size(); ++e) {
+      if (covered->entries[e].base.meta.max_series_id >=
+          t.meta.min_series_id) {
+        target = e;
+        break;
+      }
+    }
+    covered->entries[target].patches.push_back(std::move(t));
+    stats_.patches_created.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 Status TimePartitionedLsm::MergePatchesIfNeeded() {
-  for (L2Partition& partition : l2_) {
-    for (size_t e = 0; e < partition.entries.size(); ++e) {
-      if (static_cast<int>(partition.entries[e].patches.size()) >
-          options_.patch_threshold) {
-        TU_RETURN_IF_ERROR(MergeEntryPatches(&partition, e));
+  // MergeEntryPatches removes the victim plus any ID-overlapping entries,
+  // appends fresh ones, and can create or grow OTHER partitions (rows
+  // beyond the partition's range get routed to their true home), so
+  // restart the whole scan after each merge instead of trusting indices.
+  // Termination: each merge moves out-of-range rows strictly toward (and
+  // into) partitions that cover them, and merged entries restart with
+  // zero patches.
+  for (bool merged = true; merged;) {
+    merged = false;
+    for (size_t pi = 0; pi < l2_.size() && !merged; ++pi) {
+      for (size_t e = 0; e < l2_[pi].entries.size(); ++e) {
+        if (static_cast<int>(l2_[pi].entries[e].patches.size()) >
+            options_.patch_threshold) {
+          TU_RETURN_IF_ERROR(MergeEntryPatches(pi, e));
+          merged = true;
+          break;
+        }
       }
     }
   }
   return Status::OK();
 }
 
-Status TimePartitionedLsm::MergeEntryPatches(L2Partition* partition,
+Status TimePartitionedLsm::MergeEntryPatches(size_t partition_index,
                                              size_t entry_index) {
   const uint64_t start_us = NowUs();
-  L2Entry entry = std::move(partition->entries[entry_index]);
+  L2Partition* partition = &l2_[partition_index];
+  // Pull the victim PLUS every entry whose series-ID range overlaps the
+  // merge's range, transitively. Patch tables can span several entries'
+  // ID ranges (they are routed whole to one entry), so merging a single
+  // entry can emit a base that overlaps its neighbours; two entries
+  // covering the same ID would then rewrite the same rows independently,
+  // and chunk-granularity seq dedup could over-rank a stale value past a
+  // newer rewrite that rode the other entry (last-write-wins violation).
+  std::vector<L2Entry> victims;
+  victims.push_back(std::move(partition->entries[entry_index]));
   partition->entries.erase(partition->entries.begin() + entry_index);
+  const auto range_of = [](const L2Entry& e) {
+    uint64_t lo = e.base.meta.min_series_id;
+    uint64_t hi = e.base.meta.max_series_id;
+    for (const TableHandle& t : e.patches) {
+      lo = std::min(lo, t.meta.min_series_id);
+      hi = std::max(hi, t.meta.max_series_id);
+    }
+    return std::make_pair(lo, hi);
+  };
+  auto [lo, hi] = range_of(victims.front());
+  for (bool grew = true; grew;) {
+    grew = false;
+    for (auto it = partition->entries.begin();
+         it != partition->entries.end();) {
+      const auto [elo, ehi] = range_of(*it);
+      if (elo <= hi && ehi >= lo) {
+        lo = std::min(lo, elo);
+        hi = std::max(hi, ehi);
+        victims.push_back(std::move(*it));
+        it = partition->entries.erase(it);
+        grew = true;
+      } else {
+        ++it;
+      }
+    }
+  }
 
   std::vector<TableHandle*> inputs;
-  inputs.push_back(&entry.base);
-  for (TableHandle& t : entry.patches) inputs.push_back(&t);
+  for (L2Entry& entry : victims) {
+    inputs.push_back(&entry.base);
+    for (TableHandle& t : entry.patches) inputs.push_back(&t);
+  }
 
   std::vector<int64_t> boundaries = {partition->start, partition->end};
-  std::vector<std::vector<TableHandle>> outputs;
+  std::vector<MergeSegment> outputs;
   TU_RETURN_IF_ERROR(MergePartitionTables(inputs, boundaries,
                                           /*to_slow=*/true, &outputs));
 
   // Fig. 11: the merge yields new base tables with disjoint ID ranges.
-  for (TableHandle& t : outputs[0]) {
-    L2Entry fresh;
-    fresh.base = std::move(t);
-    partition->entries.push_back(std::move(fresh));
+  // Patch tables can carry rows outside this partition's time range (they
+  // came from wide-spanning head chunks); those rows come back as extra
+  // segments and are routed to the partitions that truly cover them.
+  std::vector<MergeSegment> foreign;
+  for (MergeSegment& seg : outputs) {
+    if (seg.start >= partition->start && seg.end <= partition->end) {
+      for (TableHandle& t : seg.tables) {
+        L2Entry fresh;
+        fresh.base = std::move(t);
+        partition->entries.push_back(std::move(fresh));
+      }
+    } else {
+      foreign.push_back(std::move(seg));
+    }
   }
   std::sort(partition->entries.begin(), partition->entries.end(),
             [](const L2Entry& a, const L2Entry& b) {
               return a.base.meta.min_series_id < b.base.meta.min_series_id;
             });
+  // RouteSegmentToL2 may grow l2_ and invalidate `partition` — done with
+  // it past this point.
+  partition = nullptr;
+  for (MergeSegment& seg : foreign) {
+    RouteSegmentToL2(std::move(seg));
+  }
+  std::sort(l2_.begin(), l2_.end(),
+            [](const L2Partition& a, const L2Partition& b) {
+              return a.start < b.start;
+            });
 
   TU_RETURN_IF_ERROR(SaveManifest());
-  (void)DeleteTable(entry.base);
-  for (const TableHandle& t : entry.patches) {
-    (void)DeleteTable(t);
+  for (const L2Entry& entry : victims) {
+    (void)DeleteTable(entry.base);
+    for (const TableHandle& t : entry.patches) {
+      (void)DeleteTable(t);
+    }
   }
   stats_.patch_merges.fetch_add(1, std::memory_order_relaxed);
   const uint64_t merge_us = NowUs() - start_us;
@@ -1550,8 +1714,10 @@ Status TimePartitionedLsm::DrainDeferredUploads(size_t* drained) {
     if (s.ok()) s = UploadBufferToSlow(table_id, data, table_crc);
     if (!s.ok()) {
       // Outage persists (or re-tripped mid-drain): stop quietly, the next
-      // tick retries. Anything already drained stays drained.
+      // tick retries. Anything already drained stays drained. Reported as
+      // kDrain (noted, never latched) so the error handler can count it.
       stats_.deferred_drain_failures.fetch_add(1, std::memory_order_relaxed);
+      RecordBackgroundError(BgWorkKind::kDrain, s);
       break;
     }
 
@@ -1895,12 +2061,16 @@ void TimePartitionedLsm::ClearBackgroundError() {
   last_bg_error_ = Status::OK();
 }
 
-void TimePartitionedLsm::RecordBackgroundError(const Status& s) {
-  {
+void TimePartitionedLsm::RecordBackgroundError(BgWorkKind kind,
+                                               const Status& s) {
+  // Drain failures are reported but never latched: the deferred queue
+  // already preserves availability, and latching would hold the DB
+  // degraded for the whole outage the queue exists to ride out.
+  if (kind != BgWorkKind::kDrain) {
     std::lock_guard<std::mutex> lock(bg_err_mu_);
     last_bg_error_ = s;
   }
-  if (options_.on_background_error) options_.on_background_error(s);
+  if (options_.on_background_error) options_.on_background_error(kind, s);
 }
 
 }  // namespace tu::lsm

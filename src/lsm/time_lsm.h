@@ -38,6 +38,15 @@
 
 namespace tu::lsm {
 
+/// Which background stage produced an error — reported alongside the
+/// status so the DB-level error handler can classify by (scope x code)
+/// instead of treating every background failure alike.
+enum class BgWorkKind : int {
+  kFlush = 0,       ///< memtable -> L0 table build/install
+  kCompaction = 1,  ///< L0->L1 / L1->L2 / patch merge / size control
+  kDrain = 2,       ///< deferred-upload drain (noted only; never quiesces)
+};
+
 struct TimeLsmOptions {
   /// Initial L0/L1 partition length (ms). Paper default: 30 minutes.
   int64_t l0_partition_ms = 30LL * 60 * 1000;
@@ -64,9 +73,11 @@ struct TimeLsmOptions {
   /// §3.3 logging scheme uses to write flush-mark records.
   std::function<void(const Slice& user_key, const Slice& value)> on_flush;
   /// Invoked (from the failing thread, no LSM locks held) whenever a
-  /// background flush or maintenance pass fails; the same error is also
-  /// latched in last_background_error().
-  std::function<void(const Status&)> on_background_error;
+  /// background flush or maintenance pass fails, with the stage that
+  /// failed; flush/compaction errors are also latched in
+  /// last_background_error(). kDrain errors are reported but never
+  /// latched — the deferred queue already preserves availability.
+  std::function<void(BgWorkKind, const Status&)> on_background_error;
   /// Persist the level manifest to the fast tier after each mutation so a
   /// reopen recovers the tree.
   bool persist_manifest = false;
@@ -220,6 +231,15 @@ class TimePartitionedLsm : public ChunkStore {
   Status last_background_error() const;
   void ClearBackgroundError();
 
+  /// Resume-probe entry point: replays retained work after a background
+  /// failure — drains every immutable memtable still queued (a failed
+  /// flush RETAINS its memtable, so acked-but-unflushed data survives the
+  /// error) and re-runs the maintenance pass. Returns the first failure;
+  /// OK means all retained inputs are durable again. Does NOT clear
+  /// last_background_error() — the caller decides what a successful
+  /// retry means for DB health.
+  Status RetryBackgroundWork();
+
   // -- Introspection for benches/tests ------------------------------------
   const TimeLsmStats& stats() const { return stats_; }
   /// Tables dropped by the open-time consistency scan.
@@ -287,16 +307,33 @@ class TimePartitionedLsm : public ChunkStore {
   Status CompactL1WindowToL2(int64_t w_start, int64_t w_end,
                              std::vector<Partition> inputs);
   Status MergePatchesIfNeeded();
-  Status MergeEntryPatches(L2Partition* partition, size_t entry_index);
+  Status MergeEntryPatches(size_t partition_index, size_t entry_index);
   Status RunDynamicSizeControl();
 
+  /// One boundary interval's worth of merge output.
+  struct MergeSegment {
+    int64_t start = 0;
+    int64_t end = 0;
+    std::vector<TableHandle> tables;
+  };
+
   /// Sample-aware merge of `inputs` into per-partition tables aligned to
-  /// `boundaries` (sorted, covering the inputs' range). Outputs one vector
-  /// of tables per boundary interval, written to the given tier.
+  /// `boundaries` (sorted, uniform step). Input chunks may carry rows
+  /// outside the boundary range (wide-spanning head chunks buffer rewrites
+  /// at arbitrary timestamps); the merge extends the boundary list by
+  /// uniform steps to cover them, so `outputs` can include segments beyond
+  /// the requested range. Callers must route every returned segment to a
+  /// real partition of its time range — never fold it into a neighbour.
   Status MergePartitionTables(std::vector<TableHandle*> inputs,
-                              const std::vector<int64_t>& boundaries,
-                              bool to_slow,
-                              std::vector<std::vector<TableHandle>>* outputs);
+                              std::vector<int64_t> boundaries, bool to_slow,
+                              std::vector<MergeSegment>* outputs);
+
+  /// Installs one slow-tier merge segment: if an existing L2 partition
+  /// fully covers [start, end) the tables attach to it as ID-routed
+  /// patches (or become its bases when empty); otherwise the segment
+  /// becomes a new L2 partition. May grow l2_ — invalidates L2Partition
+  /// pointers/references.
+  void RouteSegmentToL2(MergeSegment segment);
 
   /// Opens the table reader; compaction reads pass fill_cache=false so
   /// they do not pollute the query block cache (RocksDB idiom). On a
@@ -336,7 +373,7 @@ class TimePartitionedLsm : public ChunkStore {
   /// emptied partitions. Returns false when the id is not present. Caller
   /// holds mu_ and is responsible for SaveManifest().
   bool RemoveTableLocked(uint64_t table_id);
-  void RecordBackgroundError(const Status& s);
+  void RecordBackgroundError(BgWorkKind kind, const Status& s);
   /// Recomputes fast_resident_bytes_ from the levels; caller holds mu_.
   void UpdateFastResidentGaugeLocked();
   std::string FastName(uint64_t table_id) const;

@@ -145,6 +145,13 @@ const int64_t* MetricsSnapshot::FindGauge(std::string_view name) const {
   return nullptr;
 }
 
+const std::string* MetricsSnapshot::FindString(std::string_view name) const {
+  for (const auto& [n, v] : strings) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
 const HistogramSnapshot* MetricsSnapshot::FindHistogram(
     std::string_view name) const {
   for (const HistogramSnapshot& h : histograms) {
@@ -167,6 +174,7 @@ void MetricsSnapshot::Canonicalize() {
   auto by_first = [](const auto& a, const auto& b) { return a.first < b.first; };
   std::sort(counters.begin(), counters.end(), by_first);
   std::sort(gauges.begin(), gauges.end(), by_first);
+  std::sort(strings.begin(), strings.end(), by_first);
   std::sort(histograms.begin(), histograms.end(),
             [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
               return a.name < b.name;
@@ -194,6 +202,17 @@ std::string MetricsSnapshot::ToJson() const {
     AppendEscaped(&out, name);
     std::snprintf(buf, sizeof(buf), "\":%" PRId64, v);
     out += buf;
+  }
+  out += "},\"strings\":{";
+  first = true;
+  for (const auto& [name, v] : strings) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, name);
+    out += "\":\"";
+    AppendEscaped(&out, v);
+    out += '"';
   }
   out += "},\"histograms\":{";
   first = true;
@@ -247,6 +266,22 @@ std::string MetricsSnapshot::ToPrometheusText() const {
     out += "# TYPE " + pn + " gauge\n";
     std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", v);
     out += pn + buf;
+  }
+  for (const auto& [name, v] : strings) {
+    // Prometheus has no string type; the convention is an info-style gauge
+    // carrying the value as a label.
+    const std::string pn = PrometheusName(name) + "_info";
+    out += "# TYPE " + pn + " gauge\n";
+    out += pn + "{value=\"";
+    for (char c : v) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += "\"} 1\n";
   }
   for (const HistogramSnapshot& h : histograms) {
     const std::string pn = PrometheusName(h.name);

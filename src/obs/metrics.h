@@ -131,30 +131,38 @@ class EventTrace {
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<std::pair<std::string, int64_t>> gauges;
+  /// String-valued state (health names, last-error text). Folded in by the
+  /// caller like external counters — the registry owns no string
+  /// instruments, so nothing here touches a hot path.
+  std::vector<std::pair<std::string, std::string>> strings;
   std::vector<HistogramSnapshot> histograms;
   std::vector<TraceEvent> events;
 
   /// Lookup helpers; return nullptr when the name is absent.
   const uint64_t* FindCounter(std::string_view name) const;
   const int64_t* FindGauge(std::string_view name) const;
+  const std::string* FindString(std::string_view name) const;
   const HistogramSnapshot* FindHistogram(std::string_view name) const;
   /// Convenience: counter value or 0 / gauge value or 0.
   uint64_t CounterOr0(std::string_view name) const;
   int64_t GaugeOr0(std::string_view name) const;
 
-  /// Sort counters/gauges/histograms by name (events stay in seq order).
+  /// Sort counters/gauges/strings/histograms by name (events stay in seq
+  /// order).
   void Canonicalize();
 
   /// Stable schema:
   ///   {"counters":{name:uint,...},
   ///    "gauges":{name:int,...},
+  ///    "strings":{name:"value",...},
   ///    "histograms":{name:{"count":..,"sum_us":..,"max_us":..,
   ///                        "p50_us":..,"p90_us":..,"p99_us":..},...},
   ///    "events":[{"seq":..,"wall_ms":..,"kind":"..","detail":".."},...]}
   std::string ToJson() const;
-  /// Prometheus text exposition: counters/gauges as-is, histograms as
-  /// summaries with quantile labels. Names are sanitized ('.' -> '_') and
-  /// prefixed with "tu_".
+  /// Prometheus text exposition: counters/gauges as-is, strings as info
+  /// gauges (`tu_<name>_info{value="..."} 1`), histograms as summaries
+  /// with quantile labels. Names are sanitized ('.' -> '_') and prefixed
+  /// with "tu_".
   std::string ToPrometheusText() const;
 };
 

@@ -17,7 +17,6 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -76,14 +75,10 @@ std::vector<compress::Sample> Expected(const Model& m, int64_t t0,
 
 void ExpectSamplesEqual(const std::vector<compress::Sample>& got,
                         const std::vector<compress::Sample>& want,
-                        const std::string& what,
-                        const std::set<int64_t>* skip_values = nullptr) {
+                        const std::string& what) {
   ASSERT_EQ(got.size(), want.size()) << what;
   for (size_t i = 0; i < got.size(); ++i) {
     EXPECT_EQ(got[i].timestamp, want[i].timestamp) << what << " sample " << i;
-    if (skip_values != nullptr && skip_values->count(got[i].timestamp)) {
-      continue;
-    }
     EXPECT_EQ(Bits(got[i].value), Bits(want[i].value))
         << what << " sample " << i << " ts=" << got[i].timestamp;
   }
@@ -141,15 +136,6 @@ TEST_P(BatchDrainDifferentialTest, BatchPathMatchesScalarModel) {
   Model gmodels[2];
   gmodels[0][0] = 1.0;
   gmodels[1][0] = 2.0;
-  // Timestamps a group rewrite touched. A rewrite that misses the open
-  // chunk goes down the single-row-chunk path, and a later compaction that
-  // excludes that chunk re-stamps its merged output with a fresher
-  // internal seq (time_lsm next_seq_), outranking the rewrite — a
-  // pre-existing first-write-wins quirk (verified byte-identical against
-  // the pre-vectorization scalar path), so the last-write-wins oracle
-  // skips value checks on these timestamps. Presence and ordering are
-  // still pinned; individual series cover deep-rewrite dedup values.
-  std::set<int64_t> g_rewritten;
 
   for (int i = 1; i < kRounds; ++i) {
     for (int s = 0; s < kSeries; ++s) {
@@ -169,7 +155,6 @@ TEST_P(BatchDrainDifferentialTest, BatchPathMatchesScalarModel) {
     if (gs.ok()) {
       gmodels[0][gts] = ga;
       gmodels[1][gts] = gb;
-      if (gts != i * kStepMs) g_rewritten.insert(gts);
     }
     if (i % 300 == 0) ASSERT_TRUE(db->Flush().ok());
   }
@@ -238,10 +223,13 @@ TEST_P(BatchDrainDifferentialTest, BatchPathMatchesScalarModel) {
                              &iters)
               .ok());
       ASSERT_EQ(iters.size(), 1u);
+      // Group rewrites are checked bitwise like series: compaction
+      // re-stamps merged chunks with the max winning input seq, so a
+      // single-row rewrite chunk keeps outranking the window it targets
+      // (last-write-wins all the way through the merge ladder).
       const auto got = DrainBatches(iters[0].iter.get());
       ASSERT_TRUE(iters[0].iter->status().ok());
-      ExpectSamplesEqual(got, want, std::string("group member ") + mems[g],
-                         &g_rewritten);
+      ExpectSamplesEqual(got, want, std::string("group member ") + mems[g]);
     }
   }
 
@@ -251,6 +239,110 @@ TEST_P(BatchDrainDifferentialTest, BatchPathMatchesScalarModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchDrainDifferentialTest,
                          ::testing::Values(7, 21, 42, 1337));
+
+// Single-row rewrites aimed at windows that have ALREADY been compacted.
+// The rewrite lands as a single-row chunk in a fresh table; later
+// compactions of that partition merge the old chunks around it. Because
+// merged output is re-stamped with the max winning input seq (not a fresh
+// next_seq_), the rewrite's newer seq keeps outranking the merged window —
+// the differential oracle must match bitwise with no skip list.
+TEST(CompactionRestampTest, SingleRowRewriteIntoCompactedWindowWins) {
+  const std::string ws = "/tmp/timeunion_test/batch_drain_restamp";
+  RemoveDirRecursive(ws);
+  DBOptions opts = SmallPartitionOptions(ws);
+  std::unique_ptr<TimeUnionDB> db;
+  ASSERT_TRUE(TimeUnionDB::Open(opts, &db).ok());
+
+  constexpr int kRounds = 1200;
+  constexpr int64_t kStepMs = 250;
+  Random rng(99);
+
+  uint64_t ref = 0;
+  Model model;
+  ASSERT_TRUE(db->Insert({{"m", "cpu"}}, 0, 0.0, &ref).ok());
+  model[0] = 0.0;
+  uint64_t gref = 0;
+  std::vector<uint32_t> slots;
+  ASSERT_TRUE(db->InsertGroup({{"g", "1"}}, {{{"mem", "a"}}, {{"mem", "b"}}},
+                              0, {1.0, 2.0}, &gref, &slots)
+                  .ok());
+  Model gmodels[2];
+  gmodels[0][0] = 1.0;
+  gmodels[1][0] = 2.0;
+
+  // Phase 1: fill many small partitions, flushing periodically so the
+  // early windows are compacted (L0 trigger is 1 table) before any
+  // rewrite arrives.
+  for (int i = 1; i < kRounds; ++i) {
+    const int64_t ts = i * kStepMs;
+    const double v = rng.NextDouble();
+    ASSERT_TRUE(db->InsertFast(ref, ts, v).ok());
+    model[ts] = v;
+    const double ga = rng.NextDouble(), gb = rng.NextDouble();
+    ASSERT_TRUE(db->InsertGroupFast(gref, slots, ts, {ga, gb}).ok());
+    gmodels[0][ts] = ga;
+    gmodels[1][ts] = gb;
+    if (i % 200 == 0) ASSERT_TRUE(db->Flush().ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  const obs::MetricsSnapshot before = db->Metrics();
+  ASSERT_GT(before.CounterOr0("lsm.compactions_l0_l1"), 0u)
+      << "phase 1 must leave compacted windows to rewrite into";
+
+  // Phase 2: single-row rewrites into the compacted windows, one per
+  // region of the keyspace. Each misses every open chunk and goes down
+  // the single-row-chunk path.
+  for (const int64_t ts : {17 * kStepMs, 203 * kStepMs, 450 * kStepMs,
+                           799 * kStepMs, 1024 * kStepMs}) {
+    const double v = -1000.0 - static_cast<double>(ts);
+    ASSERT_TRUE(db->InsertFast(ref, ts, v).ok());
+    model[ts] = v;
+    const double ga = -2000.0 - static_cast<double>(ts);
+    const double gb = -3000.0 - static_cast<double>(ts);
+    ASSERT_TRUE(db->InsertGroupFast(gref, slots, ts, {ga, gb}).ok());
+    gmodels[0][ts] = ga;
+    gmodels[1][ts] = gb;
+  }
+  ASSERT_TRUE(db->Flush().ok());
+
+  // Phase 3: more appends + flushes so the rewritten partitions compact
+  // again with the rewrite chunks in play.
+  for (int i = kRounds; i < kRounds + 600; ++i) {
+    const int64_t ts = i * kStepMs;
+    const double v = rng.NextDouble();
+    ASSERT_TRUE(db->InsertFast(ref, ts, v).ok());
+    model[ts] = v;
+    if (i % 150 == 0) ASSERT_TRUE(db->Flush().ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_GT(db->Metrics().CounterOr0("lsm.compactions_l0_l1"),
+            before.CounterOr0("lsm.compactions_l0_l1"))
+      << "phase 3 must re-compact after the rewrites";
+
+  // The rewrites must win bitwise everywhere — materialized and batched.
+  const int64_t span = (kRounds + 600) * kStepMs;
+  QueryResult result;
+  ASSERT_TRUE(db->Query({TagMatcher::Equal("m", "cpu")}, 0, span, &result)
+                  .ok());
+  ASSERT_EQ(result.size(), 1u);
+  ExpectSamplesEqual(result[0].samples, Expected(model, 0, span), "series");
+
+  const char* mems[] = {"a", "b"};
+  for (int g = 0; g < 2; ++g) {
+    std::vector<TimeUnionDB::SeriesIterResult> iters;
+    ASSERT_TRUE(db->QueryIterators({TagMatcher::Equal("mem", mems[g])}, 0,
+                                   span, &iters)
+                    .ok());
+    ASSERT_EQ(iters.size(), 1u);
+    const auto got = DrainBatches(iters[0].iter.get());
+    ASSERT_TRUE(iters[0].iter->status().ok());
+    ExpectSamplesEqual(got, Expected(gmodels[g], 0, span),
+                       std::string("group member ") + mems[g]);
+  }
+
+  db.reset();
+  RemoveDirRecursive(ws);
+}
 
 // Breaker open: the batch drain must agree with the materialized entry
 // point on both the surviving samples and the reported gap spans.

@@ -10,6 +10,14 @@ namespace {
 using compress::GroupRow;
 using compress::Sample;
 
+// MergeChunks takes a mutable boundary list (it may extend it to cover
+// out-of-range rows); most tests only care about the merge result.
+Status MergeWith(const std::vector<ChunkInput>& inputs,
+                 std::vector<int64_t> boundaries, uint32_t cap,
+                 std::vector<MergedChunk>* out) {
+  return MergeChunks(inputs, &boundaries, cap, out);
+}
+
 std::string SeriesValue(uint64_t seq, std::vector<Sample> samples) {
   std::string payload;
   compress::EncodeSeriesChunk(seq, samples, &payload);
@@ -31,7 +39,7 @@ TEST(MergeChunks, MergesAndSortsSeriesSamples) {
   std::vector<ChunkInput> inputs = {{1, Slice(v1)}, {2, Slice(v2)}};
 
   std::vector<MergedChunk> out;
-  ASSERT_TRUE(MergeChunks(inputs, {0, 1000}, 256, &out).ok());
+  ASSERT_TRUE(MergeWith(inputs, {0, 1000}, 256, &out).ok());
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].start_ts, 100);
 
@@ -51,7 +59,7 @@ TEST(MergeChunks, NewestWinsOnDuplicateTimestamps) {
   std::vector<ChunkInput> inputs = {{1, Slice(old_chunk)},
                                     {5, Slice(new_chunk)}};
   std::vector<MergedChunk> out;
-  ASSERT_TRUE(MergeChunks(inputs, {0, 1000}, 256, &out).ok());
+  ASSERT_TRUE(MergeWith(inputs, {0, 1000}, 256, &out).ok());
   uint64_t seq;
   std::vector<Sample> samples;
   ASSERT_TRUE(compress::DecodeSeriesChunk(
@@ -66,7 +74,7 @@ TEST(MergeChunks, SplitsAtPartitionBoundaries) {
       SeriesValue(1, {{50, 1.0}, {150, 2.0}, {250, 3.0}});
   std::vector<ChunkInput> inputs = {{1, Slice(v)}};
   std::vector<MergedChunk> out;
-  ASSERT_TRUE(MergeChunks(inputs, {0, 100, 200, 300}, 256, &out).ok());
+  ASSERT_TRUE(MergeWith(inputs, {0, 100, 200, 300}, 256, &out).ok());
   ASSERT_EQ(out.size(), 3u);  // one chunk per partition
   EXPECT_EQ(out[0].start_ts, 50);
   EXPECT_EQ(out[1].start_ts, 150);
@@ -79,7 +87,7 @@ TEST(MergeChunks, CapsSamplesPerChunk) {
   const std::string v = SeriesValue(1, many);
   std::vector<ChunkInput> inputs = {{1, Slice(v)}};
   std::vector<MergedChunk> out;
-  ASSERT_TRUE(MergeChunks(inputs, {0, 100000}, 32, &out).ok());
+  ASSERT_TRUE(MergeWith(inputs, {0, 100000}, 32, &out).ok());
   EXPECT_EQ(out.size(), 4u);  // 100 samples / 32 cap
 }
 
@@ -96,7 +104,7 @@ TEST(MergeChunks, GroupCellwiseNewestWins) {
 
   std::vector<ChunkInput> inputs = {{1, Slice(v1)}, {5, Slice(v2)}};
   std::vector<MergedChunk> out;
-  ASSERT_TRUE(MergeChunks(inputs, {0, 1000}, 256, &out).ok());
+  ASSERT_TRUE(MergeWith(inputs, {0, 1000}, 256, &out).ok());
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(ChunkValueType(out[0].value), ChunkType::kGroup);
 
@@ -124,7 +132,7 @@ TEST(MergeChunks, GroupWidthGrowsToNewestMembership) {
 
   std::vector<ChunkInput> inputs = {{1, Slice(v1)}, {2, Slice(v2)}};
   std::vector<MergedChunk> out;
-  ASSERT_TRUE(MergeChunks(inputs, {0, 1000}, 256, &out).ok());
+  ASSERT_TRUE(MergeWith(inputs, {0, 1000}, 256, &out).ok());
   uint64_t seq;
   uint32_t members;
   std::vector<GroupRow> rows;
@@ -147,12 +155,30 @@ TEST(MergeChunks, MixedTypesRejected) {
   const std::string group = MakeChunkValue(ChunkType::kGroup, gp);
   std::vector<ChunkInput> inputs = {{1, Slice(series)}, {2, Slice(group)}};
   std::vector<MergedChunk> out;
-  EXPECT_TRUE(MergeChunks(inputs, {0, 1000}, 256, &out).IsCorruption());
+  EXPECT_TRUE(MergeWith(inputs, {0, 1000}, 256, &out).IsCorruption());
+}
+
+TEST(MergeChunks, ExtendsBoundariesToCoverOutOfRangeRows) {
+  // Rows both before the first boundary and past the last: the merge must
+  // grow the boundary list by whole steps (never clamp rows into an edge
+  // interval) and still split output chunks at every boundary.
+  const std::string v =
+      SeriesValue(7, {{-150, 1.0}, {50, 2.0}, {250, 3.0}});
+  std::vector<ChunkInput> inputs = {{7, Slice(v)}};
+  std::vector<int64_t> boundaries = {0, 100};
+  std::vector<MergedChunk> out;
+  ASSERT_TRUE(MergeChunks(inputs, &boundaries, 256, &out).ok());
+  EXPECT_EQ(boundaries, (std::vector<int64_t>{-200, -100, 0, 100, 200, 300}));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].start_ts, -150);
+  EXPECT_EQ(out[1].start_ts, 50);
+  EXPECT_EQ(out[2].start_ts, 250);
+  for (const MergedChunk& c : out) EXPECT_EQ(c.max_seq, 7u);
 }
 
 TEST(MergeChunks, EmptyInput) {
   std::vector<MergedChunk> out;
-  ASSERT_TRUE(MergeChunks({}, {0, 1000}, 256, &out).ok());
+  ASSERT_TRUE(MergeWith({}, {0, 1000}, 256, &out).ok());
   EXPECT_TRUE(out.empty());
 }
 

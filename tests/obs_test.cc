@@ -170,6 +170,7 @@ TEST(SnapshotTest, ToJsonSchemaIsStable) {
   obs::MetricsSnapshot snap;
   snap.counters.emplace_back("ops", 3);
   snap.gauges.emplace_back("level", -2);
+  snap.strings.emplace_back("health", "healthy");
   obs::HistogramSnapshot h;
   h.name = "lat_us";
   h.count = 2;
@@ -190,6 +191,7 @@ TEST(SnapshotTest, ToJsonSchemaIsStable) {
   EXPECT_EQ(snap.ToJson(),
             "{\"counters\":{\"ops\":3},"
             "\"gauges\":{\"level\":-2},"
+            "\"strings\":{\"health\":\"healthy\"},"
             "\"histograms\":{\"lat_us\":{\"count\":2,\"sum_us\":6,"
             "\"max_us\":4,\"p50_us\":2.0,\"p90_us\":4.0,\"p99_us\":4.0}},"
             "\"events\":[{\"seq\":0,\"wall_ms\":1234,\"kind\":\"flush\","
@@ -211,6 +213,7 @@ TEST(SnapshotTest, PrometheusTextExposition) {
   obs::MetricsSnapshot snap;
   snap.counters.emplace_back("ingest.samples", 42);
   snap.gauges.emplace_back("lsm.fast_bytes", 7);
+  snap.strings.emplace_back("db.health", "degraded_writes");
   obs::HistogramSnapshot h;
   h.name = "query.e2e_us";
   h.count = 1;
@@ -223,6 +226,8 @@ TEST(SnapshotTest, PrometheusTextExposition) {
   EXPECT_NE(text.find("# TYPE tu_ingest_samples counter\n"), std::string::npos);
   EXPECT_NE(text.find("tu_ingest_samples 42\n"), std::string::npos);
   EXPECT_NE(text.find("# TYPE tu_lsm_fast_bytes gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("tu_db_health_info{value=\"degraded_writes\"} 1\n"),
+            std::string::npos);
   EXPECT_NE(text.find("tu_query_e2e_us{quantile=\"0.99\"} 5.0\n"),
             std::string::npos);
   EXPECT_NE(text.find("tu_query_e2e_us_count 1\n"), std::string::npos);

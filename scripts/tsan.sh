@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Builds the repo with ThreadSanitizer and runs the concurrency-, fault-,
-# query- and integrity-labelled test suites
-# (ctest -L "fault|concurrency|query|integrity"). Any data race in the
-# sharded DB core, the degraded-operation machinery (circuit breaker,
+# query-, integrity- and rollup-labelled test suites
+# (ctest -L "fault|concurrency|query|integrity|rollup"). Any data race in
+# the sharded DB core, the degraded-operation machinery (circuit breaker,
 # deferred-upload drainer, admission control), the query pipeline (shared
-# readers, block cache counters) or the scrub job (racing flushes and
-# compactions for the manifest lock) fails the run.
+# readers, block cache counters), the scrub job (racing flushes and
+# compactions for the manifest lock) or the continuous-aggregate planner
+# (rollup tables racing compaction/maintenance) fails the run.
 #
 # Usage: scripts/tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -17,9 +18,10 @@ cmake -B "$BUILD_DIR" -S . -DTU_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInf
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   concurrency_test util_test maintenance_test fault_injection_test \
   error_recovery_test query_pipeline_test batch_drain_test obs_test \
-  integrity_test
+  integrity_test rollup_test
 
 # halt_on_error: make the first race fail the test instead of just logging.
-# -L takes a regex, so "fault|concurrency|query|integrity" ORs the labels.
+# -L takes a regex, so "fault|concurrency|query|integrity|rollup" ORs the
+# labels.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  ctest --test-dir "$BUILD_DIR" -L "fault|concurrency|query|integrity" --output-on-failure
+  ctest --test-dir "$BUILD_DIR" -L "fault|concurrency|query|integrity|rollup" --output-on-failure

@@ -1,0 +1,56 @@
+// Rollup chunks (continuous aggregates): per-bucket min/max/sum/count
+// summaries of one individual series at a fixed granularity, materialized
+// by compaction and served by the aggregate-query planner.
+//
+// Serialized layout (RollupChunk):
+//   varint64 max_seq | varint64 granularity_ms | varint32 count
+//     | varint32 ts_len   | bucket-start bits   (TimestampEncoder)
+//     | varint32 min_len  | min bits            (ValueEncoder)
+//     | varint32 max_len  | max bits            (ValueEncoder)
+//     | varint32 sum_len  | sum bits            (ValueEncoder)
+//     | varint32 cnt_len  | count bits          (TimestampEncoder)
+//
+// Bucket starts are aligned multiples of the granularity, so
+// delta-of-delta collapses a dense run to ~1 bit/bucket; counts reuse the
+// timestamp codec for the same reason (regular series have constant
+// per-bucket counts). Only buckets that contain at least one sample are
+// present — an absent bucket means the source window genuinely had no
+// samples there, never "fall back to raw".
+//
+// max_seq is the maximum winning input seq over every sample folded into
+// the chunk (PR 8 restamping discipline): a later rewrite into the window
+// carries a higher seq, which is what lets the planner invalidate stale
+// buckets via the dirty-span bookkeeping in the LSM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tu::compress {
+
+/// One aggregate bucket: [start, start + granularity_ms) in source time.
+struct RollupBucket {
+  int64_t start = 0;
+  double min = 0;
+  double max = 0;
+  double sum = 0;
+  uint64_t count = 0;
+
+  bool operator==(const RollupBucket&) const = default;
+};
+
+/// Serializes rollup buckets (must be ascending by start, non-empty counts).
+void EncodeRollupChunk(uint64_t max_seq, int64_t granularity_ms,
+                       const std::vector<RollupBucket>& buckets,
+                       std::string* out);
+
+/// Decodes a serialized rollup chunk.
+Status DecodeRollupChunk(const Slice& data, uint64_t* max_seq,
+                         int64_t* granularity_ms,
+                         std::vector<RollupBucket>* buckets);
+
+}  // namespace tu::compress

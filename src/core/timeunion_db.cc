@@ -78,6 +78,33 @@ Status DBOptions::Validate() const {
           "admission control is enabled");
     }
   }
+  if (!lsm.rollup_granularities_ms.empty()) {
+    if (backend == Backend::kLeveled) {
+      return Status::InvalidArgument(
+          "DBOptions::lsm.rollup_granularities_ms requires the "
+          "time-partitioned backend (rollups live in its L2 partitions)");
+    }
+    const int64_t finest = lsm.rollup_granularities_ms.front();
+    for (size_t i = 0; i < lsm.rollup_granularities_ms.size(); ++i) {
+      const int64_t g = lsm.rollup_granularities_ms[i];
+      if (g <= 0) {
+        return Status::InvalidArgument(
+            "DBOptions::lsm.rollup_granularities_ms entries must be > 0");
+      }
+      if (i > 0 && g <= lsm.rollup_granularities_ms[i - 1]) {
+        return Status::InvalidArgument(
+            "DBOptions::lsm.rollup_granularities_ms must be strictly "
+            "ascending (no duplicates)");
+      }
+      if (g % finest != 0) {
+        // Keeps the resolutions nested, so any step a coarse granularity
+        // divides is also exactly representable at the finest one.
+        return Status::InvalidArgument(
+            "DBOptions::lsm.rollup_granularities_ms: each granularity must "
+            "be a multiple of the finest");
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -261,6 +288,10 @@ Status TimeUnionDB::StartMaintenance() {
         // is still open; its first attempt doubles as the breaker's
         // half-open probe, so recovery needs no operator action.
         if (time_lsm_) time_lsm_->DrainDeferredUploads();
+        // Re-derive rollups dirtied by out-of-order rewrites into compacted
+        // windows, one partition per tick (budgeted: the re-merge reads the
+        // whole partition). Failures stay inside the LSM's error reporting.
+        if (time_lsm_) time_lsm_->MaintainRollups();
         // Budgeted integrity increment: verify a slice of the table set,
         // resuming at the persisted cursor (DBOptions::scrub).
         if (scrubber_ && options_.scrub.enabled) scrubber_->Tick();
@@ -1153,6 +1184,170 @@ Status TimeUnionDB::QueryIterators(const std::vector<TagMatcher>& matchers,
   return Status::OK();
 }
 
+Status TimeUnionDB::AggregateQuery(const std::vector<TagMatcher>& matchers,
+                                   int64_t t0, int64_t t1, int64_t step_ms,
+                                   query::AggFn fn, AggregateResult* out) {
+  out->series.clear();
+  out->ResetCompleteness();
+  out->stats = query::QueryStats();
+  TU_RETURN_IF_ERROR(ValidateQueryArgs(matchers, t0, t1));
+  if (step_ms <= 0) {
+    return Status::InvalidArgument("AggregateQuery: step_ms must be > 0");
+  }
+  const uint64_t query_start_us = obs::MonotonicUs();
+
+  // Serving granularity: the largest configured rollup granularity that
+  // divides the step, so every step window is a whole number of buckets.
+  // No divisor (or the leveled backend) -> everything goes raw, through
+  // the same fold kernel.
+  int64_t serving_g = 0;
+  if (time_lsm_ != nullptr) {
+    for (int64_t g : options_.lsm.rollup_granularities_ms) {
+      if (g > 0 && step_ms % g == 0) serving_g = std::max(serving_g, g);
+    }
+  }
+  // Raw samples fold at the serving granularity too: each bucket is then
+  // built by the identical ascending accumulation compaction ran, which is
+  // what makes mixed rollup+raw sums bitwise equal to all-raw sums.
+  const int64_t fold_g = serving_g > 0 ? serving_g : step_ms;
+
+  index::Postings ids;
+  TU_RETURN_IF_ERROR(index_->Select(matchers, &ids));
+  const int64_t slack = options_.lsm.partition_upper_bound_ms;
+
+  struct AggSnapshot {
+    Labels labels;
+    std::vector<Sample> open;
+    int member_slot = -1;
+  };
+
+  for (uint64_t id : ids) {
+    // Same snapshot discipline as QueryIteratorsImpl: labels plus the
+    // range-filtered open chunk under shard/entry locks, then lock-free
+    // LSM reads that dedup against the snapshot by seq.
+    EntryShard& es = EntryShardFor(id);
+    std::vector<AggSnapshot> snaps;
+    {
+      std::shared_lock<std::shared_mutex> shard_lock(es.mu);
+      auto series_it = es.series.find(id);
+      if (series_it != es.series.end()) {
+        AggSnapshot snap;
+        snap.labels = series_it->second.labels;
+        std::lock_guard<std::mutex> entry_lock(append_locks_.For(id));
+        TU_RETURN_IF_ERROR(
+            series_it->second.head->SnapshotOpen(t0, t1, &snap.open));
+        snaps.push_back(std::move(snap));
+      } else {
+        auto group_it = es.groups.find(id);
+        if (group_it == es.groups.end()) continue;  // retired id
+        GroupEntry& entry = group_it->second;
+        std::lock_guard<std::mutex> entry_lock(append_locks_.For(id));
+        for (uint32_t slot = 0; slot < entry.head->num_members(); ++slot) {
+          Labels full = entry.group_labels;
+          full.insert(full.end(), entry.member_labels[slot].begin(),
+                      entry.member_labels[slot].end());
+          bool all_match = true;
+          for (const TagMatcher& m : matchers) {
+            if (!MatcherMatches(m, full)) {
+              all_match = false;
+              break;
+            }
+          }
+          if (!all_match) continue;
+          AggSnapshot snap;
+          index::SortLabels(&full);
+          snap.labels = std::move(full);
+          snap.member_slot = static_cast<int>(slot);
+          TU_RETURN_IF_ERROR(
+              entry.head->SnapshotMember(slot, t0, t1, &snap.open));
+          snaps.push_back(std::move(snap));
+        }
+      }
+    }
+
+    for (AggSnapshot& snap : snaps) {
+      // Plan: individual series serve bucket-aligned interiors from rollup
+      // partitions; group members (whose chunks rollups never summarize)
+      // and configurations without a dividing granularity go all-raw.
+      lsm::TimePartitionedLsm::RollupPlan plan;
+      if (serving_g > 0 && snap.member_slot < 0) {
+        // The open head chunk is newer than every rollup; its span is
+        // dirty by definition.
+        std::vector<std::pair<int64_t, int64_t>> extra_dirty;
+        if (!snap.open.empty()) {
+          extra_dirty.emplace_back(snap.open.front().timestamp,
+                                   snap.open.back().timestamp);
+        }
+        query::ReadContext plan_ctx;
+        plan_ctx.t0 = t0;
+        plan_ctx.t1 = t1;
+        plan_ctx.matchers = &matchers;
+        plan_ctx.stats = &out->stats;
+        TU_RETURN_IF_ERROR(time_lsm_->PlanRollupRead(
+            id, plan_ctx, serving_g, extra_dirty, &plan));
+      } else {
+        plan.raw_spans.emplace_back(t0, t1);
+      }
+
+      // Raw fallback spans drain through the same merged batch pipeline a
+      // plain Query uses, folded into fold_g buckets as they stream.
+      std::vector<std::pair<int64_t, int64_t>> missing;
+      std::vector<compress::RollupBucket> raw_buckets;
+      for (const auto& [lo, hi] : plan.raw_spans) {
+        query::ReadContext ctx;
+        ctx.t0 = lo;
+        ctx.t1 = hi;
+        ctx.matchers = &matchers;
+        ctx.scope.allow_partial = !options_.strict_reads;
+        ctx.scope.missing = options_.strict_reads ? nullptr : &missing;
+        ctx.stats = &out->stats;
+        std::unique_ptr<lsm::Iterator> lsm_iter;
+        TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, ctx, &lsm_iter));
+        std::vector<Sample> open_span;
+        for (const Sample& s : snap.open) {
+          if (s.timestamp >= lo && s.timestamp <= hi) open_span.push_back(s);
+        }
+        SampleIterator iter(id, ctx, std::move(lsm_iter),
+                            std::move(open_span), snap.member_slot, slack);
+        query::SampleBatch batch;
+        while (iter.NextBatch(&batch)) {
+          query::AccumulateIntoBuckets(batch.timestamps.data(),
+                                       batch.values.data(), batch.size(),
+                                       fold_g, &raw_buckets);
+          out->stats.raw_edge_samples += batch.size();
+        }
+        TU_RETURN_IF_ERROR(iter.status());
+      }
+
+      // Raw spans ascend and never share a bucket with a rollup-covered
+      // span (coverage is whole g-buckets), so a plain ordered merge of
+      // the two disjoint ascending runs restores the full bucket stream.
+      std::vector<compress::RollupBucket> combined;
+      combined.reserve(plan.buckets.size() + raw_buckets.size());
+      std::merge(plan.buckets.begin(), plan.buckets.end(),
+                 raw_buckets.begin(), raw_buckets.end(),
+                 std::back_inserter(combined),
+                 [](const compress::RollupBucket& a,
+                    const compress::RollupBucket& b) {
+                   return a.start < b.start;
+                 });
+
+      AggregateSeries series;
+      series.id = id;
+      series.labels = std::move(snap.labels);
+      series.points = query::FoldBuckets(combined, step_ms, fn);
+      if (!missing.empty()) out->AddMissing(missing, t0, t1);
+      if (!series.points.empty()) out->series.push_back(std::move(series));
+    }
+  }
+
+  AddQueryTotals(out->stats);
+  if (h_query_e2e_ != nullptr) {
+    h_query_e2e_->Observe(obs::MonotonicUs() - query_start_us);
+  }
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // Maintenance
 // ---------------------------------------------------------------------------
@@ -1351,12 +1546,19 @@ obs::MetricsSnapshot TimeUnionDB::Metrics() const {
     add_c("lsm.deferred_uploads_drained", load(s.deferred_uploads_drained));
     add_c("lsm.deferred_drain_failures", load(s.deferred_drain_failures));
     add_c("lsm.partial_read_skips", load(s.partial_read_skips));
+    add_c("lsm.rollup_tables_built", load(s.rollup_tables_built));
+    add_c("lsm.rollup_partitions_rederived",
+          load(s.rollup_partitions_rederived));
     add_c("integrity.read_corruptions_detected",
           load(s.read_corruptions_detected));
     add_c("integrity.read_corruptions_healed",
           load(s.read_corruptions_healed));
     add_c("integrity.tier_fallback_opens", load(s.tier_fallback_opens));
     add_c("integrity.runtime_quarantines", load(s.runtime_quarantines));
+    add_g("lsm.rollup_tables",
+          static_cast<int64_t>(time_lsm_->NumRollupTables()));
+    add_g("lsm.rollup_dirty_partitions",
+          static_cast<int64_t>(time_lsm_->NumDirtyRollupPartitions()));
     add_g("lsm.fast_bytes", static_cast<int64_t>(time_lsm_->FastBytesGauge()));
     add_g("lsm.fast_limit_bytes",
           static_cast<int64_t>(options_.lsm.fast_storage_limit_bytes));
@@ -1400,6 +1602,8 @@ obs::MetricsSnapshot TimeUnionDB::Metrics() const {
     add_c("query.bytes_decoded", query_totals_.bytes_decoded);
     add_c("query.batches_decoded", query_totals_.batches_decoded);
     add_c("query.samples_decoded", query_totals_.samples_decoded);
+    add_c("query.rollup_buckets_served", query_totals_.rollup_buckets_served);
+    add_c("query.raw_edge_samples", query_totals_.raw_edge_samples);
     add_c("query.setup_us_total", query_totals_.setup_us);
     add_c("query.drain_us_total", query_totals_.drain_us);
   }
@@ -1548,6 +1752,8 @@ std::string TimeUnionDB::CountersReport() const {
   totals.bytes_decoded = snap.CounterOr0("query.bytes_decoded");
   totals.batches_decoded = snap.CounterOr0("query.batches_decoded");
   totals.samples_decoded = snap.CounterOr0("query.samples_decoded");
+  totals.rollup_buckets_served = snap.CounterOr0("query.rollup_buckets_served");
+  totals.raw_edge_samples = snap.CounterOr0("query.raw_edge_samples");
   totals.setup_us = snap.CounterOr0("query.setup_us_total");
   totals.drain_us = snap.CounterOr0("query.drain_us_total");
   std::snprintf(buf, sizeof(buf), "\nqueries: run=%llu ",

@@ -40,6 +40,7 @@
 #include "core/maintenance.h"
 #include "core/scrub.h"
 #include "core/wal.h"
+#include "query/aggregate.h"
 #include "query/merged_series_iterator.h"
 #include "query/read_context.h"
 #include "util/striped_mutex.h"
@@ -333,6 +334,39 @@ class TimeUnionDB {
                         int64_t t0, int64_t t1,
                         std::vector<SeriesIterResult>* out,
                         query::QueryStats* stats = nullptr);
+
+  // -- Continuous aggregates ------------------------------------------------
+
+  /// One matched series' aggregate values, one point per absolute
+  /// step-aligned window (window_start = floor(ts / step) * step) that
+  /// holds at least one sample in [t0, t1].
+  struct AggregateSeries {
+    uint64_t id = 0;
+    index::Labels labels;
+    std::vector<query::AggPoint> points;  // ascending window_start
+  };
+  /// AggregateQuery output; inherits the same completeness contract as
+  /// QueryResult — rollup-served spans never contribute missing ranges
+  /// (losing a rollup table demotes its span to the raw path, which then
+  /// reports exactly what IT cannot reach).
+  struct AggregateResult : query::Completeness {
+    std::vector<AggregateSeries> series;
+    query::QueryStats stats;
+  };
+  /// Aggregates every series matching `matchers` over [t0, t1] into
+  /// `step_ms`-wide windows of `fn` (min/max/sum/count/mean). The planner
+  /// serves bucket-aligned interiors from the compaction-maintained rollup
+  /// partitions (when `lsm.rollup_granularities_ms` configures a
+  /// granularity dividing the step) and falls back to the raw batch path
+  /// for unaligned edges, dirty buckets and data still above L2 — both
+  /// sides run the same fold kernel, so the mixed answer is bitwise
+  /// identical to aggregating the raw samples. Group members always take
+  /// the raw path. Returns InvalidArgument for t0 > t1, empty matchers or
+  /// step_ms <= 0. Per-path volume lands in out->stats
+  /// (rollup_buckets_served / raw_edge_samples).
+  Status AggregateQuery(const std::vector<index::TagMatcher>& matchers,
+                        int64_t t0, int64_t t1, int64_t step_ms,
+                        query::AggFn fn, AggregateResult* out);
 
   /// Lists all values of a tag name across the index (label-values API).
   /// Serialized against slow-path registration so multi-label inserts are

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "compress/chunk.h"
+#include "query/aggregate.h"
 
 namespace tu::lsm {
 
@@ -29,7 +30,8 @@ void ExtendBoundariesToCover(std::vector<int64_t>* b, int64_t min_ts,
 Status MergeSeriesChunks(const std::vector<ChunkInput>& inputs,
                          std::vector<int64_t>* boundaries,
                          uint32_t max_samples_per_chunk,
-                         std::vector<MergedChunk>* out) {
+                         std::vector<MergedChunk>* out,
+                         RollupOutput* rollup) {
   // Newest-first so the first writer of a timestamp wins.
   std::vector<const ChunkInput*> ordered;
   ordered.reserve(inputs.size());
@@ -78,6 +80,16 @@ Status MergeSeriesChunks(const std::vector<ChunkInput>& inputs,
     }
     pending.push_back(compress::Sample{ts, vs.first});
     pending_seq = std::max(pending_seq, vs.second);
+    if (rollup != nullptr) {
+      // Same ascending fold as the query-side raw path — bitwise-identical
+      // sums are what let the planner mix rollup and raw answers freely.
+      for (size_t g = 0; g < rollup->granularities_ms.size(); ++g) {
+        query::AccumulateIntoBuckets(&ts, &vs.first, 1,
+                                     rollup->granularities_ms[g],
+                                     &rollup->buckets[g]);
+      }
+      rollup->max_seq = std::max(rollup->max_seq, vs.second);
+    }
   }
   flush_pending();
   return Status::OK();
@@ -164,8 +176,12 @@ Status MergeGroupChunks(const std::vector<ChunkInput>& inputs,
 Status MergeChunks(const std::vector<ChunkInput>& inputs,
                    std::vector<int64_t>* boundaries,
                    uint32_t max_samples_per_chunk,
-                   std::vector<MergedChunk>* out) {
+                   std::vector<MergedChunk>* out, RollupOutput* rollup) {
   out->clear();
+  if (rollup != nullptr) {
+    rollup->buckets.assign(rollup->granularities_ms.size(), {});
+    rollup->max_seq = 0;
+  }
   if (inputs.empty()) return Status::OK();
   const ChunkType type = ChunkValueType(inputs[0].value);
   for (const ChunkInput& in : inputs) {
@@ -174,7 +190,8 @@ Status MergeChunks(const std::vector<ChunkInput>& inputs,
     }
   }
   if (type == ChunkType::kSeries) {
-    return MergeSeriesChunks(inputs, boundaries, max_samples_per_chunk, out);
+    return MergeSeriesChunks(inputs, boundaries, max_samples_per_chunk, out,
+                             rollup);
   }
   return MergeGroupChunks(inputs, boundaries, max_samples_per_chunk, out);
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "compress/rollup.h"
 #include "lsm/key_format.h"
 #include "util/slice.h"
 #include "util/status.h"
@@ -52,10 +53,26 @@ struct MergedChunk {
   std::string value;  // type byte + payload
 };
 
+/// Optional rollup side-output of MergeChunks (individual series only —
+/// groups never produce rollups). Callers set `granularities_ms`; the
+/// merge fills `buckets` (one ascending vector per granularity, built by
+/// the same query::AccumulateIntoBuckets fold the read path uses, so
+/// rollup-served sums are bitwise identical to raw-path sums) and
+/// `max_seq` (the max winning seq across the whole merged series — the
+/// PR-8 restamping discipline applied to the rollup chunk as a whole).
+/// Buckets cover every merged sample, including rows outside the original
+/// boundary range; the caller trims to the window it is materializing.
+struct RollupOutput {
+  std::vector<int64_t> granularities_ms;
+  std::vector<std::vector<compress::RollupBucket>> buckets;
+  uint64_t max_seq = 0;
+};
+
 Status MergeChunks(const std::vector<ChunkInput>& inputs,
                    std::vector<int64_t>* boundaries,
                    uint32_t max_samples_per_chunk,
-                   std::vector<MergedChunk>* out);
+                   std::vector<MergedChunk>* out,
+                   RollupOutput* rollup = nullptr);
 
 /// Returns the partition index of `ts` given sorted `boundaries`:
 /// partition i covers [boundaries[i], boundaries[i+1]). ts before the first

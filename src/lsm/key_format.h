@@ -22,6 +22,7 @@ constexpr size_t kChunkKeySize = 16;
 enum class ChunkType : char {
   kSeries = 1,
   kGroup = 2,
+  kRollup = 3,
 };
 
 inline std::string MakeChunkKey(uint64_t id, int64_t start_ts) {

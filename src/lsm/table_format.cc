@@ -40,6 +40,7 @@ void TableMeta::EncodeTo(std::string* dst) const {
   PutFixed64(dst, static_cast<uint64_t>(min_ts));
   PutFixed64(dst, static_cast<uint64_t>(max_ts));
   PutFixed32(dst, object_crc32c);
+  PutVarint64(dst, static_cast<uint64_t>(rollup_granularity_ms));
 }
 
 bool TableMeta::DecodeFrom(Slice* input) {
@@ -58,6 +59,9 @@ bool TableMeta::DecodeFrom(Slice* input) {
   max_ts = static_cast<int64_t>(DecodeFixed64(input->data() + 8));
   object_crc32c = DecodeFixed32(input->data() + 16);
   input->remove_prefix(20);
+  uint64_t gran = 0;
+  if (!GetVarint64(input, &gran)) return false;
+  rollup_granularity_ms = static_cast<int64_t>(gran);
   return true;
 }
 

@@ -66,6 +66,12 @@ struct TableMeta {
   /// the scrub job can verify end-to-end integrity. 0 = unknown (the
   /// verifiers skip the check rather than flag a false corruption).
   uint32_t object_crc32c = 0;
+  /// Rollup descriptor: 0 for raw tables; the bucket granularity (ms) for
+  /// tables that hold pre-aggregated RollupChunk values. Rollup tables
+  /// ride through the same manifest/CRC/scrub machinery as raw tables —
+  /// the descriptor is what tells the planner (and the maintenance tick)
+  /// how to interpret them.
+  int64_t rollup_granularity_ms = 0;
 
   void EncodeTo(std::string* dst) const;
   bool DecodeFrom(Slice* input);

@@ -27,6 +27,26 @@ Status FastTableSource::ReadAt(uint64_t offset, size_t n,
   return Status::OK();
 }
 
+Status PrefetchedTableSource::Open(cloud::ObjectStore* store,
+                                   const std::string& key,
+                                   std::unique_ptr<TableSource>* out) {
+  std::string data;
+  TU_RETURN_IF_ERROR(cloud::RunWithRetry(
+      store->sim().retry, &store->counters(), "get " + key,
+      [&] { return store->GetObject(key, &data); }));
+  out->reset(new PrefetchedTableSource(std::move(data)));
+  return Status::OK();
+}
+
+Status PrefetchedTableSource::ReadAt(uint64_t offset, size_t n,
+                                     std::string* out) const {
+  if (offset > data_.size() || n > data_.size() - offset) {
+    return Status::Corruption("short table read");
+  }
+  out->assign(data_.data() + offset, n);
+  return Status::OK();
+}
+
 Status SlowTableSource::Open(cloud::ObjectStore* store, const std::string& key,
                              std::unique_ptr<TableSource>* out) {
   uint64_t size = 0;

@@ -44,6 +44,25 @@ class FastTableSource : public TableSource {
   std::unique_ptr<cloud::RandomAccessFile> file_;
 };
 
+/// Whole-object slow-tier source: one Get downloads the entire table and
+/// every ReadAt is served from memory. The footer/filter/index/data walk
+/// of TableReader::Open otherwise costs 4+ ranged Gets — for tables known
+/// to be tiny (rollup summaries are a few hundred bytes per partition)
+/// the single download is strictly cheaper in both ops and latency.
+class PrefetchedTableSource : public TableSource {
+ public:
+  static Status Open(cloud::ObjectStore* store, const std::string& key,
+                     std::unique_ptr<TableSource>* out);
+
+  Status ReadAt(uint64_t offset, size_t n, std::string* out) const override;
+  uint64_t Size() const override { return data_.size(); }
+
+ private:
+  explicit PrefetchedTableSource(std::string data) : data_(std::move(data)) {}
+
+  std::string data_;
+};
+
 /// Slow-tier source (S3-like ranged Gets; one Get per block read).
 class SlowTableSource : public TableSource {
  public:

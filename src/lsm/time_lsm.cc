@@ -10,6 +10,7 @@
 #include "lsm/chunk_merge.h"
 #include "lsm/key_format.h"
 #include "lsm/merging_iterator.h"
+#include "query/aggregate.h"
 #include "util/crc32c.h"
 #include "util/memory_tracker.h"
 
@@ -158,7 +159,8 @@ Status TimePartitionedLsm::RecoverStorageState() {
     quarantined_.push_back(QuarantinedTable{
         t.meta.table_id, t.on_slow, std::move(reason), t.meta.min_series_id,
         t.meta.max_series_id, t.meta.min_ts,
-        DataBoundLocked(t.meta.table_id)});
+        DataBoundLocked(t.meta.table_id),
+        /*is_rollup=*/t.meta.rollup_granularity_ms != 0});
     stats_.tables_quarantined.fetch_add(1, std::memory_order_relaxed);
     changed = true;
   };
@@ -207,6 +209,17 @@ Status TimePartitionedLsm::RecoverStorageState() {
       return a.base.meta.min_series_id < b.base.meta.min_series_id;
     });
     p.entries = std::move(kept);
+    // A lost rollup table costs no data — the raw path still has every
+    // sample — so the partition just degrades aggregate reads to raw.
+    for (auto it = p.rollups.begin(); it != p.rollups.end();) {
+      std::string reason;
+      if (verify(*it, &reason) == Verify::kBad) {
+        quarantine(*it, std::move(reason));
+        it = p.rollups.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
   std::erase_if(l2_, [](const L2Partition& p) { return p.entries.empty(); });
 
@@ -232,6 +245,7 @@ Status TimePartitionedLsm::RecoverStorageState() {
       mark_live(e.base);
       for (const TableHandle& t : e.patches) mark_live(t);
     }
+    for (const TableHandle& t : p.rollups) mark_live(t);
   }
   auto sweepable = [](const std::unordered_set<uint64_t>& live,
                       const std::string& name) {
@@ -304,6 +318,16 @@ Status TimePartitionedLsm::SaveManifest() {
       encode_l2_table(e.base);
       PutVarint32(&out, static_cast<uint32_t>(e.patches.size()));
       for (const TableHandle& t : e.patches) encode_l2_table(t);
+    }
+    // Rollup tables and their pending dirty spans persist with the
+    // partition, so a reopen neither loses materialized aggregates nor
+    // forgets which buckets a pre-crash rewrite invalidated.
+    PutVarint32(&out, static_cast<uint32_t>(p.rollups.size()));
+    for (const TableHandle& t : p.rollups) encode_l2_table(t);
+    PutVarint32(&out, static_cast<uint32_t>(p.rollup_dirty.size()));
+    for (const auto& [lo, hi] : p.rollup_dirty) {
+      PutFixed64(&out, static_cast<uint64_t>(lo));
+      PutFixed64(&out, static_cast<uint64_t>(hi));
     }
   }
   // The envelope (length + checksum) lets a reopen tell a torn manifest
@@ -385,6 +409,22 @@ Status TimePartitionedLsm::LoadManifest() {
         e.patches.push_back(std::move(t));
       }
       p.entries.push_back(std::move(e));
+    }
+    uint32_t rollups = 0;
+    if (!GetVarint32(&in, &rollups)) return corrupt();
+    for (uint32_t j = 0; j < rollups; ++j) {
+      TableHandle t;
+      if (!decode_l2_table(&t)) return corrupt();
+      p.rollups.push_back(std::move(t));
+    }
+    uint32_t dirty = 0;
+    if (!GetVarint32(&in, &dirty)) return corrupt();
+    for (uint32_t j = 0; j < dirty; ++j) {
+      if (in.size() < 16) return corrupt();
+      const int64_t lo = static_cast<int64_t>(DecodeFixed64(in.data()));
+      const int64_t hi = static_cast<int64_t>(DecodeFixed64(in.data() + 8));
+      in.remove_prefix(16);
+      p.rollup_dirty.emplace_back(lo, hi);
     }
     l2_.push_back(std::move(p));
   }
@@ -767,8 +807,17 @@ Status TimePartitionedLsm::OpenReaderOnTier(TableHandle* handle, bool use_slow,
                                             bool fill_cache) {
   std::unique_ptr<TableSource> source;
   if (use_slow) {
-    TU_RETURN_IF_ERROR(SlowTableSource::Open(
-        &env_->slow(), SlowKey(handle->meta.table_id), &source));
+    // Rollup summaries are a few hundred bytes per partition: download the
+    // whole object in one Get instead of paying 4+ ranged Gets for the
+    // footer/filter/index/data walk. Raw tables stay ranged — a query
+    // usually touches a fraction of their blocks.
+    if (handle->meta.rollup_granularity_ms != 0) {
+      TU_RETURN_IF_ERROR(PrefetchedTableSource::Open(
+          &env_->slow(), SlowKey(handle->meta.table_id), &source));
+    } else {
+      TU_RETURN_IF_ERROR(SlowTableSource::Open(
+          &env_->slow(), SlowKey(handle->meta.table_id), &source));
+    }
   } else {
     TU_RETURN_IF_ERROR(FastTableSource::Open(
         &env_->fast(), FastName(handle->meta.table_id), &source));
@@ -846,8 +895,19 @@ Status TimePartitionedLsm::OpenReader(TableHandle* handle, bool fill_cache) {
 
 Status TimePartitionedLsm::MergePartitionTables(
     std::vector<TableHandle*> inputs, std::vector<int64_t> boundaries,
-    bool to_slow, std::vector<MergeSegment>* outputs) {
+    bool to_slow, std::vector<MergeSegment>* outputs,
+    RollupBuild* rollup_build) {
   outputs->clear();
+  const std::vector<int64_t>& grans = options_.rollup_granularities_ms;
+  const bool build_rollups = rollup_build != nullptr && !grans.empty();
+  const bool skip_raw = rollup_build != nullptr && rollup_build->skip_raw;
+  // Per-granularity rollup entries, accumulated in series-ID order (the
+  // merge stream is ID-sorted and each series contributes one chunk), so
+  // they feed the table builder pre-sorted.
+  std::vector<std::vector<std::pair<std::string, std::string>>> rollup_entries(
+      build_rollups ? grans.size() : 0);
+  RollupOutput rollup_out;
+  if (build_rollups) rollup_out.granularities_ms = grans;
 
   std::vector<std::unique_ptr<Iterator>> children;
   children.reserve(inputs.size());
@@ -892,22 +952,47 @@ Status TimePartitionedLsm::MergePartitionTables(
     std::vector<MergedChunk> merged_chunks;
     TU_RETURN_IF_ERROR(MergeChunks(chunk_inputs, &boundaries,
                                    options_.max_samples_per_merged_chunk,
-                                   &merged_chunks));
-    for (MergedChunk& chunk : merged_chunks) {
-      // The merge extended `boundaries` to cover every row, so the chunk's
-      // interval is always real — out-of-range rows are never clamped into
-      // an edge partition they do not belong to.
-      const int interval = PartitionIndexOf(boundaries, chunk.start_ts);
-      PendingOutput& p = pending[boundaries[interval]];
-      p.bytes += chunk.value.size() + kInternalKeySize;
-      // Stamp the output with the max seq of its winning inputs — NOT a
-      // fresh next_seq_. A fresh stamp would outrank any rewrite chunk
-      // that was flushed after these inputs but excluded from this merge,
-      // silently reviving overwritten values (last-write-wins).
-      p.entries.emplace_back(
-          MakeInternalKey(MakeChunkKey(current_id, chunk.start_ts),
-                          chunk.max_seq),
-          std::move(chunk.value));
+                                   &merged_chunks,
+                                   build_rollups ? &rollup_out : nullptr));
+    if (!skip_raw) {
+      for (MergedChunk& chunk : merged_chunks) {
+        // The merge extended `boundaries` to cover every row, so the
+        // chunk's interval is always real — out-of-range rows are never
+        // clamped into an edge partition they do not belong to.
+        const int interval = PartitionIndexOf(boundaries, chunk.start_ts);
+        PendingOutput& p = pending[boundaries[interval]];
+        p.bytes += chunk.value.size() + kInternalKeySize;
+        // Stamp the output with the max seq of its winning inputs — NOT a
+        // fresh next_seq_. A fresh stamp would outrank any rewrite chunk
+        // that was flushed after these inputs but excluded from this merge,
+        // silently reviving overwritten values (last-write-wins).
+        p.entries.emplace_back(
+            MakeInternalKey(MakeChunkKey(current_id, chunk.start_ts),
+                            chunk.max_seq),
+            std::move(chunk.value));
+      }
+    }
+    if (build_rollups) {
+      // Keep only buckets fully inside the window being materialized:
+      // buckets that straddle the window edge (or belong to extension
+      // segments) would summarize rows the target partition doesn't hold.
+      for (size_t gi = 0; gi < grans.size(); ++gi) {
+        const int64_t g = grans[gi];
+        std::vector<compress::RollupBucket> trimmed;
+        for (const compress::RollupBucket& b : rollup_out.buckets[gi]) {
+          if (b.start >= rollup_build->w_start &&
+              b.start + g <= rollup_build->w_end) {
+            trimmed.push_back(b);
+          }
+        }
+        if (trimmed.empty()) continue;
+        std::string payload;
+        compress::EncodeRollupChunk(rollup_out.max_seq, g, trimmed, &payload);
+        rollup_entries[gi].emplace_back(
+            MakeInternalKey(MakeChunkKey(current_id, trimmed.front().start),
+                            rollup_out.max_seq),
+            MakeChunkValue(ChunkType::kRollup, payload));
+      }
     }
     chunk_inputs.clear();
     value_copies.clear();
@@ -937,6 +1022,16 @@ Status TimePartitionedLsm::MergePartitionTables(
   for (auto& [seg_start, p] : pending) {
     (void)p;
     TU_RETURN_IF_ERROR(flush_segment(seg_start));
+  }
+  if (build_rollups) {
+    for (size_t gi = 0; gi < grans.size(); ++gi) {
+      if (rollup_entries[gi].empty()) continue;
+      TableHandle handle;
+      TU_RETURN_IF_ERROR(WriteTable(rollup_entries[gi], to_slow, &handle));
+      handle.meta.rollup_granularity_ms = grans[gi];
+      rollup_build->tables.push_back(std::move(handle));
+      stats_.rollup_tables_built.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   for (auto& [seg_start, tables] : tables_by_segment) {
     if (tables.empty()) continue;
@@ -1106,9 +1201,21 @@ Status TimePartitionedLsm::CompactL1WindowToL2(int64_t w_start, int64_t w_end,
     for (int64_t b = w_start; b <= w_end; b += shortest) boundaries.push_back(b);
   }
 
+  // Rollups are materialized only on the clean path: the window's merged
+  // output IS the partition's full content, so the buckets summarize it
+  // exactly. The stale path rewrites existing partitions instead — its
+  // segments mark rollup buckets dirty in RouteSegmentToL2.
+  RollupBuild rollup_build;
+  rollup_build.w_start = w_start;
+  rollup_build.w_end = w_end;
+  const bool want_rollups =
+      overlapping.empty() && !options_.rollup_granularities_ms.empty();
+
   std::vector<MergeSegment> outputs;
   TU_RETURN_IF_ERROR(MergePartitionTables(input_tables, boundaries,
-                                          /*to_slow=*/true, &outputs));
+                                          /*to_slow=*/true, &outputs,
+                                          want_rollups ? &rollup_build
+                                                       : nullptr));
 
   // Route every segment — including ones the merge added beyond the window
   // for wide-spanning head-chunk rows — to the partition that truly covers
@@ -1116,6 +1223,28 @@ Status TimePartitionedLsm::CompactL1WindowToL2(int64_t w_start, int64_t w_end,
   // pointers are dead past this point.
   for (MergeSegment& seg : outputs) {
     RouteSegmentToL2(std::move(seg));
+  }
+  if (!rollup_build.tables.empty()) {
+    // Attach the rollups to the (freshly created) partition covering the
+    // window. Extension segments never produce rollup buckets — they were
+    // trimmed to [w_start, w_end) — so the window partition is the one
+    // home. If no in-window segment existed the buckets were empty and no
+    // table was built; the fallback delete only guards the impossible.
+    L2Partition* home = nullptr;
+    for (L2Partition& p : l2_) {
+      if (p.start <= w_start && p.end >= w_end) {
+        home = &p;
+        break;
+      }
+    }
+    for (TableHandle& t : rollup_build.tables) {
+      if (home != nullptr) {
+        home->rollups.push_back(std::move(t));
+      } else {
+        (void)DeleteTable(t);
+      }
+    }
+    rollup_build.tables.clear();
   }
   std::sort(l2_.begin(), l2_.end(),
             [](const L2Partition& a, const L2Partition& b) {
@@ -1159,6 +1288,12 @@ void TimePartitionedLsm::RouteSegmentToL2(MergeSegment segment) {
     }
     l2_.push_back(std::move(p));
     return;
+  }
+  // A segment landing inside an already-rolled-up window is a rewrite of
+  // pre-aggregated time: every bucket the segment touches is stale until
+  // the maintenance tick re-derives the partition.
+  if (!covered->rollups.empty() && segment.start < segment.end) {
+    covered->rollup_dirty.emplace_back(segment.start, segment.end - 1);
   }
   // Attach each table as a patch of the base entry whose ID range covers
   // it; strays go to the closest entry.
@@ -1392,6 +1527,9 @@ Status TimePartitionedLsm::ApplyRetention(int64_t watermark) {
           doomed.push_back(std::move(t));
         }
       }
+      for (TableHandle& t : it->rollups) {
+        doomed.push_back(std::move(t));
+      }
       stats_.partitions_retired.fetch_add(1, std::memory_order_relaxed);
       it = l2_.erase(it);
     } else {
@@ -1537,6 +1675,8 @@ Status TimePartitionedLsm::NewIteratorForId(uint64_t id, const ReadContext& ctx,
   // worse than the corruption it contained.
   if (scope.allow_partial && scope.missing != nullptr) {
     for (const QuarantinedTable& q : quarantined_) {
+      // A lost rollup table costs no raw data — never report it missing.
+      if (q.is_rollup) continue;
       if (q.min_series_id > id || q.max_series_id < id) continue;
       const int64_t lo = std::max(q.min_ts, t0);
       const int64_t hi = std::min(q.max_data_ts, t1);
@@ -1547,6 +1687,175 @@ Status TimePartitionedLsm::NewIteratorForId(uint64_t id, const ReadContext& ctx,
   *out = std::make_unique<PinnedIterator>(
       NewMergingIterator(std::move(children)), std::move(mem_pins),
       std::move(reader_pins));
+  return Status::OK();
+}
+
+Status TimePartitionedLsm::PlanRollupRead(
+    uint64_t id, const ReadContext& ctx, int64_t granularity_ms,
+    const std::vector<std::pair<int64_t, int64_t>>& extra_dirty,
+    RollupPlan* out) {
+  out->buckets.clear();
+  out->raw_spans.clear();
+  const int64_t t0 = ctx.t0;
+  const int64_t t1 = ctx.t1;
+  if (t0 > t1) return Status::OK();
+  const int64_t g = granularity_ms;
+  auto all_raw = [&]() {
+    out->buckets.clear();
+    out->raw_spans.assign(1, {t0, t1});
+    return Status::OK();
+  };
+  if (g <= 0 || t1 >= INT64_MAX - g) return all_raw();
+
+  // Only whole granularity buckets are servable: an edge bucket straddling
+  // t0/t1 would fold out-of-range samples into the answer.
+  const int64_t interior_lo = query::AlignUp(t0, g);
+  const int64_t interior_hi = query::AlignDown(t1 + 1, g);  // exclusive
+  if (interior_lo >= interior_hi) return all_raw();
+
+  const int64_t overhang = options_.partition_upper_bound_ms;
+
+  // Dirty spans (closed): data newer than any rollup. Start from the
+  // caller's head-snapshot spans and add the write buffer's — a chunk
+  // starting at max_ts can overhang by one pre-shrink partition length,
+  // the same bound the raw read path prunes with.
+  std::vector<std::pair<int64_t, int64_t>> dirty = extra_dirty;
+  {
+    std::lock_guard<std::mutex> mem_lock(mem_mu_);
+    auto add_mem = [&dirty, overhang](const MemTable& m) {
+      if (!m.empty()) dirty.emplace_back(m.min_ts(), m.max_ts() + overhang);
+    };
+    add_mem(*mem_);
+    for (const auto& imm : immutables_) add_mem(*imm);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Every fast-tier (L0/L1) table that may hold this series is newer than
+  // the rollups too: its samples have not been folded into any bucket yet.
+  for (const std::vector<Partition>* level : {&l0_, &l1_}) {
+    for (const Partition& p : *level) {
+      for (const TableHandle& t : p.tables) {
+        if (t.meta.min_series_id > id || t.meta.max_series_id < id) continue;
+        dirty.emplace_back(t.meta.min_ts, t.meta.max_ts + overhang);
+      }
+    }
+  }
+
+  // Bucket-expand each dirty span to a half-open g-aligned span: a bucket
+  // is either wholly clean or wholly dirty, never split.
+  std::vector<std::pair<int64_t, int64_t>> dirty_aligned;
+  for (const auto& [lo, hi] : dirty) {
+    if (lo > hi) continue;
+    dirty_aligned.emplace_back(query::AlignDown(lo, g),
+                               query::AlignDown(hi, g) + g);
+  }
+
+  // Subtracts sorted half-open `cuts` from [lo, hi); returns clean spans.
+  const auto subtract =
+      [](const std::vector<std::pair<int64_t, int64_t>>& cuts, int64_t lo,
+         int64_t hi) {
+        std::vector<std::pair<int64_t, int64_t>> clean;
+        int64_t cursor = lo;
+        for (const auto& [clo, chi] : cuts) {
+          if (chi <= cursor || clo >= hi) continue;
+          if (clo > cursor) clean.emplace_back(cursor, clo);
+          cursor = std::max(cursor, chi);
+          if (cursor >= hi) break;
+        }
+        if (cursor < hi) clean.emplace_back(cursor, hi);
+        return clean;
+      };
+
+  const cloud::CircuitBreaker& slow_breaker = env_->slow().breaker();
+  const bool slow_tier_down =
+      slow_breaker.enabled() &&
+      slow_breaker.state() == cloud::BreakerState::kOpen;
+
+  std::vector<std::pair<int64_t, int64_t>> covered;  // half-open, g-aligned
+  for (L2Partition& p : l2_) {
+    if (p.rollups.empty()) continue;
+    if (p.start >= interior_hi || p.end <= interior_lo) continue;
+    TableHandle* handle = nullptr;
+    for (TableHandle& t : p.rollups) {
+      if (t.meta.rollup_granularity_ms == g) {
+        handle = &t;
+        break;
+      }
+    }
+    if (handle == nullptr) continue;
+
+    // Candidate span: g-buckets wholly inside both the partition and the
+    // query interior (compaction trimmed buckets to the partition window,
+    // so nothing outside it exists in the table anyway).
+    const int64_t cand_lo = std::max(interior_lo, query::AlignUp(p.start, g));
+    const int64_t cand_hi =
+        std::min(interior_hi, query::AlignDown(p.end, g));
+    if (cand_lo >= cand_hi) continue;
+
+    std::vector<std::pair<int64_t, int64_t>> cuts = dirty_aligned;
+    for (const auto& [lo, hi] : p.rollup_dirty) {
+      if (lo > hi) continue;
+      cuts.emplace_back(query::AlignDown(lo, g), query::AlignDown(hi, g) + g);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    const auto clean = subtract(cuts, cand_lo, cand_hi);
+    if (clean.empty()) continue;
+
+    // Unreachable (breaker open) or unreadable rollup table: demote the
+    // whole partition to the raw path, which reports its own exact missing
+    // spans — breaker-open completeness composes unchanged.
+    if (handle->on_slow && slow_tier_down) continue;
+    if (!OpenReader(handle, ctx.fill_cache).ok()) continue;
+
+    // One rollup chunk per series per table. A bloom miss or an id outside
+    // the table's range means the series genuinely has no samples in this
+    // window — covered with zero buckets, NOT a raw fallback.
+    std::vector<compress::RollupBucket> buckets;
+    if (handle->meta.min_series_id <= id && handle->meta.max_series_id >= id &&
+        handle->reader->MayContainId(id)) {
+      auto it = handle->reader->NewIterator();
+      it->Seek(MakeInternalKey(MakeChunkKey(id, INT64_MIN), UINT64_MAX));
+      if (it->Valid() && ChunkKeyId(InternalKeyUserKey(it->key())) == id) {
+        const Slice value = it->value();
+        uint64_t chunk_seq = 0;
+        int64_t chunk_g = 0;
+        if (ChunkValueType(value) != ChunkType::kRollup ||
+            !compress::DecodeRollupChunk(ChunkValuePayload(value), &chunk_seq,
+                                         &chunk_g, &buckets)
+                 .ok() ||
+            chunk_g != g) {
+          continue;  // corrupt rollup chunk -> raw path for this partition
+        }
+      } else if (!it->status().ok()) {
+        continue;
+      }
+    }
+
+    size_t served = 0;
+    for (const auto& [lo, hi] : clean) {
+      covered.emplace_back(lo, hi);
+      for (const compress::RollupBucket& b : buckets) {
+        if (b.start >= lo && b.start + g <= hi) {
+          out->buckets.push_back(b);
+          ++served;
+        }
+      }
+    }
+    if (ctx.stats != nullptr) ctx.stats->rollup_buckets_served += served;
+  }
+
+  // Raw spans = the complement of the covered spans within [t0, t1].
+  std::sort(covered.begin(), covered.end());
+  int64_t cursor = t0;
+  for (const auto& [lo, hi] : covered) {
+    if (cursor > t1) break;
+    if (lo > cursor) out->raw_spans.emplace_back(cursor, lo - 1);
+    cursor = std::max(cursor, hi);
+  }
+  if (cursor <= t1) out->raw_spans.emplace_back(cursor, t1);
+  std::sort(out->buckets.begin(), out->buckets.end(),
+            [](const compress::RollupBucket& a,
+               const compress::RollupBucket& b) { return a.start < b.start; });
   return Status::OK();
 }
 
@@ -1567,6 +1876,9 @@ uint64_t TimePartitionedLsm::FastBytesUsed() const {
         if (!t.on_slow) total += t.meta.file_size;
       }
     }
+    for (const TableHandle& t : p.rollups) {
+      if (!t.on_slow) total += t.meta.file_size;
+    }
   }
   return total;
 }
@@ -1586,6 +1898,9 @@ void TimePartitionedLsm::UpdateFastResidentGaugeLocked() {
         if (!t.on_slow) total += t.meta.file_size;
       }
     }
+    for (const TableHandle& t : p.rollups) {
+      if (!t.on_slow) total += t.meta.file_size;
+    }
   }
   fast_resident_bytes_.store(total, std::memory_order_relaxed);
 }
@@ -1598,6 +1913,7 @@ uint64_t TimePartitionedLsm::SlowBytesUsed() const {
       total += e.base.meta.file_size;
       for (const TableHandle& t : e.patches) total += t.meta.file_size;
     }
+    for (const TableHandle& t : p.rollups) total += t.meta.file_size;
   }
   return total;
 }
@@ -1636,6 +1952,25 @@ size_t TimePartitionedLsm::NumDeferredTables() const {
         if (!t.on_slow) ++total;
       }
     }
+    for (const TableHandle& t : p.rollups) {
+      if (!t.on_slow) ++total;
+    }
+  }
+  return total;
+}
+
+size_t TimePartitionedLsm::NumRollupTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const L2Partition& p : l2_) total += p.rollups.size();
+  return total;
+}
+
+size_t TimePartitionedLsm::NumDirtyRollupPartitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const L2Partition& p : l2_) {
+    if (!p.rollups.empty() && !p.rollup_dirty.empty()) ++total;
   }
   return total;
 }
@@ -1649,6 +1984,9 @@ uint64_t TimePartitionedLsm::DeferredBytes() const {
       for (const TableHandle& t : e.patches) {
         if (!t.on_slow) total += t.meta.file_size;
       }
+    }
+    for (const TableHandle& t : p.rollups) {
+      if (!t.on_slow) total += t.meta.file_size;
     }
   }
   return total;
@@ -1695,6 +2033,14 @@ Status TimePartitionedLsm::DrainDeferredUploads(size_t* drained) {
           }
           if (found) break;
         }
+        for (const TableHandle& t : p.rollups) {
+          if (found) break;
+          if (!t.on_slow) {
+            table_id = t.meta.table_id;
+            table_crc = t.meta.object_crc32c;
+            found = true;
+          }
+        }
         if (found) break;
       }
     }
@@ -1728,17 +2074,18 @@ Status TimePartitionedLsm::DrainDeferredUploads(size_t* drained) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (L2Partition& p : l2_) {
+        auto flip = [&](TableHandle& t) {
+          if (t.meta.table_id == table_id && !t.on_slow) {
+            t.on_slow = true;
+            t.reader.reset();  // readers reopen against the slow tier
+            flipped = true;
+          }
+        };
         for (L2Entry& e : p.entries) {
-          auto flip = [&](TableHandle& t) {
-            if (t.meta.table_id == table_id && !t.on_slow) {
-              t.on_slow = true;
-              t.reader.reset();  // readers reopen against the slow tier
-              flipped = true;
-            }
-          };
           flip(e.base);
           for (TableHandle& t : e.patches) flip(t);
         }
+        for (TableHandle& t : p.rollups) flip(t);
       }
       if (flipped) {
         Status ms = SaveManifest();
@@ -1758,6 +2105,59 @@ Status TimePartitionedLsm::DrainDeferredUploads(size_t* drained) {
   if (drained != nullptr) *drained = done;
   if (trace_ != nullptr && done > 0) {
     trace_->Record("deferred.drain", "tables=" + std::to_string(done));
+  }
+  return Status::OK();
+}
+
+Status TimePartitionedLsm::MaintainRollups(size_t* rederived) {
+  if (rederived != nullptr) *rederived = 0;
+  if (options_.rollup_granularities_ms.empty()) return Status::OK();
+  // The re-merge reads the partition's slow-tier tables; while the breaker
+  // is open every one of those reads would fail. Keep the dirty spans —
+  // the planner serves them raw until the tier heals.
+  if (env_->slow().breaker().enabled() &&
+      env_->slow().breaker().state() == cloud::BreakerState::kOpen) {
+    return Status::OK();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Budget: at most one partition per call — the re-merge reads the whole
+  // partition, so this keeps a maintenance tick bounded.
+  for (L2Partition& p : l2_) {
+    if (p.rollups.empty() || p.rollup_dirty.empty()) continue;
+
+    std::vector<TableHandle*> inputs;
+    for (L2Entry& e : p.entries) {
+      inputs.push_back(&e.base);
+      for (TableHandle& t : e.patches) inputs.push_back(&t);
+    }
+    RollupBuild build;
+    build.w_start = p.start;
+    build.w_end = p.end;
+    build.skip_raw = true;  // refresh the rollups, keep the raw tables
+    std::vector<MergeSegment> outputs;  // stays empty under skip_raw
+    Status s = MergePartitionTables(inputs, {p.start, p.end}, /*to_slow=*/true,
+                                    &outputs, &build);
+    if (!s.ok()) {
+      for (const TableHandle& t : build.tables) (void)DeleteTable(t);
+      return s;
+    }
+
+    // Same durability order as compactions: the manifest references the
+    // fresh rollups before the stale ones are unlinked.
+    std::vector<TableHandle> stale = std::move(p.rollups);
+    p.rollups = std::move(build.tables);
+    p.rollup_dirty.clear();
+    TU_RETURN_IF_ERROR(SaveManifest());
+    for (const TableHandle& t : stale) (void)DeleteTable(t);
+
+    stats_.rollup_partitions_rederived.fetch_add(1, std::memory_order_relaxed);
+    if (rederived != nullptr) *rederived = 1;
+    if (trace_ != nullptr) {
+      trace_->Record("rollup.rederive",
+                     "partition_start=" + std::to_string(p.start));
+    }
+    break;
   }
   return Status::OK();
 }
@@ -1824,6 +2224,7 @@ std::vector<TimePartitionedLsm::TableListEntry> TimePartitionedLsm::ListTables()
       add(e.base);
       for (const TableHandle& t : e.patches) add(t);
     }
+    for (const TableHandle& t : p.rollups) add(t);
   }
   std::sort(out.begin(), out.end(),
             [](const TableListEntry& a, const TableListEntry& b) {
@@ -1847,6 +2248,9 @@ TableHandle* TimePartitionedLsm::FindTableLocked(uint64_t table_id) {
         if (t.meta.table_id == table_id) return &t;
       }
     }
+    for (TableHandle& t : p.rollups) {
+      if (t.meta.table_id == table_id) return &t;
+    }
   }
   return nullptr;
 }
@@ -1867,6 +2271,9 @@ int64_t TimePartitionedLsm::DataBoundLocked(uint64_t table_id) const {
       for (const TableHandle& t : e.patches) {
         if (t.meta.table_id == table_id) return p.end - 1;
       }
+    }
+    for (const TableHandle& t : p.rollups) {
+      if (t.meta.table_id == table_id) return p.end - 1;
     }
   }
   return 0;
@@ -1913,6 +2320,13 @@ bool TimePartitionedLsm::RemoveTableLocked(uint64_t table_id) {
       });
       if (e.patches.size() != before) return true;
     }
+    // Removing a rollup table just degrades its partition to the raw path —
+    // no promotion or partition pruning needed.
+    const size_t before = p.rollups.size();
+    std::erase_if(p.rollups, [table_id](const TableHandle& t) {
+      return t.meta.table_id == table_id;
+    });
+    if (p.rollups.size() != before) return true;
   }
   return false;
 }

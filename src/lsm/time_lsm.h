@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cloud/tiered_env.h"
+#include "compress/rollup.h"
 #include "lsm/chunk_store.h"
 #include "lsm/iterator.h"
 #include "lsm/leveled_lsm.h"  // TableHandle
@@ -67,6 +68,12 @@ struct TimeLsmOptions {
   uint32_t max_samples_per_merged_chunk = 64;
   /// Fast-tier budget for Algorithm 1; 0 disables dynamic size control.
   uint64_t fast_storage_limit_bytes = 0;
+  /// Continuous-aggregate granularities (ms), ascending. When non-empty,
+  /// the clean L1->L2 compaction also materializes one rollup table per
+  /// granularity per L2 partition (per-bucket min/max/sum/count, see
+  /// compress/rollup.h) as a by-product of the merge pass it already
+  /// runs. Empty disables rollups entirely.
+  std::vector<int64_t> rollup_granularities_ms;
   /// Flush immutable memtables on a background worker (immutable queue).
   bool background_flush = false;
   /// Invoked for every key-value pair as it reaches level 0 — the hook the
@@ -142,6 +149,12 @@ struct TimeLsmStats {
   std::atomic<uint64_t> tier_fallback_opens{0};
   /// Tables quarantined at read time (both copies corrupt/unusable).
   std::atomic<uint64_t> runtime_quarantines{0};
+  // -- Continuous aggregates ----------------------------------------------
+  /// Rollup tables materialized by compaction (one per granularity per
+  /// clean L1->L2 window) plus re-derivations.
+  std::atomic<uint64_t> rollup_tables_built{0};
+  /// Partitions whose dirty rollups the maintenance tick re-derived.
+  std::atomic<uint64_t> rollup_partitions_rederived{0};
 };
 
 /// A table the open-time scan or the scrub job found unreadable. The table
@@ -159,6 +172,10 @@ struct QuarantinedTable {
   /// includes chunk overhang (DataBoundLocked), unlike TableMeta::max_ts
   /// which is only the last chunk *key*.
   int64_t max_data_ts = 0;
+  /// True for rollup tables: losing one degrades aggregate queries to the
+  /// raw path but loses no data, so partial reads must NOT report its span
+  /// missing.
+  bool is_rollup = false;
 };
 
 class TimePartitionedLsm : public ChunkStore {
@@ -186,6 +203,40 @@ class TimePartitionedLsm : public ChunkStore {
 
   /// Drops every partition whose data is entirely older than `watermark`.
   Status ApplyRetention(int64_t watermark) override;
+
+  // -- Continuous aggregates -----------------------------------------------
+  /// The rollup planner's answer for one series over [ctx.t0, ctx.t1] at
+  /// one granularity: the pre-aggregated buckets the rollup partitions can
+  /// serve, plus the raw spans (closed, merged, ascending) the caller must
+  /// still answer from the raw batch path. Every granularity-aligned
+  /// bucket lands wholly in one category — never split across both.
+  struct RollupPlan {
+    std::vector<compress::RollupBucket> buckets;  // ascending by start
+    std::vector<std::pair<int64_t, int64_t>> raw_spans;
+  };
+  /// Plans and serves the rollup portion of an aggregate read. Rollups
+  /// answer only bucket-aligned interiors of clean (non-dirty) L2 windows;
+  /// unaligned edges, dirty buckets, windows still on the fast tier, and
+  /// `extra_dirty` spans (closed; the caller passes spans its own head
+  /// snapshot makes stale) all fall back to raw. Any rollup table that is
+  /// unreachable (breaker open), quarantined, or fails to open/decode
+  /// demotes its partition to raw — the raw path then reports exact
+  /// missing spans, so breaker-open completeness composes unchanged.
+  /// Serves ctx.stats->rollup_buckets_served.
+  Status PlanRollupRead(uint64_t id, const ReadContext& ctx,
+                        int64_t granularity_ms,
+                        const std::vector<std::pair<int64_t, int64_t>>&
+                            extra_dirty,
+                        RollupPlan* out);
+  /// Re-derives dirty rollups: picks at most one L2 partition with dirty
+  /// buckets per call (the re-merge reads the whole partition, so the
+  /// budget keeps a maintenance tick bounded), rebuilds its rollup tables
+  /// from the current bases+patches and clears the dirty spans.
+  /// `rederived` (nullable) reports how many partitions were refreshed.
+  Status MaintainRollups(size_t* rederived = nullptr);
+  size_t NumRollupTables() const;
+  /// L2 partitions whose rollups have pending dirty spans.
+  size_t NumDirtyRollupPartitions() const;
 
   /// Uploads deferred L2 tables (parked on the fast tier during a slow-tier
   /// outage) and flips them to the slow tier, one manifest commit per
@@ -291,6 +342,16 @@ class TimePartitionedLsm : public ChunkStore {
     int64_t start = 0;
     int64_t end = 0;
     std::vector<L2Entry> entries;  // sorted by base min_series_id
+    /// Rollup tables for this partition (at most one per configured
+    /// granularity; meta.rollup_granularity_ms tells them apart). They
+    /// flow through WriteTable like any L2 output, so CRC recording,
+    /// deferred-upload parking, scrub and the orphan sweep all apply.
+    std::vector<TableHandle> rollups;
+    /// Closed time spans whose rollup buckets are stale: an out-of-order
+    /// rewrite landed inside the already-rolled-up window. The planner
+    /// serves the affected buckets raw until MaintainRollups re-derives
+    /// the partition and clears this list.
+    std::vector<std::pair<int64_t, int64_t>> rollup_dirty;
   };
 
   static int64_t AlignDown(int64_t ts, int64_t len) {
@@ -317,6 +378,19 @@ class TimePartitionedLsm : public ChunkStore {
     std::vector<TableHandle> tables;
   };
 
+  /// Rollup side-build of MergePartitionTables: buckets fully inside
+  /// [w_start, w_end) are encoded into one table per configured
+  /// granularity (returned in `tables` with meta.rollup_granularity_ms
+  /// set). With `skip_raw` the merge writes NO raw tables — the
+  /// re-derivation mode MaintainRollups uses to refresh dirty rollups
+  /// without rewriting the partition.
+  struct RollupBuild {
+    int64_t w_start = 0;
+    int64_t w_end = 0;
+    bool skip_raw = false;
+    std::vector<TableHandle> tables;  // out
+  };
+
   /// Sample-aware merge of `inputs` into per-partition tables aligned to
   /// `boundaries` (sorted, uniform step). Input chunks may carry rows
   /// outside the boundary range (wide-spanning head chunks buffer rewrites
@@ -324,9 +398,12 @@ class TimePartitionedLsm : public ChunkStore {
   /// uniform steps to cover them, so `outputs` can include segments beyond
   /// the requested range. Callers must route every returned segment to a
   /// real partition of its time range — never fold it into a neighbour.
+  /// With `rollup_build`, the same pass also materializes rollup tables
+  /// (individual series only; groups contribute nothing).
   Status MergePartitionTables(std::vector<TableHandle*> inputs,
                               std::vector<int64_t> boundaries, bool to_slow,
-                              std::vector<MergeSegment>* outputs);
+                              std::vector<MergeSegment>* outputs,
+                              RollupBuild* rollup_build = nullptr);
 
   /// Installs one slow-tier merge segment: if an existing L2 partition
   /// fully covers [start, end) the tables attach to it as ID-routed

@@ -1,0 +1,77 @@
+#include "query/aggregate.h"
+
+namespace tu::query {
+
+void AccumulateIntoBuckets(const int64_t* timestamps, const double* values,
+                           size_t n, int64_t granularity_ms,
+                           std::vector<compress::RollupBucket>* buckets) {
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t start = AlignDown(timestamps[i], granularity_ms);
+    const double v = values[i];
+    if (!buckets->empty() && buckets->back().start == start) {
+      compress::RollupBucket& b = buckets->back();
+      if (v < b.min) b.min = v;
+      if (v > b.max) b.max = v;
+      b.sum += v;
+      ++b.count;
+    } else {
+      buckets->push_back(compress::RollupBucket{start, v, v, v, 1});
+    }
+  }
+}
+
+std::vector<AggPoint> FoldBuckets(
+    const std::vector<compress::RollupBucket>& buckets, int64_t step_ms,
+    AggFn fn) {
+  std::vector<AggPoint> out;
+  double min = 0, max = 0, sum = 0;
+  uint64_t count = 0;
+  int64_t window = 0;
+  bool open = false;
+
+  const auto flush = [&]() {
+    AggPoint p;
+    p.window_start = window;
+    switch (fn) {
+      case AggFn::kMin:
+        p.value = min;
+        break;
+      case AggFn::kMax:
+        p.value = max;
+        break;
+      case AggFn::kSum:
+        p.value = sum;
+        break;
+      case AggFn::kCount:
+        p.value = static_cast<double>(count);
+        break;
+      case AggFn::kMean:
+        p.value = sum / static_cast<double>(count);
+        break;
+    }
+    out.push_back(p);
+  };
+
+  for (const compress::RollupBucket& b : buckets) {
+    if (b.count == 0) continue;
+    const int64_t w = AlignDown(b.start, step_ms);
+    if (!open || w != window) {
+      if (open) flush();
+      window = w;
+      min = b.min;
+      max = b.max;
+      sum = b.sum;
+      count = b.count;
+      open = true;
+    } else {
+      if (b.min < min) min = b.min;
+      if (b.max > max) max = b.max;
+      sum += b.sum;
+      count += b.count;
+    }
+  }
+  if (open) flush();
+  return out;
+}
+
+}  // namespace tu::query

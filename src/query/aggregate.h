@@ -1,0 +1,69 @@
+// Shared aggregate kernels for continuous aggregates.
+//
+// Two-stage shape, used identically by the rollup and the raw fallback
+// paths so their answers are bitwise identical:
+//
+//   1. AccumulateIntoBuckets — fold ascending raw samples into
+//      granularity-aligned RollupBucket partials (same bucket math the
+//      compaction-side rollup builder uses).
+//   2. FoldBuckets — fold ascending buckets into step-aligned output
+//      windows for one aggregate function.
+//
+// Floating-point addition is not associative, so bitwise identity holds
+// only because both paths feed samples/buckets through the fold in the
+// same ascending-time order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/rollup.h"
+
+namespace tu::query {
+
+/// Aggregate functions served by AggregateQuery.
+enum class AggFn {
+  kMin,
+  kMax,
+  kSum,
+  kCount,
+  kMean,
+};
+
+/// One aggregate output point: [window_start, window_start + step).
+struct AggPoint {
+  int64_t window_start = 0;
+  double value = 0;
+
+  bool operator==(const AggPoint&) const = default;
+};
+
+/// Floor-aligns `ts` to a multiple of `unit` (toward -inf, exact for
+/// negative timestamps too — matches the LSM partition alignment).
+inline int64_t AlignDown(int64_t ts, int64_t unit) {
+  int64_t r = ts / unit;
+  if ((ts % unit) != 0 && ts < 0) --r;
+  return r * unit;
+}
+
+/// Ceil-aligns `ts` to a multiple of `unit` (toward +inf).
+inline int64_t AlignUp(int64_t ts, int64_t unit) {
+  const int64_t down = AlignDown(ts, unit);
+  return down == ts ? ts : down + unit;
+}
+
+/// Folds ascending `(timestamps, values)` runs into granularity-aligned
+/// buckets, appending to / merging with `*buckets` (which must also be
+/// ascending; a run continuing the last open bucket merges into it).
+void AccumulateIntoBuckets(const int64_t* timestamps, const double* values,
+                           size_t n, int64_t granularity_ms,
+                           std::vector<compress::RollupBucket>* buckets);
+
+/// Folds ascending, granularity-aligned buckets into `step_ms` output
+/// windows for `fn`. Only windows containing at least one bucket are
+/// emitted. Bucket starts must be ascending and unique.
+std::vector<AggPoint> FoldBuckets(
+    const std::vector<compress::RollupBucket>& buckets, int64_t step_ms,
+    AggFn fn);
+
+}  // namespace tu::query

@@ -29,14 +29,15 @@ void Completeness::MergeCompleteness(const Completeness& o) {
 }
 
 std::string QueryStats::ToString() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "tables considered=%llu pruned(id=%llu time=%llu bloom=%llu) "
       "skipped_unreachable=%llu partitions_pruned=%llu | blocks read=%llu "
       "pruned=%llu cache(hit=%llu miss=%llu) slow_fetches=%llu "
       "block_bytes=%llu | chunks=%llu decoded_bytes=%llu batches=%llu "
-      "samples_per_batch=%.1f | setup_us=%llu drain_us=%llu",
+      "samples_per_batch=%.1f | rollup_buckets=%llu raw_edge_samples=%llu | "
+      "setup_us=%llu drain_us=%llu",
       static_cast<unsigned long long>(tables_considered),
       static_cast<unsigned long long>(tables_pruned_id),
       static_cast<unsigned long long>(tables_pruned_time),
@@ -55,6 +56,8 @@ std::string QueryStats::ToString() const {
       batches_decoded == 0 ? 0.0
                            : static_cast<double>(samples_decoded) /
                                  static_cast<double>(batches_decoded),
+      static_cast<unsigned long long>(rollup_buckets_served),
+      static_cast<unsigned long long>(raw_edge_samples),
       static_cast<unsigned long long>(setup_us),
       static_cast<unsigned long long>(drain_us));
   return buf;

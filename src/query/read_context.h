@@ -55,6 +55,14 @@ struct QueryStats {
   uint64_t batches_decoded = 0;
   uint64_t samples_decoded = 0;  ///< samples produced by those batches
 
+  // Continuous aggregates (AggregateQuery planner).
+  /// Pre-aggregated buckets served from rollup partitions instead of raw
+  /// chunk decodes.
+  uint64_t rollup_buckets_served = 0;
+  /// Raw samples drained for the spans rollups could not serve (unaligned
+  /// edges, dirty buckets, fast-tier data).
+  uint64_t raw_edge_samples = 0;
+
   // Pipeline timing (monotonic microseconds).
   uint64_t setup_us = 0;  ///< iterator construction: pruning + reader opens
   uint64_t drain_us = 0;  ///< iterator drain: block fetch + chunk decode
@@ -76,6 +84,8 @@ struct QueryStats {
     bytes_decoded += o.bytes_decoded;
     batches_decoded += o.batches_decoded;
     samples_decoded += o.samples_decoded;
+    rollup_buckets_served += o.rollup_buckets_served;
+    raw_edge_samples += o.raw_edge_samples;
     setup_us += o.setup_us;
     drain_us += o.drain_us;
   }

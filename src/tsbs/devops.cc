@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "query/aggregate.h"
 #include "util/random.h"
 
 namespace tu::tsbs {
@@ -175,14 +176,25 @@ std::vector<index::TagMatcher> PatternSelectors(const QueryPattern& pattern,
 
 std::vector<AggPoint> AggregateMax(const std::vector<compress::Sample>& samples,
                                    int64_t window_ms) {
-  std::vector<AggPoint> out;
+  // Deduplicated onto the shared continuous-aggregate kernels so the TSBS
+  // client-side post-processing folds samples exactly like AggregateQuery.
+  std::vector<int64_t> timestamps;
+  std::vector<double> values;
+  timestamps.reserve(samples.size());
+  values.reserve(samples.size());
   for (const compress::Sample& s : samples) {
-    const int64_t window = s.timestamp / window_ms * window_ms;
-    if (out.empty() || out.back().window_start != window) {
-      out.push_back(AggPoint{window, s.value});
-    } else if (s.value > out.back().max_value) {
-      out.back().max_value = s.value;
-    }
+    timestamps.push_back(s.timestamp);
+    values.push_back(s.value);
+  }
+  std::vector<compress::RollupBucket> buckets;
+  query::AccumulateIntoBuckets(timestamps.data(), values.data(),
+                               timestamps.size(), window_ms, &buckets);
+  const std::vector<query::AggPoint> folded =
+      query::FoldBuckets(buckets, window_ms, query::AggFn::kMax);
+  std::vector<AggPoint> out;
+  out.reserve(folded.size());
+  for (const query::AggPoint& p : folded) {
+    out.push_back(AggPoint{p.window_start, p.value});
   }
   return out;
 }

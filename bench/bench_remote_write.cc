@@ -1,0 +1,275 @@
+// Remote-write throughput through the network front door: N loopback
+// clients stream WriteBatches of varying size at the server, which lands
+// them on TimeUnionDB::Write. An embedded control (same batch shapes,
+// db->Write directly, no network) anchors the embedded-vs-remote ingest
+// ratio recorded in EXPERIMENTS.md.
+//
+// Emits one JSON line per remote configuration, e.g.
+//   {"bench":"remote_write","clients":8,"batch":256,"samples":1600000,
+//    "elapsed_s":1.9,"samples_per_s":842000.0,"p99_us":900.0,
+//    "wire_bytes_per_sample":13.1}
+// embedded-control lines use "throughput_sps" (no latency/wire fields),
+// and a final summary line reports remote_vs_embedded per batch size.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/timeunion_db.h"
+#include "core/write_batch.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/mmap_file.h"
+
+namespace tu::bench {
+namespace {
+
+constexpr int kSeriesPerClient = 16;
+constexpr int64_t kStepMs = 10'000;
+
+// CI smoke mode (TU_BENCH_SMOKE): same configurations, tiny workload.
+int SamplesPerClient() { return SmokeMode() ? 8'192 : 262'144; }
+
+core::DBOptions BenchOptions(const std::string& ws) {
+  core::DBOptions opts;
+  opts.workspace = ws;
+  opts.lsm.memtable_bytes = 4 << 20;
+  opts.lsm.background_flush = true;
+  opts.enable_wal = false;  // matches the embedded ingest bench's wal=false
+  return opts;
+}
+
+/// Fills `batch` with `n` by-ref samples cycling through `refs` in
+/// consecutive runs (run-detection friendly), advancing *next_ts.
+void FillBatch(const std::vector<uint64_t>& refs, int n, int64_t* next_ts,
+               core::WriteBatch* batch) {
+  batch->Clear();
+  const int nrefs = static_cast<int>(refs.size());
+  const int per_series = std::max(1, (n + nrefs - 1) / nrefs);
+  int produced = 0;
+  for (uint64_t ref : refs) {
+    for (int i = 0; i < per_series && produced < n; ++i, ++produced) {
+      batch->AddSample(ref, *next_ts + static_cast<int64_t>(i) * kStepMs,
+                       static_cast<double>(produced));
+    }
+    if (produced >= n) break;
+  }
+  *next_ts += static_cast<int64_t>(per_series) * kStepMs;
+}
+
+struct RemoteRun {
+  double samples_per_s = 0;
+  double p99_us = 0;
+  double wire_bytes_per_sample = 0;
+};
+
+double Percentile(std::vector<uint64_t>* v, double p) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  const size_t idx = static_cast<size_t>(p * (v->size() - 1));
+  return static_cast<double>((*v)[idx]);
+}
+
+RemoteRun RunRemote(int clients, int batch_size) {
+  const std::string ws = FreshWorkspace("remote_write");
+  std::unique_ptr<core::TimeUnionDB> db;
+  Status s = core::TimeUnionDB::Open(BenchOptions(ws), &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return {};
+  }
+  server::ServerOptions sopts;
+  sopts.num_workers = std::max(2, clients);
+  auto srv = std::make_unique<server::Server>(db.get(), sopts);
+  s = srv->Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return {};
+  }
+
+  const int samples_per_client = SamplesPerClient();
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> wire_bytes{0};
+  std::mutex lat_mu;
+  std::vector<uint64_t> latencies_us;
+
+  const uint64_t t_start = NowUs();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::unique_ptr<server::Client> client;
+      if (!server::Client::Connect("127.0.0.1", srv->port(),
+                                   "bench-" + std::to_string(c), &client)
+               .ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      // Register this client's disjoint series with one labeled batch.
+      core::WriteBatch reg;
+      for (int i = 0; i < kSeriesPerClient; ++i) {
+        reg.AddSample(
+            index::Labels{{"host", std::to_string(c * kSeriesPerClient + i)},
+                          {"m", "cpu"}},
+            0, 0.0);
+      }
+      server::WriteAck ack;
+      if (!client->Write(reg, &ack).ok() || !ack.remote_status.ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      std::vector<uint64_t> refs = ack.resolved_refs;
+
+      std::vector<uint64_t> local_lat;
+      local_lat.reserve(samples_per_client / batch_size + 1);
+      core::WriteBatch batch;
+      int64_t next_ts = kStepMs;
+      int remaining = samples_per_client;
+      while (remaining > 0) {
+        const int n = std::min(remaining, batch_size);
+        FillBatch(refs, n, &next_ts, &batch);
+        const uint64_t t0 = NowUs();
+        if (!client->Write(batch, &ack).ok() || !ack.remote_status.ok()) {
+          errors.fetch_add(1);
+          return;
+        }
+        local_lat.push_back(NowUs() - t0);
+        remaining -= n;
+      }
+      wire_bytes.fetch_add(client->bytes_sent());
+      std::lock_guard<std::mutex> lock(lat_mu);
+      latencies_us.insert(latencies_us.end(), local_lat.begin(),
+                          local_lat.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  const uint64_t t_end = NowUs();
+  srv->Shutdown();
+  srv.reset();
+  db.reset();
+  RemoveDirRecursive(ws);
+
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "remote write errors: %llu\n",
+                 static_cast<unsigned long long>(errors.load()));
+    return {};
+  }
+  const uint64_t total =
+      static_cast<uint64_t>(clients) * samples_per_client;
+  const double elapsed_s = static_cast<double>(t_end - t_start) / 1e6;
+  RemoteRun run;
+  run.samples_per_s = static_cast<double>(total) / elapsed_s;
+  run.p99_us = Percentile(&latencies_us, 0.99);
+  run.wire_bytes_per_sample =
+      static_cast<double>(wire_bytes.load()) / static_cast<double>(total);
+  std::printf(
+      "{\"bench\":\"remote_write\",\"clients\":%d,\"batch\":%d,"
+      "\"samples\":%llu,\"elapsed_s\":%.3f,\"samples_per_s\":%.1f,"
+      "\"p99_us\":%.1f,\"wire_bytes_per_sample\":%.2f}\n",
+      clients, batch_size, static_cast<unsigned long long>(total), elapsed_s,
+      run.samples_per_s, run.p99_us, run.wire_bytes_per_sample);
+  std::fflush(stdout);
+  return run;
+}
+
+/// Embedded control: same batch shapes straight into TimeUnionDB::Write.
+double RunEmbedded(int threads_n, int batch_size) {
+  const std::string ws = FreshWorkspace("remote_write_embedded");
+  std::unique_ptr<core::TimeUnionDB> db;
+  Status s = core::TimeUnionDB::Open(BenchOptions(ws), &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return -1;
+  }
+  const int samples_per_thread = SamplesPerClient();
+  std::atomic<uint64_t> errors{0};
+  const uint64_t t_start = NowUs();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < threads_n; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<uint64_t> refs(kSeriesPerClient);
+      for (int i = 0; i < kSeriesPerClient; ++i) {
+        if (!db->RegisterSeries(
+                   {{"host", std::to_string(t * kSeriesPerClient + i)},
+                    {"m", "cpu"}},
+                   &refs[i])
+                 .ok()) {
+          errors.fetch_add(1);
+          return;
+        }
+      }
+      core::WriteBatch batch;
+      core::WriteResult result;
+      int64_t next_ts = kStepMs;
+      int remaining = samples_per_thread;
+      while (remaining > 0) {
+        const int n = std::min(remaining, batch_size);
+        FillBatch(refs, n, &next_ts, &batch);
+        if (!db->Write(batch, &result).ok() || !result.ok()) {
+          errors.fetch_add(1);
+          return;
+        }
+        remaining -= n;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const uint64_t t_end = NowUs();
+  db.reset();
+  RemoveDirRecursive(ws);
+
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "embedded write errors: %llu\n",
+                 static_cast<unsigned long long>(errors.load()));
+    return -1;
+  }
+  const uint64_t total =
+      static_cast<uint64_t>(threads_n) * samples_per_thread;
+  const double elapsed_s = static_cast<double>(t_end - t_start) / 1e6;
+  const double throughput = static_cast<double>(total) / elapsed_s;
+  std::printf(
+      "{\"bench\":\"remote_write\",\"mode\":\"embedded\",\"threads\":%d,"
+      "\"batch\":%d,\"samples\":%llu,\"elapsed_s\":%.3f,"
+      "\"throughput_sps\":%.1f}\n",
+      threads_n, batch_size, static_cast<unsigned long long>(total),
+      elapsed_s, throughput);
+  std::fflush(stdout);
+  return throughput;
+}
+
+int Main() {
+  PrintHeader("remote_write",
+              "loopback remote-write vs embedded batched ingest");
+  for (int batch : {64, 256, 1024}) {
+    for (int clients : {1, 4, 8}) {
+      RunRemote(clients, batch);
+    }
+  }
+  // Embedded-vs-remote ratio at the acceptance point: 8 writers, large
+  // batches. Re-run the remote side next to its control so both see the
+  // same machine state.
+  for (int batch : {256, 1024}) {
+    const double embedded = RunEmbedded(8, batch);
+    const RemoteRun remote = RunRemote(8, batch);
+    if (embedded > 0 && remote.samples_per_s > 0) {
+      std::printf(
+          "{\"bench\":\"remote_write\",\"summary\":true,\"batch\":%d,"
+          "\"embedded_sps\":%.1f,\"remote_sps\":%.1f,"
+          "\"remote_vs_embedded\":%.3f}\n",
+          batch, embedded, remote.samples_per_s,
+          remote.samples_per_s / embedded);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tu::bench
+
+int main() { return tu::bench::Main(); }

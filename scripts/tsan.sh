@@ -6,7 +6,8 @@
 # deferred-upload drainer, admission control), the query pipeline (shared
 # readers, block cache counters), the scrub job (racing flushes and
 # compactions for the manifest lock) or the continuous-aggregate planner
-# (rollup tables racing compaction/maintenance) fails the run.
+# (rollup tables racing compaction/maintenance) or the network front
+# door (epoll loop vs worker pool vs graceful drain) fails the run.
 #
 # Usage: scripts/tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -18,10 +19,11 @@ cmake -B "$BUILD_DIR" -S . -DTU_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInf
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   concurrency_test util_test maintenance_test fault_injection_test \
   error_recovery_test query_pipeline_test batch_drain_test obs_test \
-  integrity_test rollup_test
+  integrity_test rollup_test server_test
 
 # halt_on_error: make the first race fail the test instead of just logging.
-# -L takes a regex, so "fault|concurrency|query|integrity|rollup" ORs the
-# labels.
+# -L takes a regex, so "fault|concurrency|query|integrity|rollup|server"
+# ORs the labels.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  ctest --test-dir "$BUILD_DIR" -L "fault|concurrency|query|integrity|rollup" --output-on-failure
+  ctest --test-dir "$BUILD_DIR" \
+  -L "fault|concurrency|query|integrity|rollup|server" --output-on-failure

@@ -712,17 +712,20 @@ Status TimeUnionDB::AppendToSeries(SeriesEntry* entry, int64_t ts,
   return Status::Corruption("series append did not converge");
 }
 
-Status TimeUnionDB::AdmitWrite() {
+Status TimeUnionDB::AdmitWrite(uint64_t num_samples) {
   const DBOptions::AdmissionControl& ac = options_.admission;
   if (!ac.enabled || time_lsm_ == nullptr) return Status::OK();
   const uint64_t limit = options_.lsm.fast_storage_limit_bytes;
   if (limit == 0) return Status::OK();
 
-  // One relaxed load per write; the gauge itself is re-read only every
-  // refresh_every_ops admissions so pressure transitions lag by at most
-  // one small batch.
-  const uint64_t op = admission_ops_.fetch_add(1, std::memory_order_relaxed);
-  if (ac.refresh_every_ops <= 1 || op % ac.refresh_every_ops == 0) {
+  // One relaxed RMW per admitted batch; the gauge itself is re-read only
+  // when the batch crosses a refresh_every_ops boundary, so pressure
+  // transitions lag by at most that many samples.
+  const uint64_t op =
+      admission_ops_.fetch_add(num_samples, std::memory_order_relaxed);
+  if (ac.refresh_every_ops <= 1 || op == 0 ||
+      op / ac.refresh_every_ops !=
+          (op + num_samples) / ac.refresh_every_ops) {
     const uint64_t fast_bytes = time_lsm_->FastBytesGauge();
     const auto hard =
         static_cast<uint64_t>(ac.hard_watermark * static_cast<double>(limit));
@@ -753,13 +756,23 @@ Status TimeUnionDB::AdmitWrite() {
   }
 }
 
-Status TimeUnionDB::AppendSampleByRef(uint64_t series_ref, int64_t ts,
-                                      double value) {
-  // Quiesce gate: one relaxed load when healthy. While a background error
-  // is being resolved, appends fail fast instead of piling samples into
-  // memtables the flusher cannot drain (reads keep serving).
-  TU_RETURN_IF_ERROR(error_handler_.CheckWriteAllowed());
-  TU_RETURN_IF_ERROR(AdmitWrite());
+// ---------------------------------------------------------------------------
+// Batched write pipeline
+// ---------------------------------------------------------------------------
+
+TimeUnionDB::ShimScratch& TimeUnionDB::TlsShimScratch() {
+  static thread_local ShimScratch scratch;
+  return scratch;
+}
+
+void TimeUnionDB::RowReject(WriteResult* result, const Status& s) {
+  ++result->rejected;
+  if (result->first_error.ok()) result->first_error = s;
+}
+
+Status TimeUnionDB::AppendOneByRef(uint64_t series_ref, int64_t ts,
+                                   double value,
+                                   std::vector<WalRecord>* wal_out) {
   // Appends are counted exactly in a per-stripe cell (plain load+store
   // under the stripe lock — no locked RMW), and the same cell doubles as
   // the 1-in-64 latency sampling tick: the pre-lock read is racy, which
@@ -783,14 +796,14 @@ Status TimeUnionDB::AppendSampleByRef(uint64_t series_ref, int64_t ts,
   std::lock_guard<std::mutex> entry_lock(append_locks_.MutexAt(stripe));
   if (sample_cells_ != nullptr) sample_cells_[stripe].Bump();
   TU_RETURN_IF_ERROR(AppendToSeries(&it->second, ts, value));
-  if (wal_) {
+  if (wal_out != nullptr) {
     WalRecord rec;
     rec.type = WalRecordType::kSample;
     rec.id = series_ref;
     rec.seq = it->second.head->seq_id();
     rec.ts = ts;
     rec.value = value;
-    TU_RETURN_IF_ERROR(MaybeLog(rec));
+    wal_out->push_back(std::move(rec));
   }
   if (timed) [[unlikely]] {
     h_ingest_append_->Observe(obs::MonotonicUs() - append_start_us);
@@ -798,26 +811,182 @@ Status TimeUnionDB::AppendSampleByRef(uint64_t series_ref, int64_t ts,
   return Status::OK();
 }
 
+void TimeUnionDB::WriteRefSamples(const WriteBatch& batch, WriteResult* result,
+                                  std::vector<WalRecord>* wal_out) {
+  const size_t n = batch.sample_refs.size();
+  size_t i = 0;
+  while (i < n) {
+    const uint64_t ref = batch.sample_refs[i];
+    size_t run_end = i + 1;
+    while (run_end < n && batch.sample_refs[run_end] == ref) ++run_end;
+    // A run of consecutive rows for one series shares a single shard +
+    // stripe lock acquisition — the batched path's second amortization
+    // after the WAL. Clients that sort their batches by ref degenerate to
+    // one acquisition per series.
+    const size_t stripe = append_locks_.IndexFor(ref);
+    const bool timed =
+        h_ingest_append_ != nullptr &&
+        ((sample_cells_[stripe].v.load(std::memory_order_relaxed) + 1) & 63) ==
+            0;
+    const uint64_t append_start_us = timed ? obs::MonotonicUs() : 0;
+    EntryShard& es = EntryShardFor(ref);
+    std::shared_lock<std::shared_mutex> shard_lock(es.mu);
+    auto it = es.series.find(ref);
+    if (it == es.series.end()) {
+      for (size_t k = i; k < run_end; ++k) {
+        RowReject(result, Status::NotFound("unknown series reference"));
+      }
+      i = run_end;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> entry_lock(append_locks_.MutexAt(stripe));
+      for (size_t k = i; k < run_end; ++k) {
+        if (sample_cells_ != nullptr) sample_cells_[stripe].Bump();
+        Status s = AppendToSeries(&it->second, batch.sample_ts[k],
+                                  batch.sample_values[k]);
+        if (!s.ok()) {
+          RowReject(result, s);
+          continue;
+        }
+        ++result->appended;
+        if (wal_out != nullptr) {
+          WalRecord rec;
+          rec.type = WalRecordType::kSample;
+          rec.id = ref;
+          rec.seq = it->second.head->seq_id();
+          rec.ts = batch.sample_ts[k];
+          rec.value = batch.sample_values[k];
+          wal_out->push_back(std::move(rec));
+        }
+      }
+    }
+    if (timed) [[unlikely]] {
+      h_ingest_append_->Observe(obs::MonotonicUs() - append_start_us);
+    }
+    i = run_end;
+  }
+}
+
+void TimeUnionDB::WriteLabeledSamples(const WriteBatch& batch,
+                                      WriteResult* result,
+                                      std::vector<WalRecord>* wal_out) {
+  if (batch.labeled_samples.empty()) return;
+  result->resolved_refs.assign(batch.labeled_samples.size(), 0);
+  for (size_t i = 0; i < batch.labeled_samples.size(); ++i) {
+    const WriteBatch::LabeledSample& row = batch.labeled_samples[i];
+    Labels sorted = row.labels;
+    index::SortLabels(&sorted);
+    const std::string key = index::LabelsKey(sorted);
+    uint64_t ref = 0;
+    Status s;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (!LookupSeriesRef(key, &ref)) {
+        std::lock_guard<std::mutex> reg_lock(reg_mu_);
+        s = RegisterSeriesSlow(sorted, key, &ref);
+        if (!s.ok()) break;
+      }
+      s = AppendOneByRef(ref, row.ts, row.value, wal_out);
+      // NotFound: retention retired the entry between lookup and append (it
+      // removed the key mapping too) — re-register and retry once.
+      if (!s.IsNotFound()) break;
+      s = Status::NotFound("series retired during insert");
+    }
+    if (s.ok()) {
+      result->resolved_refs[i] = ref;
+      ++result->appended;
+    } else {
+      RowReject(result, s);
+    }
+  }
+}
+
+Status TimeUnionDB::Write(const WriteBatch& batch, WriteResult* result) {
+  WriteResult local;
+  if (result == nullptr) result = &local;
+  result->Clear();
+  const uint64_t rows = batch.NumRows();
+  if (rows == 0) return Status::OK();
+  if (batch.sample_refs.size() != batch.sample_ts.size() ||
+      batch.sample_refs.size() != batch.sample_values.size()) {
+    result->rejected = rows;
+    result->first_error =
+        Status::InvalidArgument("WriteBatch ref-sample columns not parallel");
+    return result->first_error;
+  }
+  // Batch-scoped gates, paid once per batch instead of once per sample:
+  // the quiesce check is one relaxed load, and admission is charged with
+  // the whole sample count (at most one soft-watermark delay per batch).
+  Status gate = error_handler_.CheckWriteAllowed();
+  if (gate.ok()) gate = AdmitWrite(batch.NumSamples());
+  if (!gate.ok()) {
+    result->rejected = rows;
+    result->first_error = gate;
+    return gate;
+  }
+  // Sample records are deferred and appended in one WalWriter::AppendBatch
+  // call at the end (one WAL mutex + one file write per batch).
+  // Registration records still log immediately inside the resolve paths,
+  // preserving the register-before-first-sample order in the log.
+  std::vector<WalRecord> deferred;
+  std::vector<WalRecord>* wal_out = nullptr;
+  if (wal_) {
+    deferred.reserve(rows);
+    wal_out = &deferred;
+  }
+  WriteRefSamples(batch, result, wal_out);
+  WriteLabeledSamples(batch, result, wal_out);
+  WriteGroupRows(batch, result, wal_out);
+  WriteLabeledGroupRows(batch, result, wal_out);
+  if (wal_out != nullptr && !deferred.empty()) {
+    if (c_wal_appends_ != nullptr) c_wal_appends_->Add(deferred.size());
+    const bool timed = h_wal_append_ != nullptr && obs::SampleOneIn<6>();
+    const uint64_t append_start_us = timed ? obs::MonotonicUs() : 0;
+    Status ws = wal_->AppendBatch(deferred.data(), deferred.size());
+    if (!ws.ok()) {
+      error_handler_.OnBackgroundError(BgErrorScope::kWalAppend, ws,
+                                       SteadyNowMs());
+      // The heads already hold the samples but the log does not: report
+      // the whole batch as failed so no caller acks rows the WAL may lose.
+      result->first_error = ws;
+      result->rejected += result->appended;
+      result->appended = 0;
+      return ws;
+    }
+    if (timed) h_wal_append_->Observe(obs::MonotonicUs() - append_start_us);
+    // Inline purge with hysteresis (same policy as MaybeLog): only once
+    // the log has doubled past the last purge's result.
+    const uint64_t written = wal_->bytes_written();
+    if (written > options_.wal_purge_bytes &&
+        written > 2 * wal_post_purge_bytes_.load(std::memory_order_relaxed)) {
+      std::unique_lock<std::mutex> purge_lock(wal_purge_mu_, std::try_to_lock);
+      if (purge_lock.owns_lock()) {
+        TU_RETURN_IF_ERROR(wal_->Purge());
+        wal_post_purge_bytes_.store(wal_->bytes_written(),
+                                    std::memory_order_relaxed);
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status TimeUnionDB::Insert(const Labels& labels, int64_t ts, double value,
                            uint64_t* series_ref) {
-  Labels sorted = labels;
-  index::SortLabels(&sorted);
-  const std::string key = index::LabelsKey(sorted);
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    if (!LookupSeriesRef(key, series_ref)) {
-      std::lock_guard<std::mutex> reg_lock(reg_mu_);
-      TU_RETURN_IF_ERROR(RegisterSeriesSlow(sorted, key, series_ref));
-    }
-    Status s = AppendSampleByRef(*series_ref, ts, value);
-    // NotFound: retention retired the entry between lookup and append (it
-    // removed the key mapping too) — re-register and retry once.
-    if (!s.IsNotFound()) return s;
-  }
-  return Status::NotFound("series retired during insert");
+  ShimScratch& tls = TlsShimScratch();
+  tls.batch.Clear();
+  tls.batch.AddSample(labels, ts, value);
+  TU_RETURN_IF_ERROR(Write(tls.batch, &tls.result));
+  TU_RETURN_IF_ERROR(tls.result.first_error);
+  *series_ref = tls.result.resolved_refs[0];
+  return Status::OK();
 }
 
 Status TimeUnionDB::InsertFast(uint64_t series_ref, int64_t ts, double value) {
-  return AppendSampleByRef(series_ref, ts, value);
+  ShimScratch& tls = TlsShimScratch();
+  tls.batch.Clear();
+  tls.batch.AddSample(series_ref, ts, value);
+  TU_RETURN_IF_ERROR(Write(tls.batch, &tls.result));
+  return tls.result.first_error;
 }
 
 Status TimeUnionDB::AppendRowToGroup(GroupEntry* entry,
@@ -864,94 +1033,14 @@ Status TimeUnionDB::AppendRowToGroup(GroupEntry* entry,
   return Status::Corruption("group append did not converge");
 }
 
-Status TimeUnionDB::InsertGroup(const Labels& group_tags,
-                                const std::vector<Labels>& member_tags,
-                                int64_t ts, const std::vector<double>& values,
-                                uint64_t* group_ref,
-                                std::vector<uint32_t>* slots) {
-  if (member_tags.size() != values.size()) {
-    return Status::InvalidArgument("member/value count mismatch");
-  }
-  TU_RETURN_IF_ERROR(error_handler_.CheckWriteAllowed());
-  TU_RETURN_IF_ERROR(AdmitWrite());
-  if (c_rows_ != nullptr) c_rows_->Add();
-  Labels sorted_group = group_tags;
-  index::SortLabels(&sorted_group);
-  const std::string group_key = index::LabelsKey(sorted_group);
-
-  // Member resolution may register new members (index/tag-store writes),
-  // so the whole slow path serializes behind the registration mutex; the
-  // fast path (InsertGroupFast) never takes it.
-  std::lock_guard<std::mutex> reg_lock(reg_mu_);
-  if (!LookupGroupRef(group_key, group_ref)) {
-    TU_RETURN_IF_ERROR(RegisterGroupSlow(sorted_group, group_key, group_ref));
-  }
-
-  EntryShard& es = EntryShardFor(*group_ref);
-  std::shared_lock<std::shared_mutex> shard_lock(es.mu);
-  auto git = es.groups.find(*group_ref);
-  if (git == es.groups.end()) {
-    // Cannot happen while reg_mu_ is held (retention also serializes on it).
-    return Status::NotFound("group retired during insert");
-  }
-  GroupEntry* entry = &git->second;
-  std::lock_guard<std::mutex> entry_lock(append_locks_.For(*group_ref));
-
-  // Resolve/append members (§3.4: an appending array ordered by first
-  // insertion; lookups check whether the timeseries is already recorded).
-  slots->clear();
-  slots->reserve(member_tags.size());
-  for (const Labels& tags : member_tags) {
-    Labels sorted = tags;
-    index::SortLabels(&sorted);
-    const std::string key = index::LabelsKey(sorted);
-    int slot = entry->head->FindMember(key);
-    if (slot < 0) {
-      uint64_t tag_offset = 0;
-      TU_RETURN_IF_ERROR(tag_store_->Append(sorted, &tag_offset));
-      // Member unique tags also map to the group ID in the first-level
-      // index.
-      TU_RETURN_IF_ERROR(index_->Add(*group_ref, sorted));
-      uint32_t new_slot = 0;
-      TU_RETURN_IF_ERROR(entry->head->AddMember(tag_offset, key, &new_slot));
-      entry->member_labels.resize(
-          std::max<size_t>(entry->member_labels.size(), new_slot + 1));
-      entry->member_labels[new_slot] = sorted;
-      slot = static_cast<int>(new_slot);
-
-      WalRecord reg;
-      reg.type = WalRecordType::kRegisterMember;
-      reg.id = *group_ref;
-      reg.slot = new_slot;
-      reg.labels = sorted;
-      TU_RETURN_IF_ERROR(MaybeLog(reg));
-    }
-    slots->push_back(static_cast<uint32_t>(slot));
-  }
-
-  TU_RETURN_IF_ERROR(AppendRowToGroup(entry, *slots, ts, values));
-  if (wal_) {
-    WalRecord rec;
-    rec.type = WalRecordType::kGroupSample;
-    rec.id = *group_ref;
-    rec.seq = entry->head->seq_id();
-    rec.ts = ts;
-    rec.slots = *slots;
-    rec.values = values;
-    TU_RETURN_IF_ERROR(MaybeLog(rec));
-  }
-  return Status::OK();
-}
-
-Status TimeUnionDB::InsertGroupFast(uint64_t group_ref,
-                                    const std::vector<uint32_t>& slots,
-                                    int64_t ts,
-                                    const std::vector<double>& values) {
+Status TimeUnionDB::AppendOneGroupRowByRef(uint64_t group_ref,
+                                           const std::vector<uint32_t>& slots,
+                                           int64_t ts,
+                                           const std::vector<double>& values,
+                                           std::vector<WalRecord>* wal_out) {
   if (slots.size() != values.size()) {
     return Status::InvalidArgument("slot/value count mismatch");
   }
-  TU_RETURN_IF_ERROR(error_handler_.CheckWriteAllowed());
-  TU_RETURN_IF_ERROR(AdmitWrite());
   if (c_rows_ != nullptr) c_rows_->Add();
   const bool timed = h_group_append_ != nullptr && obs::SampleOneIn<6>();
   const uint64_t append_start_us = timed ? obs::MonotonicUs() : 0;
@@ -961,8 +1050,8 @@ Status TimeUnionDB::InsertGroupFast(uint64_t group_ref,
   if (it == es.groups.end()) {
     return Status::NotFound("unknown group reference");
   }
-  // Slot validation under the entry lock: InsertGroup may grow the member
-  // array concurrently.
+  // Slot validation under the entry lock: a labeled group row may grow the
+  // member array concurrently.
   std::lock_guard<std::mutex> entry_lock(append_locks_.For(group_ref));
   for (uint32_t slot : slots) {
     if (slot >= it->second.head->num_members()) {
@@ -970,7 +1059,7 @@ Status TimeUnionDB::InsertGroupFast(uint64_t group_ref,
     }
   }
   TU_RETURN_IF_ERROR(AppendRowToGroup(&it->second, slots, ts, values));
-  if (wal_) {
+  if (wal_out != nullptr) {
     WalRecord rec;
     rec.type = WalRecordType::kGroupSample;
     rec.id = group_ref;
@@ -978,10 +1067,146 @@ Status TimeUnionDB::InsertGroupFast(uint64_t group_ref,
     rec.ts = ts;
     rec.slots = slots;
     rec.values = values;
-    TU_RETURN_IF_ERROR(MaybeLog(rec));
+    wal_out->push_back(std::move(rec));
   }
   if (timed) h_group_append_->Observe(obs::MonotonicUs() - append_start_us);
   return Status::OK();
+}
+
+void TimeUnionDB::WriteGroupRows(const WriteBatch& batch, WriteResult* result,
+                                 std::vector<WalRecord>* wal_out) {
+  for (const WriteBatch::GroupRow& row : batch.group_rows) {
+    Status s = AppendOneGroupRowByRef(row.group_ref, row.slots, row.ts,
+                                      row.values, wal_out);
+    if (s.ok()) {
+      ++result->appended;
+    } else {
+      RowReject(result, s);
+    }
+  }
+}
+
+void TimeUnionDB::WriteLabeledGroupRows(const WriteBatch& batch,
+                                        WriteResult* result,
+                                        std::vector<WalRecord>* wal_out) {
+  if (batch.labeled_group_rows.empty()) return;
+  result->resolved_groups.resize(batch.labeled_group_rows.size());
+  for (size_t i = 0; i < batch.labeled_group_rows.size(); ++i) {
+    const WriteBatch::LabeledGroupRow& row = batch.labeled_group_rows[i];
+    WriteResult::ResolvedGroup* resolved = &result->resolved_groups[i];
+    Status s = [&]() -> Status {
+      if (row.member_tags.size() != row.values.size()) {
+        return Status::InvalidArgument("member/value count mismatch");
+      }
+      if (c_rows_ != nullptr) c_rows_->Add();
+      Labels sorted_group = row.group_tags;
+      index::SortLabels(&sorted_group);
+      const std::string group_key = index::LabelsKey(sorted_group);
+
+      // Member resolution may register new members (index/tag-store
+      // writes), so the whole slow path serializes behind the registration
+      // mutex; the by-ref path never takes it. Member registration records
+      // log immediately (not deferred) so a register always precedes the
+      // first sample referencing its slot in the WAL.
+      std::lock_guard<std::mutex> reg_lock(reg_mu_);
+      uint64_t group_ref = 0;
+      if (!LookupGroupRef(group_key, &group_ref)) {
+        TU_RETURN_IF_ERROR(
+            RegisterGroupSlow(sorted_group, group_key, &group_ref));
+      }
+
+      EntryShard& es = EntryShardFor(group_ref);
+      std::shared_lock<std::shared_mutex> shard_lock(es.mu);
+      auto git = es.groups.find(group_ref);
+      if (git == es.groups.end()) {
+        // Cannot happen while reg_mu_ is held (retention also serializes
+        // on it).
+        return Status::NotFound("group retired during insert");
+      }
+      GroupEntry* entry = &git->second;
+      std::lock_guard<std::mutex> entry_lock(append_locks_.For(group_ref));
+
+      // Resolve/append members (§3.4: an appending array ordered by first
+      // insertion; lookups check whether the timeseries is already
+      // recorded).
+      std::vector<uint32_t>* slots = &resolved->slots;
+      slots->clear();
+      slots->reserve(row.member_tags.size());
+      for (const Labels& tags : row.member_tags) {
+        Labels sorted = tags;
+        index::SortLabels(&sorted);
+        const std::string key = index::LabelsKey(sorted);
+        int slot = entry->head->FindMember(key);
+        if (slot < 0) {
+          uint64_t tag_offset = 0;
+          TU_RETURN_IF_ERROR(tag_store_->Append(sorted, &tag_offset));
+          // Member unique tags also map to the group ID in the first-level
+          // index.
+          TU_RETURN_IF_ERROR(index_->Add(group_ref, sorted));
+          uint32_t new_slot = 0;
+          TU_RETURN_IF_ERROR(
+              entry->head->AddMember(tag_offset, key, &new_slot));
+          entry->member_labels.resize(
+              std::max<size_t>(entry->member_labels.size(), new_slot + 1));
+          entry->member_labels[new_slot] = sorted;
+          slot = static_cast<int>(new_slot);
+
+          WalRecord reg;
+          reg.type = WalRecordType::kRegisterMember;
+          reg.id = group_ref;
+          reg.slot = new_slot;
+          reg.labels = sorted;
+          TU_RETURN_IF_ERROR(MaybeLog(reg));
+        }
+        slots->push_back(static_cast<uint32_t>(slot));
+      }
+
+      TU_RETURN_IF_ERROR(AppendRowToGroup(entry, *slots, row.ts, row.values));
+      if (wal_out != nullptr) {
+        WalRecord rec;
+        rec.type = WalRecordType::kGroupSample;
+        rec.id = group_ref;
+        rec.seq = entry->head->seq_id();
+        rec.ts = row.ts;
+        rec.slots = *slots;
+        rec.values = row.values;
+        wal_out->push_back(std::move(rec));
+      }
+      resolved->group_ref = group_ref;
+      return Status::OK();
+    }();
+    if (s.ok()) {
+      ++result->appended;
+    } else {
+      RowReject(result, s);
+    }
+  }
+}
+
+Status TimeUnionDB::InsertGroup(const Labels& group_tags,
+                                const std::vector<Labels>& member_tags,
+                                int64_t ts, const std::vector<double>& values,
+                                uint64_t* group_ref,
+                                std::vector<uint32_t>* slots) {
+  ShimScratch& tls = TlsShimScratch();
+  tls.batch.Clear();
+  tls.batch.AddGroupRow(group_tags, member_tags, ts, values);
+  TU_RETURN_IF_ERROR(Write(tls.batch, &tls.result));
+  TU_RETURN_IF_ERROR(tls.result.first_error);
+  *group_ref = tls.result.resolved_groups[0].group_ref;
+  *slots = tls.result.resolved_groups[0].slots;
+  return Status::OK();
+}
+
+Status TimeUnionDB::InsertGroupFast(uint64_t group_ref,
+                                    const std::vector<uint32_t>& slots,
+                                    int64_t ts,
+                                    const std::vector<double>& values) {
+  ShimScratch& tls = TlsShimScratch();
+  tls.batch.Clear();
+  tls.batch.AddGroupRow(group_ref, slots, ts, values);
+  TU_RETURN_IF_ERROR(Write(tls.batch, &tls.result));
+  return tls.result.first_error;
 }
 
 // ---------------------------------------------------------------------------
@@ -1015,8 +1240,22 @@ Status ValidateQueryArgs(const std::vector<TagMatcher>& matchers, int64_t t0,
 
 }  // namespace
 
+bool TimeUnionDB::AllowPartialReads(
+    query::ReadRequest::Strictness s) const {
+  switch (s) {
+    case query::ReadRequest::Strictness::kStrict:
+      return false;
+    case query::ReadRequest::Strictness::kAllowPartial:
+      return true;
+    case query::ReadRequest::Strictness::kDefault:
+      break;
+  }
+  return !options_.strict_reads;
+}
+
 Status TimeUnionDB::QueryIteratorsImpl(const std::vector<TagMatcher>& matchers,
                                        int64_t t0, int64_t t1,
+                                       bool allow_partial,
                                        std::vector<SeriesIterResult>* out,
                                        query::QueryStats* stats) {
   out->clear();
@@ -1093,8 +1332,8 @@ Status TimeUnionDB::QueryIteratorsImpl(const std::vector<TagMatcher>& matchers,
       ctx.t0 = t0;
       ctx.t1 = t1;
       ctx.matchers = &matchers;
-      ctx.scope.allow_partial = !options_.strict_reads;
-      ctx.scope.missing = options_.strict_reads ? nullptr : &missing;
+      ctx.scope.allow_partial = allow_partial;
+      ctx.scope.missing = allow_partial ? &missing : nullptr;
       ctx.stats = stats;
       std::unique_ptr<lsm::Iterator> lsm_iter;
       TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, ctx, &lsm_iter));
@@ -1120,10 +1359,15 @@ void TimeUnionDB::AddQueryTotals(const query::QueryStats& stats) {
   ++queries_run_;
 }
 
-Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
-                          int64_t t1, QueryResult* out) {
+Status TimeUnionDB::Query(const query::ReadRequest& request,
+                          QueryResult* out) {
   out->clear();
-  TU_RETURN_IF_ERROR(ValidateQueryArgs(matchers, t0, t1));
+  TU_RETURN_IF_ERROR(
+      ValidateQueryArgs(request.matchers, request.t0, request.t1));
+  if (request.IsAggregate()) {
+    return Status::InvalidArgument(
+        "Query: aggregate request (step_ms > 0) — use AggregateQuery");
+  }
   const uint64_t query_start_us = obs::MonotonicUs();
 
   // Query is a thin materializer over the iterator pipeline: build the
@@ -1131,8 +1375,9 @@ Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
   // spans. `out->stats` outlives the iterators (both are scoped here), so
   // drain-time counters (block reads, cache hits, decodes) land in it too.
   std::vector<SeriesIterResult> iters;
-  TU_RETURN_IF_ERROR(
-      QueryIteratorsImpl(matchers, t0, t1, &iters, &out->stats));
+  TU_RETURN_IF_ERROR(QueryIteratorsImpl(
+      request.matchers, request.t0, request.t1,
+      AllowPartialReads(request.strictness), &iters, &out->stats));
 
   const uint64_t drain_start_us = obs::MonotonicUs();
   std::vector<query::SampleBatch> batches;
@@ -1171,12 +1416,24 @@ Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
   return Status::OK();
 }
 
-Status TimeUnionDB::QueryIterators(const std::vector<TagMatcher>& matchers,
-                                   int64_t t0, int64_t t1,
+Status TimeUnionDB::Query(const std::vector<TagMatcher>& matchers, int64_t t0,
+                          int64_t t1, QueryResult* out) {
+  return Query(query::ReadRequest::Range(matchers, t0, t1), out);
+}
+
+Status TimeUnionDB::QueryIterators(const query::ReadRequest& request,
                                    std::vector<SeriesIterResult>* out,
                                    query::QueryStats* stats) {
-  TU_RETURN_IF_ERROR(ValidateQueryArgs(matchers, t0, t1));
-  TU_RETURN_IF_ERROR(QueryIteratorsImpl(matchers, t0, t1, out, stats));
+  TU_RETURN_IF_ERROR(
+      ValidateQueryArgs(request.matchers, request.t0, request.t1));
+  if (request.IsAggregate()) {
+    return Status::InvalidArgument(
+        "QueryIterators: aggregate request (step_ms > 0) — use "
+        "AggregateQuery");
+  }
+  TU_RETURN_IF_ERROR(QueryIteratorsImpl(
+      request.matchers, request.t0, request.t1,
+      AllowPartialReads(request.strictness), out, stats));
   // DB-lifetime totals for streaming queries capture the creation-time
   // counters (table/partition pruning); counters that accrue while the
   // caller drains the lazy iterators land only in `stats`.
@@ -1184,9 +1441,22 @@ Status TimeUnionDB::QueryIterators(const std::vector<TagMatcher>& matchers,
   return Status::OK();
 }
 
-Status TimeUnionDB::AggregateQuery(const std::vector<TagMatcher>& matchers,
-                                   int64_t t0, int64_t t1, int64_t step_ms,
-                                   query::AggFn fn, AggregateResult* out) {
+Status TimeUnionDB::QueryIterators(const std::vector<TagMatcher>& matchers,
+                                   int64_t t0, int64_t t1,
+                                   std::vector<SeriesIterResult>* out,
+                                   query::QueryStats* stats) {
+  return QueryIterators(query::ReadRequest::Range(matchers, t0, t1), out,
+                        stats);
+}
+
+Status TimeUnionDB::AggregateQuery(const query::ReadRequest& request,
+                                   AggregateResult* out) {
+  const std::vector<TagMatcher>& matchers = request.matchers;
+  const int64_t t0 = request.t0;
+  const int64_t t1 = request.t1;
+  const int64_t step_ms = request.step_ms;
+  const query::AggFn fn = request.fn;
+  const bool allow_partial = AllowPartialReads(request.strictness);
   out->series.clear();
   out->ResetCompleteness();
   out->stats = query::QueryStats();
@@ -1298,8 +1568,8 @@ Status TimeUnionDB::AggregateQuery(const std::vector<TagMatcher>& matchers,
         ctx.t0 = lo;
         ctx.t1 = hi;
         ctx.matchers = &matchers;
-        ctx.scope.allow_partial = !options_.strict_reads;
-        ctx.scope.missing = options_.strict_reads ? nullptr : &missing;
+        ctx.scope.allow_partial = allow_partial;
+        ctx.scope.missing = allow_partial ? &missing : nullptr;
         ctx.stats = &out->stats;
         std::unique_ptr<lsm::Iterator> lsm_iter;
         TU_RETURN_IF_ERROR(lsm_->NewIteratorForId(id, ctx, &lsm_iter));
@@ -1346,6 +1616,13 @@ Status TimeUnionDB::AggregateQuery(const std::vector<TagMatcher>& matchers,
     h_query_e2e_->Observe(obs::MonotonicUs() - query_start_us);
   }
   return Status::OK();
+}
+
+Status TimeUnionDB::AggregateQuery(const std::vector<TagMatcher>& matchers,
+                                   int64_t t0, int64_t t1, int64_t step_ms,
+                                   query::AggFn fn, AggregateResult* out) {
+  return AggregateQuery(
+      query::ReadRequest::Aggregate(matchers, t0, t1, step_ms, fn), out);
 }
 
 // ---------------------------------------------------------------------------
@@ -1677,6 +1954,11 @@ core::HealthReport TimeUnionDB::HealthReport() const {
       snap.CounterOr0("integrity.read_corruptions_detected");
   r.read_corruptions_healed =
       snap.CounterOr0("integrity.read_corruptions_healed");
+  r.server_open_connections =
+      static_cast<uint64_t>(snap.GaugeOr0("server.open_connections"));
+  r.server_inflight_requests =
+      static_cast<uint64_t>(snap.GaugeOr0("server.inflight_requests"));
+  r.server_tenant_rejects = snap.CounterOr0("server.tenant_rejects");
   if (time_lsm_ != nullptr) {
     r.last_background_error = time_lsm_->last_background_error();
   }

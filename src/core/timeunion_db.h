@@ -40,9 +40,11 @@
 #include "core/maintenance.h"
 #include "core/scrub.h"
 #include "core/wal.h"
+#include "core/write_batch.h"
 #include "query/aggregate.h"
 #include "query/merged_series_iterator.h"
 #include "query/read_context.h"
+#include "query/read_request.h"
 #include "util/striped_mutex.h"
 
 namespace tu::core {
@@ -237,6 +239,13 @@ struct HealthReport {
   /// Self-healing read path: corrupt blocks detected / healed in place.
   uint64_t read_corruptions_detected = 0;
   uint64_t read_corruptions_healed = 0;
+  /// Network front door (src/server): live connection / request gauges and
+  /// the cumulative tenant-limit rejects. All zero unless a server::Server
+  /// is attached to this DB (the server publishes them into the metrics
+  /// registry under server.*).
+  uint64_t server_open_connections = 0;
+  uint64_t server_inflight_requests = 0;
+  uint64_t server_tenant_rejects = 0;
   /// Sticky background flush/maintenance error; OK when healthy.
   Status last_background_error;
   /// Background-error state machine (DESIGN.md "Background error handling
@@ -259,18 +268,43 @@ class TimeUnionDB {
   TimeUnionDB(const TimeUnionDB&) = delete;
   TimeUnionDB& operator=(const TimeUnionDB&) = delete;
 
+  // -- Put, batched (the primary write entry point) -------------------------
+
+  /// Applies a whole WriteBatch: ref samples, labeled samples, group rows.
+  /// This is the write path — the per-sample Insert* calls below are thin
+  /// single-row shims over it. Amortizations relative to one call per row:
+  /// the write-quiesce gate and admission check run once per batch (charged
+  /// with the batch's sample count), consecutive rows addressing the same
+  /// series share one shard/stripe lock acquisition, and all sample WAL
+  /// records land in a single framed append (one WAL mutex acquisition).
+  ///
+  /// Error semantics: row failures are counted in result->rejected with the
+  /// first failure in result->first_error while the rest of the batch still
+  /// applies; the returned Status is non-OK only for batch-scoped failures
+  /// (invalid batch shape, write quiesce, admission hard reject, WAL
+  /// append failure) — after which no further rows were applied.
+  ///
+  /// Durability: like the per-sample paths, every applied row's WAL record
+  /// is appended before Write returns (a SyncWal afterwards makes them
+  /// crash-durable). Note the batch's records are logged after its head
+  /// appends, so two racing writers hitting the same series with the same
+  /// timestamp may replay in either order — exactly as arbitrary as the
+  /// race itself.
+  Status Write(const WriteBatch& batch, WriteResult* result);
+
   // -- Put (Timeseries), §3.4 ---------------------------------------------
 
-  /// Slow path: resolves (or registers) the series identified by `labels`
-  /// and appends one sample. Returns the series reference for the fast
-  /// path. Only first-time registration serializes (registration mutex);
-  /// the steady-state resolve+append runs under shard/entry locks.
+  /// Legacy single-sample shim over Write(): resolves (or registers) the
+  /// series identified by `labels` and appends one sample. Returns the
+  /// series reference for the fast path. Only first-time registration
+  /// serializes (registration mutex); the steady-state resolve+append runs
+  /// under shard/entry locks.
   Status Insert(const index::Labels& labels, int64_t ts, double value,
                 uint64_t* series_ref);
 
-  /// Fast path: appends by reference, skipping tag comparison. Appends to
-  /// different series proceed in parallel; appends to one series serialize
-  /// on its entry lock.
+  /// Legacy single-sample shim over Write(): appends by reference, skipping
+  /// tag comparison. Appends to different series proceed in parallel;
+  /// appends to one series serialize on its entry lock.
   Status InsertFast(uint64_t series_ref, int64_t ts, double value);
 
   /// Resolves (or registers) a series without appending a sample — lets a
@@ -279,7 +313,8 @@ class TimeUnionDB {
 
   // -- Put (Group), §3.4 ----------------------------------------------------
 
-  /// Slow path: registers/extends the group identified by `group_tags`,
+  /// Legacy single-row shim over Write(): registers/extends the group
+  /// identified by `group_tags`,
   /// appends one shared-timestamp row with `values[i]` for the member
   /// identified by `member_tags[i]`. Returns the group reference and the
   /// member slot indexes for the fast path. Serializes on the registration
@@ -290,13 +325,19 @@ class TimeUnionDB {
                      int64_t ts, const std::vector<double>& values,
                      uint64_t* group_ref, std::vector<uint32_t>* slots);
 
-  /// Fast path: appends a row by group reference + member slots. Rows into
-  /// different groups proceed in parallel.
+  /// Legacy single-row shim over Write(): appends a row by group reference
+  /// + member slots. Rows into different groups proceed in parallel.
   Status InsertGroupFast(uint64_t group_ref,
                          const std::vector<uint32_t>& slots, int64_t ts,
                          const std::vector<double>& values);
 
   // -- Get, §3.4 ------------------------------------------------------------
+
+  /// The consolidated read entry point (query::ReadRequest): matchers +
+  /// inclusive time range + per-request strictness. Rejects aggregate
+  /// requests (step_ms > 0) with InvalidArgument — those go through
+  /// AggregateQuery. The wire protocol's query handler maps onto this 1:1.
+  Status Query(const query::ReadRequest& request, QueryResult* out);
 
   /// Returns every timeseries matching all `matchers` restricted to
   /// [t0, t1] (inclusive), including group members located through the
@@ -309,7 +350,8 @@ class TimeUnionDB {
   /// exactly one read pipeline (head snapshot → LSM iterators → merged
   /// dedup stream); Query just drains it into vectors and fills
   /// `out->stats`. Returns InvalidArgument when t0 > t1 or `matchers` is
-  /// empty.
+  /// empty. Legacy signature: delegates to Query(ReadRequest) with default
+  /// strictness.
   Status Query(const std::vector<index::TagMatcher>& matchers, int64_t t0,
                int64_t t1, QueryResult* out);
 
@@ -326,10 +368,16 @@ class TimeUnionDB {
     index::Labels labels;
     std::unique_ptr<SampleIterator> iter;
   };
-  /// Returns InvalidArgument when t0 > t1 or `matchers` is empty. `stats`
-  /// (nullable) receives pruning/cache counters; the pointed-to object
-  /// must outlive every returned iterator — lazy iterators keep counting
-  /// while they are drained.
+  /// ReadRequest form of the streaming query (rejects aggregate requests).
+  /// `stats` (nullable) receives pruning/cache counters; the pointed-to
+  /// object must outlive every returned iterator — lazy iterators keep
+  /// counting while they are drained.
+  Status QueryIterators(const query::ReadRequest& request,
+                        std::vector<SeriesIterResult>* out,
+                        query::QueryStats* stats = nullptr);
+
+  /// Legacy signature: delegates to QueryIterators(ReadRequest). Returns
+  /// InvalidArgument when t0 > t1 or `matchers` is empty.
   Status QueryIterators(const std::vector<index::TagMatcher>& matchers,
                         int64_t t0, int64_t t1,
                         std::vector<SeriesIterResult>* out,
@@ -363,7 +411,13 @@ class TimeUnionDB {
   /// identical to aggregating the raw samples. Group members always take
   /// the raw path. Returns InvalidArgument for t0 > t1, empty matchers or
   /// step_ms <= 0. Per-path volume lands in out->stats
-  /// (rollup_buckets_served / raw_edge_samples).
+  /// (rollup_buckets_served / raw_edge_samples). ReadRequest form: the
+  /// request must carry step_ms > 0 (+ fn); strictness is honored like
+  /// Query's.
+  Status AggregateQuery(const query::ReadRequest& request,
+                        AggregateResult* out);
+
+  /// Legacy signature: delegates to AggregateQuery(ReadRequest).
   Status AggregateQuery(const std::vector<index::TagMatcher>& matchers,
                         int64_t t0, int64_t t1, int64_t step_ms,
                         query::AggFn fn, AggregateResult* out);
@@ -506,9 +560,51 @@ class TimeUnionDB {
   Status RegisterGroupSlow(const index::Labels& sorted_group,
                            const std::string& group_key, uint64_t* group_ref);
 
-  /// Shared fast-path body for Insert/InsertFast: resolves `series_ref` in
-  /// its entry shard, appends under the entry lock, logs to the WAL.
-  Status AppendSampleByRef(uint64_t series_ref, int64_t ts, double value);
+  // -- Batched write pipeline (the bodies behind Write) ---------------------
+  //
+  // Each helper applies one batch section, appending per-row WAL records to
+  // `wal_out` (null when the WAL is off) instead of logging inline; Write
+  // flushes them in one AppendBatch at the end. Row failures are folded
+  // into `result` (rejected count + first_error) without aborting.
+
+  /// Ref-addressed samples. Consecutive rows with the same ref share one
+  /// shard-lock + stripe-lock acquisition (run detection), which is where
+  /// a sorted batch wins over per-sample inserts.
+  void WriteRefSamples(const WriteBatch& batch, WriteResult* result,
+                       std::vector<WalRecord>* wal_out);
+  /// Label-addressed samples: resolve-or-register, then append; fills
+  /// result->resolved_refs (0 on row failure).
+  void WriteLabeledSamples(const WriteBatch& batch, WriteResult* result,
+                           std::vector<WalRecord>* wal_out);
+  /// Ref-addressed group rows.
+  void WriteGroupRows(const WriteBatch& batch, WriteResult* result,
+                      std::vector<WalRecord>* wal_out);
+  /// Label-addressed group rows: resolve-or-register group and members
+  /// (member registration logs immediately, keeping register-before-sample
+  /// order in the WAL); fills result->resolved_groups.
+  void WriteLabeledGroupRows(const WriteBatch& batch, WriteResult* result,
+                             std::vector<WalRecord>* wal_out);
+
+  /// Appends one sample by ref, deferring its WAL record to `wal_out`.
+  Status AppendOneByRef(uint64_t series_ref, int64_t ts, double value,
+                        std::vector<WalRecord>* wal_out);
+  /// Appends one group row by ref, deferring its WAL record to `wal_out`.
+  Status AppendOneGroupRowByRef(uint64_t group_ref,
+                                const std::vector<uint32_t>& slots,
+                                int64_t ts,
+                                const std::vector<double>& values,
+                                std::vector<WalRecord>* wal_out);
+  /// Folds one row failure into `result`.
+  static void RowReject(WriteResult* result, const Status& s);
+
+  /// Single-row scratch batches for the legacy Insert* shims: cleared and
+  /// refilled per call, so the shims stay allocation-free in steady state
+  /// (Clear keeps vector capacity).
+  struct ShimScratch {
+    WriteBatch batch;
+    WriteResult result;
+  };
+  static ShimScratch& TlsShimScratch();
 
   /// Flush a closed series chunk payload into the LSM + WAL mark. Caller
   /// holds the entry's append lock.
@@ -528,18 +624,24 @@ class TimeUnionDB {
   /// aggregation; `stats` (nullable) is wired into every iterator and
   /// must outlive them.
   Status QueryIteratorsImpl(const std::vector<index::TagMatcher>& matchers,
-                            int64_t t0, int64_t t1,
+                            int64_t t0, int64_t t1, bool allow_partial,
                             std::vector<SeriesIterResult>* out,
                             query::QueryStats* stats);
+  /// Resolves a per-request strictness override against
+  /// DBOptions::strict_reads.
+  bool AllowPartialReads(query::ReadRequest::Strictness s) const;
   /// Folds one finished query's stats into the DB-lifetime totals
   /// surfaced by CountersReport().
   void AddQueryTotals(const query::QueryStats& stats);
 
   /// Write-path backpressure (DBOptions::AdmissionControl): checks the
-  /// LSM's fast-bytes gauge against the watermarks — OK below soft,
-  /// bounded delay between soft and hard, ResourceExhausted at hard. WAL
-  /// replay bypasses this (it appends through AppendToSeries directly).
-  Status AdmitWrite();
+  /// LSM's fast-bytes gauge against the watermarks — OK below soft, one
+  /// bounded delay per admitted batch between soft and hard (this is the
+  /// batch amortization: per-sample callers ate one delay per sample),
+  /// ResourceExhausted at hard. `num_samples` charges the batch's volume
+  /// against the refresh cadence. WAL replay bypasses this (it appends
+  /// through AppendToSeries directly).
+  Status AdmitWrite(uint64_t num_samples);
 
   Status MaybeLog(const WalRecord& record);
 

@@ -202,6 +202,36 @@ Status WalWriter::Append(const WalRecord& record) {
   return s;
 }
 
+Status WalWriter::AppendBatch(const WalRecord* records, size_t n) {
+  if (n == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!poison_.ok()) return poison_;
+  cloud::CrashPoint(store_->fault(), "wal.append");
+  // One framed buffer for the whole batch: per-record framing is byte-for-
+  // byte what n Append() calls would have produced, but the mutex, the
+  // crash point and the file write are paid once.
+  std::string framed;
+  std::string payload;
+  for (size_t i = 0; i < n; ++i) {
+    payload.clear();
+    EncodeWalRecord(records[i], &payload);
+    PutFixed32(&framed,
+               crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+    PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
+    framed += payload;
+  }
+  Status s = file_->Append(framed);
+  if (!s.ok()) {
+    // Same discipline as Append(): a partial multi-frame write is a torn
+    // tail only if nothing follows it — poison until Rotate().
+    poison_ = s;
+    return s;
+  }
+  bytes_written_ += framed.size();
+  pending_tail_ += framed;
+  return s;
+}
+
 Status WalWriter::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!poison_.ok()) return poison_;

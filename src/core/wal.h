@@ -64,6 +64,11 @@ class WalWriter {
 
   Status Open();
   Status Append(const WalRecord& record);
+  /// Frames `n` records into one buffer and appends them with a single
+  /// mutex acquisition and a single file write — the batched write path's
+  /// amortization of the WAL serialization point. Framing is identical to
+  /// n Append() calls, so replay cannot tell the difference.
+  Status AppendBatch(const WalRecord* records, size_t n);
   Status Sync();
   uint64_t bytes_written() const {
     return bytes_written_.load(std::memory_order_relaxed);

@@ -1,0 +1,98 @@
+#include "server/tenant.h"
+
+namespace tu::server {
+
+bool TokenBucket::TryTake(uint64_t n, uint64_t now_us) {
+  if (rate_ == 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!primed_) {
+    tokens_ = static_cast<double>(rate_);
+    last_us_ = now_us;
+    primed_ = true;
+  }
+  if (now_us > last_us_) {
+    tokens_ += static_cast<double>(now_us - last_us_) * 1e-6 *
+               static_cast<double>(rate_);
+    if (tokens_ > static_cast<double>(rate_)) {
+      tokens_ = static_cast<double>(rate_);
+    }
+    last_us_ = now_us;
+  }
+  const double need = static_cast<double>(n);
+  // A full bucket admits even an oversized request (debt model, see
+  // header); otherwise the request must be fully covered.
+  if (tokens_ >= need ||
+      (tokens_ >= static_cast<double>(rate_) && need > tokens_)) {
+    tokens_ -= need;
+    return true;
+  }
+  return false;
+}
+
+Tenant::Tenant(std::string name, uint64_t samples_per_sec,
+               uint64_t bytes_per_sec)
+    : samples_written(nullptr),
+      requests(nullptr),
+      rejects(nullptr),
+      name_(std::move(name)),
+      samples_bucket_(samples_per_sec),
+      bytes_bucket_(bytes_per_sec) {}
+
+uint64_t Tenant::ResolveSeries(uint64_t remote_ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (remote_ref == 0 || remote_ref > series_refs_.size()) return 0;
+  return series_refs_[remote_ref - 1];
+}
+
+uint64_t Tenant::ResolveGroup(uint64_t remote_ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (remote_ref == 0 || remote_ref > group_refs_.size()) return 0;
+  return group_refs_[remote_ref - 1];
+}
+
+uint64_t Tenant::InternSeries(uint64_t real_ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = series_remote_.try_emplace(real_ref, 0);
+  if (inserted) {
+    series_refs_.push_back(real_ref);
+    it->second = series_refs_.size();
+  }
+  return it->second;
+}
+
+uint64_t Tenant::InternGroup(uint64_t real_ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = group_remote_.try_emplace(real_ref, 0);
+  if (inserted) {
+    group_refs_.push_back(real_ref);
+    it->second = group_refs_.size();
+  }
+  return it->second;
+}
+
+Status Tenant::Admit(uint64_t samples, uint64_t wire_bytes, uint64_t now_us) {
+  if (!samples_bucket_.TryTake(samples, now_us)) {
+    return Status::ResourceExhausted("tenant sample quota exceeded");
+  }
+  if (!bytes_bucket_.TryTake(wire_bytes, now_us)) {
+    return Status::ResourceExhausted("tenant byte quota exceeded");
+  }
+  return Status::OK();
+}
+
+Tenant* TenantRegistry::GetOrCreate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    auto tenant = std::unique_ptr<Tenant>(
+        new Tenant(name, limits_.samples_per_sec, limits_.bytes_per_sec));
+    tenant->samples_written =
+        metrics_->counter("server.tenant." + name + ".samples");
+    tenant->requests = metrics_->counter("server.tenant." + name + ".requests");
+    tenant->rejects = metrics_->counter("server.tenant." + name + ".rejects");
+    it = tenants_.emplace(name, std::move(tenant)).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace tu::server

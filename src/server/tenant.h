@@ -1,0 +1,121 @@
+// Multi-tenant admission and ref translation for the network front door.
+//
+// Tenant model: every remote request names a tenant; the server maps the
+// tenant onto a reserved `__tenant__` tag injected into each registered
+// series/group, so isolation rides on the existing label index — a
+// tenant's queries get Equal(__tenant__, t) appended and can never match
+// another tenant's series. Clients may not use the reserved tag
+// themselves.
+//
+// Remote refs: storage refs never cross the wire. Each tenant owns a
+// dense remote→real table; a labeled write that resolves a series returns
+// its remote ref, and by-ref writes translate remote→real on decode. A
+// guessed integer either misses the table (row rejected) or lands on one
+// of the tenant's *own* series — cross-tenant addressing is structurally
+// impossible.
+//
+// Quotas: per-tenant token buckets (samples/sec, wire bytes/sec) sit in
+// front of the DB-wide DBOptions::admission watermarks. A bucket miss is
+// a structured kResourceExhausted response, counted per tenant in the
+// metrics registry (server.tenant.<name>.rejects).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace tu::server {
+
+/// The reserved tenant tag name (rejected in client labels/matchers).
+inline constexpr char kTenantTag[] = "__tenant__";
+
+/// Monotonic-clock token bucket; capacity equals one second of rate
+/// (burst == rate). rate == 0 means unlimited. Internally locked — the
+/// handlers charging it run on any worker thread.
+class TokenBucket {
+ public:
+  explicit TokenBucket(uint64_t rate_per_sec) : rate_(rate_per_sec) {}
+
+  /// Takes `n` tokens if available; false = over quota. Oversized single
+  /// requests (n > capacity) are allowed through when the bucket is full,
+  /// driving it negative — the debt throttles what follows instead of
+  /// making one large batch forever unadmittable.
+  bool TryTake(uint64_t n, uint64_t now_us);
+
+ private:
+  const uint64_t rate_;
+  std::mutex mu_;
+  double tokens_ = 0;
+  uint64_t last_us_ = 0;
+  bool primed_ = false;
+};
+
+class TenantRegistry;
+
+/// Per-tenant state. Created on first use, lives for the registry's
+/// lifetime. The ref tables are locked per tenant; instrument pointers
+/// are stable and lock-free to record.
+class Tenant {
+ public:
+  const std::string& name() const { return name_; }
+
+  /// remote → real (0 = unknown remote ref).
+  uint64_t ResolveSeries(uint64_t remote_ref);
+  uint64_t ResolveGroup(uint64_t remote_ref);
+  /// real → remote, issuing a new remote ref on first sight.
+  uint64_t InternSeries(uint64_t real_ref);
+  uint64_t InternGroup(uint64_t real_ref);
+
+  /// Charges both buckets; kResourceExhausted (counted) on either miss.
+  Status Admit(uint64_t samples, uint64_t wire_bytes, uint64_t now_us);
+
+  obs::Counter* samples_written;  // rows acked
+  obs::Counter* requests;         // write + query requests handled
+  obs::Counter* rejects;          // quota + validation rejects
+
+ private:
+  friend class TenantRegistry;
+  Tenant(std::string name, uint64_t samples_per_sec, uint64_t bytes_per_sec);
+
+  const std::string name_;
+  TokenBucket samples_bucket_;
+  TokenBucket bytes_bucket_;
+
+  std::mutex mu_;
+  std::vector<uint64_t> series_refs_;  // index = remote ref - 1
+  std::unordered_map<uint64_t, uint64_t> series_remote_;  // real -> remote
+  std::vector<uint64_t> group_refs_;
+  std::unordered_map<uint64_t, uint64_t> group_remote_;
+};
+
+class TenantRegistry {
+ public:
+  struct Limits {
+    uint64_t samples_per_sec = 0;  // 0 = unlimited
+    uint64_t bytes_per_sec = 0;
+  };
+
+  TenantRegistry(obs::MetricsRegistry* metrics, Limits limits,
+                 obs::Counter* total_rejects)
+      : metrics_(metrics), limits_(limits), total_rejects_(total_rejects) {}
+
+  /// Never fails; tenants are implicit (first use creates).
+  Tenant* GetOrCreate(const std::string& name);
+
+  obs::Counter* total_rejects() const { return total_rejects_; }
+
+ private:
+  obs::MetricsRegistry* metrics_;
+  const Limits limits_;
+  obs::Counter* total_rejects_;
+  std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace tu::server

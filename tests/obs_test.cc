@@ -23,6 +23,8 @@
 
 #include "core/timeunion_db.h"
 #include "obs/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "util/mmap_file.h"
 
 namespace tu {
@@ -365,7 +367,73 @@ TEST(DbMetricsTest, HealthReportMatchesMetricsSnapshot) {
   EXPECT_EQ(health.block_cache_hits, snap.CounterOr0("cache.hits"));
   EXPECT_EQ(health.block_cache_misses, snap.CounterOr0("cache.misses"));
   EXPECT_TRUE(health.last_background_error.ok());
+  // server.* fields exist (and are zero) even with no server attached —
+  // the HealthReport schema does not depend on the front door running.
+  EXPECT_EQ(health.server_open_connections,
+            static_cast<uint64_t>(snap.GaugeOr0("server.open_connections")));
+  EXPECT_EQ(health.server_inflight_requests,
+            static_cast<uint64_t>(snap.GaugeOr0("server.inflight_requests")));
+  EXPECT_EQ(health.server_tenant_rejects,
+            snap.CounterOr0("server.tenant_rejects"));
+  EXPECT_EQ(health.server_open_connections, 0u);
+  EXPECT_EQ(health.server_tenant_rejects, 0u);
 
+  db.reset();
+  RemoveDirRecursive(ws);
+}
+
+// With the network front door attached, the server.* instruments land in
+// the same registry: Metrics() picks them up without any schema change
+// and HealthReport's typed server fields track them exactly.
+TEST(DbMetricsTest, ServerInstrumentsSurfaceInHealthAndMetrics) {
+  const std::string ws = "/tmp/timeunion_test/obs_server";
+  RemoveDirRecursive(ws);
+  std::unique_ptr<TimeUnionDB> db;
+  ASSERT_TRUE(TimeUnionDB::Open(SmallPartitionOptions(ws), &db).ok());
+  auto srv = std::make_unique<server::Server>(db.get(), server::ServerOptions{});
+  ASSERT_TRUE(srv->Start().ok());
+
+  std::unique_ptr<server::Client> client;
+  ASSERT_TRUE(server::Client::Connect("127.0.0.1", srv->port(), "acme",
+                                      &client)
+                  .ok());
+  core::WriteBatch batch;
+  batch.AddSample(index::Labels{{"m", "cpu"}}, 1, 1.0);
+  server::WriteAck ack;
+  ASSERT_TRUE(client->Write(batch, &ack).ok());
+  ASSERT_TRUE(ack.remote_status.ok());
+  // A validation reject (reserved tag) bumps the tenant reject counters.
+  core::WriteBatch bad;
+  bad.AddSample(index::Labels{{server::kTenantTag, "x"}}, 1, 1.0);
+  ASSERT_TRUE(client->Write(bad, &ack).ok());
+  ASSERT_FALSE(ack.remote_status.ok());
+
+  const obs::MetricsSnapshot snap = db->Metrics();
+  EXPECT_GE(snap.GaugeOr0("server.open_connections"), 1);
+  EXPECT_GE(snap.CounterOr0("server.frames"), 2u);
+  EXPECT_GE(snap.CounterOr0("server.tenant_rejects"), 1u);
+  EXPECT_GE(snap.CounterOr0("server.tenant.acme.requests"), 2u);
+  EXPECT_GE(snap.CounterOr0("server.tenant.acme.samples"), 1u);
+  EXPECT_GE(snap.CounterOr0("server.tenant.acme.rejects"), 1u);
+
+  const core::HealthReport health = db->HealthReport();
+  EXPECT_EQ(health.server_open_connections,
+            static_cast<uint64_t>(snap.GaugeOr0("server.open_connections")));
+  EXPECT_EQ(health.server_tenant_rejects,
+            snap.CounterOr0("server.tenant_rejects"));
+
+  // The snapshot still serializes under the pinned schema — server.*
+  // names are plain counters/gauges, not a new section.
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"server.open_connections\""), std::string::npos);
+  EXPECT_NE(json.find("\"server.tenant.acme.samples\""), std::string::npos);
+
+  client->Close();
+  srv->Shutdown();
+  srv.reset();
+  // Instruments outlive the server (registry owns them); the gauge drops
+  // back to zero on drain.
+  EXPECT_EQ(db->HealthReport().server_open_connections, 0u);
   db.reset();
   RemoveDirRecursive(ws);
 }
